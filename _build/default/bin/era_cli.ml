@@ -1,0 +1,169 @@
+(* Command-line driver for the ERA reproduction experiments.
+
+     dune exec bin/era_cli.exe -- <command> [options]
+
+   Commands: figure1, figure2, robustness, applicability, access-aware,
+   matrix, native, all. *)
+
+open Cmdliner
+
+let scheme_names = Era_smr.Registry.names
+
+let scheme_conv =
+  let parse s =
+    match Era_smr.Registry.find s with
+    | Some _ -> Ok s
+    | None ->
+      Error
+        (`Msg
+          (Fmt.str "unknown scheme %S (expected one of: %s)" s
+             (String.concat ", " scheme_names)))
+  in
+  Arg.conv (parse, Fmt.string)
+
+let scheme_arg =
+  let doc = "Restrict to one scheme (default: all)." in
+  Arg.(value & opt (some scheme_conv) None & info [ "s"; "scheme" ] ~doc)
+
+let schemes_of = function
+  | None -> Era_smr.Registry.all
+  | Some name -> [ Era_smr.Registry.find_exn name ]
+
+let rounds_arg =
+  let doc = "Churn rounds for the Figure 1 construction." in
+  Arg.(value & opt int 256 & info [ "rounds" ] ~doc)
+
+let fuzz_arg =
+  let doc = "Randomized executions per (scheme, structure) pair." in
+  Arg.(value & opt int 10 & info [ "fuzz" ] ~doc)
+
+let ops_arg =
+  let doc = "Operations per domain for native benchmarks." in
+  Arg.(value & opt int 100_000 & info [ "ops" ] ~doc)
+
+let figure1 scheme rounds =
+  List.iter
+    (fun s -> Fmt.pr "%a@." Era.Figure1.pp_result (Era.Figure1.run ~rounds s))
+    (schemes_of scheme)
+
+let figure2 scheme =
+  List.iter
+    (fun s -> Fmt.pr "%a@." Era.Figure2.pp_result (Era.Figure2.run s))
+    (schemes_of scheme)
+
+let robustness scheme =
+  List.iter
+    (fun s ->
+      Fmt.pr "%a@." Era.Robustness.pp_measurement (Era.Robustness.classify s))
+    (schemes_of scheme)
+
+let applicability scheme fuzz =
+  List.iter
+    (fun s ->
+      List.iter
+        (fun st ->
+          Fmt.pr "%a@." Era.Applicability.pp_verdict
+            (Era.Applicability.run ~fuzz_runs:fuzz s st))
+        Era.Applicability.structures)
+    (schemes_of scheme)
+
+let access_aware () =
+  List.iter
+    (fun r -> Fmt.pr "%a@." Era.Access_aware.pp_report r)
+    (Era.Access_aware.audit_all ());
+  Fmt.pr "negative control: %a@."
+    Fmt.(list ~sep:semi (pair ~sep:(any " x") string int))
+    (Era.Access_aware.negative_control ())
+
+let matrix fuzz =
+  let rows = Era.Era_matrix.compute ~fuzz_runs:fuzz () in
+  Fmt.pr "%a@." Era.Era_matrix.pp_table rows;
+  if not (Era.Era_matrix.theorem_holds rows) then exit 1
+
+let ablation () =
+  Fmt.pr "HP scan-threshold sweep (space vs scan frequency):@.";
+  List.iter
+    (fun r -> Fmt.pr "  %a@." Era.Ablation.pp_hp_row r)
+    (Era.Ablation.hp_sweep ());
+  Fmt.pr "@.IBR epoch-granularity sweep (no tuning escapes Figure 1):@.";
+  List.iter
+    (fun r -> Fmt.pr "  %a@." Era.Ablation.pp_ibr_row r)
+    (Era.Ablation.ibr_sweep ())
+
+let stall_fuzz_cmd scheme tries =
+  List.iter
+    (fun ((module S : Era_smr.Smr_intf.S) as s) ->
+      let found =
+        Era.Applicability.stall_fuzz ~tries ~seed:1 s Era.Applicability.Harris
+      in
+      Fmt.pr "%-6s stall-fuzz on harris-list: %d/%d runs violated@." S.name
+        found tries)
+    (schemes_of scheme)
+
+let native ops =
+  let open Era_native.Throughput in
+  List.iter
+    (fun (kind, scheme, mix) ->
+      Fmt.pr "%a@." pp_result
+        (e8_row kind ~scheme mix ~domains:2 ~ops_per_domain:ops))
+    [
+      (Harris, `Ebr, Churn); (Michael, `Ebr, Churn); (Michael, `Hp, Churn);
+      (Harris, `Ebr, Read_heavy); (Michael, `Ebr, Read_heavy);
+      (Michael, `Hp, Read_heavy);
+    ];
+  List.iter
+    (fun s -> Fmt.pr "%a@." pp_result (e9_row ~scheme:s ~churn_ops:ops))
+    [ `Ebr; `Hp; `Ibr ]
+
+let all rounds fuzz ops =
+  Fmt.pr "== Figure 1 ==@.";
+  figure1 None rounds;
+  Fmt.pr "@.== Figure 2 ==@.";
+  figure2 None;
+  Fmt.pr "@.== Robustness ==@.";
+  robustness None;
+  Fmt.pr "@.== Applicability ==@.";
+  applicability None fuzz;
+  Fmt.pr "@.== Access-aware audit ==@.";
+  access_aware ();
+  Fmt.pr "@.== ERA matrix ==@.";
+  matrix fuzz;
+  Fmt.pr "@.== Native ==@.";
+  native ops
+
+let cmd name doc term = Cmd.v (Cmd.info name ~doc) term
+
+let () =
+  let cmds =
+    [
+      cmd "figure1" "The Theorem 6.1 lower-bound execution (Figure 1)."
+        Term.(const figure1 $ scheme_arg $ rounds_arg);
+      cmd "figure2" "The Appendix E inapplicability execution (Figure 2)."
+        Term.(const figure2 $ scheme_arg);
+      cmd "robustness" "Robustness classification (Definitions 5.1/5.2)."
+        Term.(const robustness $ scheme_arg);
+      cmd "applicability" "Applicability matrix (Definitions 5.4/5.6)."
+        Term.(const applicability $ scheme_arg $ fuzz_arg);
+      cmd "access-aware" "Access-aware discipline audit (Appendices C/D)."
+        Term.(const access_aware $ const ());
+      cmd "matrix" "The ERA matrix and Theorem 6.1 check."
+        Term.(const matrix $ fuzz_arg);
+      cmd "native" "Native multicore throughput/backlog (E8/E9)."
+        Term.(const native $ ops_arg);
+      cmd "ablation" "Tuning-parameter ablations (E10/E11)."
+        Term.(const ablation $ const ());
+      cmd "stall-fuzz"
+        "Black-box violation hunting with random stalls (Harris list)."
+        Term.(
+          const stall_fuzz_cmd $ scheme_arg
+          $ Arg.(value & opt int 30 & info [ "tries" ] ~doc:"Fuzz attempts."));
+      cmd "all" "Run every experiment."
+        Term.(const all $ rounds_arg $ fuzz_arg $ ops_arg);
+    ]
+  in
+  let info =
+    Cmd.info "era_cli" ~version:"1.0"
+      ~doc:"Experiments reproducing `The ERA Theorem for Safe Memory \
+            Reclamation' (PODC 2023)"
+  in
+  exit (Cmd.eval (Cmd.group info cmds))

@@ -1,0 +1,1 @@
+examples/aba_demo.ml: Era_sched Era_sim Event Fmt Heap List Monitor Word

@@ -1,0 +1,1 @@
+examples/aba_demo.mli:

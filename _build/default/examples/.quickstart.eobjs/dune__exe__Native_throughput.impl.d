@@ -1,0 +1,1 @@
+examples/native_throughput.ml: Array Era_native Fmt List Sys

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Era_history Era_sched Era_sets Era_sim Era_smr Era_workload Fmt Heap List Monitor Rng

@@ -1,0 +1,1 @@
+examples/robustness_probe.ml: Array Era Era_smr Fmt List String Sys

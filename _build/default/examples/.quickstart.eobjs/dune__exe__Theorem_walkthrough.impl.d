@@ -1,0 +1,1 @@
+examples/theorem_walkthrough.ml: Era Era_smr Fmt List

@@ -1,0 +1,1 @@
+examples/theorem_walkthrough.mli:

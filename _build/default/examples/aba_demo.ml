@@ -1,0 +1,102 @@
+(* The classic ABA disaster, reproduced deterministically — why safe
+   memory reclamation exists at all (paper, Section 1: reclaimed nodes
+   "may still be accessed by concurrent threads ... potentially causing a
+   system crash, a segmentation fault, or correctness failure").
+
+   A Treiber stack holds [A; B]. T0 starts a pop: it reads top = A and
+   A.next = B, then stalls before its CAS. T1 pops and *immediately
+   frees* A and B (no SMR!), then pushes two fresh nodes — the second of
+   which recycles A's address. T0 resumes: its CAS compares bit patterns,
+   sees "A" on top again, succeeds — and installs a pointer to the freed
+   node B. The next reader walks into freed memory.
+
+   The simulator's logical node identity catches exactly this: the
+   success of the stale CAS and the subsequent use of freed memory are
+   both visible in the trace.
+
+     dune exec examples/aba_demo.exe *)
+
+open Era_sim
+module Sched = Era_sched.Sched
+module Mem = Era_sched.Mem
+
+let top = 0  (* anchor field *)
+let next = 0  (* node field *)
+
+let () =
+  let mon = Monitor.create ~mode:`Record ~trace:true () in
+  let heap = Heap.create mon in
+  let addr_a = ref (-1) in
+  (* Stall T0 right after it has read A.next (its second load). *)
+  let t0_read_a_next = function
+    | Event.Access { tid = 0; addr; field = 0; kind = Event.Read; _ } ->
+      addr = !addr_a
+    | _ -> false
+  in
+  let script =
+    Sched.Script
+      [
+        Sched.Run_until (0, t0_read_a_next);
+        Sched.Finish 1;
+        Sched.Finish 0;
+      ]
+  in
+  let sched = Sched.create ~nthreads:2 script heap in
+  let ext = Sched.external_ctx sched ~tid:1 in
+  let anchor = Mem.alloc_sentinel ext ~key:0 in
+  let b = Mem.alloc ext ~key:2 in
+  let a = Mem.alloc ext ~key:1 in
+  Mem.write ext ~via:a ~field:next b;
+  Mem.write ext ~via:anchor ~field:top a;
+  addr_a := Word.addr_exn a;
+  Fmt.pr "setup: top -> A(key 1, addr %d) -> B(key 2, addr %d)@.@."
+    (Word.addr_exn a) (Word.addr_exn b);
+
+  (* T0: a pop that loses the race and trusts its bit-pattern CAS. *)
+  Sched.spawn sched ~tid:0 (fun ctx ->
+      let old_top = Mem.read ctx ~via:anchor ~field:top in
+      let nxt = Mem.read ctx ~via:old_top ~field:next in
+      (* --- stalled here by the script --- *)
+      let ok = Mem.cas ctx ~via:anchor ~field:top ~expected:old_top ~desired:nxt in
+      Fmt.pr "T0: CAS(top, A, B) after resuming: %b  <- ABA, it should have failed!@." ok;
+      (* The stack now exposes freed memory; the next reader faults. *)
+      let w = Mem.read ctx ~via:anchor ~field:top in
+      match w with
+      | Word.Ptr _ -> ignore (Mem.read_key ctx ~via:w)
+      | Word.Null | Word.Int _ -> ());
+
+  (* T1: pops A and B with immediate manual frees, then pushes two fresh
+     nodes; the free-list reuse puts the second one at A's old address. *)
+  Sched.spawn sched ~tid:1 (fun ctx ->
+      let pop () =
+        let t = Mem.read ctx ~via:anchor ~field:top in
+        let n = Mem.read ctx ~via:t ~field:next in
+        ignore (Mem.cas ctx ~via:anchor ~field:top ~expected:t ~desired:n);
+        Mem.retire ctx t;
+        Mem.reclaim ctx t  (* manual free: no SMR discipline *)
+      in
+      pop ();
+      pop ();
+      let push key =
+        let node = Mem.alloc ctx ~key in
+        let t = Mem.read ctx ~via:anchor ~field:top in
+        Mem.write ctx ~via:node ~field:next t;
+        ignore (Mem.cas ctx ~via:anchor ~field:top ~expected:t ~desired:node);
+        node
+      in
+      let x = push 3 in
+      let y = push 4 in
+      Fmt.pr "T1: freed A and B, pushed X(key 3, addr %d) and Y(key 4, addr %d)@."
+        (Word.addr_exn x) (Word.addr_exn y);
+      Fmt.pr "T1: Y recycled A's address: %b@.@."
+        (Word.addr_exn y = !addr_a));
+
+  ignore (Sched.run sched);
+  Fmt.pr "@.violations detected by the monitor:@.";
+  List.iter (fun v -> Fmt.pr "  %a@." Event.pp v) (Monitor.violations mon);
+  Fmt.pr
+    "@.Moral: the CAS compared bit patterns, not logical nodes, so \
+     recycling A's@.address made a stale expectation succeed and linked \
+     freed memory into the@.stack. Every scheme in lib/smr exists to \
+     prevent exactly this — and the ERA@.theorem says the prevention \
+     always costs one of {E, R, A}.@."

@@ -1,0 +1,42 @@
+(* The practical side of the theorem (experiments E8/E9) on real
+   domains: what demanding an HP-compatible list costs, and what EBR's
+   missing robustness costs.
+
+     dune exec examples/native_throughput.exe            # quick
+     dune exec examples/native_throughput.exe -- full    # bigger runs *)
+
+open Era_native.Throughput
+
+let () =
+  let ops =
+    if Array.length Sys.argv > 1 && Sys.argv.(1) = "full" then 400_000
+    else 60_000
+  in
+  Fmt.pr "E8 — Harris's list vs Michael's HP-compatible restructuring@.@.";
+  let grid =
+    [
+      (Harris, `Ebr, Churn); (Michael, `Ebr, Churn); (Michael, `Hp, Churn);
+      (Harris, `Ebr, Read_heavy); (Michael, `Ebr, Read_heavy);
+      (Michael, `Hp, Read_heavy); (Michael, `Ibr, Churn);
+    ]
+  in
+  List.iter
+    (fun (kind, scheme, mix) ->
+      let r = e8_row kind ~scheme mix ~domains:2 ~ops_per_domain:ops in
+      Fmt.pr "  %a@." pp_result r)
+    grid;
+  Fmt.pr
+    "@.Expected shape: under read-heavy mixes Harris+EBR beats \
+     Michael+HP (protection@.costs two loads and a fence per step, and \
+     Michael restarts on every marked@.node); HP+Harris is refused — it \
+     is the unsafe pairing.@.";
+  Fmt.pr "@.E9 — retired backlog with one stalled domain@.@.";
+  List.iter
+    (fun s ->
+      let r = e9_row ~scheme:s ~churn_ops:ops in
+      Fmt.pr "  %a@." pp_result r)
+    [ `Ebr; `Hp; `Ibr ];
+  Fmt.pr
+    "@.Expected shape: EBR's backlog grows with the churn volume (the \
+     stalled domain@.pins its epoch: not robust); HP and IBR stay \
+     bounded.@."

@@ -1,0 +1,44 @@
+(* Probe the memory footprint (Definitions 5.1/5.2) of one scheme:
+   print the churn-sweep and size-sweep series behind the robustness
+   classification.
+
+     dune exec examples/robustness_probe.exe           # default: ebr
+     dune exec examples/robustness_probe.exe -- hp     # any scheme name *)
+
+let () =
+  let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "ebr" in
+  let scheme =
+    match Era_smr.Registry.find name with
+    | Some s -> s
+    | None ->
+      Fmt.epr "unknown scheme %S; available: %s@." name
+        (String.concat ", " Era_smr.Registry.names);
+      exit 1
+  in
+  Fmt.pr "Robustness probe for %s@.@." name;
+  let m =
+    Era.Robustness.classify
+      ~churn_points:[ 64; 128; 256; 512; 1024 ]
+      ~size_points:[ 16; 32; 64; 128; 256 ]
+      scheme
+  in
+  Fmt.pr
+    "Churn sweep (Figure 1 workload: max_active pinned at 4, growing op \
+     count M):@.";
+  Fmt.pr "  %-8s %s@." "M" "retired backlog after churn";
+  List.iter
+    (fun (m', r) -> Fmt.pr "  %-8d %d@." m' r)
+    m.Era.Robustness.churn_series;
+  Fmt.pr "@.Size sweep (stalled reader over a pre-filled list of size S):@.";
+  Fmt.pr "  %-8s %s@." "S" "peak retired backlog";
+  List.iter
+    (fun (s, r) -> Fmt.pr "  %-8d %d@." s r)
+    m.Era.Robustness.size_series;
+  Fmt.pr "@.slopes: churn %.3f, size %.3f@." m.Era.Robustness.churn_slope
+    m.Era.Robustness.size_slope;
+  Fmt.pr "classification: %s@."
+    (Era.Robustness.clazz_name m.Era.Robustness.clazz);
+  Fmt.pr
+    "@.(Not robust: backlog grows with execution length. Weakly robust: \
+     bounded by a@.polynomial of max_active. Robust: o(max_active) — in \
+     practice a constant.)@."

@@ -1,0 +1,1 @@
+lib/core/ablation.ml: Era_sched Era_sets Era_sim Era_smr Event Figure1 Figure2 Fmt Heap List Monitor Robustness

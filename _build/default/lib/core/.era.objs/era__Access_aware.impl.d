@@ -1,0 +1,1 @@
+lib/core/access_aware.ml: Applicability Era_sched Era_sets Era_sim Era_smr Era_workload Fmt Hashtbl Heap List Monitor Option Rng Word

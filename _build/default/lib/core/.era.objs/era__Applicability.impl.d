@@ -1,0 +1,1 @@
+lib/core/applicability.ml: Era_history Era_sched Era_sets Era_sim Era_smr Era_workload Event Figure1 Figure2 Fmt Fun Heap List Monitor Rng

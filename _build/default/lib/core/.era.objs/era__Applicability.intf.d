@@ -1,0 +1,1 @@
+lib/core/applicability.mli: Era_sim Era_smr Format

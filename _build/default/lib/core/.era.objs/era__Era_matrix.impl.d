@@ -1,0 +1,1 @@
+lib/core/era_matrix.ml: Applicability Era_smr Fmt List Robustness String

@@ -1,0 +1,1 @@
+lib/core/era_matrix.mli: Format Robustness

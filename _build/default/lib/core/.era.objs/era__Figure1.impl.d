@@ -1,0 +1,1 @@
+lib/core/figure1.ml: Era_sched Era_sets Era_sim Era_smr Era_workload Event Fmt Heap List Monitor Printexc

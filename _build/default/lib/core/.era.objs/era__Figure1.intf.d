@@ -1,0 +1,1 @@
+lib/core/figure1.mli: Era_sim Era_smr Format

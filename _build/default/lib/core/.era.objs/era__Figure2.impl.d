@@ -1,0 +1,1 @@
+lib/core/figure2.ml: Era_sched Era_sets Era_sim Era_smr Event Fmt Heap List Monitor Printexc Word

@@ -1,0 +1,1 @@
+lib/core/robustness.ml: Era_sched Era_sets Era_sim Era_smr Event Figure1 Fmt Heap List Monitor

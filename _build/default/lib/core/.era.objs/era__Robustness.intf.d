@@ -1,0 +1,1 @@
+lib/core/robustness.mli: Era_smr Format

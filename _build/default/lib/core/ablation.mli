@@ -1,0 +1,39 @@
+(** Ablations over scheme tuning parameters.
+
+    Two dials the paper's related-work section discusses:
+
+    - {b HP scan threshold / slot count} — the space-vs-time trade-off of
+      Braginsky et al. [6]: a larger retire-list threshold amortizes
+      scans (fewer steps) at the cost of a proportionally larger bounded
+      backlog. Measured on Michael's list (where HP is applicable) with a
+      stalled reader.
+    - {b IBR epoch granularity} — epochs advancing every k allocations:
+      coarser epochs pin more nodes per reservation (worse backlog) and
+      change {e which} executions defeat the scheme (the stock Figure 2
+      run no longer does for large k), but not {e whether} one exists:
+      the Figure 1 execution, which retires arbitrarily many nodes,
+      defeats every granularity — the theorem is not a tuning problem. *)
+
+type hp_row = {
+  threshold : int;
+  slots : int;
+  max_backlog : int;  (** bounded by ~threshold + slots *)
+  steps : int;  (** total simulated steps: scan work shows up here *)
+}
+
+val hp_sweep :
+  ?thresholds:int list -> ?slots:int -> ?size:int -> unit -> hp_row list
+(** Defaults: thresholds [2; 8; 32; 128], 3 slots, list size 128. *)
+
+type ibr_row = {
+  allocs_per_epoch : int;
+  figure1 : string;  (** outcome of the Figure 1 execution *)
+  figure2 : string;  (** outcome of the Figure 2 execution *)
+  size_backlog : int;  (** stalled-reader backlog on a 128-key list *)
+}
+
+val ibr_sweep : ?rates:int list -> unit -> ibr_row list
+(** Defaults: epoch every [1; 4; 16; 64] allocations. *)
+
+val pp_hp_row : Format.formatter -> hp_row -> unit
+val pp_ibr_row : Format.formatter -> ibr_row -> unit

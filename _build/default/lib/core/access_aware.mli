@@ -1,0 +1,32 @@
+(** Experiment E7: re-deriving Appendix D — the data structures in this
+    library obey the access-aware read/write-phase discipline of
+    Appendix C.
+
+    Each structure is integrated with the {!Era_smr.Phase_audit} scheme,
+    which tracks j-permittedness of every dereference at run time, and
+    driven through randomized concurrent executions. Zero discipline
+    violations across the runs is the empirical counterpart of the
+    paper's by-induction proof that Harris's list is access-aware. *)
+
+type report = {
+  structure : Applicability.structure;
+  runs : int;
+  total_ops : int;
+  discipline_violations : (string * int) list;
+}
+
+val clean : report -> bool
+
+val audit :
+  ?runs:int -> ?threads:int -> ?ops_per_thread:int -> ?seed:int ->
+  Applicability.structure -> report
+
+val audit_all : ?runs:int -> ?seed:int -> unit -> report list
+
+val negative_control : unit -> (string * int) list
+(** A deliberately undisciplined client (it caches a pointer across a
+    phase boundary and dereferences it in the next read phase, and issues
+    a CAS from a read phase); returns the violations the auditor catches —
+    must be non-empty, or the auditor itself is broken. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,293 @@
+open Era_sim
+module Sched = Era_sched.Sched
+module Workload = Era_workload.Workload
+
+type structure =
+  | Harris
+  | Michael
+  | Hash
+  | Hash_michael
+  | Stack
+  | Queue
+
+let structures = [ Harris; Michael; Hash; Hash_michael; Stack; Queue ]
+
+let structure_name = function
+  | Harris -> "harris-list"
+  | Michael -> "michael-list"
+  | Hash -> "hash-harris"
+  | Hash_michael -> "hash-michael"
+  | Stack -> "treiber-stack"
+  | Queue -> "ms-queue"
+
+type verdict = {
+  scheme : string;
+  structure : structure;
+  fuzz_runs : int;
+  violations : int;
+  first_violation : Event.t option;
+  non_linearizable : int;
+  progress_failures : int;
+  adversarial_unsafe : bool;
+  crashed : int;
+}
+
+let applicable v =
+  v.violations = 0 && v.non_linearizable = 0 && v.progress_failures = 0
+  && (not v.adversarial_unsafe)
+  && v.crashed = 0
+
+let spec_of = function
+  | Harris | Michael | Hash | Hash_michael ->
+    (module Era_history.Spec.Int_set : Era_history.Spec.S)
+  | Stack -> (module Era_history.Spec.Int_stack)
+  | Queue -> (module Era_history.Spec.Int_queue)
+
+(* Build the structure and return one worker body per thread. *)
+let build_workers (type gt tc)
+    (module S : Era_smr.Smr_intf.S with type t = gt and type tctx = tc)
+    structure heap ~nthreads ~seed ~ops_per_thread ext =
+  let g = S.create heap ~nthreads in
+  let keys = Workload.Uniform 6 in
+  match structure with
+  | Harris ->
+    let module L = Era_sets.Harris_list.Make (S) in
+    let dl = L.create ext g in
+    fun tid (ctx : Sched.ctx) ->
+      let ops = L.ops (L.handle dl ctx) ~record:true in
+      Workload.run_set_ops ops
+        (Rng.create ((seed * 131) + tid))
+        ~ops:ops_per_thread ~keys ~mix:Workload.balanced;
+      ops.quiesce ()
+  | Michael ->
+    let module L = Era_sets.Michael_list.Make (S) in
+    let dl = L.create ext g in
+    fun tid ctx ->
+      let ops = L.ops (L.handle dl ctx) ~record:true in
+      Workload.run_set_ops ops
+        (Rng.create ((seed * 131) + tid))
+        ~ops:ops_per_thread ~keys ~mix:Workload.balanced;
+      ops.quiesce ()
+  | Hash ->
+    let module H = Era_sets.Hash_set.Make (S) in
+    let hs = H.create ~nbuckets:4 ext g in
+    fun tid ctx ->
+      let ops = H.ops (H.handle hs ctx) ~record:true in
+      Workload.run_set_ops ops
+        (Rng.create ((seed * 131) + tid))
+        ~ops:ops_per_thread ~keys ~mix:Workload.balanced;
+      ops.quiesce ()
+  | Hash_michael ->
+    let module H = Era_sets.Hash_set.Make_michael (S) in
+    let hs = H.create ~nbuckets:4 ext g in
+    fun tid ctx ->
+      let ops = H.ops (H.handle hs ctx) ~record:true in
+      Workload.run_set_ops ops
+        (Rng.create ((seed * 131) + tid))
+        ~ops:ops_per_thread ~keys ~mix:Workload.balanced;
+      ops.quiesce ()
+  | Stack ->
+    let module T = Era_sets.Treiber_stack.Make (S) in
+    let st = T.create ext g in
+    fun tid ctx ->
+      let ops = T.ops (T.handle st ctx) ~record:true in
+      Workload.run_stack_ops ops
+        (Rng.create ((seed * 131) + tid))
+        ~ops:ops_per_thread ~keys;
+      ops.quiesce ()
+  | Queue ->
+    let module Q = Era_sets.Ms_queue.Make (S) in
+    let q = Q.create ext g in
+    fun tid ctx ->
+      let ops = Q.ops (Q.handle q ctx) ~record:true in
+      Workload.run_queue_ops ops
+        (Rng.create ((seed * 131) + tid))
+        ~ops:ops_per_thread ~keys;
+      ops.quiesce ()
+
+type run_stats = {
+  r_violations : int;
+  r_first : Event.t option;
+  r_linearizable : bool;
+  r_progress_failures : int;
+  r_crashed : int;
+}
+
+let one_run (module S : Era_smr.Smr_intf.S) structure ~threads ~ops_per_thread
+    ~seed ~progress_mode =
+  let mon = Monitor.create ~mode:`Record ~trace:true () in
+  let heap = Heap.create mon in
+  let strategy =
+    if progress_mode then
+      (* Interleave a prefix, then force bounded solo completions: the
+         executable form of the lock-freedom requirement. *)
+      Sched.Script
+        (List.init threads (fun tid -> Sched.Run (tid, 40 + (7 * tid)))
+        @ List.init threads (fun tid -> Sched.Finish_bounded (tid, 200_000)))
+    else Sched.Random (Rng.create seed)
+  in
+  let sched = Sched.create ~nthreads:threads strategy heap in
+  let ext = Sched.external_ctx sched ~tid:0 in
+  let worker =
+    build_workers (module S) structure heap ~nthreads:threads ~seed
+      ~ops_per_thread ext
+  in
+  for tid = 0 to threads - 1 do
+    Sched.spawn sched ~tid (fun ctx -> worker tid ctx)
+  done;
+  ignore (Sched.run sched);
+  let is_progress = function
+    | Event.Violation { kind = Event.Progress_failure; _ } -> true
+    | _ -> false
+  in
+  let all = Monitor.violations mon in
+  let progress, safety = List.partition is_progress all in
+  let crashed = ref 0 in
+  for tid = 0 to threads - 1 do
+    match Sched.thread_outcome sched tid with
+    | Sched.Crashed _ -> incr crashed
+    | _ -> ()
+  done;
+  let linearizable =
+    if safety <> [] then true  (* poisoned heap: correctness moot *)
+    else
+      (Era_history.Linearize.check_monitor (spec_of structure) mon)
+        .Era_history.Linearize.ok
+  in
+  {
+    r_violations = List.length safety;
+    r_first = (match safety with v :: _ -> Some v | [] -> None);
+    r_linearizable = linearizable;
+    r_progress_failures = List.length progress;
+    r_crashed = !crashed;
+  }
+
+let adversarial_check scheme structure =
+  match structure with
+  | Harris | Hash -> (
+    (* The hash set's buckets are Harris lists, so the Figure 1/2
+       executions stage verbatim inside one bucket: the refutation is
+       inherited. *)
+    let f2 = Figure2.run scheme in
+    (match f2.Figure2.outcome with
+    | Figure2.Unsafe _ -> true
+    | Figure2.Safe_completion _ -> false)
+    ||
+    let f1 = Figure1.run ~rounds:128 scheme in
+    match f1.Figure1.outcome with
+    | Figure1.Safety_violated _ -> true
+    | Figure1.Robustness_violated _ | Figure1.Survived _ -> false)
+  | Michael | Hash_michael | Stack | Queue -> false
+
+let run ?(fuzz_runs = 20) ?(threads = 3) ?(ops_per_thread = 30) ?(seed = 7)
+    ((module S : Era_smr.Smr_intf.S) as scheme) structure =
+  let violations = ref 0 in
+  let first = ref None in
+  let non_lin = ref 0 in
+  let progress = ref 0 in
+  let crashed = ref 0 in
+  for i = 0 to fuzz_runs - 1 do
+    let progress_mode = i mod 4 = 3 in
+    let st =
+      one_run (module S) structure ~threads ~ops_per_thread
+        ~seed:(seed + (i * 997))
+        ~progress_mode
+    in
+    violations := !violations + st.r_violations;
+    if !first = None then first := st.r_first;
+    if not st.r_linearizable then incr non_lin;
+    progress := !progress + st.r_progress_failures;
+    crashed := !crashed + st.r_crashed
+  done;
+  {
+    scheme = S.name;
+    structure;
+    fuzz_runs;
+    violations = !violations;
+    first_violation = !first;
+    non_linearizable = !non_lin;
+    progress_failures = !progress;
+    adversarial_unsafe = adversarial_check scheme structure;
+    crashed = !crashed;
+  }
+
+(* Stall-augmented fuzzing: random schedules plus a thread frozen at a
+   random point and resumed at the end — the ingredient that lets a
+   black-box search stumble on Figure 1-like executions without being
+   told the construction. *)
+let stall_fuzz ?(threads = 3) ?(ops_per_thread = 60) ~tries ~seed
+    ((module S : Era_smr.Smr_intf.S) as scheme) structure =
+  ignore scheme;
+  let found = ref 0 in
+  for i = 0 to tries - 1 do
+    let mon = Monitor.create ~mode:`Record ~trace:false () in
+    let heap = Heap.create mon in
+    let rng = Rng.create (seed + (i * 7919)) in
+    let sched = Sched.create ~nthreads:threads (Sched.Random rng) heap in
+    let stall_at = 50 + Rng.int rng 400 in
+    let count = ref 0 in
+    Monitor.subscribe mon (fun _ ev ->
+        match ev with
+        | Event.Access { tid = 0; _ } ->
+          incr count;
+          if !count = stall_at then Sched.stall sched 0
+        | _ -> ());
+    let ext = Sched.external_ctx sched ~tid:0 in
+    let worker =
+      build_workers (module S) structure heap ~nthreads:threads
+        ~seed:(seed + i) ~ops_per_thread ext
+    in
+    for tid = 0 to threads - 1 do
+      Sched.spawn sched ~tid (fun ctx -> worker tid ctx)
+    done;
+    (match Sched.run sched with
+    | Sched.No_runnable ->
+      (* Everyone else done; resume the frozen thread solo. *)
+      Sched.unstall sched 0;
+      ignore (Sched.run sched)
+    | Sched.All_finished | Sched.Script_done | Sched.Step_limit -> ());
+    let real_violation =
+      List.exists
+        (function
+          | Event.Violation { kind = Event.Progress_failure; _ } -> false
+          | Event.Violation _ -> true
+          | _ -> false)
+        (Monitor.violations mon)
+    in
+    let crashed =
+      List.exists
+        (fun tid ->
+          match Sched.thread_outcome sched tid with
+          | Sched.Crashed _ -> true
+          | _ -> false)
+        (List.init threads Fun.id)
+    in
+    if real_violation || crashed then incr found
+  done;
+  !found
+
+let matrix ?fuzz_runs ?seed () =
+  List.map
+    (fun ((module S : Era_smr.Smr_intf.S) as scheme) ->
+      ( S.name,
+        List.map
+          (fun st -> (st, run ?fuzz_runs ?seed scheme st))
+          structures ))
+    Era_smr.Registry.all
+
+let widely_applicable verdicts =
+  List.for_all (fun (_, v) -> applicable v) verdicts
+
+let pp_verdict fmt v =
+  if applicable v then
+    Fmt.pf fmt "%-6s %-13s applicable (%d clean fuzz runs)" v.scheme
+      (structure_name v.structure)
+      v.fuzz_runs
+  else
+    Fmt.pf fmt
+      "%-6s %-13s NOT applicable (violations=%d nonlin=%d progress=%d \
+       adversarial=%b crashed=%d)"
+      v.scheme
+      (structure_name v.structure)
+      v.violations v.non_linearizable v.progress_failures v.adversarial_unsafe
+      v.crashed

@@ -1,0 +1,70 @@
+(** Empirical applicability verdicts (Definitions 5.4 and 5.6).
+
+    For each (scheme × structure) pair, applicability requires three
+    things, each checked by running integrated executions:
+
+    + {b memory safety} (Definition 4.2): no monitor violation across
+      many randomized-schedule executions, {e and} — for Harris's list,
+      the structure the theorem turns on — surviving the deterministic
+      adversarial executions of Figures 1 and 2;
+    + {b correctness}: every recorded history linearizes against the
+      structure's sequential specification;
+    + {b progress}: partially-run operations complete in bounded solo
+      runs (lock-freedom).
+
+    Fuzzing cannot prove a scheme safe, but it refutes decisively; the
+    adversarial executions make the refutations for HP/HE/IBR on Harris's
+    list deterministic. Wide applicability (Definition 5.6) is then
+    approximated as applicability to every access-aware structure in this
+    library. *)
+
+type structure =
+  | Harris
+  | Michael
+  | Hash  (** Harris buckets: inherits the Figure 1/2 refutations *)
+  | Hash_michael  (** Michael buckets: HP-compatible *)
+  | Stack
+  | Queue
+
+val structures : structure list
+val structure_name : structure -> string
+
+type verdict = {
+  scheme : string;
+  structure : structure;
+  fuzz_runs : int;
+  violations : int;  (** total safety violations across fuzz runs *)
+  first_violation : Era_sim.Event.t option;
+  non_linearizable : int;  (** runs whose history failed the checker *)
+  progress_failures : int;
+  adversarial_unsafe : bool;
+      (** Harris only: did Figure 1 or Figure 2 produce a violation *)
+  crashed : int;  (** threads that died on an exception *)
+}
+
+val applicable : verdict -> bool
+
+val run :
+  ?fuzz_runs:int -> ?threads:int -> ?ops_per_thread:int -> ?seed:int ->
+  Era_smr.Registry.scheme -> structure -> verdict
+(** Defaults: 20 fuzz runs, 3 threads, 30 ops each. *)
+
+val stall_fuzz :
+  ?threads:int -> ?ops_per_thread:int -> tries:int -> seed:int ->
+  Era_smr.Registry.scheme -> structure -> int
+(** Black-box violation hunting: randomized schedules with one thread
+    frozen at a random point and solo-resumed at the end — enough, with
+    reclamation-triggering churn, to stumble on Figure 1-like executions
+    without knowing the construction. Returns how many of the [tries]
+    runs produced a safety violation (expected: >0 for HP/HE/IBR on the
+    Harris family, 0 for applicable pairings). *)
+
+val matrix :
+  ?fuzz_runs:int -> ?seed:int -> unit ->
+  (string * (structure * verdict) list) list
+(** Every scheme crossed with every structure. *)
+
+val widely_applicable : (structure * verdict) list -> bool
+(** Applicable to all five (access-aware) structures. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit

@@ -1,0 +1,71 @@
+type row = {
+  scheme : string;
+  easy : bool;
+  easy_failures : string list;
+  robustness : Robustness.clazz;
+  churn_slope : float;
+  size_slope : float;
+  widely_applicable : bool;
+  inapplicable_to : string list;
+}
+
+let compute ?fuzz_runs ?churn_points ?size_points ?seed () =
+  List.map
+    (fun ((module S : Era_smr.Smr_intf.S) as scheme) ->
+      let easy, easy_failures =
+        Era_smr.Integration.easily_integrated S.integration
+      in
+      let rob = Robustness.classify ?churn_points ?size_points scheme in
+      let verdicts =
+        List.map
+          (fun st -> (st, Applicability.run ?fuzz_runs ?seed scheme st))
+          Applicability.structures
+      in
+      let inapplicable_to =
+        List.filter_map
+          (fun (st, v) ->
+            if Applicability.applicable v then None
+            else Some (Applicability.structure_name st))
+          verdicts
+      in
+      {
+        scheme = S.name;
+        easy;
+        easy_failures;
+        robustness = rob.Robustness.clazz;
+        churn_slope = rob.Robustness.churn_slope;
+        size_slope = rob.Robustness.size_slope;
+        widely_applicable = inapplicable_to = [];
+        inapplicable_to;
+      })
+    Era_smr.Registry.all
+
+let has_r row =
+  match row.robustness with
+  | Robustness.Robust | Robustness.Weakly_robust -> true
+  | Robustness.Not_robust -> false
+
+let properties_held row =
+  (if row.easy then 1 else 0)
+  + (if has_r row then 1 else 0)
+  + if row.widely_applicable then 1 else 0
+
+let theorem_holds rows =
+  List.for_all
+    (fun row -> not (row.easy && has_r row && row.widely_applicable))
+    rows
+
+let pp_row fmt r =
+  Fmt.pf fmt "%-6s | E=%-5b | R=%-14s | A=%-5b | %d/3%s" r.scheme r.easy
+    (Robustness.clazz_name r.robustness)
+    r.widely_applicable (properties_held r)
+    (match r.inapplicable_to with
+    | [] -> ""
+    | l -> "  (refuted on: " ^ String.concat ", " l ^ ")")
+
+let pp_table fmt rows =
+  Fmt.pf fmt "scheme | easy  | robustness     | wide  | ERA count@.";
+  Fmt.pf fmt "-------+-------+----------------+-------+----------@.";
+  List.iter (fun r -> Fmt.pf fmt "%a@." pp_row r) rows;
+  Fmt.pf fmt "Theorem 6.1 (no scheme has all three): %s@."
+    (if theorem_holds rows then "HOLDS" else "VIOLATED")

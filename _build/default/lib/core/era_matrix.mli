@@ -1,0 +1,38 @@
+(** Experiment E6: the ERA theorem itself, as an empirically-derived
+    matrix.
+
+    For every scheme in the registry, combine the three verdicts:
+    - {b E}: the static Definition 5.3 audit of its integration spec;
+    - {b R}: the measured robustness class (Definitions 5.1/5.2);
+    - {b A}: the measured wide-applicability verdict (Definition 5.6).
+
+    Theorem 6.1 predicts no row can score all three — and more strongly
+    (the paper proves the weak-robustness variant), no scheme can be
+    easily integrated, widely applicable, and even {e weakly} robust.
+    {!theorem_holds} checks exactly that. *)
+
+type row = {
+  scheme : string;
+  easy : bool;
+  easy_failures : string list;
+  robustness : Robustness.clazz;
+  churn_slope : float;
+  size_slope : float;
+  widely_applicable : bool;
+  inapplicable_to : string list;  (** structures with refutations *)
+}
+
+val compute :
+  ?fuzz_runs:int -> ?churn_points:int list -> ?size_points:int list ->
+  ?seed:int -> unit -> row list
+
+val theorem_holds : row list -> bool
+(** No row has easy && (robust or weakly robust) && widely applicable. *)
+
+val properties_held : row -> int
+(** How many of the three ERA properties this scheme provides (counting
+    weak robustness as the R property, per the strong form of the
+    theorem). *)
+
+val pp_row : Format.formatter -> row -> unit
+val pp_table : Format.formatter -> row list -> unit

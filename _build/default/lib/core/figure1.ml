@@ -1,0 +1,137 @@
+open Era_sim
+module Sched = Era_sched.Sched
+
+type outcome =
+  | Robustness_violated of {
+      retired_end : int;
+      max_active : int;
+    }
+  | Safety_violated of { violation : Event.t }
+  | Survived of { retired_peak : int }
+
+type result = {
+  scheme : string;
+  rounds : int;
+  series : (int * int) list;
+  outcome : outcome;
+  easily_integrated : bool;
+  t1_outcome : string;
+}
+
+let t1 = 0
+let t2 = 1
+
+let run ?(rounds = 256) (module S : Era_smr.Smr_intf.S) =
+  let mon = Monitor.create ~mode:`Record ~trace:false () in
+  let heap = Heap.create mon in
+  let module L = Era_sets.Harris_list.Make (S) in
+  let g = S.create heap ~nthreads:2 in
+  (* T1 stalls as soon as its traversal dereferences node 1, i.e. it holds
+     a (scheme-protected, where applicable) pointer to node 1. The address
+     is only known after setup, hence the reference. *)
+  let node1_addr = ref (-1) in
+  let t1_reached_node1 = function
+    | Event.Access { tid; addr; kind = Event.Read; _ } ->
+      tid = t1 && addr = !node1_addr
+    | _ -> false
+  in
+  let solo_budget = (rounds * 64) + 100_000 in
+  let script =
+    Sched.Script
+      [
+        Sched.Run_until (t1, t1_reached_node1);
+        Sched.Finish t2;
+        Sched.Finish_bounded (t1, solo_budget);
+      ]
+  in
+  let sched = Sched.create ~nthreads:2 script heap in
+  (* Stage (a): the list contains nodes 1 and 2. *)
+  let ext = Sched.external_ctx sched ~tid:t2 in
+  let dl = L.create ext g in
+  let h_setup = L.handle dl ext in
+  assert (L.insert h_setup 1);
+  assert (L.insert h_setup 2);
+  (node1_addr :=
+     match
+       List.find_opt (fun (_, _, key) -> key = 1) (Heap.live_nodes heap)
+     with
+     | Some (addr, _, _) -> addr
+     | None -> failwith "figure1: node 1 not found after setup");
+  (* The series samples the retired backlog after each churn round. *)
+  let series = ref [] in
+  let round = ref 0 in
+  Monitor.subscribe mon (fun _time ev ->
+      match ev with
+      | Event.Response { tid; op; _ } when tid = t2 && op.Event.name = "delete"
+        ->
+        incr round;
+        series := (!round, Monitor.retired mon) :: !series
+      | _ -> ());
+  Sched.spawn sched ~tid:t1 (fun ctx ->
+      let h = L.handle dl ctx in
+      ignore (L.delete h 3));
+  Sched.spawn sched ~tid:t2 (fun ctx ->
+      let h = L.handle dl ctx in
+      let ops = L.ops h ~record:true in
+      ignore (ops.delete 1);
+      List.iter
+        (fun (k_ins, k_del) ->
+          ignore (ops.insert k_ins);
+          ignore (ops.delete k_del))
+        (Era_workload.Workload.churn_keys ~base:2 ~rounds));
+  ignore (Sched.run sched);
+  let retired_end =
+    match !series with (_, r) :: _ -> r | [] -> Monitor.retired mon
+  in
+  let safety_violation =
+    List.find_opt
+      (fun ev ->
+        match ev with
+        | Event.Violation { kind; _ } -> (
+          match kind with
+          | Event.Progress_failure -> false
+          | _ -> true)
+        | _ -> false)
+      (Monitor.violations mon)
+  in
+  let outcome =
+    match safety_violation with
+    | Some v -> Safety_violated { violation = v }
+    | None ->
+      if retired_end >= rounds / 2 then
+        Robustness_violated { retired_end; max_active = Monitor.max_active mon }
+      else Survived { retired_peak = Monitor.max_retired mon }
+  in
+  let t1_outcome =
+    match Sched.thread_outcome sched t1 with
+    | Sched.Finished -> "finished"
+    | Sched.Crashed e -> "crashed: " ^ Printexc.to_string e
+    | Sched.Running -> "still suspended (budget exhausted)"
+    | Sched.Not_spawned -> "not spawned"
+  in
+  {
+    scheme = S.name;
+    rounds;
+    series = List.rev !series;
+    outcome;
+    easily_integrated =
+      Era_smr.Registry.easily_integrated (module S : Era_smr.Smr_intf.S);
+    t1_outcome;
+  }
+
+let run_all ?rounds () =
+  List.map (fun s -> run ?rounds s) Era_smr.Registry.all
+
+let pp_outcome fmt = function
+  | Robustness_violated { retired_end; max_active } ->
+    Fmt.pf fmt "ROBUSTNESS VIOLATED (retired backlog %d with max_active %d)"
+      retired_end max_active
+  | Safety_violated { violation } ->
+    Fmt.pf fmt "SAFETY VIOLATED (%a)" Event.pp violation
+  | Survived { retired_peak } ->
+    Fmt.pf fmt "survived (peak retired backlog %d)" retired_peak
+
+let pp_result fmt r =
+  Fmt.pf fmt "%-6s %s | easy-integration=%b | T1 %s" r.scheme
+    (Fmt.str "%a" pp_outcome r.outcome)
+    r.easily_integrated r.t1_outcome

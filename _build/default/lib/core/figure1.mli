@@ -1,0 +1,44 @@
+(** The Theorem 6.1 lower-bound execution (Figure 1 of the paper),
+    parameterized by the reclamation scheme.
+
+    Construction: Harris's list starts as [{1, 2}]. T1 invokes [delete 3]
+    and is stalled by the scheduler just after its traversal obtains a
+    pointer to node 1. T2 then executes [delete 1] followed by the
+    alternating churn [insert (n+1); delete n] for n = 2, 3, ... — so
+    [max_active] stays 4 while n nodes are retired. Finally T1 solo-runs
+    to completion under a step budget (the lock-freedom requirement of
+    Definition 5.4(3)).
+
+    The theorem says every scheme must lose something here, and the
+    outcome type enumerates exactly what:
+    - easy + widely-applicable schemes keep every retired node alive
+      (EBR — robustness lost) — or reclaim and then feed T1 a freed node
+      (HP/HE/IBR — applicability lost, reported as a safety violation);
+    - the schemes that survive with bounded memory (VBR, NBR) are exactly
+      the ones whose integration audit fails Definition 5.3. *)
+
+type outcome =
+  | Robustness_violated of {
+      retired_end : int;  (** retired backlog after the churn *)
+      max_active : int;  (** stays ~4: the backlog is unbounded in n *)
+    }
+  | Safety_violated of { violation : Era_sim.Event.t }
+  | Survived of { retired_peak : int }
+
+type result = {
+  scheme : string;
+  rounds : int;
+  series : (int * int) list;
+      (** (churn round, retired backlog) — the figure's data *)
+  outcome : outcome;
+  easily_integrated : bool;
+  t1_outcome : string;  (** how the stalled thread's solo run ended *)
+}
+
+val run : ?rounds:int -> Era_smr.Registry.scheme -> result
+(** Default 256 churn rounds. *)
+
+val run_all : ?rounds:int -> unit -> result list
+
+val pp_result : Format.formatter -> result -> unit
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,121 @@
+open Era_sim
+module Sched = Era_sched.Sched
+
+type outcome =
+  | Unsafe of Event.t
+  | Safe_completion of { retired_backlog : int }
+
+type result = {
+  scheme : string;
+  outcome : outcome;
+  t1_outcome : string;
+  final_list : int list;
+}
+
+let t1 = 0  (* insert 58, stalled while holding node 15 *)
+let t_ins = 1  (* insert 43 *)
+let t_del43 = 2  (* delete 43, then run a reclamation pass *)
+let t_del15 = 3  (* delete 15 *)
+
+let run_gen ~insert_43_early (module S : Era_smr.Smr_intf.S) =
+  let mon = Monitor.create ~mode:`Record ~trace:false () in
+  let heap = Heap.create mon in
+  let module L = Era_sets.Harris_list.Make (S) in
+  let g = S.create heap ~nthreads:4 in
+  (* Stall T1 exactly when its scheme-level read of [head.next] completes:
+     it then holds a pointer to node 15, protected where the scheme
+     protects. Protect-validate schemes (HP, HE) load the source twice per
+     read; the others once. *)
+  let head_addr = ref (-1) in
+  let loads_per_read =
+    match S.name with "hp" | "he" -> 2 | _ -> 1
+  in
+  let head_loads = ref 0 in
+  let t1_reached_15 = function
+    | Event.Access { tid; addr; kind = Event.Read; _ }
+      when tid = t1 && addr = !head_addr ->
+      incr head_loads;
+      !head_loads >= loads_per_read
+    | _ -> false
+  in
+  let script =
+    Sched.Script
+      [
+        (* Stage a: T1 protects node 15 and halts. *)
+        Sched.Run_until (t1, t1_reached_15);
+        (* Stage b: node 43 enters after the protection. *)
+        Sched.Finish t_ins;
+        (* Stage c: 15 marked, unlinked, retired. *)
+        Sched.Finish t_del15;
+        (* Stage d: 43 deleted; a reclamation pass frees it if it can. *)
+        Sched.Finish t_del43;
+        (* T1 resumes and dereferences its stable pointer chain. *)
+        Sched.Finish_bounded (t1, 100_000);
+      ]
+  in
+  let sched = Sched.create ~nthreads:4 script heap in
+  let ext = Sched.external_ctx sched ~tid:t_ins in
+  let dl = L.create ext g in
+  let h_setup = L.handle dl ext in
+  assert (L.insert h_setup 15);
+  assert (L.insert h_setup 76);
+  (* The Appendix E footnote: inserting 43 *before* T1's protection lets
+     era/interval reservations cover it, so HE and IBR survive; with the
+     insertion after the protection (the default) they do not. *)
+  if insert_43_early then assert (L.insert h_setup 43);
+  head_addr := Word.addr_exn (L.head_word dl);
+  Sched.spawn sched ~tid:t1 (fun ctx ->
+      let h = L.handle dl ctx in
+      ignore (L.insert h 58));
+  Sched.spawn sched ~tid:t_ins (fun ctx ->
+      let h = L.handle dl ctx in
+      if not insert_43_early then ignore (L.insert h 43));
+  Sched.spawn sched ~tid:t_del15 (fun ctx ->
+      let h = L.handle dl ctx in
+      ignore (L.delete h 15));
+  Sched.spawn sched ~tid:t_del43 (fun ctx ->
+      let h = L.handle dl ctx in
+      ignore (L.delete h 43);
+      S.quiesce (L.tctx h));
+  ignore (Sched.run sched);
+  let violation =
+    List.find_opt
+      (fun ev ->
+        match ev with
+        | Event.Violation { kind = Event.Progress_failure; _ } -> false
+        | Event.Violation _ -> true
+        | _ -> false)
+      (Monitor.violations mon)
+  in
+  let outcome =
+    match violation with
+    | Some v -> Unsafe v
+    | None -> Safe_completion { retired_backlog = Monitor.retired mon }
+  in
+  let t1_outcome =
+    match Sched.thread_outcome sched t1 with
+    | Sched.Finished -> "finished"
+    | Sched.Crashed e -> "crashed: " ^ Printexc.to_string e
+    | Sched.Running -> "still suspended"
+    | Sched.Not_spawned -> "not spawned"
+  in
+  let final_list =
+    match outcome with
+    | Unsafe _ -> []  (* the heap is poisoned; don't traverse *)
+    | Safe_completion _ -> L.to_list h_setup
+  in
+  { scheme = S.name; outcome; t1_outcome; final_list }
+
+let run scheme = run_gen ~insert_43_early:false scheme
+let run_footnote_variant scheme = run_gen ~insert_43_early:true scheme
+let run_all () = List.map run Era_smr.Registry.all
+
+let pp_result fmt r =
+  match r.outcome with
+  | Unsafe v ->
+    Fmt.pf fmt "%-6s UNSAFE: %a | T1 %s" r.scheme Event.pp v r.t1_outcome
+  | Safe_completion { retired_backlog } ->
+    Fmt.pf fmt "%-6s safe (retired backlog %d) | T1 %s | list=[%a]" r.scheme
+      retired_backlog r.t1_outcome
+      Fmt.(list ~sep:semi int)
+      r.final_list

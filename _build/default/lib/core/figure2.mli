@@ -1,0 +1,40 @@
+(** The Appendix E / Figure 2 execution: protection-based schemes (HP, HE,
+    IBR) are defeated on Harris's list by inserting a node {e after} a
+    reader's protection was established and reclaiming it while the
+    reader's validated pointer still leads to it.
+
+    Construction (equivalent to the paper's, with the unlinking folded
+    into the two deletes): the list starts as [{15, 76}]. T1 invokes
+    [insert 58] and is stalled holding a protected pointer to node 15;
+    another thread inserts 43 (so [15.next -> 43]); node 15 is deleted
+    (marked, unlinked, retired — but pinned by T1's protection where the
+    scheme has one); node 43 is deleted and a reclamation pass runs — 43
+    is unprotected, so protection-based schemes free it. T1 then resumes:
+    it re-reads [15.next] (safe — 15 is retired but not reclaimed), finds
+    it stable, and dereferences the pointer to 43's memory.
+
+    Expected: HP/HE/IBR produce a [Stale_value_used] violation; EBR keeps
+    43 alive (T1's announced epoch pins it), VBR validates-and-rolls-back,
+    NBR neutralizes T1 before freeing. *)
+
+type outcome =
+  | Unsafe of Era_sim.Event.t  (** the first safety violation *)
+  | Safe_completion of { retired_backlog : int }
+
+type result = {
+  scheme : string;
+  outcome : outcome;
+  t1_outcome : string;
+  final_list : int list;  (** contents after the run (sanity) *)
+}
+
+val run : Era_smr.Registry.scheme -> result
+
+val run_footnote_variant : Era_smr.Registry.scheme -> result
+(** The Appendix E footnote's control: node 43 is inserted {e before} T1
+    establishes its protection. Era/interval reservations (HE, IBR) then
+    cover 43 and the run is safe; HP is defeated either way (it protects
+    addresses, and 43's address is unprotected regardless of order). *)
+
+val run_all : unit -> result list
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,1 @@
+lib/history/history.ml: Era_sim Fmt Hashtbl List Option

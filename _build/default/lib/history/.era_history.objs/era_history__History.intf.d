@@ -1,0 +1,1 @@
+lib/history/history.mli: Era_sim Format

@@ -1,0 +1,1 @@
+lib/history/linearize.ml: Array Bytes Era_sim Hashtbl History Spec

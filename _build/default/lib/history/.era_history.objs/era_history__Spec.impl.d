@@ -1,0 +1,1 @@
+lib/history/spec.ml: Era_sim Fmt Format List String

@@ -1,0 +1,1 @@
+lib/history/spec.mli: Era_sim Format

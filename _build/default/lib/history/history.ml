@@ -1,0 +1,95 @@
+module Event = Era_sim.Event
+
+type op_record = {
+  opid : int;
+  tid : int;
+  op : Event.op;
+  inv_time : int;
+  result : Event.op_result option;
+  res_time : int;
+}
+
+type t = op_record list
+
+let of_trace events =
+  let table : (int, op_record) Hashtbl.t = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iteri
+    (fun time ev ->
+      match ev with
+      | Event.Invoke { tid; opid; op } ->
+        let r =
+          { opid; tid; op; inv_time = time; result = None;
+            res_time = max_int }
+        in
+        Hashtbl.replace table opid r;
+        order := opid :: !order
+      | Event.Response { opid; result; _ } -> (
+        match Hashtbl.find_opt table opid with
+        | Some r ->
+          Hashtbl.replace table opid
+            { r with result = Some result; res_time = time }
+        | None -> ())
+      | _ -> ())
+    events;
+  List.rev !order |> List.map (Hashtbl.find table)
+
+let of_monitor mon = of_trace (Era_sim.Monitor.trace mon)
+
+let is_complete h = List.for_all (fun r -> r.result <> None) h
+let completed h = List.filter (fun r -> r.result <> None) h
+let pending h = List.filter (fun r -> r.result = None) h
+
+let is_well_formed h =
+  (* For each thread, intervals [inv, res] must not overlap. *)
+  let by_tid = Hashtbl.create 8 in
+  List.iter
+    (fun r ->
+      let l = Option.value (Hashtbl.find_opt by_tid r.tid) ~default:[] in
+      Hashtbl.replace by_tid r.tid (r :: l))
+    h;
+  Hashtbl.fold
+    (fun _tid ops ok ->
+      ok
+      &&
+      let sorted =
+        List.sort (fun a b -> compare a.inv_time b.inv_time) ops
+      in
+      let rec check = function
+        | a :: (b :: _ as rest) ->
+          a.res_time < b.inv_time && check rest
+        | [ _ ] | [] -> true
+      in
+      check sorted)
+    by_tid true
+
+let concurrency_width h =
+  (* Sweep over invocation/response boundaries. *)
+  let boundaries =
+    List.concat_map
+      (fun r ->
+        if r.res_time = max_int then [ (r.inv_time, 1) ]
+        else [ (r.inv_time, 1); (r.res_time, -1) ])
+      h
+    |> List.sort compare
+  in
+  let _, best =
+    List.fold_left
+      (fun (cur, best) (_, d) ->
+        let cur = cur + d in
+        (cur, max cur best))
+      (0, 0) boundaries
+  in
+  best
+
+let pp fmt h =
+  List.iter
+    (fun r ->
+      match r.result with
+      | Some res ->
+        Fmt.pf fmt "T%d [%d,%d] %a = %a@." r.tid r.inv_time r.res_time
+          Event.pp_op r.op Event.pp_result res
+      | None ->
+        Fmt.pf fmt "T%d [%d,..] %a (pending)@." r.tid r.inv_time
+          Event.pp_op r.op)
+    h

@@ -1,0 +1,36 @@
+(** Histories (Section 3 of the paper): the sub-sequence of operation
+    invocation and response steps of an execution, extracted from a
+    monitor trace. *)
+
+type op_record = {
+  opid : int;
+  tid : int;
+  op : Era_sim.Event.op;
+  inv_time : int;
+  result : Era_sim.Event.op_result option;  (** [None] while pending *)
+  res_time : int;  (** [max_int] while pending *)
+}
+
+type t = op_record list
+(** Sorted by invocation time. *)
+
+val of_trace : Era_sim.Event.t list -> t
+(** Pair [Invoke]/[Response] events by operation id. *)
+
+val of_monitor : Era_sim.Monitor.t -> t
+
+val is_complete : t -> bool
+val completed : t -> op_record list
+val pending : t -> op_record list
+
+val is_well_formed : t -> bool
+(** Per-thread: at most one pending operation per thread at any time, and
+    responses match the latest invocation (the nesting-safe formulation of
+    [4] restricted to the top-level data-structure object — scheme
+    operations nested inside are not part of the history). *)
+
+val concurrency_width : t -> int
+(** Maximum number of simultaneously pending operations — the cost driver
+    of the linearizability check. *)
+
+val pp : Format.formatter -> t -> unit

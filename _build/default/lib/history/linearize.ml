@@ -1,0 +1,134 @@
+module Event = Era_sim.Event
+
+type verdict = {
+  ok : bool;
+  witness : Event.op list;
+  states_explored : int;
+}
+
+(* Wing–Gong search. At each point, an operation may linearize next iff it
+   is not yet linearized and its invocation precedes the earliest response
+   among the not-yet-linearized completed operations (otherwise that other
+   operation returned strictly before this one began, so real-time order
+   forbids the choice). Completed operations must match the spec's result;
+   pending ones may linearize with any result or be dropped (by never
+   being chosen). *)
+let check (module S : Spec.S) (history : History.t) =
+  let ops = Array.of_list history in
+  let n = Array.length ops in
+  let explored = ref 0 in
+  let memo : (string, unit) Hashtbl.t = Hashtbl.create 4096 in
+  let linearized = Bytes.make n '0' in
+  let completed_total =
+    Array.fold_left
+      (fun acc (r : History.op_record) ->
+        if r.result <> None then acc + 1 else acc)
+      0 ops
+  in
+  let witness = ref [] in
+  let rec go state completed_done =
+    if completed_done = completed_total then true
+    else begin
+      let key = Bytes.to_string linearized ^ "|" ^ S.canonical state in
+      if Hashtbl.mem memo key then false
+      else begin
+        Hashtbl.add memo key ();
+        incr explored;
+        let min_res = ref max_int in
+        for i = 0 to n - 1 do
+          let r = ops.(i) in
+          if Bytes.get linearized i = '0' && r.result <> None then
+            if r.res_time < !min_res then min_res := r.res_time
+        done;
+        let rec try_candidates i =
+          if i >= n then false
+          else begin
+            let r = ops.(i) in
+            if Bytes.get linearized i = '1' || r.inv_time >= !min_res then
+              try_candidates (i + 1)
+            else begin
+              let state', res = S.apply state r.op in
+              let admissible =
+                match r.result with
+                | None -> true  (* pending: any result is fine *)
+                | Some actual -> Spec.result_matches actual res
+              in
+              if admissible then begin
+                Bytes.set linearized i '1';
+                let done' =
+                  if r.result <> None then completed_done + 1
+                  else completed_done
+                in
+                if go state' done' then begin
+                  witness := r.op :: !witness;
+                  true
+                end
+                else begin
+                  Bytes.set linearized i '0';
+                  try_candidates (i + 1)
+                end
+              end
+              else try_candidates (i + 1)
+            end
+          end
+        in
+        try_candidates 0
+      end
+    end
+  in
+  let ok = go S.init 0 in
+  { ok; witness = !witness; states_explored = !explored }
+
+let is_linearizable spec h = (check spec h).ok
+
+let check_monitor spec mon = check spec (History.of_monitor mon)
+
+(* Brute force: enumerate sequences. Pending ops may be dropped, so we try
+   every subset of pending operations interleaved anywhere after their
+   invocation; completed ops must respect real-time order. *)
+let brute_force (module S : Spec.S) (history : History.t) =
+  let ops = Array.of_list history in
+  let n = Array.length ops in
+  let used = Array.make n false in
+  let completed_total =
+    Array.fold_left
+      (fun acc (r : History.op_record) ->
+        if r.result <> None then acc + 1 else acc)
+      0 ops
+  in
+  let rec go state completed_done =
+    if completed_done = completed_total then true
+    else begin
+      let min_res = ref max_int in
+      for i = 0 to n - 1 do
+        if (not used.(i)) && ops.(i).result <> None then
+          if ops.(i).res_time < !min_res then min_res := ops.(i).res_time
+      done;
+      let rec attempt i =
+        if i >= n then false
+        else if used.(i) || ops.(i).inv_time >= !min_res then attempt (i + 1)
+        else begin
+          let r = ops.(i) in
+          let state', res = S.apply state r.op in
+          let admissible =
+            match r.result with
+            | None -> true
+            | Some actual -> Spec.result_matches actual res
+          in
+          (if admissible then begin
+             used.(i) <- true;
+             let done' =
+               if r.result <> None then completed_done + 1 else completed_done
+             in
+             let sub = go state' done' in
+             used.(i) <- false;
+             sub
+           end
+           else false)
+          || attempt (i + 1)
+        end
+      in
+      attempt 0
+    end
+  in
+  go S.init 0

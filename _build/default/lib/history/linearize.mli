@@ -1,0 +1,28 @@
+(** Linearizability checking (the paper's correctness condition,
+    Section 3 / Definition 5.4(2)).
+
+    Implements the Wing–Gong tree search with Lowe-style memoization on
+    (linearized-set, abstract-state) pairs. Pending operations may either
+    take effect (with whatever result the specification assigns) or be
+    dropped — exactly the completion rule in the paper's definition of a
+    linearizable (not necessarily complete) history. *)
+
+type verdict = {
+  ok : bool;
+  witness : Era_sim.Event.op list;
+      (** a linearization order when [ok]; [[]] otherwise *)
+  states_explored : int;
+}
+
+val check : (module Spec.S) -> History.t -> verdict
+
+val is_linearizable : (module Spec.S) -> History.t -> bool
+
+val check_monitor : (module Spec.S) -> Era_sim.Monitor.t -> verdict
+(** Extract the history from a monitor trace and check it. *)
+
+val brute_force : (module Spec.S) -> History.t -> bool
+(** Reference oracle: enumerate every real-time-respecting permutation of
+    the completed operations (and every subset/placement of pending ones).
+    Exponential — for cross-validating {!check} on tiny histories in
+    property tests only. *)

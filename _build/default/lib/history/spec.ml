@@ -1,0 +1,86 @@
+module Event = Era_sim.Event
+
+module type S = sig
+  type state
+
+  val init : state
+  val apply : state -> Event.op -> state * Event.op_result
+  val canonical : state -> string
+  val pp : Format.formatter -> state -> unit
+end
+
+let result_matches (a : Event.op_result) (b : Event.op_result) =
+  match a, b with
+  | Event.R_bool x, Event.R_bool y -> x = y
+  | Event.R_int x, Event.R_int y -> x = y
+  | Event.R_unit, Event.R_unit -> true
+  | (Event.R_bool _ | Event.R_int _ | Event.R_unit), _ -> false
+
+let canonical_ints l = String.concat "," (List.map string_of_int l)
+let pp_ints fmt l = Fmt.pf fmt "[%a]" Fmt.(list ~sep:semi int) l
+
+let bad_op (op : Event.op) =
+  invalid_arg (Fmt.str "Spec: unknown operation %a" Event.pp_op op)
+
+module Int_set = struct
+  type state = int list  (* sorted ascending *)
+
+  let init = []
+
+  let rec insert k = function
+    | [] -> [ k ]
+    | x :: rest as l ->
+      if k < x then k :: l
+      else if k = x then l
+      else x :: insert k rest
+
+  let apply s (op : Event.op) =
+    match op.name, op.args with
+    | "insert", [ k ] ->
+      if List.mem k s then (s, Event.R_bool false)
+      else (insert k s, Event.R_bool true)
+    | "delete", [ k ] ->
+      if List.mem k s then (List.filter (fun x -> x <> k) s, Event.R_bool true)
+      else (s, Event.R_bool false)
+    | "contains", [ k ] -> (s, Event.R_bool (List.mem k s))
+    | _ -> bad_op op
+
+  let canonical = canonical_ints
+  let pp = pp_ints
+end
+
+module Int_stack = struct
+  type state = int list  (* head = top *)
+
+  let init = []
+
+  let apply s (op : Event.op) =
+    match op.name, op.args with
+    | "push", [ v ] -> (v :: s, Event.R_unit)
+    | "pop", [] -> (
+      match s with
+      | [] -> ([], Event.R_int None)
+      | v :: rest -> (rest, Event.R_int (Some v)))
+    | _ -> bad_op op
+
+  let canonical = canonical_ints
+  let pp = pp_ints
+end
+
+module Int_queue = struct
+  type state = int list  (* head = front *)
+
+  let init = []
+
+  let apply s (op : Event.op) =
+    match op.name, op.args with
+    | "enqueue", [ v ] -> (s @ [ v ], Event.R_unit)
+    | "dequeue", [] -> (
+      match s with
+      | [] -> ([], Event.R_int None)
+      | v :: rest -> (rest, Event.R_int (Some v)))
+    | _ -> bad_op op
+
+  let canonical = canonical_ints
+  let pp = pp_ints
+end

@@ -1,0 +1,29 @@
+(** Sequential specifications (the paper's "sequential specification" of an
+    object, Section 3): deterministic state machines giving the unique
+    legal result of each operation from each abstract state. *)
+
+module type S = sig
+  type state
+
+  val init : state
+
+  val apply : state -> Era_sim.Event.op -> state * Era_sim.Event.op_result
+  (** Raises [Invalid_argument] on operations the object does not have. *)
+
+  val canonical : state -> string
+  (** Canonical encoding for memoization keys. *)
+
+  val pp : Format.formatter -> state -> unit
+end
+
+module Int_set : S with type state = int list
+(** The paper's running object: a set of integer keys with
+    [insert]/[delete]/[contains] (Section 3). State is a sorted list. *)
+
+module Int_stack : S with type state = int list
+(** LIFO with [push v] (returns unit) and [pop] (returns [R_int]). *)
+
+module Int_queue : S with type state = int list
+(** FIFO with [enqueue v] and [dequeue]. *)
+
+val result_matches : Era_sim.Event.op_result -> Era_sim.Event.op_result -> bool

@@ -1,0 +1,1 @@
+lib/native/n_ebr.ml: Array Atomic List Nnode Nsmr

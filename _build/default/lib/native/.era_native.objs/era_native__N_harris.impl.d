@@ -1,0 +1,1 @@
+lib/native/n_harris.ml: Atomic List Nnode Nsmr

@@ -1,0 +1,1 @@
+lib/native/n_harris.mli: Nnode Nsmr

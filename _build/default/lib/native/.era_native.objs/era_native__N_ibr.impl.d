@@ -1,0 +1,1 @@
+lib/native/n_ibr.ml: Array Atomic List Nnode Nsmr

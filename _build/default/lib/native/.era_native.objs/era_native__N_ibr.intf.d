@@ -1,0 +1,1 @@
+lib/native/n_ibr.mli: Nsmr

@@ -1,0 +1,1 @@
+lib/native/n_msqueue.mli: Nsmr

@@ -1,0 +1,1 @@
+lib/native/n_none.ml: Atomic Nnode

@@ -1,0 +1,1 @@
+lib/native/n_treiber.ml: Atomic Domain Nnode Nsmr

@@ -1,0 +1,1 @@
+lib/native/n_treiber.mli: Nsmr

@@ -1,0 +1,1 @@
+lib/native/nnode.ml: Atomic

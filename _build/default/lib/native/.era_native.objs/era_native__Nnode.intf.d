@@ -1,0 +1,1 @@
+lib/native/nnode.mli: Atomic

@@ -1,0 +1,1 @@
+lib/native/nsmr.ml: Nnode

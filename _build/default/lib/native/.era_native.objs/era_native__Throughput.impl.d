@@ -1,0 +1,1 @@
+lib/native/throughput.ml: Atomic Domain Fmt Fun Int64 List N_ebr N_harris N_hp N_ibr N_michael N_msqueue N_none N_treiber Nsmr Unix

@@ -1,0 +1,1 @@
+lib/native/throughput.mli: Format

@@ -1,0 +1,108 @@
+(** Native epoch-based reclamation: global epoch [Atomic], per-domain
+    announcements, three retire buckets. One stalled domain stops the
+    epoch — experiment E9's backlog blow-up. *)
+
+let name = "ebr"
+
+let quiescent = max_int
+
+type dstate = {
+  mutable buckets : (int * Nnode.node list * int) list;
+      (* (epoch, nodes, count), newest first *)
+  mutable pool : Nnode.node list;
+  mutable backlog : int;
+  mutable max_backlog : int;
+  mutable reclaimed : int;
+}
+
+type t = {
+  ndomains : int;
+  epoch : int Atomic.t;
+  announce : int Atomic.t array;  (* padded *)
+  domains : dstate array;
+}
+
+type tctx = {
+  g : t;
+  d : int;
+}
+
+let create ~ndomains =
+  {
+    ndomains;
+    epoch = Atomic.make 0;
+    announce =
+      Array.init (ndomains * Nsmr.pad) (fun _ -> Atomic.make quiescent);
+    domains =
+      Array.init ndomains (fun _ ->
+          { buckets = []; pool = []; backlog = 0; max_backlog = 0;
+            reclaimed = 0 });
+  }
+
+let thread g d = { g; d }
+
+let announce_slot t = t.g.announce.(Nsmr.padded_index t.d)
+
+let reclaim_eligible t =
+  let ds = t.g.domains.(t.d) in
+  let horizon = Atomic.get t.g.epoch - 2 in
+  let eligible, kept =
+    List.partition (fun (e, _, _) -> e <= horizon) ds.buckets
+  in
+  ds.buckets <- kept;
+  List.iter
+    (fun (_, nodes, count) ->
+      ds.pool <- List.rev_append nodes ds.pool;
+      ds.backlog <- ds.backlog - count;
+      ds.reclaimed <- ds.reclaimed + count)
+    eligible
+
+let try_advance t =
+  let g = t.g in
+  let e = Atomic.get g.epoch in
+  let all_caught_up =
+    let ok = ref true in
+    for d = 0 to g.ndomains - 1 do
+      let a = Atomic.get g.announce.(Nsmr.padded_index d) in
+      if a <> quiescent && a < e then ok := false
+    done;
+    !ok
+  in
+  if all_caught_up then ignore (Atomic.compare_and_set g.epoch e (e + 1))
+
+let begin_op t =
+  Atomic.set (announce_slot t) (Atomic.get t.g.epoch);
+  try_advance t;
+  reclaim_eligible t
+
+let end_op t = Atomic.set (announce_slot t) quiescent
+
+let alloc t key =
+  let ds = t.g.domains.(t.d) in
+  match ds.pool with
+  | n :: rest ->
+    ds.pool <- rest;
+    Atomic.set n.Nnode.next (Nnode.link None);
+    n.Nnode.key <- key;
+    n
+  | [] -> Nnode.make ~key
+
+let retire t n =
+  let ds = t.g.domains.(t.d) in
+  let e = Atomic.get t.g.epoch in
+  (ds.buckets <-
+    (match ds.buckets with
+    | (e', nodes, c) :: rest when e' = e -> (e, n :: nodes, c + 1) :: rest
+    | l -> (e, [ n ], 1) :: l));
+  ds.backlog <- ds.backlog + 1;
+  if ds.backlog > ds.max_backlog then ds.max_backlog <- ds.backlog;
+  reclaim_eligible t
+
+let read_link _ n = Nnode.get n
+
+let backlog g = Array.fold_left (fun a d -> a + d.backlog) 0 g.domains
+
+let max_backlog g =
+  Array.fold_left (fun a d -> max a d.max_backlog) 0 g.domains
+
+let reclaimed g = Array.fold_left (fun a d -> a + d.reclaimed) 0 g.domains

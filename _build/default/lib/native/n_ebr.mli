@@ -1,0 +1,7 @@
+(** Native epoch-based reclamation: a global epoch [Atomic], per-domain
+    announcements, and three per-domain retire buckets; the bucket of
+    epoch [e] recycles once the global epoch reaches [e + 2]. Cheap reads
+    (no per-access protocol) but not robust: a stalled domain pins the
+    epoch and the backlog grows with the churn volume (experiment E9). *)
+
+include Nsmr.S

@@ -1,0 +1,18 @@
+(** Native Harris linked-list set (the original algorithm [19]):
+    traversals stride over chains of marked nodes; a single CAS unlinks a
+    whole marked run. Only pair it with schemes applicable to it
+    (EBR, none) — that restriction {e is} the ERA theorem's content, and
+    the throughput harness enforces it. *)
+
+module Make (S : Nsmr.S) : sig
+  type t
+
+  val create : unit -> t
+  val head : t -> Nnode.node
+  val insert : t -> S.tctx -> int -> bool
+  val delete : t -> S.tctx -> int -> bool
+  val contains : t -> S.tctx -> int -> bool
+
+  val to_list : t -> S.tctx -> int list
+  (** Unmarked reachable keys, ascending (quiescent helper). *)
+end

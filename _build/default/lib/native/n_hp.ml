@@ -1,0 +1,122 @@
+(** Native hazard pointers: per-domain atomic slots, protect-validate
+    loads, scan-on-threshold reclamation into a type-preserving pool.
+    Backlog bounded by [ndomains * (threshold + slots)]. *)
+
+let name = "hp"
+let slots_per_domain = 3
+let scan_threshold = 64
+
+type dstate = {
+  mutable retired : Nnode.node list;
+  mutable retired_count : int;
+  mutable pool : Nnode.node list;
+  mutable max_backlog : int;
+  mutable reclaimed : int;
+  mutable rot : int;
+}
+
+type t = {
+  ndomains : int;
+  hp : Nnode.node option Atomic.t array;  (* ndomains * slots, padded *)
+  domains : dstate array;
+}
+
+type tctx = {
+  g : t;
+  d : int;
+}
+
+let create ~ndomains =
+  {
+    ndomains;
+    hp =
+      Array.init
+        (ndomains * slots_per_domain * Nsmr.pad)
+        (fun _ -> Atomic.make None);
+    domains =
+      Array.init ndomains (fun _ ->
+          { retired = []; retired_count = 0; pool = []; max_backlog = 0;
+            reclaimed = 0; rot = 0 });
+  }
+
+let thread g d = { g; d }
+
+let slot g d s = g.hp.(((d * slots_per_domain) + s) * Nsmr.pad)
+
+let clear_slots t =
+  for s = 0 to slots_per_domain - 1 do
+    Atomic.set (slot t.g t.d s) None
+  done
+
+let begin_op t =
+  t.g.domains.(t.d).rot <- 0;
+  clear_slots t
+
+let end_op t = clear_slots t
+
+let alloc t key =
+  let ds = t.g.domains.(t.d) in
+  match ds.pool with
+  | n :: rest ->
+    ds.pool <- rest;
+    Atomic.set n.Nnode.next (Nnode.link None);
+    n.Nnode.key <- key;
+    n
+  | [] -> Nnode.make ~key
+
+let hazards g =
+  let acc = ref [] in
+  for d = 0 to g.ndomains - 1 do
+    for s = 0 to slots_per_domain - 1 do
+      match Atomic.get (slot g d s) with
+      | Some n -> acc := n :: !acc
+      | None -> ()
+    done
+  done;
+  !acc
+
+let scan t =
+  let g = t.g in
+  let ds = g.domains.(t.d) in
+  let hz = hazards g in
+  let keep, free =
+    List.partition (fun n -> List.memq n hz) ds.retired
+  in
+  ds.retired <- keep;
+  ds.retired_count <- List.length keep;
+  ds.reclaimed <- ds.reclaimed + List.length free;
+  ds.pool <- List.rev_append free ds.pool
+
+let retire t n =
+  let ds = t.g.domains.(t.d) in
+  ds.retired <- n :: ds.retired;
+  ds.retired_count <- ds.retired_count + 1;
+  if ds.retired_count > ds.max_backlog then ds.max_backlog <- ds.retired_count;
+  if ds.retired_count >= scan_threshold then scan t
+
+(* Protect-validate: load the link, publish its target in a rotating
+   slot, re-load; retry until stable. *)
+let read_link t n =
+  let ds = t.g.domains.(t.d) in
+  let rec loop () =
+    let l = Nnode.get n in
+    match l.Nnode.target with
+    | None -> l
+    | Some tgt ->
+      let s = ds.rot mod slots_per_domain in
+      Atomic.set (slot t.g t.d s) (Some tgt);
+      let l' = Nnode.get n in
+      if Nnode.same_target l l' then begin
+        ds.rot <- ds.rot + 1;
+        l'
+      end
+      else loop ()
+  in
+  loop ()
+
+let backlog g = Array.fold_left (fun a d -> a + d.retired_count) 0 g.domains
+
+let max_backlog g =
+  Array.fold_left (fun a d -> max a d.max_backlog) 0 g.domains
+
+let reclaimed g = Array.fold_left (fun a d -> a + d.reclaimed) 0 g.domains

@@ -1,0 +1,12 @@
+(** Native hazard pointers: per-domain atomic slots, protect-validate
+    loads (two [Atomic.get]s and a slot publication per step), and
+    scan-on-threshold reclamation. Robust (backlog bounded by
+    [ndomains * (threshold + slots)]) but reads pay the protocol
+    (benchmark B3) — and pairing it with Harris's list would be the
+    unsafe combination the ERA theorem describes, so the harness refuses
+    it. *)
+
+include Nsmr.S
+
+val slots_per_domain : int
+val scan_threshold : int

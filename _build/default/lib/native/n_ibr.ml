@@ -1,0 +1,113 @@
+(** Native interval-based reclamation (2GE): birth epochs stamped at
+    allocation, per-domain [lo, hi] reservations, interval-disjointness
+    scans. *)
+
+let name = "ibr"
+let allocs_per_epoch = 64
+let scan_threshold = 64
+
+type dstate = {
+  mutable retired : (Nnode.node * int * int) list;  (* node, birth, retire *)
+  mutable retired_count : int;
+  mutable pool : Nnode.node list;
+  mutable max_backlog : int;
+  mutable reclaimed : int;
+}
+
+type t = {
+  ndomains : int;
+  epoch : int Atomic.t;
+  allocs : int Atomic.t;
+  resv_lo : int Atomic.t array;
+  resv_hi : int Atomic.t array;
+  domains : dstate array;
+}
+
+type tctx = {
+  g : t;
+  d : int;
+}
+
+let create ~ndomains =
+  {
+    ndomains;
+    epoch = Atomic.make 0;
+    allocs = Atomic.make 0;
+    resv_lo = Array.init (ndomains * Nsmr.pad) (fun _ -> Atomic.make max_int);
+    resv_hi = Array.init (ndomains * Nsmr.pad) (fun _ -> Atomic.make min_int);
+    domains =
+      Array.init ndomains (fun _ ->
+          { retired = []; retired_count = 0; pool = []; max_backlog = 0;
+            reclaimed = 0 });
+  }
+
+let thread g d = { g; d }
+let lo t = t.g.resv_lo.(Nsmr.padded_index t.d)
+let hi t = t.g.resv_hi.(Nsmr.padded_index t.d)
+
+let begin_op t =
+  let e = Atomic.get t.g.epoch in
+  Atomic.set (lo t) e;
+  Atomic.set (hi t) e
+
+let end_op t =
+  Atomic.set (lo t) max_int;
+  Atomic.set (hi t) min_int
+
+let alloc t key =
+  let g = t.g in
+  let a = Atomic.fetch_and_add g.allocs 1 in
+  if a mod allocs_per_epoch = 0 then ignore (Atomic.fetch_and_add g.epoch 1);
+  let ds = g.domains.(t.d) in
+  let n =
+    match ds.pool with
+    | n :: rest ->
+      ds.pool <- rest;
+      Atomic.set n.Nnode.next (Nnode.link None);
+      n.Nnode.key <- key;
+      n
+    | [] -> Nnode.make ~key
+  in
+  n.Nnode.birth <- Atomic.get g.epoch;
+  n
+
+let intersects g ~birth ~retire_epoch =
+  let conflict = ref false in
+  for d = 0 to g.ndomains - 1 do
+    let l = Atomic.get g.resv_lo.(Nsmr.padded_index d) in
+    let h = Atomic.get g.resv_hi.(Nsmr.padded_index d) in
+    if l <= retire_epoch && birth <= h then conflict := true
+  done;
+  !conflict
+
+let scan t =
+  let g = t.g in
+  let ds = g.domains.(t.d) in
+  let keep, free =
+    List.partition
+      (fun (_, birth, retire_epoch) -> intersects g ~birth ~retire_epoch)
+      ds.retired
+  in
+  ds.retired <- keep;
+  ds.retired_count <- List.length keep;
+  ds.reclaimed <- ds.reclaimed + List.length free;
+  ds.pool <- List.rev_append (List.map (fun (n, _, _) -> n) free) ds.pool
+
+let retire t n =
+  let ds = t.g.domains.(t.d) in
+  ds.retired <-
+    (n, n.Nnode.birth, Atomic.get t.g.epoch) :: ds.retired;
+  ds.retired_count <- ds.retired_count + 1;
+  if ds.retired_count > ds.max_backlog then ds.max_backlog <- ds.retired_count;
+  if ds.retired_count >= scan_threshold then scan t
+
+let read_link t n =
+  Atomic.set (hi t) (Atomic.get t.g.epoch);
+  Nnode.get n
+
+let backlog g = Array.fold_left (fun a d -> a + d.retired_count) 0 g.domains
+
+let max_backlog g =
+  Array.fold_left (fun a d -> max a d.max_backlog) 0 g.domains
+
+let reclaimed g = Array.fold_left (fun a d -> a + d.reclaimed) 0 g.domains

@@ -1,0 +1,9 @@
+(** Native interval-based reclamation (2GE): birth epochs stamped at
+    allocation, per-domain [lo, hi] reservations refreshed on every read,
+    interval-disjointness scans. Weakly robust: the backlog is bounded by
+    what a reservation can pin, which scales with the structure size. *)
+
+include Nsmr.S
+
+val allocs_per_epoch : int
+val scan_threshold : int

@@ -1,0 +1,17 @@
+(** Native Michael linked-list set [30]: the HP-compatible restructuring
+    of Harris's algorithm — traversals unlink marked nodes before
+    stepping over them (restarting from the head on contention), so
+    every followed pointer was validated from a reachable, unmarked
+    source. Safe with every native scheme, including HP; slower under
+    churn (experiment E8). *)
+
+module Make (S : Nsmr.S) : sig
+  type t
+
+  val create : unit -> t
+  val head : t -> Nnode.node
+  val insert : t -> S.tctx -> int -> bool
+  val delete : t -> S.tctx -> int -> bool
+  val contains : t -> S.tctx -> int -> bool
+  val to_list : t -> S.tctx -> int list
+end

@@ -1,0 +1,62 @@
+(** Native Michael–Scott queue over the native reclamation schemes. *)
+
+open Nnode
+
+module Make (S : Nsmr.S) = struct
+  type t = {
+    head : link Atomic.t;  (* always points at the current dummy *)
+    tail : link Atomic.t;
+  }
+
+  let create () =
+    let dummy = make ~key:0 in
+    { head = Atomic.make (link (Some dummy));
+      tail = Atomic.make (link (Some dummy)) }
+
+  let enqueue t s v =
+    S.begin_op s;
+    let node = S.alloc s v in
+    let rec loop () =
+      let last_l = Atomic.get t.tail in
+      let last = target_exn last_l in
+      let nxt = S.read_link s last in
+      match nxt.target with
+      | None ->
+        if Atomic.compare_and_set last.next nxt (link (Some node)) then
+          ignore (Atomic.compare_and_set t.tail last_l (link (Some node)))
+        else loop ()
+      | Some _ ->
+        ignore (Atomic.compare_and_set t.tail last_l (link nxt.target));
+        loop ()
+    in
+    loop ();
+    S.end_op s
+
+  let dequeue t s =
+    S.begin_op s;
+    let rec loop () =
+      let first_l = Atomic.get t.head in
+      let last_l = Atomic.get t.tail in
+      let first = target_exn first_l in
+      let nxt = S.read_link s first in
+      if target_exn first_l == target_exn last_l then
+        match nxt.target with
+        | None -> None
+        | Some _ ->
+          ignore (Atomic.compare_and_set t.tail last_l (link nxt.target));
+          loop ()
+      else
+        match nxt.target with
+        | None -> loop ()
+        | Some second ->
+          let v = second.key in
+          if Atomic.compare_and_set t.head first_l (link (Some second)) then begin
+            S.retire s first;
+            Some v
+          end
+          else loop ()
+    in
+    let r = loop () in
+    S.end_op s;
+    r
+end

@@ -1,0 +1,10 @@
+(** Native Michael–Scott FIFO queue over the native reclamation
+    schemes. *)
+
+module Make (S : Nsmr.S) : sig
+  type t
+
+  val create : unit -> t
+  val enqueue : t -> S.tctx -> int -> unit
+  val dequeue : t -> S.tctx -> int option
+end

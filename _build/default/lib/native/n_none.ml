@@ -1,0 +1,33 @@
+(** Native no-reclamation baseline: retired nodes are dropped on the
+    floor (the GC will eventually collect them once unreachable, but they
+    are never recycled and the backlog counter grows forever). *)
+
+let name = "none"
+
+type t = {
+  backlog : int Atomic.t;
+  max_backlog : int Atomic.t;
+}
+
+type tctx = t
+
+let create ~ndomains:_ =
+  { backlog = Atomic.make 0; max_backlog = Atomic.make 0 }
+
+let thread t _ = t
+let begin_op _ = ()
+let end_op _ = ()
+let alloc _ key = Nnode.make ~key
+
+let rec bump_max m v =
+  let cur = Atomic.get m in
+  if v > cur && not (Atomic.compare_and_set m cur v) then bump_max m v
+
+let retire t _node =
+  let b = Atomic.fetch_and_add t.backlog 1 + 1 in
+  bump_max t.max_backlog b
+
+let read_link _ n = Nnode.get n
+let backlog t = Atomic.get t.backlog
+let max_backlog t = Atomic.get t.max_backlog
+let reclaimed _ = 0

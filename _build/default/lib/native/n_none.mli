@@ -1,0 +1,5 @@
+(** Native no-reclamation baseline: retired nodes are dropped (the OCaml
+    GC eventually collects them, but nothing is recycled and the backlog
+    counter grows forever). The zero-overhead, zero-robustness corner. *)
+
+include Nsmr.S

@@ -1,0 +1,9 @@
+(** Native Treiber stack over the native reclamation schemes. *)
+
+module Make (S : Nsmr.S) : sig
+  type t
+
+  val create : unit -> t
+  val push : t -> S.tctx -> int -> unit
+  val pop : t -> S.tctx -> int option
+end

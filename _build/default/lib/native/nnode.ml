@@ -1,0 +1,27 @@
+type node = {
+  mutable key : int;
+  next : link Atomic.t;
+  mutable birth : int;
+}
+
+and link = {
+  marked : bool;
+  target : node option;
+}
+
+let link ?(marked = false) target = { marked; target }
+let make ~key = { key; next = Atomic.make (link None); birth = 0 }
+let get n = Atomic.get n.next
+
+let target_exn l =
+  match l.target with
+  | Some n -> n
+  | None -> invalid_arg "Nnode.target_exn: null link"
+
+let same_target a b =
+  a.marked = b.marked
+  &&
+  match a.target, b.target with
+  | None, None -> true
+  | Some x, Some y -> x == y
+  | (None | Some _), _ -> false

@@ -1,0 +1,27 @@
+(** Nodes of the native (real multicore, Domain/Atomic) data structures.
+
+    A link packs a Harris-style mark bit with the successor pointer in
+    one immutable record, so a single [Atomic.compare_and_set] updates
+    both — the OCaml idiom for tagged pointers. CAS relies on physical
+    equality: always CAS with the exact link value previously read. *)
+
+type node = {
+  mutable key : int;
+  next : link Atomic.t;
+  mutable birth : int;  (** epoch stamp used by IBR *)
+}
+
+and link = {
+  marked : bool;
+  target : node option;
+}
+
+val make : key:int -> node
+(** Fresh node with an unmarked null link and birth 0. *)
+
+val link : ?marked:bool -> node option -> link
+val get : node -> link
+val target_exn : link -> node
+val same_target : link -> link -> bool
+(** Do two links denote the same (mark, target) value? (Physical node
+    equality plus mark comparison — the bit-pattern test.) *)

@@ -1,0 +1,42 @@
+(** Native reclamation-scheme interface.
+
+    The native layer exists for the paper's performance remarks
+    (experiments E8/E9): real domains, real [Atomic] fences, real retry
+    loops. "Reclaiming" a node recycles it into a per-domain
+    type-preserving pool (the OCaml GC owns the memory itself); the
+    statistics expose reclaimed counts and the retired-backlog high-water
+    mark, which is the space axis of the robustness trade-off. *)
+
+module type S = sig
+  val name : string
+
+  type t
+  type tctx
+
+  val create : ndomains:int -> t
+  val thread : t -> int -> tctx
+  (** [thread t d] — per-domain context; [d] must be unique per domain. *)
+
+  val begin_op : tctx -> unit
+  val end_op : tctx -> unit
+
+  val alloc : tctx -> int -> Nnode.node
+  (** Recycled from the pool when possible; stamps IBR-style birth. *)
+
+  val retire : tctx -> Nnode.node -> unit
+
+  val read_link : tctx -> Nnode.node -> Nnode.link
+  (** Protected load of [n.next] (protocol per scheme). *)
+
+  val backlog : t -> int
+  (** Current total retired-but-unreclaimed nodes. *)
+
+  val max_backlog : t -> int
+  val reclaimed : t -> int
+end
+
+(* Per-domain padded slot helper: OCaml records/arrays give no real
+   cache-line padding control; we approximate by spacing entries. *)
+let pad = 8
+
+let padded_index d = d * pad

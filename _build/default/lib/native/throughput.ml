@@ -1,0 +1,238 @@
+type result = {
+  label : string;
+  domains : int;
+  total_ops : int;
+  elapsed_s : float;
+  mops : float;
+  max_backlog : int;
+  reclaimed : int;
+}
+
+type list_kind =
+  | Harris
+  | Michael
+
+type mix =
+  | Churn
+  | Read_heavy
+
+(* splitmix64, local copy to keep this library free of simulator deps *)
+let rng_next state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.to_int (shift_right_logical (logxor z (shift_right_logical z 31)) 2)
+
+let run_workers ~label ~domains ~ops_per_domain ~make_worker ~stats =
+  let barrier = Atomic.make 0 in
+  let go = Atomic.make false in
+  let body d () =
+    let worker = make_worker d in
+    ignore (Atomic.fetch_and_add barrier 1);
+    while not (Atomic.get go) do
+      Domain.cpu_relax ()
+    done;
+    for _ = 1 to ops_per_domain do
+      worker ()
+    done
+  in
+  let spawned =
+    List.init (domains - 1) (fun i -> Domain.spawn (body (i + 1)))
+  in
+  (* domain 0 = this one; wait for the others to be ready *)
+  let worker0 = make_worker 0 in
+  ignore (Atomic.fetch_and_add barrier 1);
+  while Atomic.get barrier < domains do
+    Domain.cpu_relax ()
+  done;
+  let t0 = Unix.gettimeofday () in
+  Atomic.set go true;
+  for _ = 1 to ops_per_domain do
+    worker0 ()
+  done;
+  List.iter Domain.join spawned;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let total = domains * ops_per_domain in
+  let max_backlog, reclaimed = stats () in
+  {
+    label;
+    domains;
+    total_ops = total;
+    elapsed_s = elapsed;
+    mops = float_of_int total /. elapsed /. 1e6;
+    max_backlog;
+    reclaimed;
+  }
+
+let kind_name = function Harris -> "harris" | Michael -> "michael"
+let mix_name = function Churn -> "churn" | Read_heavy -> "read-heavy"
+
+let scheme_name = function
+  | `Ebr -> "ebr"
+  | `Hp -> "hp"
+  | `Ibr -> "ibr"
+  | `None -> "none"
+
+(* Build (worker factory, stats) for a (list, scheme, mix) choice. The
+   functor application must happen per concrete scheme module, hence the
+   repetition-by-dispatch. *)
+let build_list (type a) (module S : Nsmr.S with type t = a) kind mix ~domains
+    ~prefill =
+  match kind with
+  | Harris ->
+    let module L = N_harris.Make (S) in
+    let g = S.create ~ndomains:domains in
+    let l = L.create () in
+    let s0 = S.thread g 0 in
+    List.iter (fun k -> ignore (L.insert l s0 k)) prefill;
+    let make_worker d =
+      let s = S.thread g d in
+      let st = ref (Int64.of_int ((d * 77) + 13)) in
+      let key_range, contains_pct =
+        match mix with Churn -> (64, 0) | Read_heavy -> (1024, 90)
+      in
+      fun () ->
+        let r = rng_next st in
+        let k = 1 + (r mod key_range) in
+        let roll = (r / key_range) mod 100 in
+        if roll < contains_pct then ignore (L.contains l s k)
+        else if roll mod 2 = 0 then ignore (L.insert l s k)
+        else ignore (L.delete l s k)
+    in
+    (make_worker, fun () -> (S.max_backlog g, S.reclaimed g))
+  | Michael ->
+    let module L = N_michael.Make (S) in
+    let g = S.create ~ndomains:domains in
+    let l = L.create () in
+    let s0 = S.thread g 0 in
+    List.iter (fun k -> ignore (L.insert l s0 k)) prefill;
+    let make_worker d =
+      let s = S.thread g d in
+      let st = ref (Int64.of_int ((d * 77) + 13)) in
+      let key_range, contains_pct =
+        match mix with Churn -> (64, 0) | Read_heavy -> (1024, 90)
+      in
+      fun () ->
+        let r = rng_next st in
+        let k = 1 + (r mod key_range) in
+        let roll = (r / key_range) mod 100 in
+        if roll < contains_pct then ignore (L.contains l s k)
+        else if roll mod 2 = 0 then ignore (L.insert l s k)
+        else ignore (L.delete l s k)
+    in
+    (make_worker, fun () -> (S.max_backlog g, S.reclaimed g))
+
+let scheme_module = function
+  | `Ebr -> (module N_ebr : Nsmr.S)
+  | `Hp -> (module N_hp)
+  | `Ibr -> (module N_ibr)
+  | `None -> (module N_none)
+
+let e8_row kind ~scheme mix ~domains ~ops_per_domain =
+  (match kind, scheme with
+  | Harris, `Hp ->
+    invalid_arg
+      "Throughput.e8_row: HP is not applicable to Harris's list (that is \
+       the theorem)"
+  | _ -> ());
+  let prefill =
+    match mix with
+    | Churn -> List.init 32 (fun i -> (i * 2) + 1)
+    | Read_heavy -> List.init 512 (fun i -> (i * 2) + 1)
+  in
+  let (module S) = scheme_module scheme in
+  let make_worker, stats = build_list (module S) kind mix ~domains ~prefill in
+  run_workers
+    ~label:
+      (Fmt.str "%s+%s/%s" (kind_name kind) (scheme_name scheme)
+         (mix_name mix))
+    ~domains ~ops_per_domain ~make_worker ~stats
+
+(* E9: domain 0 opens an operation (announcing its epoch / publishing its
+   reservation) and parks until the churn domains are done. *)
+let e9_row ~scheme ~churn_ops =
+  let domains = 3 in
+  let done_flag = Atomic.make 0 in
+  let (module S) = scheme_module (scheme :> [ `Ebr | `Hp | `Ibr | `None ]) in
+  let module L = N_michael.Make (S) in
+  let g = S.create ~ndomains:domains in
+  let l = L.create () in
+  let s0 = S.thread g 0 in
+  List.iter (fun k -> ignore (L.insert l s0 ((k * 2) + 1))) (List.init 32 Fun.id);
+  let make_worker d =
+    let s = S.thread g d in
+    if d = 0 then (
+      let started = ref false in
+      fun () ->
+        if not !started then begin
+          started := true;
+          (* Open an operation and stall inside it. *)
+          S.begin_op s;
+          ignore (S.read_link s (L.head l));
+          while Atomic.get done_flag < 2 do
+            Domain.cpu_relax ()
+          done;
+          S.end_op s
+        end)
+    else
+      let st = ref (Int64.of_int ((d * 91) + 7)) in
+      let count = ref 0 in
+      fun () ->
+        let r = rng_next st in
+        let k = 1 + (r mod 64) in
+        if r mod 2 = 0 then ignore (L.insert l s k)
+        else ignore (L.delete l s k);
+        incr count;
+        if !count = churn_ops then ignore (Atomic.fetch_and_add done_flag 1)
+  in
+  let res =
+    run_workers
+      ~label:(Fmt.str "stall/%s" (scheme_name scheme))
+      ~domains ~ops_per_domain:churn_ops ~make_worker
+      ~stats:(fun () -> (S.max_backlog g, S.reclaimed g))
+  in
+  { res with total_ops = 2 * churn_ops }
+
+(* Stack and queue throughput rows: 50/50 producer/consumer mixes. *)
+let stack_row ~scheme ~domains ~ops_per_domain =
+  let (module S) = scheme_module scheme in
+  let module T = N_treiber.Make (S) in
+  let g = S.create ~ndomains:domains in
+  let st = T.create () in
+  let make_worker d =
+    let s = S.thread g d in
+    let rng = ref (Int64.of_int ((d * 31) + 5)) in
+    fun () ->
+      let r = rng_next rng in
+      if r mod 2 = 0 then T.push st s (r mod 1000)
+      else ignore (T.pop st s)
+  in
+  run_workers
+    ~label:(Fmt.str "treiber+%s" (scheme_name scheme))
+    ~domains ~ops_per_domain ~make_worker
+    ~stats:(fun () -> (S.max_backlog g, S.reclaimed g))
+
+let queue_row ~scheme ~domains ~ops_per_domain =
+  let (module S) = scheme_module scheme in
+  let module Q = N_msqueue.Make (S) in
+  let g = S.create ~ndomains:domains in
+  let q = Q.create () in
+  let make_worker d =
+    let s = S.thread g d in
+    let rng = ref (Int64.of_int ((d * 53) + 9)) in
+    fun () ->
+      let r = rng_next rng in
+      if r mod 2 = 0 then Q.enqueue q s (r mod 1000)
+      else ignore (Q.dequeue q s)
+  in
+  run_workers
+    ~label:(Fmt.str "msqueue+%s" (scheme_name scheme))
+    ~domains ~ops_per_domain ~make_worker
+    ~stats:(fun () -> (S.max_backlog g, S.reclaimed g))
+
+let pp_result fmt r =
+  Fmt.pf fmt "%-24s d=%d ops=%-8d %6.3f s  %8.3f Mops/s  backlog(max)=%-6d \
+              reclaimed=%d"
+    r.label r.domains r.total_ops r.elapsed_s r.mops r.max_backlog r.reclaimed

@@ -1,0 +1,63 @@
+(** Native multicore measurement harness for experiments E8 and E9.
+
+    E8 (Section 6's practical remark): Harris's original list vs
+    Michael's HP-compatible restructuring, each paired with a scheme that
+    is {e applicable} to it — the cost of demanding an HP-friendly
+    implementation shows up as lost throughput under churn.
+
+    E9 (the robustness trade-off, Sections 1/5.1): with one domain
+    stalled mid-operation, EBR's retired backlog grows with the churn
+    volume while HP's and IBR's stay bounded.
+
+    On a single-core host the domains time-share; relative per-operation
+    costs and backlog shapes remain meaningful, absolute scaling does
+    not. *)
+
+type result = {
+  label : string;
+  domains : int;
+  total_ops : int;
+  elapsed_s : float;
+  mops : float;  (** million completed operations per second *)
+  max_backlog : int;
+  reclaimed : int;
+}
+
+val run_workers :
+  label:string -> domains:int -> ops_per_domain:int ->
+  make_worker:(int -> unit -> unit) ->
+  stats:(unit -> int * int) -> result
+(** Spawn [domains] domains; each calls its worker [ops_per_domain]
+    times; [stats ()] returns [(max_backlog, reclaimed)] at the end. *)
+
+type list_kind =
+  | Harris
+  | Michael
+
+type mix =
+  | Churn  (** 50/50 insert/delete over a small key range *)
+  | Read_heavy  (** 90% contains over a prefilled larger range *)
+
+val e8_row :
+  list_kind -> scheme:[ `Ebr | `Hp | `Ibr | `None ] -> mix ->
+  domains:int -> ops_per_domain:int -> result
+(** One throughput row. Pairings of HP with [Harris] are refused
+    ([Invalid_argument]) — that is the unsafe combination the theorem
+    rules out. *)
+
+val e9_row :
+  scheme:[ `Ebr | `Hp | `Ibr ] -> churn_ops:int -> result
+(** Backlog with a stalled domain: domain 0 opens an operation and parks;
+    two churn domains push [churn_ops] each through a Michael list. *)
+
+val stack_row :
+  scheme:[ `Ebr | `Hp | `Ibr | `None ] -> domains:int ->
+  ops_per_domain:int -> result
+(** Treiber stack, 50/50 push/pop. *)
+
+val queue_row :
+  scheme:[ `Ebr | `Hp | `Ibr | `None ] -> domains:int ->
+  ops_per_domain:int -> result
+(** Michael–Scott queue, 50/50 enqueue/dequeue. *)
+
+val pp_result : Format.formatter -> result -> unit

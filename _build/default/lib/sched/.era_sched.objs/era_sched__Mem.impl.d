@@ -1,0 +1,1 @@
+lib/sched/mem.ml: Era_sim Heap Monitor Sched

@@ -1,0 +1,1 @@
+lib/sched/mem.mli: Era_sim Event Heap Sched Word

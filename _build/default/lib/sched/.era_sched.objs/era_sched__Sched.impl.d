@@ -1,0 +1,1 @@
+lib/sched/sched.ml: Array Effect Era_sim Fmt Fun List

@@ -1,0 +1,65 @@
+open Era_sim
+
+let alloc (ctx : Sched.ctx) ~key =
+  Sched.yield ctx;
+  Heap.alloc ctx.heap ~tid:ctx.tid ~key
+
+let alloc_sentinel (ctx : Sched.ctx) ~key =
+  Sched.yield ctx;
+  Heap.alloc_sentinel ctx.heap ~tid:ctx.tid ~key
+
+let retire (ctx : Sched.ctx) w =
+  Sched.yield ctx;
+  Heap.retire ctx.heap ~tid:ctx.tid w
+
+let reclaim (ctx : Sched.ctx) w =
+  Sched.yield ctx;
+  Heap.reclaim ctx.heap ~tid:ctx.tid w
+
+let read (ctx : Sched.ctx) ~via ~field =
+  Sched.yield ctx;
+  Heap.read_checked ctx.heap ~tid:ctx.tid ~via ~field
+
+let read_key (ctx : Sched.ctx) ~via =
+  Sched.yield ctx;
+  Heap.read_key_checked ctx.heap ~tid:ctx.tid ~via
+
+let write (ctx : Sched.ctx) ~via ~field value =
+  Sched.yield ctx;
+  Heap.write_checked ctx.heap ~tid:ctx.tid ~via ~field value
+
+let cas (ctx : Sched.ctx) ~via ~field ~expected ~desired =
+  Sched.yield ctx;
+  Heap.cas_checked ctx.heap ~tid:ctx.tid ~via ~field ~expected ~desired
+
+let cas_identity (ctx : Sched.ctx) ~via ~field ~expected ~desired =
+  Sched.yield ctx;
+  Heap.cas_identity ctx.heap ~tid:ctx.tid ~via ~field ~expected ~desired
+
+let peek (ctx : Sched.ctx) ~via ~field =
+  Sched.yield ctx;
+  Heap.peek ctx.heap ~tid:ctx.tid ~via ~field
+
+let peek_key (ctx : Sched.ctx) ~via =
+  Sched.yield ctx;
+  Heap.peek_key ctx.heap ~tid:ctx.tid ~via
+
+let aux_get (ctx : Sched.ctx) ~via ~field =
+  Sched.yield ctx;
+  Heap.aux_get ctx.heap ~tid:ctx.tid ~via ~field
+
+let aux_set (ctx : Sched.ctx) ~via ~field value =
+  Sched.yield ctx;
+  Heap.aux_set ctx.heap ~tid:ctx.tid ~via ~field value
+
+let aux_cas (ctx : Sched.ctx) ~via ~field ~expected ~desired =
+  Sched.yield ctx;
+  Heap.aux_cas ctx.heap ~tid:ctx.tid ~via ~field ~expected ~desired
+
+let fence (ctx : Sched.ctx) ?event () =
+  Sched.yield ctx;
+  match event with
+  | Some ev -> Monitor.emit (Heap.monitor ctx.heap) ev
+  | None -> ()
+
+let validity (ctx : Sched.ctx) w = Heap.validity ctx.heap w

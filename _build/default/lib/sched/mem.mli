@@ -1,0 +1,49 @@
+(** Shared-memory accesses as scheduled steps.
+
+    Thin wrappers over {!Era_sim.Heap} that perform a scheduler yield
+    immediately before every access, so that each shared-memory access is
+    exactly one atomic step of the interleaving (Section 3 of the paper).
+    Data structures and reclamation schemes must go through this module —
+    direct [Heap] calls would make multi-access sequences artificially
+    atomic and hide the races the ERA constructions depend on. *)
+
+open Era_sim
+
+val alloc : Sched.ctx -> key:int -> Word.t
+val alloc_sentinel : Sched.ctx -> key:int -> Word.t
+val retire : Sched.ctx -> Word.t -> unit
+val reclaim : Sched.ctx -> Word.t -> unit
+
+val read : Sched.ctx -> via:Word.t -> field:int -> Word.t
+(** Checked read: the value will be used (Definition 4.2(3) enforced). *)
+
+val read_key : Sched.ctx -> via:Word.t -> int
+val write : Sched.ctx -> via:Word.t -> field:int -> Word.t -> unit
+
+val cas :
+  Sched.ctx -> via:Word.t -> field:int ->
+  expected:Word.t -> desired:Word.t -> bool
+
+val cas_identity :
+  Sched.ctx -> via:Word.t -> field:int ->
+  expected:Word.t -> desired:Word.t -> bool
+
+val peek : Sched.ctx -> via:Word.t -> field:int -> Word.t * Heap.validity
+val peek_key : Sched.ctx -> via:Word.t -> int * Heap.validity
+
+val aux_get : Sched.ctx -> via:Word.t -> field:int -> Word.t * Heap.validity
+val aux_set : Sched.ctx -> via:Word.t -> field:int -> Word.t -> unit
+
+val aux_cas :
+  Sched.ctx -> via:Word.t -> field:int ->
+  expected:Word.t -> desired:Word.t -> bool
+
+val fence : Sched.ctx -> ?event:Event.t -> unit -> unit
+(** One scheduling step with no heap access; used by schemes when they
+    mutate their own shared metadata (hazard slots, epoch announcements)
+    so the mutation is an interleaving point. [event] is emitted inside
+    the step. *)
+
+val validity : Sched.ctx -> Word.t -> Heap.validity
+(** Free introspection (not a step): schemes may not branch on this to
+    gain magical safety — it exists for monitors and assertions in tests. *)

@@ -1,0 +1,320 @@
+open Effect
+open Effect.Deep
+module Event = Era_sim.Event
+module Monitor = Era_sim.Monitor
+module Rng = Era_sim.Rng
+
+type _ Effect.t += Yield : unit Effect.t
+
+type fiber_status =
+  | Suspended of (unit, fiber_status) continuation
+  | Done
+  | Failed of exn
+
+type thread_state =
+  | Not_spawned_s
+  | Fresh of (unit -> unit)
+  | Paused of (unit, fiber_status) continuation
+  | Finished_s
+  | Crashed_s of exn
+
+type instr =
+  | Run of int * int
+  | Run_until of int * (Event.t -> bool)
+  | Run_until_label of int * string
+  | Finish of int
+  | Finish_bounded of int * int
+  | Finish_all
+
+type strategy =
+  | Round_robin
+  | Random of Rng.t
+  | Script of instr list
+
+type outcome =
+  | All_finished
+  | Script_done
+  | Step_limit
+  | No_runnable
+
+type thread_outcome =
+  | Not_spawned
+  | Running
+  | Finished
+  | Crashed of exn
+
+type t = {
+  sim_heap : Era_sim.Heap.t;
+  mon : Monitor.t;
+  max_steps : int;
+  threads : thread_state array;
+  stalled : bool array;
+  steps : int array;
+  mutable total : int;
+  mutable rr_next : int;
+  mutable opid : int;
+  strategy : strategy;
+  mutable script : instr list;
+  mutable instr_budget : int;  (* remaining quanta for the current instr *)
+  step_events : Event.t Era_sim.Vec.t;  (* events of the current quantum *)
+}
+
+and ctx = {
+  tid : int;
+  heap : Era_sim.Heap.t;
+  sched : t;
+}
+
+(* ctx is declared after t so redefine the public order via an interface
+   trick: the .mli lists ctx first; OCaml allows any order with 'and'. *)
+
+let create ?(max_steps = 20_000_000) ~nthreads strategy heap =
+  let t =
+    {
+      sim_heap = heap;
+      mon = Era_sim.Heap.monitor heap;
+      max_steps;
+      threads = Array.make nthreads Not_spawned_s;
+      stalled = Array.make nthreads false;
+      steps = Array.make nthreads 0;
+      total = 0;
+      rr_next = 0;
+      opid = 0;
+      strategy;
+      script = (match strategy with Script s -> s | _ -> []);
+      instr_budget = -1;
+      step_events = Era_sim.Vec.create ();
+    }
+  in
+  Monitor.subscribe t.mon (fun _time ev -> Era_sim.Vec.push t.step_events ev);
+  t
+
+let spawn t ~tid body =
+  if tid < 0 || tid >= Array.length t.threads then
+    invalid_arg "Sched.spawn: tid out of range";
+  (match t.threads.(tid) with
+  | Not_spawned_s -> ()
+  | _ -> invalid_arg "Sched.spawn: thread already spawned");
+  let ctx = { tid; heap = t.sim_heap; sched = t } in
+  t.threads.(tid) <- Fresh (fun () -> body ctx)
+
+let external_ctx t ~tid = { tid; heap = t.sim_heap; sched = t }
+
+let heap t = t.sim_heap
+let monitor t = t.mon
+let nthreads t = Array.length t.threads
+
+let thread_outcome t tid =
+  match t.threads.(tid) with
+  | Not_spawned_s -> Not_spawned
+  | Fresh _ | Paused _ -> Running
+  | Finished_s -> Finished
+  | Crashed_s e -> Crashed e
+
+let steps_of t tid = t.steps.(tid)
+let total_steps t = t.total
+
+let stall t tid =
+  if not t.stalled.(tid) then begin
+    t.stalled.(tid) <- true;
+    Monitor.emit t.mon (Event.Stalled { tid })
+  end
+
+let unstall t tid =
+  if t.stalled.(tid) then begin
+    t.stalled.(tid) <- false;
+    Monitor.emit t.mon (Event.Resumed { tid })
+  end
+
+let is_stalled t tid = t.stalled.(tid)
+
+(* Outside a fiber (test setup, pre-filling a structure before the
+   concurrent part starts) there is no handler for [Yield]; treat the
+   yield as a no-op so the same data-structure code runs in both
+   settings. *)
+let yield _ctx = try perform Yield with Effect.Unhandled _ -> ()
+
+let label ctx name =
+  yield ctx;
+  Monitor.emit ctx.sched.mon (Event.Label { tid = ctx.tid; name })
+
+let next_opid t =
+  t.opid <- t.opid + 1;
+  t.opid
+
+let run_op ctx op f =
+  let t = ctx.sched in
+  let opid = next_opid t in
+  Monitor.emit t.mon (Event.Invoke { tid = ctx.tid; opid; op });
+  let result = f () in
+  Monitor.emit t.mon (Event.Response { tid = ctx.tid; opid; op; result });
+  result
+
+(* ------------------------------------------------------------------ *)
+(* Fiber machinery                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let fiber_handler : (unit, fiber_status) handler =
+  {
+    retc = (fun () -> Done);
+    exnc = (fun e -> Failed e);
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+        match eff with
+        | Yield ->
+          Some (fun (k : (a, fiber_status) continuation) -> Suspended k)
+        | _ -> None);
+  }
+
+let runnable t tid =
+  match t.threads.(tid) with
+  | Fresh _ | Paused _ -> not t.stalled.(tid)
+  | Not_spawned_s | Finished_s | Crashed_s _ -> false
+
+let live t tid =
+  match t.threads.(tid) with
+  | Fresh _ | Paused _ -> true
+  | Not_spawned_s | Finished_s | Crashed_s _ -> false
+
+(* Give [tid] one quantum. Returns the events it emitted. *)
+let step_thread t tid =
+  Era_sim.Vec.clear t.step_events;
+  let status =
+    match t.threads.(tid) with
+    | Fresh body -> match_with body () fiber_handler
+    | Paused k -> continue k ()
+    | Not_spawned_s | Finished_s | Crashed_s _ ->
+      invalid_arg "Sched.step_thread: thread not runnable"
+  in
+  t.steps.(tid) <- t.steps.(tid) + 1;
+  t.total <- t.total + 1;
+  (match status with
+  | Suspended k -> t.threads.(tid) <- Paused k
+  | Done -> t.threads.(tid) <- Finished_s
+  | Failed e -> t.threads.(tid) <- Crashed_s e);
+  ()
+
+(* ------------------------------------------------------------------ *)
+(* Strategies                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let pick_round_robin t =
+  let n = Array.length t.threads in
+  let rec search i remaining =
+    if remaining = 0 then None
+    else if runnable t (i mod n) then begin
+      t.rr_next <- (i mod n) + 1;
+      Some (i mod n)
+    end
+    else search (i + 1) (remaining - 1)
+  in
+  search t.rr_next n
+
+let pick_random t rng =
+  let candidates =
+    Array.to_list (Array.init (Array.length t.threads) Fun.id)
+    |> List.filter (runnable t)
+  in
+  match candidates with
+  | [] -> None
+  | l -> Some (List.nth l (Rng.int rng (List.length l)))
+
+let step_events_match t pred = Era_sim.Vec.exists pred t.step_events
+
+exception Stop of outcome
+
+let progress_violation t tid =
+  Monitor.emit t.mon
+    (Event.Violation
+       {
+         tid;
+         kind = Event.Progress_failure;
+         detail =
+           Fmt.str "T%d did not finish its solo run within its step budget"
+             tid;
+       })
+
+(* Execute the current script instruction for one quantum; return [true]
+   when the instruction is complete and should be popped. *)
+let script_quantum t instr =
+  match instr with
+  | Run (tid, n) ->
+    if n <= 0 || not (live t tid) then true
+    else begin
+      if t.instr_budget < 0 then t.instr_budget <- n;
+      step_thread t tid;
+      t.instr_budget <- t.instr_budget - 1;
+      t.instr_budget = 0 || not (live t tid)
+    end
+  | Run_until (tid, pred) ->
+    if not (live t tid) then true
+    else begin
+      step_thread t tid;
+      step_events_match t pred || not (live t tid)
+    end
+  | Run_until_label (tid, name) ->
+    if not (live t tid) then true
+    else begin
+      step_thread t tid;
+      step_events_match t (function
+        | Event.Label l -> l.tid = tid && l.name = name
+        | _ -> false)
+      || not (live t tid)
+    end
+  | Finish tid ->
+    if not (live t tid) then true
+    else begin
+      step_thread t tid;
+      not (live t tid)
+    end
+  | Finish_bounded (tid, budget) ->
+    if not (live t tid) then true
+    else begin
+      if t.instr_budget < 0 then t.instr_budget <- budget;
+      step_thread t tid;
+      t.instr_budget <- t.instr_budget - 1;
+      if not (live t tid) then true
+      else if t.instr_budget = 0 then begin
+        progress_violation t tid;
+        true
+      end
+      else false
+    end
+  | Finish_all -> (
+    match pick_round_robin t with
+    | None -> true
+    | Some tid ->
+      step_thread t tid;
+      false)
+
+let run t =
+  let finished_all () =
+    let all = ref true in
+    Array.iteri (fun tid _ -> if live t tid then all := false) t.threads;
+    !all
+  in
+  try
+    while true do
+      if t.total >= t.max_steps then raise (Stop Step_limit);
+      match t.strategy with
+      | Script _ -> (
+        match t.script with
+        | [] -> raise (Stop Script_done)
+        | instr :: rest ->
+          if script_quantum t instr then begin
+            t.script <- rest;
+            t.instr_budget <- -1
+          end)
+      | Round_robin -> (
+        if finished_all () then raise (Stop All_finished);
+        match pick_round_robin t with
+        | None -> raise (Stop No_runnable)
+        | Some tid -> step_thread t tid)
+      | Random rng -> (
+        if finished_all () then raise (Stop All_finished);
+        match pick_random t rng with
+        | None -> raise (Stop No_runnable)
+        | Some tid -> step_thread t tid)
+    done;
+    assert false
+  with Stop o -> if finished_all () && o = Script_done then All_finished else o

@@ -1,0 +1,110 @@
+(** Deterministic cooperative scheduler over effect-based fibers.
+
+    This realizes the paper's execution model (Section 3): an execution is
+    an alternating sequence of configurations and steps, where each step is
+    a shared-memory access by one thread. Simulated threads are OCaml
+    fibers that perform a [Yield] effect immediately before every shared
+    access (see {!Mem}); the scheduler resumes exactly one fiber at a time,
+    so every quantum is one atomic step plus thread-local computation.
+
+    Schedules come in three flavours:
+    - [Round_robin] and [Random _] for fuzzing and throughput-style runs;
+    - [Script _] for the paper's adversarial constructions — e.g. Figure 1
+      needs "run T1 until it has read [head.next], then run T2 to
+      completion, then solo-run T1", which is exactly a three-instruction
+      script.
+
+    Threads can be stalled (they model the failed/delayed threads of the
+    robustness definitions) and resumed; a bounded solo run that exceeds
+    its budget emits a [Progress_failure] violation (loss of lock-freedom,
+    Definition 5.4(3)). *)
+
+type t
+
+type ctx = {
+  tid : int;
+  heap : Era_sim.Heap.t;
+  sched : t;
+}
+(** Per-thread handle passed to thread bodies; all shared accesses go
+    through {!Mem} with a [ctx]. *)
+
+type instr =
+  | Run of int * int
+      (** [Run (tid, n)]: give [tid] exactly [n] quanta (fewer if it
+          finishes). *)
+  | Run_until of int * (Era_sim.Event.t -> bool)
+      (** run [tid] until a quantum emits a matching event; the thread is
+          left suspended right after that quantum. *)
+  | Run_until_label of int * string
+      (** convenience: {!Run_until} on a [Label] event with this name. *)
+  | Finish of int  (** run [tid] until its body returns (or crashes). *)
+  | Finish_bounded of int * int
+      (** [Finish_bounded (tid, budget)]: like [Finish] but emits a
+          [Progress_failure] violation if the budget is exhausted — the
+          executable form of a solo-run lock-freedom check. *)
+  | Finish_all  (** round-robin over all runnable threads until done. *)
+
+type strategy =
+  | Round_robin
+  | Random of Era_sim.Rng.t
+  | Script of instr list
+
+type outcome =
+  | All_finished
+  | Script_done  (** script exhausted; some threads may still be live *)
+  | Step_limit
+  | No_runnable  (** only stalled/suspended threads remain *)
+
+type thread_outcome =
+  | Not_spawned
+  | Running  (** suspended mid-execution *)
+  | Finished
+  | Crashed of exn
+
+val create :
+  ?max_steps:int -> nthreads:int -> strategy -> Era_sim.Heap.t -> t
+(** [max_steps] defaults to 20 million quanta. *)
+
+val spawn : t -> tid:int -> (ctx -> unit) -> unit
+val heap : t -> Era_sim.Heap.t
+val monitor : t -> Era_sim.Monitor.t
+val nthreads : t -> int
+
+val run : t -> outcome
+(** Drive the schedule to completion. May raise
+    [Era_sim.Monitor.Violation] if the monitor is in [`Raise] mode. *)
+
+val thread_outcome : t -> int -> thread_outcome
+val steps_of : t -> int -> int
+(** Quanta consumed by a thread so far. *)
+
+val total_steps : t -> int
+
+val stall : t -> int -> unit
+(** Mark a thread failed/delayed: [Round_robin]/[Random] skip it. Emits a
+    [Stalled] event. Scripted instructions ignore stalling (a script is
+    absolute authority over who runs). *)
+
+val unstall : t -> int -> unit
+val is_stalled : t -> int -> bool
+
+val yield : ctx -> unit
+(** Suspend until rescheduled. Called by {!Mem} before every shared
+    access; thread bodies may also call it to create extra interleaving
+    points. Outside a fiber (setup code) it is a no-op. *)
+
+val external_ctx : t -> tid:int -> ctx
+(** A context for running data-structure code {e outside} the scheduler —
+    building sentinels, pre-filling, post-run assertions. Yields become
+    no-ops; every access still goes through the heap and monitor. *)
+
+val label : ctx -> string -> unit
+(** Emit a [Label] breakpoint event (one quantum). *)
+
+val run_op : ctx -> Era_sim.Event.op ->
+  (unit -> Era_sim.Event.op_result) -> Era_sim.Event.op_result
+(** Wrap a data-structure operation in [Invoke]/[Response] events for
+    history extraction. *)
+
+val next_opid : t -> int

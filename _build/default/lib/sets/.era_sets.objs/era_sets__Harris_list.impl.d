@@ -1,0 +1,1 @@
+lib/sets/harris_list.ml: Era_sched Era_sim Era_smr List Set_intf Word

@@ -1,0 +1,1 @@
+lib/sets/hash_set.ml: Array Era_sched Era_smr Harris_list List Michael_list Set_intf

@@ -1,0 +1,1 @@
+lib/sets/hash_set.mli: Era_sched Era_smr Set_intf

@@ -1,0 +1,1 @@
+lib/sets/michael_list.mli: Era_sched Era_sim Era_smr Set_intf

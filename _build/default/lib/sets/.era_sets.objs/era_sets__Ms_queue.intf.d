@@ -1,0 +1,1 @@
+lib/sets/ms_queue.mli: Era_sched Era_smr

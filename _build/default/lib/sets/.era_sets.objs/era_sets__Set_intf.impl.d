@@ -1,0 +1,1 @@
+lib/sets/set_intf.ml: Era_sched Era_sim

@@ -1,0 +1,1 @@
+lib/sets/treiber_stack.ml: Era_sched Era_sim Era_smr List Set_intf Word

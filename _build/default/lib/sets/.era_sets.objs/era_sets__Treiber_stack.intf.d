@@ -1,0 +1,1 @@
+lib/sets/treiber_stack.mli: Era_sched Era_sim Era_smr

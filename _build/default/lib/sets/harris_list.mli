@@ -1,0 +1,50 @@
+(** Harris's non-blocking linked-list set [19] — Algorithm 1 of the paper,
+    with [retire()] placed exactly where the paper places it (insert
+    line 34, delete line 52).
+
+    The defining property for the ERA theorem: [search] traverses chains
+    of {e marked} (logically deleted) nodes without unlinking them first,
+    so a reclamation scheme integrated here must tolerate reads of
+    retired — and, if it reclaims too eagerly, freed — nodes. The paper's
+    Appendix D shows this implementation is access-aware, so every widely
+    applicable scheme must handle it.
+
+    Functorized over the reclamation scheme; the same source integrates
+    with all seven. Phase annotations (read-only traversal / write window)
+    follow the division of Appendix D; they are no-ops except under NBR. *)
+
+module Make (S : Era_smr.Smr_intf.S) : sig
+  type t
+
+  val create : Era_sched.Sched.ctx -> S.t -> t
+  (** Allocate the head/tail sentinels ([-inf]/[+inf]) and link them. *)
+
+  val head_word : t -> Era_sim.Word.t
+  (** The head sentinel (experiments steer schedules by its address). *)
+
+  val tail_word : t -> Era_sim.Word.t
+
+  type h
+  (** Per-thread handle. *)
+
+  val handle : t -> Era_sched.Sched.ctx -> h
+  val tctx : h -> S.tctx
+
+  val insert : h -> int -> bool
+  val delete : h -> int -> bool
+  val contains : h -> int -> bool
+
+  val search : h -> int -> Era_sim.Word.t * Era_sim.Word.t
+  (** The auxiliary method (lines 1–22): returns the [(pred, curr)]
+      window. Exposed for the Figure 1/2 constructions, which need to
+      drive a thread into the middle of a traversal. Runs inside the
+      scheme's read/write phases but {e not} inside [with_op] — callers
+      wanting a full operation use {!insert}/{!delete}/{!contains}. *)
+
+  val ops : h -> record:bool -> Set_intf.ops
+  (** Closure bundle; [record] wraps each call in history events. *)
+
+  val to_list : h -> int list
+  (** Keys of the unmarked reachable nodes (test/debug helper; uses scheme
+      reads, run it at quiescence). *)
+end

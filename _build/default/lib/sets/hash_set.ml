@@ -1,0 +1,76 @@
+module Sched = Era_sched.Sched
+
+(* The bucket implementation is a parameter so the same hash table comes
+   in a Harris-bucket flavour (reclamation-hostile, inherits Figure 1/2)
+   and a Michael-bucket flavour (HP-compatible) — the practical choice
+   Section 6 of the paper discusses. *)
+module Make_over
+    (S : Era_smr.Smr_intf.S) (L : sig
+      type t
+      type h
+
+      val create : Sched.ctx -> S.t -> t
+      val handle : t -> Sched.ctx -> h
+      val tctx : h -> S.tctx
+      val insert : h -> int -> bool
+      val delete : h -> int -> bool
+      val contains : h -> int -> bool
+      val to_list : h -> int list
+    end) =
+struct
+  type t = {
+    buckets : L.t array;
+    scheme : S.t;
+  }
+
+  type h = {
+    hs : t;
+    handles : L.h array;
+    ctx : Sched.ctx;
+  }
+
+  let create ?(nbuckets = 8) ctx scheme =
+    if nbuckets <= 0 then invalid_arg "Hash_set.create: nbuckets";
+    { buckets = Array.init nbuckets (fun _ -> L.create ctx scheme); scheme }
+
+  let handle hs ctx =
+    { hs; handles = Array.map (fun b -> L.handle b ctx) hs.buckets; ctx }
+
+  let bucket h key = h.handles.(abs (key mod Array.length h.handles))
+
+  let insert h key = L.insert (bucket h key) key
+  let delete h key = L.delete (bucket h key) key
+  let contains h key = L.contains (bucket h key) key
+
+  let ops h ~record : Set_intf.ops =
+    let quiesce () = S.quiesce (L.tctx h.handles.(0)) in
+    if record then
+      {
+        insert =
+          (fun k ->
+            Set_intf.record h.ctx ~name:"insert" [ k ] (fun () -> insert h k));
+        delete =
+          (fun k ->
+            Set_intf.record h.ctx ~name:"delete" [ k ] (fun () -> delete h k));
+        contains =
+          (fun k ->
+            Set_intf.record h.ctx ~name:"contains" [ k ] (fun () ->
+                contains h k));
+        quiesce;
+      }
+    else
+      {
+        insert = (fun k -> insert h k);
+        delete = (fun k -> delete h k);
+        contains = (fun k -> contains h k);
+        quiesce;
+      }
+
+  let to_list h =
+    Array.to_list h.handles |> List.concat_map L.to_list |> List.sort compare
+end
+
+module Make (S : Era_smr.Smr_intf.S) = Make_over (S) (Harris_list.Make (S))
+
+module Make_michael (S : Era_smr.Smr_intf.S) =
+  Make_over (S) (Michael_list.Make (S))

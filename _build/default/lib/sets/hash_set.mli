@@ -1,0 +1,43 @@
+(** Fixed-size hash sets: an array of independent lock-free list buckets
+    (the lock-free hash table of Michael [30]).
+
+    Two flavours, differing only in the bucket algorithm — the practical
+    choice the paper's Section 6 discusses:
+
+    - {!Make}: {b Harris} buckets. Fast traversals over marked chains,
+      but reclamation-hostile: it inherits the Figure 1/2 refutations, so
+      HP/HE/IBR are not applicable to it.
+    - {!Make_michael}: {b Michael} buckets. HP-compatible (every followed
+      pointer validated from a reachable unmarked source), at the cost of
+      eager unlinking and head-restarts under churn. *)
+
+module Make (S : Era_smr.Smr_intf.S) : sig
+  type t
+
+  val create : ?nbuckets:int -> Era_sched.Sched.ctx -> S.t -> t
+  (** Default 8 buckets. *)
+
+  type h
+
+  val handle : t -> Era_sched.Sched.ctx -> h
+  val insert : h -> int -> bool
+  val delete : h -> int -> bool
+  val contains : h -> int -> bool
+  val ops : h -> record:bool -> Set_intf.ops
+  val to_list : h -> int list
+end
+
+module Make_michael (S : Era_smr.Smr_intf.S) : sig
+  type t
+
+  val create : ?nbuckets:int -> Era_sched.Sched.ctx -> S.t -> t
+
+  type h
+
+  val handle : t -> Era_sched.Sched.ctx -> h
+  val insert : h -> int -> bool
+  val delete : h -> int -> bool
+  val contains : h -> int -> bool
+  val ops : h -> record:bool -> Set_intf.ops
+  val to_list : h -> int list
+end

@@ -1,0 +1,156 @@
+open Era_sim
+module Sched = Era_sched.Sched
+module Mem = Era_sched.Mem
+
+module Make (S : Era_smr.Smr_intf.S) = struct
+  let next = 0
+
+  type t = {
+    head : Word.t;
+    tail : Word.t;
+    scheme : S.t;
+  }
+
+  type h = {
+    dl : t;
+    s : S.tctx;
+    ctx : Sched.ctx;
+  }
+
+  let create ctx scheme =
+    let tail = Mem.alloc_sentinel ctx ~key:max_int in
+    let head = Mem.alloc_sentinel ctx ~key:min_int in
+    Mem.write ctx ~via:head ~field:next tail;
+    { head; tail; scheme }
+
+  let head_word t = t.head
+  let handle dl ctx = { dl; s = S.thread dl.scheme ctx; ctx }
+  let tctx h = h.s
+
+  let is_tail h w = Word.same_bits (Word.unmark w) h.dl.tail
+
+  (* Find the (pred, curr) window for [key], unlinking every marked node
+     encountered before stepping over it. The unlink winner retires the
+     node (it is the only thread that can have unlinked it). Restarts
+     from the head when a CAS loses. *)
+  let rec search h key =
+    S.read_phase h.s (fun () -> search_body h key)
+
+  and search_body h key =
+    let rec walk pred curr =
+      if is_tail h curr then (pred, curr)
+      else
+        let curr_next = S.read h.s ~via:curr ~field:next in
+        if Word.is_marked curr_next then begin
+          let succ = Word.unmark curr_next in
+          S.enter_write_phase h.s ~reserve:[ pred; curr; succ ];
+          if S.cas h.s ~via:pred ~field:next ~expected:curr ~desired:succ
+          then begin
+            S.retire h.s curr;
+            (* Restart from the head: keeps the traversal cleanly divided
+               into read phases that only dereference pointers obtained in
+               the same phase (a conservative variant of Michael's
+               continue-from-pred step; the native implementation keeps
+               the original). *)
+            search h key
+          end
+          else search h key  (* contention: restart from the head *)
+        end
+        else if S.read_key h.s ~via:curr < key then walk curr curr_next
+        else (pred, curr)
+    in
+    let first = S.read h.s ~via:h.dl.head ~field:next in
+    walk h.dl.head first
+
+  let insert h key =
+    if key = min_int || key = max_int then
+      invalid_arg "Michael_list: sentinel key";
+    S.with_op h.s (fun () ->
+        let new_node = S.alloc h.s ~key in
+        let rec loop () =
+          let pred, curr = search h key in
+          if (not (is_tail h curr)) && S.read_key h.s ~via:curr = key then begin
+            S.retire h.s new_node;
+            false
+          end
+          else begin
+            S.write h.s ~via:new_node ~field:next (Word.unmark curr);
+            S.enter_write_phase h.s ~reserve:[ pred; curr ];
+            if S.cas h.s ~via:pred ~field:next ~expected:curr ~desired:new_node
+            then true
+            else loop ()
+          end
+        in
+        loop ())
+
+  let delete h key =
+    S.with_op h.s (fun () ->
+        let rec loop () =
+          let pred, curr = search h key in
+          if is_tail h curr || S.read_key h.s ~via:curr <> key then false
+          else begin
+            let succ = S.read h.s ~via:curr ~field:next in
+            if Word.is_marked succ then loop ()
+            else begin
+              S.enter_write_phase h.s ~reserve:[ pred; curr ];
+              if
+                not
+                  (S.cas h.s ~via:curr ~field:next ~expected:succ
+                     ~desired:(Word.mark succ))
+              then loop ()
+              else begin
+                (* Unlink winner retires; on failure the node stays
+                   linked-but-marked and some traversal's unlink CAS will
+                   win and retire it. *)
+                if S.cas h.s ~via:pred ~field:next ~expected:curr ~desired:succ
+                then S.retire h.s curr;
+                true
+              end
+            end
+          end
+        in
+        loop ())
+
+  let contains h key =
+    S.with_op h.s (fun () ->
+        let _, curr = search h key in
+        (not (is_tail h curr)) && S.read_key h.s ~via:curr = key)
+
+  let ops h ~record : Set_intf.ops =
+    if record then
+      {
+        insert =
+          (fun k ->
+            Set_intf.record h.ctx ~name:"insert" [ k ] (fun () -> insert h k));
+        delete =
+          (fun k ->
+            Set_intf.record h.ctx ~name:"delete" [ k ] (fun () -> delete h k));
+        contains =
+          (fun k ->
+            Set_intf.record h.ctx ~name:"contains" [ k ] (fun () ->
+                contains h k));
+        quiesce = (fun () -> S.quiesce h.s);
+      }
+    else
+      {
+        insert = (fun k -> insert h k);
+        delete = (fun k -> delete h k);
+        contains = (fun k -> contains h k);
+        quiesce = (fun () -> S.quiesce h.s);
+      }
+
+  let to_list h =
+    S.with_op h.s @@ fun () ->
+    S.read_phase h.s (fun () ->
+        let rec walk w acc =
+          if is_tail h w then List.rev acc
+          else
+            let w = Word.unmark w in
+            let nxt = S.read h.s ~via:w ~field:next in
+            let acc =
+              if Word.is_marked nxt then acc else S.read_key h.s ~via:w :: acc
+            in
+            walk nxt acc
+        in
+        walk (S.read h.s ~via:h.dl.head ~field:next) [])
+end

@@ -1,0 +1,31 @@
+(** Michael's lock-free linked-list set [30] — Harris's algorithm
+    restructured so that a traversal {e never} walks past a marked node:
+    it unlinks the node first (retrying from the head on contention) and
+    only then advances.
+
+    This is the modification Michael introduced precisely to make the
+    list compatible with hazard pointers (discussed in Sections 2 and 6
+    of the paper): every pointer a thread follows was validated while its
+    source was reachable and unmarked, so HP/HE/IBR protection works.
+    The price is extra CASes and restarts under churn — the performance
+    cost the paper's Section 6 discussion refers to (reproduced by
+    experiment E8). *)
+
+module Make (S : Era_smr.Smr_intf.S) : sig
+  type t
+
+  val create : Era_sched.Sched.ctx -> S.t -> t
+  val head_word : t -> Era_sim.Word.t
+
+  type h
+
+  val handle : t -> Era_sched.Sched.ctx -> h
+  val tctx : h -> S.tctx
+
+  val insert : h -> int -> bool
+  val delete : h -> int -> bool
+  val contains : h -> int -> bool
+
+  val ops : h -> record:bool -> Set_intf.ops
+  val to_list : h -> int list
+end

@@ -1,0 +1,151 @@
+open Era_sim
+module Sched = Era_sched.Sched
+module Mem = Era_sched.Mem
+
+type queue_ops = {
+  enqueue : int -> unit;
+  dequeue : unit -> int option;
+  quiesce : unit -> unit;
+}
+
+module Make (S : Era_smr.Smr_intf.S) = struct
+  (* anchor fields *)
+  let head_f = 0
+  let tail_f = 1
+
+  (* node field *)
+  let next = 0
+
+  type t = {
+    anchor : Word.t;
+    scheme : S.t;
+  }
+
+  type h = {
+    q : t;
+    s : S.tctx;
+    ctx : Sched.ctx;
+  }
+
+  let create ctx scheme =
+    let anchor = Mem.alloc_sentinel ctx ~key:0 in
+    let dummy = Mem.alloc_sentinel ctx ~key:0 in
+    Mem.write ctx ~via:anchor ~field:head_f dummy;
+    Mem.write ctx ~via:anchor ~field:tail_f dummy;
+    { anchor; scheme }
+
+  let handle q ctx = { q; s = S.thread q.scheme ctx; ctx }
+
+  (* Each attempt is one read-phase bracket ending in its write phase;
+     [None] from a bracket means "retry". *)
+  let enqueue h v =
+    S.with_op h.s (fun () ->
+        let node = S.alloc h.s ~key:v in
+        let rec loop () =
+          let attempt =
+            S.read_phase h.s (fun () ->
+                let last = S.read h.s ~via:h.q.anchor ~field:tail_f in
+                let nxt = S.read h.s ~via:last ~field:next in
+                match nxt with
+                | Word.Null ->
+                  S.enter_write_phase h.s ~reserve:[ last ];
+                  if
+                    S.cas h.s ~via:last ~field:next ~expected:Word.Null
+                      ~desired:node
+                  then begin
+                    (* Swing the tail; anyone may have done it already. *)
+                    ignore
+                      (S.cas h.s ~via:h.q.anchor ~field:tail_f ~expected:last
+                         ~desired:node);
+                    Some ()
+                  end
+                  else None
+                | Word.Ptr _ ->
+                  (* Tail is lagging: help swing it, then retry. *)
+                  S.enter_write_phase h.s ~reserve:[ last ];
+                  ignore
+                    (S.cas h.s ~via:h.q.anchor ~field:tail_f ~expected:last
+                       ~desired:(Word.unmark nxt));
+                  None
+                | Word.Int _ -> assert false)
+          in
+          match attempt with
+          | Some () -> ()
+          | None -> loop ()
+        in
+        loop ())
+
+  let dequeue h =
+    S.with_op h.s (fun () ->
+        let rec loop () =
+          let attempt =
+            S.read_phase h.s (fun () ->
+                let first = S.read h.s ~via:h.q.anchor ~field:head_f in
+                let last = S.read h.s ~via:h.q.anchor ~field:tail_f in
+                let nxt = S.read h.s ~via:first ~field:next in
+                if Word.same_bits first last then
+                  match nxt with
+                  | Word.Null -> Some None
+                  | Word.Ptr _ ->
+                    S.enter_write_phase h.s ~reserve:[ last ];
+                    ignore
+                      (S.cas h.s ~via:h.q.anchor ~field:tail_f ~expected:last
+                         ~desired:(Word.unmark nxt));
+                    None
+                  | Word.Int _ -> assert false
+                else
+                  match nxt with
+                  | Word.Null -> None  (* inconsistent snapshot; retry *)
+                  | Word.Ptr _ ->
+                    S.enter_write_phase h.s
+                      ~reserve:[ first; Word.unmark nxt ];
+                    let v = S.read_key h.s ~via:(Word.unmark nxt) in
+                    if
+                      S.cas h.s ~via:h.q.anchor ~field:head_f ~expected:first
+                        ~desired:(Word.unmark nxt)
+                    then begin
+                      S.retire h.s first;
+                      Some (Some v)
+                    end
+                    else None
+                  | Word.Int _ -> assert false)
+          in
+          match attempt with
+          | Some r -> r
+          | None -> loop ()
+        in
+        loop ())
+
+  let ops h ~record =
+    if record then
+      {
+        enqueue =
+          (fun v ->
+            Set_intf.record_unit h.ctx ~name:"enqueue" [ v ] (fun () ->
+                enqueue h v));
+        dequeue =
+          (fun () ->
+            Set_intf.record_int h.ctx ~name:"dequeue" [] (fun () -> dequeue h));
+        quiesce = (fun () -> S.quiesce h.s);
+      }
+    else
+      {
+        enqueue = (fun v -> enqueue h v);
+        dequeue = (fun () -> dequeue h);
+        quiesce = (fun () -> S.quiesce h.s);
+      }
+
+  let to_list h =
+    S.with_op h.s @@ fun () ->
+    S.read_phase h.s (fun () ->
+        let first = S.read h.s ~via:h.q.anchor ~field:head_f in
+        let rec walk w acc =
+          match S.read h.s ~via:w ~field:next with
+          | Word.Null -> List.rev acc
+          | Word.Ptr _ as nxt ->
+            let w' = Word.unmark nxt in
+            walk w' (S.read_key h.s ~via:w' :: acc)
+          | Word.Int _ -> assert false
+        in
+        walk first [])
+end

@@ -1,0 +1,29 @@
+(** The Michael–Scott lock-free FIFO queue, functorized over the
+    reclamation scheme.
+
+    An anchor sentinel holds the head and tail pointers; the queue always
+    contains a dummy node. Dequeue reads the value out of the {e second}
+    node before swinging head — the access that makes MSQ another classic
+    reclamation workout (the dequeued dummy is retired while other
+    threads may still hold it as their [head]/[tail] snapshot). *)
+
+type queue_ops = {
+  enqueue : int -> unit;
+  dequeue : unit -> int option;
+  quiesce : unit -> unit;
+}
+
+module Make (S : Era_smr.Smr_intf.S) : sig
+  type t
+
+  val create : Era_sched.Sched.ctx -> S.t -> t
+
+  type h
+
+  val handle : t -> Era_sched.Sched.ctx -> h
+  val enqueue : h -> int -> unit
+  val dequeue : h -> int option
+  val ops : h -> record:bool -> queue_ops
+  val to_list : h -> int list
+  (** Front-first contents (quiescent helper). *)
+end

@@ -1,0 +1,40 @@
+(** Uniform closure-based handles for the simulated data structures, so
+    experiment drivers can treat every (structure × scheme) pair alike. *)
+
+type ops = {
+  insert : int -> bool;
+  delete : int -> bool;
+  contains : int -> bool;
+  quiesce : unit -> unit;
+      (** flush this thread's retire lists if eligible *)
+}
+
+(** Record an operation in the history (for linearizability checking). *)
+let record ctx ~name args f =
+  match
+    Era_sched.Sched.run_op ctx
+      { Era_sim.Event.name; args }
+      (fun () -> Era_sim.Event.R_bool (f ()))
+  with
+  | Era_sim.Event.R_bool b -> b
+  | Era_sim.Event.R_int _ | Era_sim.Event.R_unit -> assert false
+
+let record_int ctx ~name args f =
+  match
+    Era_sched.Sched.run_op ctx
+      { Era_sim.Event.name; args }
+      (fun () -> Era_sim.Event.R_int (f ()))
+  with
+  | Era_sim.Event.R_int v -> v
+  | Era_sim.Event.R_bool _ | Era_sim.Event.R_unit -> assert false
+
+let record_unit ctx ~name args f =
+  match
+    Era_sched.Sched.run_op ctx
+      { Era_sim.Event.name; args }
+      (fun () ->
+        f ();
+        Era_sim.Event.R_unit)
+  with
+  | Era_sim.Event.R_unit -> ()
+  | Era_sim.Event.R_bool _ | Era_sim.Event.R_int _ -> assert false

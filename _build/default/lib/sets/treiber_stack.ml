@@ -1,0 +1,114 @@
+open Era_sim
+module Sched = Era_sched.Sched
+module Mem = Era_sched.Mem
+
+type stack_ops = {
+  push : int -> unit;
+  pop : unit -> int option;
+  quiesce : unit -> unit;
+}
+
+module Make (S : Era_smr.Smr_intf.S) = struct
+  let top = 0  (* anchor field *)
+  let next = 0  (* node field *)
+
+  type t = {
+    anchor : Word.t;
+    scheme : S.t;
+  }
+
+  type h = {
+    st : t;
+    s : S.tctx;
+    ctx : Sched.ctx;
+  }
+
+  let create ctx scheme =
+    let anchor = Mem.alloc_sentinel ctx ~key:0 in
+    { anchor; scheme }
+
+  let anchor_word t = t.anchor
+  let handle st ctx = { st; s = S.thread st.scheme ctx; ctx }
+
+  (* Each attempt is one read-phase bracket ending in the write phase
+     that performs the CAS, so phase-restarting schemes re-run exactly one
+     attempt; [None] from the bracket means "CAS lost, try again". *)
+  let push h v =
+    S.with_op h.s (fun () ->
+        let node = S.alloc h.s ~key:v in
+        let rec loop () =
+          let attempt =
+            S.read_phase h.s (fun () ->
+                let old_top = S.read h.s ~via:h.st.anchor ~field:top in
+                S.write h.s ~via:node ~field:next old_top;
+                S.enter_write_phase h.s ~reserve:[];
+                if
+                  S.cas h.s ~via:h.st.anchor ~field:top ~expected:old_top
+                    ~desired:node
+                then Some ()
+                else None)
+          in
+          match attempt with
+          | Some () -> ()
+          | None -> loop ()
+        in
+        loop ())
+
+  let pop h =
+    S.with_op h.s (fun () ->
+        let rec loop () =
+          let attempt =
+            S.read_phase h.s (fun () ->
+                let old_top = S.read h.s ~via:h.st.anchor ~field:top in
+                match old_top with
+                | Word.Null -> Some None
+                | Word.Int _ -> assert false
+                | Word.Ptr _ ->
+                  let nxt = S.read h.s ~via:old_top ~field:next in
+                  S.enter_write_phase h.s ~reserve:[ old_top ];
+                  if
+                    S.cas h.s ~via:h.st.anchor ~field:top ~expected:old_top
+                      ~desired:nxt
+                  then begin
+                    let v = S.read_key h.s ~via:old_top in
+                    S.retire h.s old_top;
+                    Some (Some v)
+                  end
+                  else None)
+          in
+          match attempt with
+          | Some r -> r
+          | None -> loop ()
+        in
+        loop ())
+
+  let ops h ~record =
+    if record then
+      {
+        push =
+          (fun v ->
+            Set_intf.record_unit h.ctx ~name:"push" [ v ] (fun () -> push h v));
+        pop =
+          (fun () -> Set_intf.record_int h.ctx ~name:"pop" [] (fun () -> pop h));
+        quiesce = (fun () -> S.quiesce h.s);
+      }
+    else
+      {
+        push = (fun v -> push h v);
+        pop = (fun () -> pop h);
+        quiesce = (fun () -> S.quiesce h.s);
+      }
+
+  let to_list h =
+    S.with_op h.s @@ fun () ->
+    S.read_phase h.s (fun () ->
+        let rec walk w acc =
+          match w with
+          | Word.Null -> List.rev acc
+          | Word.Int _ -> assert false
+          | Word.Ptr _ ->
+            let v = S.read_key h.s ~via:w in
+            walk (S.read h.s ~via:w ~field:next) (v :: acc)
+        in
+        walk (S.read h.s ~via:h.st.anchor ~field:top) [])
+end

@@ -1,0 +1,31 @@
+(** Treiber's lock-free stack, functorized over the reclamation scheme.
+
+    The anchor is a sentinel cell whose single pointer field is the top
+    of stack. Pop retires the removed node, making the stack the classic
+    ABA showcase: with address-reusing reclamation and no protection, a
+    popped-and-reallocated node at the same address lets a stale CAS
+    succeed. Schemes prevent this differently (EBR by quiescence, HP by
+    protection, VBR by identity-comparing CAS), and the test suite checks
+    them all. *)
+
+type stack_ops = {
+  push : int -> unit;
+  pop : unit -> int option;
+  quiesce : unit -> unit;
+}
+
+module Make (S : Era_smr.Smr_intf.S) : sig
+  type t
+
+  val create : Era_sched.Sched.ctx -> S.t -> t
+  val anchor_word : t -> Era_sim.Word.t
+
+  type h
+
+  val handle : t -> Era_sched.Sched.ctx -> h
+  val push : h -> int -> unit
+  val pop : h -> int option
+  val ops : h -> record:bool -> stack_ops
+  val to_list : h -> int list
+  (** Top-first contents (quiescent helper). *)
+end

@@ -1,0 +1,1 @@
+lib/sim/monitor.ml: Event Fmt List Vec

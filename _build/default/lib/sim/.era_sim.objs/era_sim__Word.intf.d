@@ -1,0 +1,1 @@
+lib/sim/word.mli: Format

@@ -1,0 +1,103 @@
+type op = {
+  name : string;
+  args : int list;
+}
+
+type op_result =
+  | R_bool of bool
+  | R_int of int option
+  | R_unit
+
+type access_kind =
+  | Read
+  | Write
+  | Cas of bool
+
+type violation =
+  | Unsafe_write
+  | Unsafe_cas
+  | System_space_access
+  | Stale_value_used
+  | Double_free
+  | Lifecycle_error
+  | Progress_failure
+  | Linearizability_failure
+
+type t =
+  | Alloc of { tid : int; addr : int; node : int; key : int }
+  | Share of { tid : int; addr : int; node : int }
+  | Retire of { tid : int; addr : int; node : int }
+  | Reclaim of { tid : int; addr : int; node : int; to_system : bool }
+  | Access of {
+      tid : int;
+      addr : int;
+      node : int;
+      field : int;
+      kind : access_kind;
+      unsafe : bool;
+    }
+  | Key_read of { tid : int; addr : int; node : int; unsafe : bool }
+  | Violation of { tid : int; kind : violation; detail : string }
+  | Invoke of { tid : int; opid : int; op : op }
+  | Response of { tid : int; opid : int; op : op; result : op_result }
+  | Label of { tid : int; name : string }
+  | Protect of { tid : int; slot : int; addr : int; node : int }
+  | Epoch of { value : int }
+  | Neutralize of { by : int; target : int }
+  | Stalled of { tid : int }
+  | Resumed of { tid : int }
+  | Note of string
+
+let violation_name = function
+  | Unsafe_write -> "unsafe-write"
+  | Unsafe_cas -> "unsafe-cas"
+  | System_space_access -> "system-space-access"
+  | Stale_value_used -> "stale-value-used"
+  | Double_free -> "double-free"
+  | Lifecycle_error -> "lifecycle-error"
+  | Progress_failure -> "progress-failure"
+  | Linearizability_failure -> "linearizability-failure"
+
+let pp_op fmt { name; args } =
+  Fmt.pf fmt "%s(%a)" name Fmt.(list ~sep:comma int) args
+
+let pp_result fmt = function
+  | R_bool b -> Fmt.bool fmt b
+  | R_int (Some v) -> Fmt.pf fmt "Some %d" v
+  | R_int None -> Fmt.string fmt "None"
+  | R_unit -> Fmt.string fmt "()"
+
+let pp_kind fmt = function
+  | Read -> Fmt.string fmt "read"
+  | Write -> Fmt.string fmt "write"
+  | Cas ok -> Fmt.pf fmt "cas[%s]" (if ok then "ok" else "fail")
+
+let pp fmt = function
+  | Alloc { tid; addr; node; key } ->
+    Fmt.pf fmt "T%d alloc &%d#%d key=%d" tid addr node key
+  | Share { tid; addr; node } -> Fmt.pf fmt "T%d share &%d#%d" tid addr node
+  | Retire { tid; addr; node } -> Fmt.pf fmt "T%d retire &%d#%d" tid addr node
+  | Reclaim { tid; addr; node; to_system } ->
+    Fmt.pf fmt "T%d reclaim &%d#%d%s" tid addr node
+      (if to_system then " (to system)" else "")
+  | Access { tid; addr; node; field; kind; unsafe } ->
+    Fmt.pf fmt "T%d %a &%d#%d.f%d%s" tid pp_kind kind addr node field
+      (if unsafe then " UNSAFE" else "")
+  | Key_read { tid; addr; node; unsafe } ->
+    Fmt.pf fmt "T%d key-read &%d#%d%s" tid addr node
+      (if unsafe then " UNSAFE" else "")
+  | Violation { tid; kind; detail } ->
+    Fmt.pf fmt "T%d VIOLATION %s: %s" tid (violation_name kind) detail
+  | Invoke { tid; opid; op } -> Fmt.pf fmt "T%d invoke #%d %a" tid opid pp_op op
+  | Response { tid; opid; op; result } ->
+    Fmt.pf fmt "T%d response #%d %a = %a" tid opid pp_op op pp_result result
+  | Label { tid; name } -> Fmt.pf fmt "T%d label %s" tid name
+  | Protect { tid; slot; addr; node } ->
+    Fmt.pf fmt "T%d protect[%d] &%d#%d" tid slot addr node
+  | Epoch { value } -> Fmt.pf fmt "epoch -> %d" value
+  | Neutralize { by; target } -> Fmt.pf fmt "T%d neutralizes T%d" by target
+  | Stalled { tid } -> Fmt.pf fmt "T%d stalled" tid
+  | Resumed { tid } -> Fmt.pf fmt "T%d resumed" tid
+  | Note s -> Fmt.pf fmt "note: %s" s
+
+let to_string e = Fmt.str "%a" pp e

@@ -1,0 +1,72 @@
+(** Trace events.
+
+    Every shared-memory step of a simulated execution (Section 3 of the
+    paper: an execution is an alternating sequence of configurations and
+    steps) is reflected as one event. The monitor consumes the stream to
+    enforce Definitions 4.1/4.2 and to sample the retired/active counts
+    that Definitions 5.1/5.2 (robustness) quantify over. *)
+
+type op = {
+  name : string;  (** e.g. "insert", "delete", "contains" *)
+  args : int list;
+}
+
+type op_result =
+  | R_bool of bool
+  | R_int of int option
+  | R_unit
+
+type access_kind =
+  | Read
+  | Write
+  | Cas of bool  (** payload: did the CAS succeed *)
+
+type violation =
+  | Unsafe_write
+      (** update through an invalid pointer (Definition 4.2(2)) *)
+  | Unsafe_cas
+      (** successful RMW through an invalid pointer (Definition 4.2(2)) *)
+  | System_space_access
+      (** touched memory returned to the system (Definition 4.2(1)); a
+          segmentation fault on real hardware *)
+  | Stale_value_used
+      (** a value obtained by an unsafe read was used (Definition 4.2(3)) *)
+  | Double_free
+  | Lifecycle_error
+  | Progress_failure
+      (** a solo run exceeded its step budget: lock-freedom lost
+          (Definition 5.4(3)) *)
+  | Linearizability_failure
+
+type t =
+  | Alloc of { tid : int; addr : int; node : int; key : int }
+  | Share of { tid : int; addr : int; node : int }
+  | Retire of { tid : int; addr : int; node : int }
+  | Reclaim of { tid : int; addr : int; node : int; to_system : bool }
+  | Access of {
+      tid : int;
+      addr : int;
+      node : int;  (** node identity the pointer was derived for *)
+      field : int;
+      kind : access_kind;
+      unsafe : bool;
+    }
+  | Key_read of { tid : int; addr : int; node : int; unsafe : bool }
+  | Violation of { tid : int; kind : violation; detail : string }
+  | Invoke of { tid : int; opid : int; op : op }
+  | Response of { tid : int; opid : int; op : op; result : op_result }
+  | Label of { tid : int; name : string }
+      (** breakpoint markers emitted by data structures / schemes, used by
+          scripted schedules to steer adversarial executions *)
+  | Protect of { tid : int; slot : int; addr : int; node : int }
+  | Epoch of { value : int }
+  | Neutralize of { by : int; target : int }
+  | Stalled of { tid : int }
+  | Resumed of { tid : int }
+  | Note of string
+
+val violation_name : violation -> string
+val pp_op : Format.formatter -> op -> unit
+val pp_result : Format.formatter -> op_result -> unit
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,36 @@
+type t =
+  | Unallocated
+  | Local of int
+  | Shared
+  | Retired
+
+let equal a b =
+  match a, b with
+  | Unallocated, Unallocated -> true
+  | Local x, Local y -> x = y
+  | Shared, Shared -> true
+  | Retired, Retired -> true
+  | (Unallocated | Local _ | Shared | Retired), _ -> false
+
+let is_active = function
+  | Local _ | Shared -> true
+  | Unallocated | Retired -> false
+
+let pp fmt = function
+  | Unallocated -> Fmt.string fmt "unallocated"
+  | Local tid -> Fmt.pf fmt "local(T%d)" tid
+  | Shared -> Fmt.string fmt "shared"
+  | Retired -> Fmt.string fmt "retired"
+
+let to_string s = Fmt.str "%a" pp s
+
+let check_transition ~from ~to_ =
+  match from, to_ with
+  | Unallocated, Local _ -> Ok ()
+  | Local _, Shared -> Ok ()
+  | Local _, Retired -> Ok ()  (* a node may die without ever being shared *)
+  | Shared, Retired -> Ok ()
+  | Retired, Unallocated -> Ok ()
+  | _ ->
+    Error
+      (Fmt.str "illegal life-cycle transition: %a -> %a" pp from pp to_)

@@ -1,0 +1,94 @@
+type mode = [ `Raise | `Record ]
+
+type sample = {
+  time : int;
+  active : int;
+  retired : int;
+  max_active : int;
+}
+
+type t = {
+  mode : mode;
+  keep_trace : bool;
+  events : Event.t Vec.t;
+  viols : Event.t Vec.t;
+  samps : sample Vec.t;
+  mutable hooks : (int -> Event.t -> unit) list;
+  mutable time : int;
+  mutable active : int;
+  mutable retired : int;
+  mutable max_active : int;
+  mutable max_retired : int;
+}
+
+exception Violation of Event.t
+
+let create ?(mode = `Raise) ?(trace = true) () =
+  {
+    mode;
+    keep_trace = trace;
+    events = Vec.create ();
+    viols = Vec.create ();
+    samps = Vec.create ();
+    hooks = [];
+    time = 0;
+    active = 0;
+    retired = 0;
+    max_active = 0;
+    max_retired = 0;
+  }
+
+let subscribe t f = t.hooks <- f :: t.hooks
+
+let sample t =
+  Vec.push t.samps
+    { time = t.time; active = t.active; retired = t.retired;
+      max_active = t.max_active }
+
+let update_counts t (ev : Event.t) =
+  match ev with
+  | Alloc _ ->
+    t.active <- t.active + 1;
+    if t.active > t.max_active then t.max_active <- t.active;
+    sample t
+  | Retire _ ->
+    t.active <- t.active - 1;
+    t.retired <- t.retired + 1;
+    if t.retired > t.max_retired then t.max_retired <- t.retired;
+    sample t
+  | Reclaim _ ->
+    t.retired <- t.retired - 1;
+    sample t
+  | Share _ | Access _ | Key_read _ | Violation _ | Invoke _ | Response _
+  | Label _ | Protect _ | Epoch _ | Neutralize _ | Stalled _ | Resumed _
+  | Note _ ->
+    ()
+
+let emit t ev =
+  t.time <- t.time + 1;
+  update_counts t ev;
+  if t.keep_trace then Vec.push t.events ev;
+  (match ev with
+  | Violation _ -> Vec.push t.viols ev
+  | _ -> ());
+  List.iter (fun f -> f t.time ev) t.hooks;
+  match ev, t.mode with
+  | Violation _, `Raise -> raise (Violation ev)
+  | _ -> ()
+
+let time t = t.time
+let active t = t.active
+let retired t = t.retired
+let max_active t = t.max_active
+let max_retired t = t.max_retired
+let violations t = Vec.to_list t.viols
+let first_violation t = if Vec.length t.viols = 0 then None else Some (Vec.get t.viols 0)
+let violation_count t = Vec.length t.viols
+let samples t = Vec.to_list t.samps
+let trace t = Vec.to_list t.events
+let trace_vec t = t.events
+let find_last t p = Vec.find_last p t.events
+
+let pp_violations fmt t =
+  if Vec.length t.viols = 0 then Fmt.string fmt "(no violations)"
+  else Vec.iter (fun ev -> Fmt.pf fmt "%a@." Event.pp ev) t.viols

@@ -1,0 +1,66 @@
+(** The execution monitor: consumes the event stream of a simulated
+    execution and enforces / measures the paper's definitions.
+
+    - Safety (Definitions 4.1, 4.2): [Violation] events either raise
+      {!Violation} ([`Raise] mode, for tests that expect safe executions)
+      or are recorded ([`Record] mode, for the adversarial constructions of
+      Figures 1–2 that deliberately drive a scheme into an unsafe access).
+    - Robustness (Definitions 5.1, 5.2): the monitor maintains
+      [active]/[retired] counts and their running maxima, and samples
+      [(time, active, retired, max_active)] at every count change, so a
+      classifier can fit the retired-count bound against
+      [max_active · N]. *)
+
+type mode =
+  [ `Raise  (** raise {!Violation} on the first safety violation *)
+  | `Record  (** record violations and keep executing *)
+  ]
+
+type sample = {
+  time : int;
+  active : int;
+  retired : int;
+  max_active : int;
+}
+
+type t
+
+exception Violation of Event.t
+
+val create : ?mode:mode -> ?trace:bool -> unit -> t
+(** [trace] (default [true]) keeps the full event list in memory; disable
+    for long robustness sweeps. Counters and samples are kept regardless. *)
+
+val emit : t -> Event.t -> unit
+(** Feed one event. Updates counters; dispatches to subscribed hooks; in
+    [`Raise] mode raises {!Violation} on violation events. *)
+
+val subscribe : t -> (int -> Event.t -> unit) -> unit
+(** [subscribe t f] calls [f time event] on every subsequent event. Used by
+    auditors (access-awareness, phase checkers) and scripted schedulers. *)
+
+val time : t -> int
+(** Number of events emitted so far — the simulated step clock. *)
+
+val active : t -> int
+val retired : t -> int
+val max_active : t -> int
+val max_retired : t -> int
+
+val violations : t -> Event.t list
+(** All recorded violations, oldest first. *)
+
+val first_violation : t -> Event.t option
+val violation_count : t -> int
+
+val samples : t -> sample list
+(** Robustness samples, oldest first. *)
+
+val trace : t -> Event.t list
+(** Full trace, oldest first; [[]] if tracing was disabled. *)
+
+val trace_vec : t -> Event.t Vec.t
+
+val find_last : t -> (Event.t -> bool) -> Event.t option
+
+val pp_violations : Format.formatter -> t -> unit

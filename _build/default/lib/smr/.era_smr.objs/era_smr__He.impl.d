@@ -1,0 +1,1 @@
+lib/smr/he.ml: Array Era_sched Era_sim Event Integration List Word

@@ -1,0 +1,1 @@
+lib/smr/ibr.ml: Array Era_sched Era_sim Event Integration List Smr_intf Word

@@ -1,0 +1,1 @@
+lib/smr/integration.ml: Fmt List String

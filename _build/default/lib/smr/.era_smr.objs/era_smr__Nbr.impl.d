@@ -1,0 +1,1 @@
+lib/smr/nbr.ml: Array Era_sched Era_sim Event Heap Integration Lifecycle List Smr_intf Word

@@ -1,0 +1,1 @@
+lib/smr/nbr.mli: Smr_intf

@@ -1,0 +1,1 @@
+lib/smr/none_scheme.ml: Era_sched Integration

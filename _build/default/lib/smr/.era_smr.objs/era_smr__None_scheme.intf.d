@@ -1,0 +1,1 @@
+lib/smr/none_scheme.mli: Smr_intf

@@ -1,0 +1,1 @@
+lib/smr/phase_audit.ml: Era_sched Era_sim Fmt Hashtbl Heap Int Integration Lifecycle List Option Set Word

@@ -1,0 +1,1 @@
+lib/smr/phase_audit.mli: Smr_intf

@@ -1,0 +1,1 @@
+lib/smr/rc.ml: Era_sched Era_sim Hashtbl Heap Integration List Option Word

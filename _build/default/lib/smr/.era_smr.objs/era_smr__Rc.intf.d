@@ -1,0 +1,1 @@
+lib/smr/rc.mli: Era_sim Smr_intf

@@ -1,0 +1,1 @@
+lib/smr/registry.ml: Ebr Fmt He Hp Ibr Integration List Nbr None_scheme Rc Smr_intf Vbr

@@ -1,0 +1,1 @@
+lib/smr/smr_intf.ml: Era_sched Era_sim Heap Integration Word

@@ -1,0 +1,1 @@
+lib/smr/vbr.ml: Array Era_sched Era_sim Event Heap Integration Lifecycle List Smr_intf Word

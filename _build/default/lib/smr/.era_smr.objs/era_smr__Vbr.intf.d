@@ -1,0 +1,1 @@
+lib/smr/vbr.mli: Smr_intf

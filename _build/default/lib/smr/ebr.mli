@@ -1,0 +1,18 @@
+(** Epoch-based reclamation (Fraser [16], Harris [19], DEBRA's ancestor).
+
+    Exactly the scheme of the paper's Appendix A: a global epoch counter,
+    a per-thread announcement array written in [begin_op] and cleared (to
+    quiescent) in [end_op], and three per-thread retire buckets; the
+    bucket of epoch [e] is reclaimable once the global epoch reaches
+    [e + 2].
+
+    ERA profile: {b E} (two op-boundary calls, nothing else) and {b A}
+    ({e strongly} applicable, Appendix A), but {b not} robust — a single
+    stalled thread pins the epoch and every subsequently retired node
+    leaks (the Figure 1 execution). *)
+
+include Smr_intf.S
+
+val current_epoch : t -> int
+val announced : t -> int -> int
+(** [-1] means quiescent. *)

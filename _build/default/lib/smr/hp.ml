@@ -1,0 +1,170 @@
+open Era_sim
+module Mem = Era_sched.Mem
+module Sched = Era_sched.Sched
+
+module type CONFIG = sig
+  val slots_per_thread : int
+  val scan_threshold : int
+end
+
+module Default_config = struct
+  let slots_per_thread = 3
+  let scan_threshold = 8
+end
+
+module type S_EXT = sig
+  include Smr_intf.S
+
+  val slots_per_thread : int
+  val scan_threshold : int
+  val protected_addrs : t -> int list
+  val retired_backlog : t -> int
+end
+
+module Make (C : CONFIG) : S_EXT = struct
+  include C
+
+  let name = "hp"
+
+  let describe =
+    "hazard pointers (Michael); easy + robust, not widely applicable"
+
+  let integration : Integration.spec =
+    {
+      scheme_name = name;
+      provided_as_object = true;
+      insertion_points =
+        [
+          Integration.Op_boundaries;
+          Integration.Alloc_retire_replacement;
+          Integration.Primitive_replacement;
+        ];
+      primitives_linearizable = true;
+      uses_rollback = false;
+      modifies_ds_fields = false;
+      added_fields = 0;
+      requires_type_preservation = false;
+      special_support = [];
+    }
+
+  type t = {
+    nthreads : int;
+    hp : Word.t array array;  (* [tid].(slot); Null = empty *)
+    retired : Word.t list array;
+    retired_count : int array;
+  }
+
+  type tctx = {
+    g : t;
+    ctx : Sched.ctx;
+    mutable rot : int;
+  }
+
+  let create _heap ~nthreads =
+    {
+      nthreads;
+      hp = Array.init nthreads (fun _ -> Array.make slots_per_thread Word.Null);
+      retired = Array.make nthreads [];
+      retired_count = Array.make nthreads 0;
+    }
+
+  let thread g ctx = { g; ctx; rot = 0 }
+  let global t = t.g
+
+  let protected_addrs g =
+    Array.to_list g.hp
+    |> List.concat_map Array.to_list
+    |> List.filter_map (function
+         | Word.Ptr p -> Some p.addr
+         | Word.Null | Word.Int _ -> None)
+
+  let retired_backlog g = Array.fold_left ( + ) 0 g.retired_count
+
+  let clear_slots t =
+    let tid = t.ctx.Sched.tid in
+    Mem.fence t.ctx ();
+    Array.fill t.g.hp.(tid) 0 slots_per_thread Word.Null
+
+  let begin_op t =
+    t.rot <- 0;
+    clear_slots t
+
+  let end_op t = clear_slots t
+
+  let with_op t f =
+    begin_op t;
+    let r = f () in
+    end_op t;
+    r
+
+  let alloc t ~key = Mem.alloc t.ctx ~key
+
+  (* Scan: snapshot every published hazard address, then reclaim all of this
+     thread's retired nodes whose address is unprotected. *)
+  let scan t =
+    let g = t.g in
+    let tid = t.ctx.Sched.tid in
+    Mem.fence t.ctx ();
+    let hazards = protected_addrs g in
+    let keep, free =
+      List.partition
+        (fun w -> List.mem (Word.addr_exn w) hazards)
+        g.retired.(tid)
+    in
+    g.retired.(tid) <- keep;
+    g.retired_count.(tid) <- List.length keep;
+    List.iter (fun w -> Mem.reclaim t.ctx w) free
+
+  let retire t w =
+    let g = t.g in
+    let tid = t.ctx.Sched.tid in
+    Mem.retire t.ctx w;
+    g.retired.(tid) <- w :: g.retired.(tid);
+    g.retired_count.(tid) <- g.retired_count.(tid) + 1;
+    if g.retired_count.(tid) >= scan_threshold then scan t
+
+  let publish t w =
+    let g = t.g in
+    let tid = t.ctx.Sched.tid in
+    let slot = t.rot mod slots_per_thread in
+    let clean = Word.unmark w in
+    g.hp.(tid).(slot) <- clean;
+    Mem.fence t.ctx
+      ~event:
+        (Event.Protect
+           { tid; slot; addr = Word.addr_exn clean; node = Word.node_exn clean })
+      ()
+
+  (* Protect-validate loop. Both loads are checked reads: if [via] itself is
+     invalid the protocol has already been defeated and the monitor flags
+     the use. *)
+  let read t ~via ~field =
+    let rec loop () =
+      let w = Mem.read t.ctx ~via ~field in
+      match w with
+      | Word.Null | Word.Int _ -> w
+      | Word.Ptr _ ->
+        publish t w;
+        let w' = Mem.read t.ctx ~via ~field in
+        if Word.same_bits w w' then begin
+          t.rot <- t.rot + 1;
+          w'
+        end
+        else loop ()
+    in
+    loop ()
+
+  let read_key t ~via = Mem.read_key t.ctx ~via
+  let write t ~via ~field v = Mem.write t.ctx ~via ~field v
+
+  let cas t ~via ~field ~expected ~desired =
+    Mem.cas t.ctx ~via ~field ~expected ~desired
+
+  let enter_read_phase _ = ()
+  let read_phase t f = enter_read_phase t; f ()
+  let enter_write_phase _ ~reserve:_ = ()
+  let quiesce t = scan t
+
+end
+
+include Make (Default_config)

@@ -1,0 +1,42 @@
+(** Hazard pointers (Michael [32]).
+
+    Each thread owns a small array of single-writer hazard slots. The
+    [read] replacement implements the protect-validate protocol: load the
+    target pointer, publish its address in a slot, re-load, and retry
+    until the two loads agree. Retired nodes are scanned against the
+    published slots; unprotected ones are reclaimed.
+
+    ERA profile: {b E} (a drop-in primitive replacement) and {b R}
+    (retired count bounded by [N * (threshold + slots)]), but {b not}
+    widely applicable: on Harris's linked-list a validated-stable pointer
+    can still reference a reclaimed node (Appendix E / Figure 2 of the
+    paper), which the monitor reports as a [Stale_value_used] violation.
+
+    {!Make} builds variants with different slot counts and scan
+    thresholds — the space/time trade-off dial of Braginsky et al. [6],
+    exercised by the ablation benchmarks. The toplevel include is
+    [Make (Default_config)]. *)
+
+module type CONFIG = sig
+  val slots_per_thread : int
+  val scan_threshold : int
+end
+
+module Default_config : CONFIG
+
+module type S_EXT = sig
+  include Smr_intf.S
+
+  val slots_per_thread : int
+  val scan_threshold : int
+
+  val protected_addrs : t -> int list
+  (** Addresses currently published in any hazard slot (tests). *)
+
+  val retired_backlog : t -> int
+  (** Total nodes sitting in retire lists (tests). *)
+end
+
+module Make (_ : CONFIG) : S_EXT
+
+include S_EXT

@@ -1,0 +1,176 @@
+open Era_sim
+module Mem = Era_sched.Mem
+module Sched = Era_sched.Sched
+
+module type CONFIG = sig
+  val allocs_per_epoch : int
+  val scan_threshold : int
+end
+
+module Default_config = struct
+  let allocs_per_epoch = 1
+  let scan_threshold = 8
+end
+
+module type S_EXT = sig
+  include Smr_intf.S
+
+  val allocs_per_epoch : int
+  val scan_threshold : int
+  val current_epoch : t -> int
+  val reservation : t -> int -> int * int
+  val retired_backlog : t -> int
+end
+
+module Make (C : CONFIG) : S_EXT = struct
+  include C
+
+  let name = "ibr"
+
+  let describe =
+    "interval-based reclamation (2GE); easy + weakly robust, not widely \
+     applicable"
+  let birth_field = 0
+
+  let integration : Integration.spec =
+    {
+      scheme_name = name;
+      provided_as_object = true;
+      insertion_points =
+        [
+          Integration.Op_boundaries;
+          Integration.Alloc_retire_replacement;
+          Integration.Primitive_replacement;
+        ];
+      primitives_linearizable = true;
+      uses_rollback = false;
+      modifies_ds_fields = false;
+      added_fields = 1;
+      requires_type_preservation = false;
+      special_support = [];
+    }
+
+  type t = {
+    nthreads : int;
+    mutable epoch : int;
+    mutable allocs : int;
+    resv_lo : int array;
+    resv_hi : int array;
+    retired : (Word.t * int * int) list array;  (* node, birth, retire epoch *)
+    retired_count : int array;
+  }
+
+  type tctx = { g : t; ctx : Sched.ctx }
+
+  let create _heap ~nthreads =
+    {
+      nthreads;
+      epoch = 0;
+      allocs = 0;
+      resv_lo = Array.make nthreads max_int;
+      resv_hi = Array.make nthreads min_int;
+      retired = Array.make nthreads [];
+      retired_count = Array.make nthreads 0;
+    }
+
+  let thread g ctx = { g; ctx }
+  let global t = t.g
+  let current_epoch g = g.epoch
+  let reservation g tid = (g.resv_lo.(tid), g.resv_hi.(tid))
+  let retired_backlog g = Array.fold_left ( + ) 0 g.retired_count
+
+  let begin_op t =
+    let g = t.g in
+    let tid = t.ctx.Sched.tid in
+    Mem.fence t.ctx ();
+    g.resv_lo.(tid) <- g.epoch;
+    g.resv_hi.(tid) <- g.epoch
+
+  let end_op t =
+    let g = t.g in
+    let tid = t.ctx.Sched.tid in
+    Mem.fence t.ctx ();
+    g.resv_lo.(tid) <- max_int;
+    g.resv_hi.(tid) <- min_int
+
+  let with_op t f =
+    begin_op t;
+    let r = f () in
+    end_op t;
+    r
+
+  (* The epoch advances every [allocs_per_epoch] allocations, and the birth
+     stamp is taken after the advance: a node allocated after a reader
+     refreshed its reservation is born in a strictly later epoch. *)
+  let alloc t ~key =
+    let g = t.g in
+    g.allocs <- g.allocs + 1;
+    if g.allocs mod allocs_per_epoch = 0 then begin
+      g.epoch <- g.epoch + 1;
+      Mem.fence t.ctx ~event:(Event.Epoch { value = g.epoch }) ()
+    end;
+    let w = Mem.alloc t.ctx ~key in
+    Mem.aux_set t.ctx ~via:w ~field:birth_field (Word.int g.epoch);
+    w
+
+  let birth_of t w =
+    match Mem.aux_get t.ctx ~via:w ~field:birth_field with
+    | Word.Int b, _ -> b
+    | (Word.Null | Word.Ptr _), _ -> 0
+
+  let intersects g ~birth ~retire_epoch =
+    let conflict = ref false in
+    for i = 0 to g.nthreads - 1 do
+      if g.resv_lo.(i) <= retire_epoch && birth <= g.resv_hi.(i) then
+        conflict := true
+    done;
+    !conflict
+
+  let scan t =
+    let g = t.g in
+    let tid = t.ctx.Sched.tid in
+    Mem.fence t.ctx ();
+    let keep, free =
+      List.partition
+        (fun (_, birth, retire_epoch) -> intersects g ~birth ~retire_epoch)
+        g.retired.(tid)
+    in
+    g.retired.(tid) <- keep;
+    g.retired_count.(tid) <- List.length keep;
+    List.iter (fun (w, _, _) -> Mem.reclaim t.ctx w) free
+
+  let retire t w =
+    let g = t.g in
+    let tid = t.ctx.Sched.tid in
+    let birth = birth_of t w in
+    Mem.retire t.ctx w;
+    g.retired.(tid) <- (w, birth, g.epoch) :: g.retired.(tid);
+    g.retired_count.(tid) <- g.retired_count.(tid) + 1;
+    if g.retired_count.(tid) >= scan_threshold then scan t
+
+  (* 2GE read: refresh the reservation's upper bound to the current epoch,
+     then load. Any node reachable at this point was born at or before the
+     refreshed [hi], so the reservation covers it — {e provided} the node
+     has not already been reclaimed, which is exactly what fails on
+     Harris-style marked-chain traversals. *)
+  let read t ~via ~field =
+    let g = t.g in
+    let tid = t.ctx.Sched.tid in
+    Mem.fence t.ctx ();
+    g.resv_hi.(tid) <- g.epoch;
+    Mem.read t.ctx ~via ~field
+
+  let read_key t ~via = Mem.read_key t.ctx ~via
+  let write t ~via ~field v = Mem.write t.ctx ~via ~field v
+
+  let cas t ~via ~field ~expected ~desired =
+    Mem.cas t.ctx ~via ~field ~expected ~desired
+
+  let enter_read_phase _ = ()
+  let read_phase t f = enter_read_phase t; f ()
+  let enter_write_phase _ ~reserve:_ = ()
+  let quiesce t = scan t
+
+end
+
+include Make (Default_config)

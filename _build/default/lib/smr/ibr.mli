@@ -1,0 +1,44 @@
+(** Interval-based reclamation (Wen et al. [45]), 2GE flavour.
+
+    A global epoch advances every few allocations; every node records its
+    birth epoch (in a scheme-owned field, Definition 5.3(5)). A thread
+    reserves the interval [lo, hi] of epochs it may be holding pointers
+    from: [lo] is set at operation start, [hi] is refreshed to the current
+    epoch at every read. A retired node with life interval
+    [birth, retire_epoch] is reclaimable when it intersects no thread's
+    reservation.
+
+    ERA profile: {b E} (op boundaries + primitive replacements) and
+    {b weakly R} (the retired backlog is bounded by a function linear in
+    [max_active * N], not a constant), but {b not} widely applicable —
+    in the Figure 1/2 executions, nodes born after a stalled reader's
+    reservation are reclaimed out from under its traversal.
+
+    {!Make} builds variants with different epoch granularity and scan
+    thresholds for the ablation benchmarks (coarser epochs change which
+    adversarial executions defeat the scheme, not whether one exists).
+    The toplevel include is [Make (Default_config)]. *)
+
+module type CONFIG = sig
+  val allocs_per_epoch : int
+  val scan_threshold : int
+end
+
+module Default_config : CONFIG
+
+module type S_EXT = sig
+  include Smr_intf.S
+
+  val allocs_per_epoch : int
+  val scan_threshold : int
+  val current_epoch : t -> int
+
+  val reservation : t -> int -> int * int
+  (** [(lo, hi)]; [(max_int, min_int)] when inactive. *)
+
+  val retired_backlog : t -> int
+end
+
+module Make (_ : CONFIG) : S_EXT
+
+include S_EXT

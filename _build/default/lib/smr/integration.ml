@@ -1,0 +1,57 @@
+type insertion_point =
+  | Op_boundaries
+  | Alloc_retire_replacement
+  | Primitive_replacement
+  | Phase_annotations
+  | Checkpoints
+  | Normalized_form
+
+type spec = {
+  scheme_name : string;
+  provided_as_object : bool;
+  insertion_points : insertion_point list;
+  primitives_linearizable : bool;
+  uses_rollback : bool;
+  modifies_ds_fields : bool;
+  added_fields : int;
+  requires_type_preservation : bool;
+  special_support : string list;
+}
+
+let allowed_point = function
+  | Op_boundaries | Alloc_retire_replacement | Primitive_replacement -> true
+  | Phase_annotations | Checkpoints | Normalized_form -> false
+
+let point_name = function
+  | Op_boundaries -> "op-boundaries"
+  | Alloc_retire_replacement -> "alloc/retire"
+  | Primitive_replacement -> "primitive-replacement"
+  | Phase_annotations -> "phase-annotations"
+  | Checkpoints -> "checkpoints"
+  | Normalized_form -> "normalized-form"
+
+let easily_integrated s =
+  let failures = ref [] in
+  let fail msg = failures := msg :: !failures in
+  if not s.provided_as_object then
+    fail "condition 1: not provided as a uniform API object";
+  List.iter
+    (fun p ->
+      if not (allowed_point p) then
+        fail
+          (Fmt.str "condition 2: requires insertion point '%s'"
+             (point_name p)))
+    s.insertion_points;
+  if not s.primitives_linearizable then
+    fail "condition 3: primitive replacements are not linearizable";
+  if s.uses_rollback then
+    fail "condition 4: rolls control back into the plain implementation";
+  if s.modifies_ds_fields then
+    fail "condition 5: modifies data-structure fields";
+  (!failures = [], List.rev !failures)
+
+let pp_spec fmt s =
+  let easy, fails = easily_integrated s in
+  Fmt.pf fmt "%s: %s" s.scheme_name
+    (if easy then "easily integrated"
+     else "NOT easily integrated (" ^ String.concat "; " fails ^ ")")

@@ -1,0 +1,50 @@
+(** Static integration metadata for a reclamation scheme, mirroring
+    Definition 5.3 (easy integration) condition by condition.
+
+    Every scheme in this library declares how it plugs into a plain
+    implementation; {!easily_integrated} audits the declaration against
+    the five conditions. This is the paper's "E" property as an executable
+    checklist — deliberately static, because ease of integration is a
+    property of the scheme's {e interface}, not of any particular run. *)
+
+type insertion_point =
+  | Op_boundaries
+      (** code inserted at operation invocation/termination
+          (Definition 5.3(2)(1)) *)
+  | Alloc_retire_replacement  (** replaces [alloc()]/[retire()] (2)(2) *)
+  | Primitive_replacement
+      (** replaces primitive memory accesses (2)(3) *)
+  | Phase_annotations
+      (** requires dividing the code into read/write phases (NBR, FA) —
+          not among the allowed locations *)
+  | Checkpoints
+      (** requires installing checkpoints to roll back to (VBR) — not
+          among the allowed locations *)
+  | Normalized_form
+      (** requires transforming the implementation into normalized form
+          (AOA) — not among the allowed locations *)
+
+type spec = {
+  scheme_name : string;
+  provided_as_object : bool;  (** Condition 1: uniform API object *)
+  insertion_points : insertion_point list;  (** Condition 2 *)
+  primitives_linearizable : bool;  (** Condition 3 *)
+  uses_rollback : bool;
+      (** Condition 4 (violated): control can leave a scheme operation
+          into a point of the plain implementation (restarts / longjmp) *)
+  modifies_ds_fields : bool;  (** Condition 5 (violated) *)
+  added_fields : int;
+      (** node fields the scheme adds for itself (allowed by Cond. 5) *)
+  requires_type_preservation : bool;
+  special_support : string list;
+      (** e.g. ["OS signals"], ["wide CAS"]; informational *)
+}
+
+val allowed_point : insertion_point -> bool
+
+val easily_integrated : spec -> bool * string list
+(** [true] iff all five conditions hold; otherwise the list names every
+    failing condition. *)
+
+val pp_spec : Format.formatter -> spec -> unit
+val point_name : insertion_point -> string

@@ -1,0 +1,234 @@
+open Era_sim
+module Sched = Era_sched.Sched
+module Mem = Era_sched.Mem
+
+let name = "nbr"
+let describe =
+  "neutralization-based reclamation; robust + widely applicable, hard \
+   integration (read/write phases, restarts)"
+
+let retire_cap = 8
+
+let integration : Integration.spec =
+  {
+    scheme_name = name;
+    provided_as_object = true;
+    insertion_points =
+      [
+        Integration.Op_boundaries;
+        Integration.Alloc_retire_replacement;
+        Integration.Primitive_replacement;
+        Integration.Phase_annotations;
+      ];
+    primitives_linearizable = true;
+    uses_rollback = true;
+    modifies_ds_fields = false;
+    added_fields = 0;
+    requires_type_preservation = false;
+    special_support = [ "lock-free OS signals (simulated by the scheduler)" ];
+  }
+
+type t = {
+  heap : Heap.t;
+  nthreads : int;
+  flag : bool array;  (* pending neutralization signal *)
+  in_write_phase : bool array;
+  reservations : int list array;  (* reserved addresses *)
+  retired : Word.t list array;
+  retired_count : int array;
+  mutable neutralize_count : int;
+  mutable restart_count : int;
+}
+
+type tctx = {
+  g : t;
+  ctx : Sched.ctx;
+  mutable fresh : Word.t list;
+}
+
+let create heap ~nthreads =
+  {
+    heap;
+    nthreads;
+    flag = Array.make nthreads false;
+    in_write_phase = Array.make nthreads false;
+    reservations = Array.make nthreads [];
+    retired = Array.make nthreads [];
+    retired_count = Array.make nthreads 0;
+    neutralize_count = 0;
+    restart_count = 0;
+  }
+
+let thread g ctx = { g; ctx; fresh = [] }
+let global t = t.g
+let neutralizations g = g.neutralize_count
+let restarts g = g.restart_count
+
+(* Signal semantics: the flag test and the subsequent memory access are in
+   the same scheduling quantum (no yield in between), so a pending
+   "signal" is always observed before the next instruction touches
+   memory — exactly POSIX delivery order. Only read phases are
+   interruptible; during a write phase the signal stays pending. *)
+let check_signal t =
+  let g = t.g in
+  let tid = t.ctx.Sched.tid in
+  if g.flag.(tid) && not g.in_write_phase.(tid) then begin
+    g.flag.(tid) <- false;
+    raise Smr_intf.Neutralized
+  end
+
+let begin_op t =
+  let g = t.g in
+  let tid = t.ctx.Sched.tid in
+  g.in_write_phase.(tid) <- false;
+  g.reservations.(tid) <- []
+
+let end_op t =
+  let g = t.g in
+  let tid = t.ctx.Sched.tid in
+  Sched.yield t.ctx;
+  g.in_write_phase.(tid) <- false;
+  g.reservations.(tid) <- [];
+  (* A signal that arrived during the write phase is processed now, when
+     it is harmless. *)
+  if g.flag.(tid) then g.flag.(tid) <- false
+
+let drop_fresh t =
+  List.iter
+    (fun w ->
+      match Heap.validity t.g.heap w with
+      | Heap.Valid -> (
+        match Heap.cell_state t.g.heap ~addr:(Word.addr_exn w) with
+        | Lifecycle.Local _ ->
+          Mem.retire t.ctx w;
+          Mem.reclaim t.ctx w
+        | Lifecycle.Unallocated | Shared | Retired -> ())
+      | Heap.Invalid_unallocated | Invalid_reused | Invalid_system -> ())
+    t.fresh;
+  t.fresh <- []
+
+let with_op t f =
+  let rec attempt () =
+    begin_op t;
+    t.fresh <- [];
+    match f () with
+    | r ->
+      end_op t;
+      r
+    | exception Smr_intf.Neutralized ->
+      t.g.restart_count <- t.g.restart_count + 1;
+      let tid = t.ctx.Sched.tid in
+      t.g.in_write_phase.(tid) <- false;
+      t.g.reservations.(tid) <- [];
+      drop_fresh t;
+      attempt ()
+  in
+  attempt ()
+
+let alloc t ~key =
+  Sched.yield t.ctx;
+  check_signal t;
+  let w = Heap.alloc t.ctx.Sched.heap ~tid:t.ctx.Sched.tid ~key in
+  t.fresh <- w :: t.fresh;
+  w
+
+let enter_read_phase t =
+  let g = t.g in
+  let tid = t.ctx.Sched.tid in
+  Sched.yield t.ctx;
+  g.in_write_phase.(tid) <- false;
+  g.reservations.(tid) <- []
+
+(* Neutralization rolls a thread back to the start of its current read
+   phase (the sigsetjmp point in the original NBR): the bracket re-runs
+   on [Neutralized] so an operation that already performed a write-phase
+   effect restarts only its in-progress traversal. *)
+let read_phase t f =
+  let rec go () =
+    enter_read_phase t;
+    match f () with
+    | r -> r
+    | exception Smr_intf.Neutralized ->
+      t.g.restart_count <- t.g.restart_count + 1;
+      go ()
+  in
+  go ()
+
+let enter_write_phase t ~reserve =
+  let g = t.g in
+  let tid = t.ctx.Sched.tid in
+  (* Publish the write-set reservations... *)
+  Sched.yield t.ctx;
+  g.reservations.(tid) <-
+    List.filter_map
+      (function
+        | Word.Ptr p -> Some p.addr
+        | Word.Null | Word.Int _ -> None)
+      reserve;
+  (* ... then re-check the signal: a reclamation that raced with the
+     publication has set the flag, so we restart rather than trust the
+     reservations. If the flag is clear here, no reclamation pass has
+     completed since the reservations became visible. *)
+  Sched.yield t.ctx;
+  if g.flag.(tid) then begin
+    g.flag.(tid) <- false;
+    g.reservations.(tid) <- [];
+    raise Smr_intf.Neutralized
+  end;
+  g.in_write_phase.(tid) <- true
+
+(* Reclamation pass: signal everyone, snapshot reservations, free every
+   retired node nobody reserved. *)
+let reclaim_pass t =
+  let g = t.g in
+  let tid = t.ctx.Sched.tid in
+  for i = 0 to g.nthreads - 1 do
+    if i <> tid then begin
+      g.flag.(i) <- true;
+      g.neutralize_count <- g.neutralize_count + 1;
+      Mem.fence t.ctx ~event:(Event.Neutralize { by = tid; target = i }) ()
+    end
+  done;
+  Mem.fence t.ctx ();
+  let reserved = Array.to_list g.reservations |> List.concat in
+  let keep, free =
+    List.partition
+      (fun w -> List.mem (Word.addr_exn w) reserved)
+      g.retired.(tid)
+  in
+  g.retired.(tid) <- keep;
+  g.retired_count.(tid) <- List.length keep;
+  List.iter (fun w -> Mem.reclaim t.ctx w) free
+
+let retire t w =
+  let g = t.g in
+  let tid = t.ctx.Sched.tid in
+  Mem.retire t.ctx w;
+  g.retired.(tid) <- w :: g.retired.(tid);
+  g.retired_count.(tid) <- g.retired_count.(tid) + 1;
+  if g.retired_count.(tid) >= retire_cap then reclaim_pass t
+
+(* Signal-interruptible accesses: yield, then flag-test + access in one
+   atomic quantum. *)
+let read t ~via ~field =
+  Sched.yield t.ctx;
+  check_signal t;
+  Heap.read_checked t.ctx.Sched.heap ~tid:t.ctx.Sched.tid ~via ~field
+
+let read_key t ~via =
+  Sched.yield t.ctx;
+  check_signal t;
+  Heap.read_key_checked t.ctx.Sched.heap ~tid:t.ctx.Sched.tid ~via
+
+let write t ~via ~field value =
+  Sched.yield t.ctx;
+  check_signal t;
+  Heap.write_checked t.ctx.Sched.heap ~tid:t.ctx.Sched.tid ~via ~field value
+
+let cas t ~via ~field ~expected ~desired =
+  Sched.yield t.ctx;
+  check_signal t;
+  Heap.cas_checked t.ctx.Sched.heap ~tid:t.ctx.Sched.tid ~via ~field ~expected
+    ~desired
+
+let quiesce t = if t.g.retired_count.(t.ctx.Sched.tid) > 0 then reclaim_pass t

@@ -1,0 +1,29 @@
+(** Neutralization-based reclamation (Singh, Brown & Mashtizadeh [39]).
+
+    The plain implementation must be divided into read phases and write
+    phases (the access-aware discipline of the paper's Appendix C). Read
+    phases run unprotected; before a write phase the thread publishes
+    reservations for the nodes it will touch. A reclaiming thread first
+    {e neutralizes} every other thread (in the original: a POSIX signal
+    whose handler longjmps read-phase threads back to their phase start),
+    then reclaims every retired node that no thread has reserved.
+
+    The simulation substitutes scheduler-mediated signals for POSIX ones
+    (see DESIGN.md): setting a thread's neutralization flag guarantees —
+    like a pending signal — that the target executes no further memory
+    access before observing it, because the flag test and the access
+    happen inside one atomic scheduling quantum.
+
+    ERA profile: {b R} (only reserved nodes survive a reclamation pass)
+    and {b A} (applicable to every access-aware implementation, Harris's
+    list included), but {b not} E: phase annotations and restarts are
+    exactly what Definition 5.3 rules out. *)
+
+include Smr_intf.S
+
+val retire_cap : int
+val neutralizations : t -> int
+(** Total neutralization signals sent (tests / benchmarks). *)
+
+val restarts : t -> int
+(** Operations restarted after observing a neutralization. *)

@@ -1,0 +1,42 @@
+module Mem = Era_sched.Mem
+
+let name = "none"
+let describe = "no reclamation: retired nodes leak (baseline)"
+
+let integration : Integration.spec =
+  {
+    scheme_name = name;
+    provided_as_object = true;
+    insertion_points = [ Integration.Alloc_retire_replacement ];
+    primitives_linearizable = true;
+    uses_rollback = false;
+    modifies_ds_fields = false;
+    added_fields = 0;
+    requires_type_preservation = false;
+    special_support = [];
+  }
+
+type t = unit
+type tctx = Era_sched.Sched.ctx
+
+let create _heap ~nthreads:_ = ()
+let thread () ctx = ctx
+let global _ = ()
+let begin_op _ = ()
+let end_op _ = ()
+
+let with_op _t f = f ()
+
+let alloc ctx ~key = Mem.alloc ctx ~key
+let retire ctx w = Mem.retire ctx w
+let read ctx ~via ~field = Mem.read ctx ~via ~field
+let read_key ctx ~via = Mem.read_key ctx ~via
+let write ctx ~via ~field v = Mem.write ctx ~via ~field v
+
+let cas ctx ~via ~field ~expected ~desired =
+  Mem.cas ctx ~via ~field ~expected ~desired
+
+let enter_read_phase _ = ()
+let read_phase t f = enter_read_phase t; f ()
+let enter_write_phase _ ~reserve:_ = ()
+let quiesce _ = ()

@@ -1,0 +1,8 @@
+(** The no-reclamation baseline: retired nodes are never reclaimed.
+
+    Trivially safe (no pointer ever becomes invalid), strongly applicable
+    and easily integrated — and maximally non-robust: the retired count
+    grows without bound even with no stalled thread. The degenerate corner
+    of the ERA triangle. *)
+
+include Smr_intf.S

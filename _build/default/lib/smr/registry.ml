@@ -1,0 +1,28 @@
+type scheme = (module Smr_intf.S)
+
+let all : scheme list =
+  [
+    (module None_scheme);
+    (module Ebr);
+    (module Hp);
+    (module Ibr);
+    (module He);
+    (module Rc);
+    (module Vbr);
+    (module Nbr);
+  ]
+
+let name_of (module S : Smr_intf.S) = S.name
+
+let find name = List.find_opt (fun s -> name_of s = name) all
+
+let find_exn name =
+  match find name with
+  | Some s -> s
+  | None -> invalid_arg (Fmt.str "Registry: unknown scheme %S" name)
+
+let names = List.map name_of all
+
+let integration_of (module S : Smr_intf.S) = S.integration
+
+let easily_integrated s = fst (Integration.easily_integrated (integration_of s))

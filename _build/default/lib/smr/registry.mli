@@ -1,0 +1,19 @@
+(** All reclamation schemes in the library, as first-class modules.
+
+    Experiments and tests iterate this list to build the paper's
+    per-scheme verdict tables. *)
+
+type scheme = (module Smr_intf.S)
+
+val all : scheme list
+(** none, ebr, hp, ibr, he, rc, vbr, nbr — in that order. *)
+
+val find : string -> scheme option
+val find_exn : string -> scheme
+val names : string list
+
+val easily_integrated : scheme -> bool
+(** Definition 5.3 audit of the scheme's integration spec. *)
+
+val name_of : scheme -> string
+val integration_of : scheme -> Integration.spec

@@ -1,0 +1,96 @@
+(** The uniform interface every simulated reclamation scheme implements.
+
+    The data structures in [Era_sets] are functorized over this signature,
+    so one Harris-list (etc.) source integrates with every scheme. The
+    interface is the union of what the paper's Definition 5.3 allows for
+    easily-integrated schemes (operation boundaries, [alloc]/[retire]
+    replacements, primitive replacements) and the extra hooks that
+    hard-integration schemes need ({!S.with_op} restart scopes for
+    VBR-style roll-backs and NBR-style neutralization,
+    {!S.enter_read_phase}/{!S.enter_write_phase} phase annotations).
+    Easy schemes implement the extra hooks as no-ops; which hooks a scheme
+    {e requires} is recorded in its {!Integration.spec}, and that record —
+    not the OCaml signature — is what the Definition 5.3 audit judges. *)
+
+open Era_sim
+
+module type S = sig
+  val name : string
+  val describe : string
+
+  val integration : Integration.spec
+
+  type t
+  (** Global scheme state (epoch counters, hazard arrays, ...). *)
+
+  type tctx
+  (** Per-thread state bound to a scheduler context. *)
+
+  val create : Heap.t -> nthreads:int -> t
+  val thread : t -> Era_sched.Sched.ctx -> tctx
+  val global : tctx -> t
+
+  (** {2 Operation boundaries (Definition 5.3(2)(1))} *)
+
+  val begin_op : tctx -> unit
+  val end_op : tctx -> unit
+
+  val with_op : tctx -> (unit -> 'a) -> 'a
+  (** [with_op t f] brackets [f] with {!begin_op}/{!end_op} and provides
+      the scheme's restart semantics: VBR re-runs [f] after a roll-back,
+      NBR re-runs it after a neutralization. For easy schemes it is
+      exactly [begin_op; f (); end_op]. [f] must therefore be written
+      restartable (standard for lock-free retry loops). *)
+
+  (** {2 Allocation and retirement (Definition 5.3(2)(2))} *)
+
+  val alloc : tctx -> key:int -> Word.t
+
+  val retire : tctx -> Word.t -> unit
+  (** May trigger reclamation of eligible previously-retired nodes. *)
+
+  (** {2 Primitive replacements (Definition 5.3(2)(3))} *)
+
+  val read : tctx -> via:Word.t -> field:int -> Word.t
+  (** Linearizable replacement for a pointer-field load; may protect /
+      validate / retry internally. The returned word is safe to use iff
+      the scheme is applicable to the calling data structure — when it is
+      not (e.g. HP on Harris's list), the monitor records the violation. *)
+
+  val read_key : tctx -> via:Word.t -> int
+  val write : tctx -> via:Word.t -> field:int -> Word.t -> unit
+
+  val cas :
+    tctx -> via:Word.t -> field:int ->
+    expected:Word.t -> desired:Word.t -> bool
+
+  (** {2 Phase annotations (NBR-style; no-ops for other schemes)} *)
+
+  val read_phase : tctx -> (unit -> 'a) -> 'a
+  (** [read_phase t body] brackets a restartable read phase (ending, if
+      the body enters one, with its write phase): NBR re-runs [body] after
+      a neutralization, VBR re-runs it after a version roll-back (the
+      bracket is VBR's "checkpoint"). Restart granularity matters for
+      correctness: an operation that already performed an effect (e.g.
+      Harris's delete after its marking CAS) must not be restarted from
+      the top, only its in-progress traversal may be — which is exactly
+      what bracketing each traversal gives. For easy schemes this is
+      [enter_read_phase t; body ()]. [body] must be safe to re-execute
+      from its start. *)
+
+  val enter_read_phase : tctx -> unit
+
+  val enter_write_phase : tctx -> reserve:Word.t list -> unit
+  (** Publish write-set reservations obtained during the read phase. *)
+
+  (** {2 Maintenance} *)
+
+  val quiesce : tctx -> unit
+  (** Best-effort: flush this thread's retire lists if currently eligible
+      (tests use it to assert leak-freedom at quiescence). *)
+end
+
+(** Exceptions used by hard-integration schemes to restart an operation;
+    they never escape {!S.with_op}. *)
+exception Rollback
+exception Neutralized

@@ -1,0 +1,154 @@
+open Era_sim
+module Mem = Era_sched.Mem
+module Sched = Era_sched.Sched
+
+let name = "vbr"
+let describe =
+  "version-based reclamation; robust (constant bound) + widely applicable, \
+   hard integration (checkpoints/roll-backs)"
+
+let retire_cap = 8
+
+let integration : Integration.spec =
+  {
+    scheme_name = name;
+    provided_as_object = true;
+    insertion_points =
+      [
+        Integration.Op_boundaries;
+        Integration.Alloc_retire_replacement;
+        Integration.Primitive_replacement;
+        Integration.Checkpoints;
+      ];
+    primitives_linearizable = true;
+    uses_rollback = true;
+    modifies_ds_fields = false;
+    added_fields = 1;
+    requires_type_preservation = true;
+    special_support = [ "wide CAS" ];
+  }
+
+type t = {
+  heap : Heap.t;
+  mutable epoch : int;
+  retired : Word.t list array;
+  retired_count : int array;
+  mutable rollback_count : int;
+}
+
+type tctx = {
+  g : t;
+  ctx : Sched.ctx;
+  mutable fresh : Word.t list;  (* allocated during the current attempt *)
+}
+
+let create heap ~nthreads =
+  {
+    heap;
+    epoch = 0;
+    retired = Array.make nthreads [];
+    retired_count = Array.make nthreads 0;
+    rollback_count = 0;
+  }
+
+let thread g ctx = { g; ctx; fresh = [] }
+let global t = t.g
+let current_epoch g = g.epoch
+let rollbacks g = g.rollback_count
+
+let begin_op t = t.fresh <- []
+let end_op t = t.fresh <- []
+
+(* Reclaim the local nodes allocated by an aborted attempt (they are
+   still private, so recycling them immediately is trivially safe). *)
+let drop_fresh t =
+  List.iter
+    (fun w ->
+      match Heap.validity t.g.heap w with
+      | Heap.Valid -> (
+        match Heap.cell_state t.g.heap ~addr:(Word.addr_exn w) with
+        | Lifecycle.Local _ ->
+          Mem.retire t.ctx w;
+          Mem.reclaim t.ctx w
+        | Lifecycle.Unallocated | Shared | Retired -> ())
+      | Heap.Invalid_unallocated | Invalid_reused | Invalid_system -> ())
+    t.fresh;
+  t.fresh <- []
+
+let with_op t f =
+  let rec attempt () =
+    begin_op t;
+    match f () with
+    | r ->
+      end_op t;
+      r
+    | exception Smr_intf.Rollback ->
+      t.g.rollback_count <- t.g.rollback_count + 1;
+      drop_fresh t;
+      attempt ()
+  in
+  attempt ()
+
+let alloc t ~key =
+  let w = Mem.alloc t.ctx ~key in
+  Mem.aux_set t.ctx ~via:w ~field:0 (Word.int t.g.epoch);
+  t.fresh <- w :: t.fresh;
+  w
+
+(* Retirement recycles aggressively: when the local list reaches the cap,
+   bump the global version epoch and recycle the whole list. Readers that
+   still hold pointers into it will fail validation and roll back. *)
+let retire t w =
+  let g = t.g in
+  let tid = t.ctx.Sched.tid in
+  Mem.retire t.ctx w;
+  g.retired.(tid) <- w :: g.retired.(tid);
+  g.retired_count.(tid) <- g.retired_count.(tid) + 1;
+  if g.retired_count.(tid) >= retire_cap then begin
+    g.epoch <- g.epoch + 1;
+    Mem.fence t.ctx ~event:(Event.Epoch { value = g.epoch }) ();
+    List.iter (fun n -> Mem.reclaim t.ctx n) g.retired.(tid);
+    g.retired.(tid) <- [];
+    g.retired_count.(tid) <- 0
+  end
+
+(* Optimistic read: peek, validate the version (= node identity), roll
+   back on mismatch. The peeked value is discarded on the failure path,
+   so Definition 4.2(3) is respected. *)
+let read t ~via ~field =
+  let w, v = Mem.peek t.ctx ~via ~field in
+  match v with
+  | Heap.Valid -> w
+  | Heap.Invalid_unallocated | Invalid_reused | Invalid_system ->
+    raise Smr_intf.Rollback
+
+let read_key t ~via =
+  let k, v = Mem.peek_key t.ctx ~via in
+  match v with
+  | Heap.Valid -> k
+  | Heap.Invalid_unallocated | Invalid_reused | Invalid_system ->
+    raise Smr_intf.Rollback
+
+let write t ~via ~field value = Mem.write t.ctx ~via ~field value
+
+let cas t ~via ~field ~expected ~desired =
+  Mem.cas_identity t.ctx ~via ~field ~expected ~desired
+
+let enter_read_phase _ = ()
+
+(* The bracket is VBR's checkpoint: a failed validation rolls back to the
+   start of the current traversal, not the operation — crucial when the
+   operation has already taken effect (e.g. Harris's delete after its
+   marking CAS re-runs only the line-51 search). *)
+let read_phase t f =
+  let rec go () =
+    match f () with
+    | r -> r
+    | exception Smr_intf.Rollback ->
+      t.g.rollback_count <- t.g.rollback_count + 1;
+      go ()
+  in
+  go ()
+
+let enter_write_phase _ ~reserve:_ = ()
+let quiesce _ = ()

@@ -1,0 +1,30 @@
+(** Version-based reclamation (Sheffi, Herlihy & Petrank [37]), the
+    fully-optimistic scheme.
+
+    Nodes are reclaimed (almost) immediately on retirement into a
+    type-preserving pool; safety comes from versioning, not from delaying
+    reclamation. Here the version check is the heap's logical node
+    identity: a read validates that the dereferenced cell still holds the
+    node the pointer was derived for (the simulation's equivalent of VBR's
+    birth-epoch comparison after a wide read), and updates use the
+    identity-comparing wide CAS ({!Era_sched.Mem.cas_identity}), which is
+    guaranteed to fail on a reclaimed node. A failed validation rolls the
+    operation back to its checkpoint (here: operation start, the
+    linearizability-based checkpoint placement of the VBR paper) — the
+    roll-back that disqualifies VBR from easy integration
+    (Definition 5.3(4)).
+
+    ERA profile: {b R} with a constant per-thread bound (the strongest in
+    the literature, Section 5.1) and {b A} (widely applicable: stale reads
+    are validated and discarded, never used), but {b not} E. *)
+
+include Smr_intf.S
+
+val retire_cap : int
+(** Per-thread retire-list capacity; the whole list is recycled when the
+    cap is reached, so the retired backlog never exceeds
+    [retire_cap * N]. *)
+
+val current_epoch : t -> int
+val rollbacks : t -> int
+(** Total roll-backs taken so far (tests / benchmarks). *)

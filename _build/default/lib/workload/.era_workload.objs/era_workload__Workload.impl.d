@@ -1,0 +1,1 @@
+lib/workload/workload.ml: Array Era_sets Era_sim Float Hashtbl List

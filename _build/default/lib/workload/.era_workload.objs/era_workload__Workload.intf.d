@@ -1,0 +1,1 @@
+lib/workload/workload.mli: Era_sets Era_sim

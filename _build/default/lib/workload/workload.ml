@@ -1,0 +1,71 @@
+module Rng = Era_sim.Rng
+
+type mix = {
+  insert_pct : int;
+  delete_pct : int;
+}
+
+let update_heavy = { insert_pct = 50; delete_pct = 50 }
+let read_mostly = { insert_pct = 10; delete_pct = 10 }
+let balanced = { insert_pct = 25; delete_pct = 25 }
+
+type key_dist =
+  | Uniform of int
+  | Zipf of int * float
+
+(* Zipf via inverse-CDF over a precomputed table would be overkill here;
+   rejection-free approximation by the harmonic partial sums, computed
+   lazily per (n, s) pair. *)
+let zipf_tables : (int * float, float array) Hashtbl.t = Hashtbl.create 8
+
+let zipf_cdf n s =
+  match Hashtbl.find_opt zipf_tables (n, s) with
+  | Some t -> t
+  | None ->
+    let t = Array.make n 0.0 in
+    let acc = ref 0.0 in
+    for i = 0 to n - 1 do
+      acc := !acc +. (1.0 /. Float.pow (float_of_int (i + 1)) s);
+      t.(i) <- !acc
+    done;
+    let total = !acc in
+    Array.iteri (fun i v -> t.(i) <- v /. total) t;
+    Hashtbl.replace zipf_tables (n, s) t;
+    t
+
+let draw_key rng = function
+  | Uniform n -> 1 + Rng.int rng n
+  | Zipf (n, s) ->
+    let cdf = zipf_cdf n s in
+    let u = Rng.float rng in
+    let rec bisect lo hi =
+      if lo >= hi then lo + 1
+      else
+        let mid = (lo + hi) / 2 in
+        if cdf.(mid) < u then bisect (mid + 1) hi else bisect lo mid
+    in
+    bisect 0 (n - 1)
+
+let run_set_ops (ops : Era_sets.Set_intf.ops) rng ~ops:n ~keys ~mix =
+  for _ = 1 to n do
+    let k = draw_key rng keys in
+    let roll = Rng.int rng 100 in
+    if roll < mix.insert_pct then ignore (ops.insert k)
+    else if roll < mix.insert_pct + mix.delete_pct then ignore (ops.delete k)
+    else ignore (ops.contains k)
+  done
+
+let run_stack_ops (ops : Era_sets.Treiber_stack.stack_ops) rng ~ops:n ~keys =
+  for _ = 1 to n do
+    if Rng.bool rng then ops.push (draw_key rng keys)
+    else ignore (ops.pop ())
+  done
+
+let run_queue_ops (ops : Era_sets.Ms_queue.queue_ops) rng ~ops:n ~keys =
+  for _ = 1 to n do
+    if Rng.bool rng then ops.enqueue (draw_key rng keys)
+    else ignore (ops.dequeue ())
+  done
+
+let churn_keys ~base ~rounds =
+  List.init rounds (fun i -> (base + i + 1, base + i))

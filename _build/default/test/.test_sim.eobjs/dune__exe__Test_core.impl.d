@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Era Era_sim Era_smr List

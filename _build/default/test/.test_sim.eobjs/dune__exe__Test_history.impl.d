@@ -1,0 +1,1 @@
+test/test_history.ml: Alcotest Array Era_history Era_sim Event List QCheck2 QCheck_alcotest

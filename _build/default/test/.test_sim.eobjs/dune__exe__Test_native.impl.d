@@ -1,0 +1,1 @@
+test/test_native.ml: Alcotest Array Domain Era_native Int Int64 List N_ebr N_harris N_hp N_michael N_msqueue N_treiber Set Throughput

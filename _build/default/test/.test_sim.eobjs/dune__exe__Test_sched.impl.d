@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Era_history Era_sched Era_sim Event Heap List Monitor Rng String Word

@@ -1,0 +1,1 @@
+test/test_sets.ml: Alcotest Era Era_history Era_sched Era_sets Era_sim Era_smr Era_workload Event Fmt Heap Int List Monitor QCheck2 QCheck_alcotest Rng Set

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Era_sim Event Fmt Fun Heap Lifecycle List Monitor QCheck2 QCheck_alcotest Result Rng Vec Word

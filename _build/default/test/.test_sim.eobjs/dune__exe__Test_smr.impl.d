@@ -1,0 +1,1 @@
+test/test_smr.ml: Alcotest Era Era_sched Era_sim Era_smr Heap List Monitor String Word

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Era_sets Era_sim Era_workload QCheck2 QCheck_alcotest Workload

@@ -1,0 +1,336 @@
+(* Tests for histories, sequential specifications, and the
+   linearizability checker — including cross-validation of the
+   Wing–Gong search against a brute-force oracle on random histories. *)
+
+open Era_sim
+module History = Era_history.History
+module Spec = Era_history.Spec
+module Linearize = Era_history.Linearize
+
+let op name args = { Event.name; args }
+
+(* Hand-build a history from (tid, op, result, inv, res) tuples. *)
+let hist entries : History.t =
+  List.mapi
+    (fun i (tid, o, result, inv_time, res_time) ->
+      {
+        History.opid = i;
+        tid;
+        op = o;
+        inv_time;
+        result;
+        res_time;
+      })
+    entries
+
+let bool_res b = Some (Event.R_bool b)
+
+(* ------------------------------------------------------------------ *)
+(* Specs                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_set_spec () =
+  let s0 = Spec.Int_set.init in
+  let s1, r1 = Spec.Int_set.apply s0 (op "insert" [ 3 ]) in
+  Alcotest.(check bool) "insert new" true (r1 = Event.R_bool true);
+  let _, r2 = Spec.Int_set.apply s1 (op "insert" [ 3 ]) in
+  Alcotest.(check bool) "insert dup" true (r2 = Event.R_bool false);
+  let _, r3 = Spec.Int_set.apply s1 (op "contains" [ 3 ]) in
+  Alcotest.(check bool) "contains" true (r3 = Event.R_bool true);
+  let s2, r4 = Spec.Int_set.apply s1 (op "delete" [ 3 ]) in
+  Alcotest.(check bool) "delete" true (r4 = Event.R_bool true);
+  let _, r5 = Spec.Int_set.apply s2 (op "delete" [ 3 ]) in
+  Alcotest.(check bool) "delete absent" true (r5 = Event.R_bool false)
+
+let test_set_spec_sorted () =
+  let s =
+    List.fold_left
+      (fun s k -> fst (Spec.Int_set.apply s (op "insert" [ k ])))
+      Spec.Int_set.init [ 5; 1; 3; 2 ]
+  in
+  Alcotest.(check (list int)) "sorted state" [ 1; 2; 3; 5 ] s
+
+let test_stack_spec () =
+  let s, _ = Spec.Int_stack.apply Spec.Int_stack.init (op "push" [ 1 ]) in
+  let s, _ = Spec.Int_stack.apply s (op "push" [ 2 ]) in
+  let s, r = Spec.Int_stack.apply s (op "pop" []) in
+  Alcotest.(check bool) "LIFO" true (r = Event.R_int (Some 2));
+  let s, r = Spec.Int_stack.apply s (op "pop" []) in
+  Alcotest.(check bool) "then 1" true (r = Event.R_int (Some 1));
+  let _, r = Spec.Int_stack.apply s (op "pop" []) in
+  Alcotest.(check bool) "empty" true (r = Event.R_int None)
+
+let test_queue_spec () =
+  let s, _ = Spec.Int_queue.apply Spec.Int_queue.init (op "enqueue" [ 1 ]) in
+  let s, _ = Spec.Int_queue.apply s (op "enqueue" [ 2 ]) in
+  let _, r = Spec.Int_queue.apply s (op "dequeue" []) in
+  Alcotest.(check bool) "FIFO" true (r = Event.R_int (Some 1))
+
+let test_spec_unknown_op () =
+  Alcotest.(check bool) "unknown raises" true
+    (match Spec.Int_set.apply [] (op "frobnicate" []) with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* History structure                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_extraction () =
+  let events =
+    [
+      Event.Invoke { tid = 0; opid = 1; op = op "insert" [ 5 ] };
+      Event.Note "interleaving";
+      Event.Invoke { tid = 1; opid = 2; op = op "contains" [ 5 ] };
+      Event.Response
+        { tid = 0; opid = 1; op = op "insert" [ 5 ]; result = Event.R_bool true };
+    ]
+  in
+  let h = History.of_trace events in
+  Alcotest.(check int) "two ops" 2 (List.length h);
+  Alcotest.(check int) "one pending" 1 (List.length (History.pending h));
+  Alcotest.(check bool) "not complete" false (History.is_complete h);
+  Alcotest.(check int) "width" 2 (History.concurrency_width h)
+
+let test_well_formed () =
+  let good =
+    hist
+      [
+        (0, op "insert" [ 1 ], bool_res true, 0, 1);
+        (0, op "insert" [ 2 ], bool_res true, 2, 3);
+        (1, op "insert" [ 3 ], bool_res true, 0, 5);
+      ]
+  in
+  Alcotest.(check bool) "sequential per thread ok" true
+    (History.is_well_formed good);
+  let bad =
+    hist
+      [
+        (0, op "insert" [ 1 ], bool_res true, 0, 3);
+        (0, op "insert" [ 2 ], bool_res true, 1, 2);
+      ]
+  in
+  Alcotest.(check bool) "overlap within thread rejected" false
+    (History.is_well_formed bad)
+
+(* ------------------------------------------------------------------ *)
+(* Linearizability: hand-crafted cases                                 *)
+(* ------------------------------------------------------------------ *)
+
+let set_spec = (module Spec.Int_set : Spec.S)
+
+let test_lin_sequential () =
+  let h =
+    hist
+      [
+        (0, op "insert" [ 1 ], bool_res true, 0, 1);
+        (0, op "contains" [ 1 ], bool_res true, 2, 3);
+        (0, op "delete" [ 1 ], bool_res true, 4, 5);
+        (0, op "contains" [ 1 ], bool_res false, 6, 7);
+      ]
+  in
+  Alcotest.(check bool) "sequential ok" true (Linearize.is_linearizable set_spec h)
+
+let test_lin_wrong_result () =
+  let h =
+    hist
+      [
+        (0, op "insert" [ 1 ], bool_res true, 0, 1);
+        (0, op "contains" [ 1 ], bool_res false, 2, 3);
+      ]
+  in
+  Alcotest.(check bool) "stale read rejected" false
+    (Linearize.is_linearizable set_spec h)
+
+let test_lin_concurrent_ok () =
+  (* contains(1)=false concurrent with insert(1)=true: may linearize
+     before the insert. *)
+  let h =
+    hist
+      [
+        (0, op "insert" [ 1 ], bool_res true, 0, 5);
+        (1, op "contains" [ 1 ], bool_res false, 1, 2);
+      ]
+  in
+  Alcotest.(check bool) "concurrent reordering" true
+    (Linearize.is_linearizable set_spec h)
+
+let test_lin_real_time_respected () =
+  (* contains(1)=false strictly after insert(1)=true returned: no. *)
+  let h =
+    hist
+      [
+        (0, op "insert" [ 1 ], bool_res true, 0, 1);
+        (1, op "contains" [ 1 ], bool_res false, 2, 3);
+      ]
+  in
+  Alcotest.(check bool) "real-time order enforced" false
+    (Linearize.is_linearizable set_spec h)
+
+let test_lin_pending_completed () =
+  (* A pending insert may take effect to explain a contains=true. *)
+  let h =
+    hist
+      [
+        (0, op "insert" [ 1 ], None, 0, max_int);
+        (1, op "contains" [ 1 ], bool_res true, 1, 2);
+      ]
+  in
+  Alcotest.(check bool) "pending op may linearize" true
+    (Linearize.is_linearizable set_spec h)
+
+let test_lin_pending_dropped () =
+  (* Or be dropped to explain a contains=false. *)
+  let h =
+    hist
+      [
+        (0, op "insert" [ 1 ], None, 0, max_int);
+        (1, op "contains" [ 1 ], bool_res false, 1, 2);
+      ]
+  in
+  Alcotest.(check bool) "pending op may be dropped" true
+    (Linearize.is_linearizable set_spec h)
+
+let test_lin_witness () =
+  let h =
+    hist
+      [
+        (0, op "insert" [ 1 ], bool_res true, 0, 5);
+        (1, op "delete" [ 1 ], bool_res true, 1, 4);
+      ]
+  in
+  let v = Linearize.check set_spec h in
+  Alcotest.(check bool) "ok" true v.Linearize.ok;
+  Alcotest.(check int) "witness covers all" 2 (List.length v.Linearize.witness);
+  (* The only valid order is insert before delete. *)
+  Alcotest.(check string) "insert first" "insert"
+    (List.hd v.Linearize.witness).Event.name
+
+let test_lin_queue_fifo_violation () =
+  let h =
+    hist
+      [
+        (0, op "enqueue" [ 1 ], Some Event.R_unit, 0, 1);
+        (0, op "enqueue" [ 2 ], Some Event.R_unit, 2, 3);
+        (1, op "dequeue" [], Some (Event.R_int (Some 2)), 4, 5);
+      ]
+  in
+  Alcotest.(check bool) "LIFO behaviour on a queue rejected" false
+    (Linearize.is_linearizable (module Spec.Int_queue) h)
+
+(* ------------------------------------------------------------------ *)
+(* Property: checker agrees with brute force                           *)
+(* ------------------------------------------------------------------ *)
+
+let gen_history : History.t QCheck2.Gen.t =
+  (* Small random histories over keys {1,2}, 2 threads, with plausible
+     but unvalidated results — exercising both accepting and rejecting
+     paths. *)
+  let open QCheck2.Gen in
+  let gen_op =
+    oneof
+      [
+        map (fun k -> op "insert" [ k ]) (int_range 1 2);
+        map (fun k -> op "delete" [ k ]) (int_range 1 2);
+        map (fun k -> op "contains" [ k ]) (int_range 1 2);
+      ]
+  in
+  let* n = int_range 1 5 in
+  let* raw =
+    list_size (return n)
+      (triple gen_op bool (pair (int_range 0 1) (int_range 1 4)))
+  in
+  (* Assign per-thread non-overlapping intervals. *)
+  let time = Array.make 2 0 in
+  let entries =
+    List.mapi
+      (fun i (o, res, (tid, dur)) ->
+        let inv = time.(tid) in
+        let resp = inv + dur in
+        time.(tid) <- resp + 1;
+        {
+          History.opid = i;
+          tid;
+          op = o;
+          inv_time = (inv * 2) + tid;  (* unique-ish times *)
+          result = bool_res res;
+          res_time = (resp * 2) + tid;
+        })
+      raw
+  in
+  return entries
+
+let checker_vs_bruteforce =
+  QCheck2.Test.make ~name:"linearize: Wing-Gong agrees with brute force"
+    ~count:400 gen_history (fun h ->
+      Linearize.is_linearizable set_spec h = Linearize.brute_force set_spec h)
+
+let sequential_always_linearizable =
+  QCheck2.Test.make
+    ~name:"linearize: spec-generated sequential histories accepted"
+    ~count:200
+    QCheck2.Gen.(list_size (int_range 1 12) (pair (int_range 0 2) (int_range 1 3)))
+    (fun ops ->
+      let state = ref Spec.Int_set.init in
+      let t = ref 0 in
+      let h =
+        List.mapi
+          (fun i (what, k) ->
+            let o =
+              match what with
+              | 0 -> op "insert" [ k ]
+              | 1 -> op "delete" [ k ]
+              | _ -> op "contains" [ k ]
+            in
+            let s', r = Spec.Int_set.apply !state o in
+            state := s';
+            let inv = !t in
+            t := !t + 2;
+            {
+              History.opid = i;
+              tid = 0;
+              op = o;
+              inv_time = inv;
+              result = Some r;
+              res_time = inv + 1;
+            })
+          ops
+      in
+      Linearize.is_linearizable set_spec h)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "era_history"
+    [
+      ( "specs",
+        [
+          Alcotest.test_case "set" `Quick test_set_spec;
+          Alcotest.test_case "set sorted" `Quick test_set_spec_sorted;
+          Alcotest.test_case "stack" `Quick test_stack_spec;
+          Alcotest.test_case "queue" `Quick test_queue_spec;
+          Alcotest.test_case "unknown op" `Quick test_spec_unknown_op;
+        ] );
+      ( "history",
+        [
+          Alcotest.test_case "extraction" `Quick test_extraction;
+          Alcotest.test_case "well-formed" `Quick test_well_formed;
+        ] );
+      ( "linearizability",
+        [
+          Alcotest.test_case "sequential" `Quick test_lin_sequential;
+          Alcotest.test_case "wrong result" `Quick test_lin_wrong_result;
+          Alcotest.test_case "concurrent reorder" `Quick
+            test_lin_concurrent_ok;
+          Alcotest.test_case "real-time order" `Quick
+            test_lin_real_time_respected;
+          Alcotest.test_case "pending completed" `Quick
+            test_lin_pending_completed;
+          Alcotest.test_case "pending dropped" `Quick test_lin_pending_dropped;
+          Alcotest.test_case "witness" `Quick test_lin_witness;
+          Alcotest.test_case "queue FIFO violation" `Quick
+            test_lin_queue_fifo_violation;
+        ] );
+      qsuite "linearizability-props"
+        [ checker_vs_bruteforce; sequential_always_linearizable ];
+    ]

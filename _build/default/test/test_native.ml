@@ -1,0 +1,253 @@
+(* Tests for the native (Domain/Atomic) layer: sequential semantics,
+   multi-domain stress with verification, and reclamation statistics. *)
+
+open Era_native
+
+module Int_set = Set.Make (Int)
+
+(* ------------------------------------------------------------------ *)
+(* Sequential model checks                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_native_harris_sequential () =
+  let module L = N_harris.Make (N_ebr) in
+  let g = N_ebr.create ~ndomains:1 in
+  let s = N_ebr.thread g 0 in
+  let l = L.create () in
+  let model = ref Int_set.empty in
+  let st = ref 424242L in
+  let next () =
+    st := Int64.add !st 0x9E3779B97F4A7C15L;
+    Int64.to_int (Int64.shift_right_logical !st 3)
+  in
+  for _ = 1 to 2000 do
+    let k = 1 + (next () mod 20) in
+    match next () mod 3 with
+    | 0 ->
+      let e = not (Int_set.mem k !model) in
+      model := Int_set.add k !model;
+      Alcotest.(check bool) "insert" e (L.insert l s k)
+    | 1 ->
+      let e = Int_set.mem k !model in
+      model := Int_set.remove k !model;
+      Alcotest.(check bool) "delete" e (L.delete l s k)
+    | _ -> Alcotest.(check bool) "contains" (Int_set.mem k !model)
+             (L.contains l s k)
+  done;
+  Alcotest.(check (list int)) "final" (Int_set.elements !model) (L.to_list l s)
+
+let test_native_michael_sequential () =
+  let module L = N_michael.Make (N_hp) in
+  let g = N_hp.create ~ndomains:1 in
+  let s = N_hp.thread g 0 in
+  let l = L.create () in
+  let model = ref Int_set.empty in
+  let st = ref 99L in
+  let next () =
+    st := Int64.add !st 0x9E3779B97F4A7C15L;
+    Int64.to_int (Int64.shift_right_logical !st 3)
+  in
+  for _ = 1 to 2000 do
+    let k = 1 + (next () mod 20) in
+    match next () mod 3 with
+    | 0 ->
+      let e = not (Int_set.mem k !model) in
+      model := Int_set.add k !model;
+      Alcotest.(check bool) "insert" e (L.insert l s k)
+    | 1 ->
+      let e = Int_set.mem k !model in
+      model := Int_set.remove k !model;
+      Alcotest.(check bool) "delete" e (L.delete l s k)
+    | _ -> Alcotest.(check bool) "contains" (Int_set.mem k !model)
+             (L.contains l s k)
+  done;
+  Alcotest.(check (list int)) "final" (Int_set.elements !model) (L.to_list l s)
+
+let test_native_treiber_sequential () =
+  let module T = N_treiber.Make (N_ebr) in
+  let g = N_ebr.create ~ndomains:1 in
+  let s = N_ebr.thread g 0 in
+  let t = T.create () in
+  Alcotest.(check (option int)) "empty" None (T.pop t s);
+  T.push t s 1;
+  T.push t s 2;
+  Alcotest.(check (option int)) "lifo" (Some 2) (T.pop t s);
+  Alcotest.(check (option int)) "lifo2" (Some 1) (T.pop t s)
+
+let test_native_msqueue_sequential () =
+  let module Q = N_msqueue.Make (N_hp) in
+  let g = N_hp.create ~ndomains:1 in
+  let s = N_hp.thread g 0 in
+  let q = Q.create () in
+  Alcotest.(check (option int)) "empty" None (Q.dequeue q s);
+  Q.enqueue q s 1;
+  Q.enqueue q s 2;
+  Q.enqueue q s 3;
+  Alcotest.(check (option int)) "fifo" (Some 1) (Q.dequeue q s);
+  Alcotest.(check (option int)) "fifo2" (Some 2) (Q.dequeue q s);
+  Alcotest.(check (option int)) "fifo3" (Some 3) (Q.dequeue q s);
+  Alcotest.(check (option int)) "empty again" None (Q.dequeue q s)
+
+(* ------------------------------------------------------------------ *)
+(* Multi-domain stress with verifiable outcomes                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_native_parallel_disjoint_inserts () =
+  (* Two domains insert disjoint key ranges into one Michael+HP list;
+     every key must be present at the end. *)
+  let module L = N_michael.Make (N_hp) in
+  let g = N_hp.create ~ndomains:2 in
+  let l = L.create () in
+  let worker lo hi d () =
+    let s = N_hp.thread g d in
+    for k = lo to hi do
+      ignore (L.insert l s k)
+    done
+  in
+  let d1 = Domain.spawn (worker 101 200 1) in
+  worker 1 100 0 ();
+  Domain.join d1;
+  let s = N_hp.thread g 0 in
+  Alcotest.(check (list int)) "all 200 keys present"
+    (List.init 200 (fun i -> i + 1))
+    (L.to_list l s)
+
+let test_native_parallel_churn_counts () =
+  (* Two domains each push/pop on a Treiber stack; pushes - successful
+     pops = final size, and every popped value was pushed. *)
+  let module T = N_treiber.Make (N_ebr) in
+  let g = N_ebr.create ~ndomains:2 in
+  let t = T.create () in
+  let pops = Array.make 2 0 in
+  let worker d () =
+    let s = N_ebr.thread g d in
+    for k = 1 to 5000 do
+      T.push t s ((d * 100000) + k);
+      if k mod 2 = 0 then
+        match T.pop t s with Some _ -> pops.(d) <- pops.(d) + 1 | None -> ()
+    done
+  in
+  let d1 = Domain.spawn (worker 1) in
+  worker 0 ();
+  Domain.join d1;
+  let s = N_ebr.thread g 0 in
+  let remaining = ref 0 in
+  let rec drain () =
+    match T.pop t s with
+    | Some _ ->
+      incr remaining;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check int) "push/pop conservation" 10000
+    (pops.(0) + pops.(1) + !remaining)
+
+let test_native_queue_fifo_per_producer () =
+  (* Single consumer, one producer domain: the consumer must see the
+     producer's values in order. *)
+  let module Q = N_msqueue.Make (N_ebr) in
+  let g = N_ebr.create ~ndomains:2 in
+  let q = Q.create () in
+  let producer () =
+    let s = N_ebr.thread g 1 in
+    for k = 1 to 5000 do
+      Q.enqueue q s k
+    done
+  in
+  let p = Domain.spawn producer in
+  let s = N_ebr.thread g 0 in
+  let last = ref 0 in
+  let seen = ref 0 in
+  let ok = ref true in
+  while !seen < 5000 do
+    match Q.dequeue q s with
+    | Some v ->
+      if v <= !last then ok := false;
+      last := v;
+      incr seen
+    | None -> Domain.cpu_relax ()
+  done;
+  Domain.join p;
+  Alcotest.(check bool) "FIFO per producer" true !ok
+
+(* ------------------------------------------------------------------ *)
+(* Reclamation statistics                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_native_ebr_reclaims () =
+  let module L = N_michael.Make (N_ebr) in
+  let g = N_ebr.create ~ndomains:1 in
+  let s = N_ebr.thread g 0 in
+  let l = L.create () in
+  for k = 1 to 1000 do
+    ignore (L.insert l s (k mod 10));
+    ignore (L.delete l s (k mod 10))
+  done;
+  Alcotest.(check bool) "ebr recycles" true (N_ebr.reclaimed g > 100);
+  Alcotest.(check bool) "backlog small" true (N_ebr.backlog g < 50)
+
+let test_native_hp_bounded_backlog () =
+  let module L = N_michael.Make (N_hp) in
+  let g = N_hp.create ~ndomains:1 in
+  let s = N_hp.thread g 0 in
+  let l = L.create () in
+  for k = 1 to 2000 do
+    ignore (L.insert l s (k mod 10));
+    ignore (L.delete l s (k mod 10))
+  done;
+  Alcotest.(check bool) "hp backlog bounded" true
+    (N_hp.max_backlog g <= N_hp.scan_threshold)
+
+let test_e9_shape () =
+  (* The robustness trade-off: a stalled domain blows up EBR's backlog
+     but not HP's. *)
+  let ebr = Throughput.e9_row ~scheme:`Ebr ~churn_ops:20_000 in
+  let hp = Throughput.e9_row ~scheme:`Hp ~churn_ops:20_000 in
+  Alcotest.(check bool) "ebr backlog explodes" true
+    (ebr.Throughput.max_backlog > 1000);
+  Alcotest.(check bool) "hp backlog bounded" true
+    (hp.Throughput.max_backlog <= 2 * 64);
+  Alcotest.(check bool) "ebr reclaimed nothing under stall" true
+    (ebr.Throughput.reclaimed < ebr.Throughput.max_backlog / 2)
+
+let test_e8_hp_harris_refused () =
+  Alcotest.(check bool) "hp+harris pairing refused" true
+    (match
+       Throughput.e8_row Throughput.Harris ~scheme:`Hp Throughput.Churn
+         ~domains:1 ~ops_per_domain:10
+     with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "era_native"
+    [
+      ( "sequential",
+        [
+          Alcotest.test_case "harris+ebr model" `Quick
+            test_native_harris_sequential;
+          Alcotest.test_case "michael+hp model" `Quick
+            test_native_michael_sequential;
+          Alcotest.test_case "treiber" `Quick test_native_treiber_sequential;
+          Alcotest.test_case "msqueue" `Quick test_native_msqueue_sequential;
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "disjoint inserts" `Slow
+            test_native_parallel_disjoint_inserts;
+          Alcotest.test_case "stack conservation" `Slow
+            test_native_parallel_churn_counts;
+          Alcotest.test_case "queue FIFO" `Slow
+            test_native_queue_fifo_per_producer;
+        ] );
+      ( "reclamation",
+        [
+          Alcotest.test_case "ebr recycles" `Quick test_native_ebr_reclaims;
+          Alcotest.test_case "hp bounded backlog" `Quick
+            test_native_hp_bounded_backlog;
+          Alcotest.test_case "E9 shape" `Slow test_e9_shape;
+          Alcotest.test_case "hp+harris refused" `Quick
+            test_e8_hp_harris_refused;
+        ] );
+    ]

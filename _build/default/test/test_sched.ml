@@ -1,0 +1,211 @@
+(* Tests for the effects-based scheduler: fiber quanta, scripts, stalls,
+   solo-run budgets, operation recording. *)
+
+open Era_sim
+module Sched = Era_sched.Sched
+module Mem = Era_sched.Mem
+
+let setup ?(nthreads = 2) strategy =
+  let mon = Monitor.create ~mode:`Record ~trace:true () in
+  let heap = Heap.create mon in
+  (Sched.create ~nthreads strategy heap, mon)
+
+let test_round_robin_completes () =
+  let sched, _ = setup Sched.Round_robin in
+  let log = ref [] in
+  Sched.spawn sched ~tid:0 (fun ctx ->
+      for _ = 1 to 3 do
+        Sched.yield ctx;
+        log := 0 :: !log
+      done);
+  Sched.spawn sched ~tid:1 (fun ctx ->
+      for _ = 1 to 3 do
+        Sched.yield ctx;
+        log := 1 :: !log
+      done);
+  Alcotest.(check bool) "all finished" true (Sched.run sched = Sched.All_finished);
+  Alcotest.(check (list int)) "perfect alternation" [ 1; 0; 1; 0; 1; 0 ] !log;
+  Alcotest.(check int) "steps counted" 4 (Sched.steps_of sched 0)
+
+let test_yield_is_one_quantum () =
+  (* Each quantum runs exactly the code between two yields. *)
+  let sched, _ = setup ~nthreads:1 Sched.Round_robin in
+  let trace = ref [] in
+  Sched.spawn sched ~tid:0 (fun ctx ->
+      trace := "a" :: !trace;
+      Sched.yield ctx;
+      trace := "b" :: !trace;
+      Sched.yield ctx;
+      trace := "c" :: !trace);
+  ignore (Sched.run sched);
+  Alcotest.(check (list string)) "order" [ "a"; "b"; "c" ] (List.rev !trace)
+
+let test_script_run_until () =
+  let sched, mon = setup (Sched.Script [
+      Sched.Run_until_label (0, "checkpoint");
+      Sched.Finish 1;
+      Sched.Finish 0;
+    ])
+  in
+  let order = ref [] in
+  Sched.spawn sched ~tid:0 (fun ctx ->
+      order := "t0-pre" :: !order;
+      Sched.label ctx "checkpoint";
+      Sched.yield ctx;
+      order := "t0-post" :: !order);
+  Sched.spawn sched ~tid:1 (fun ctx ->
+      Sched.yield ctx;
+      order := "t1" :: !order);
+  Alcotest.(check bool) "finished" true (Sched.run sched = Sched.All_finished);
+  Alcotest.(check (list string))
+    "t1 ran while t0 was parked at the label"
+    [ "t0-pre"; "t1"; "t0-post" ]
+    (List.rev !order);
+  Alcotest.(check bool) "label recorded" true
+    (List.exists
+       (function Event.Label { name = "checkpoint"; _ } -> true | _ -> false)
+       (Monitor.trace mon))
+
+let test_script_run_steps () =
+  let sched, _ =
+    setup (Sched.Script [ Sched.Run (0, 2); Sched.Run (1, 1); Sched.Finish_all ])
+  in
+  let log = ref [] in
+  let body tid ctx =
+    for _ = 1 to 3 do
+      Sched.yield ctx;
+      log := tid :: !log
+    done
+  in
+  Sched.spawn sched ~tid:0 (body 0);
+  Sched.spawn sched ~tid:1 (body 1);
+  ignore (Sched.run sched);
+  Alcotest.(check (list int)) "quantum accounting" [ 0; 0; 1; 0; 1; 1 ]
+    (List.rev !log)
+
+let test_stall_skips_thread () =
+  let sched, _ = setup Sched.Round_robin in
+  let ran1 = ref false in
+  Sched.spawn sched ~tid:0 (fun ctx -> Sched.yield ctx);
+  Sched.spawn sched ~tid:1 (fun ctx ->
+      Sched.yield ctx;
+      ran1 := true);
+  Sched.stall sched 1;
+  Alcotest.(check bool) "stalled remains" true (Sched.run sched = Sched.No_runnable);
+  Alcotest.(check bool) "t1 never ran" false !ran1;
+  Sched.unstall sched 1;
+  Alcotest.(check bool) "resumes" true (Sched.run sched = Sched.All_finished);
+  Alcotest.(check bool) "t1 ran" true !ran1
+
+let test_finish_bounded_flags_progress () =
+  let sched, mon =
+    setup ~nthreads:1 (Sched.Script [ Sched.Finish_bounded (0, 10) ])
+  in
+  Sched.spawn sched ~tid:0 (fun ctx ->
+      while true do
+        Sched.yield ctx
+      done);
+  ignore (Sched.run sched);
+  Alcotest.(check bool) "progress violation" true
+    (List.exists
+       (function
+         | Event.Violation { kind = Event.Progress_failure; _ } -> true
+         | _ -> false)
+       (Monitor.violations mon))
+
+let test_random_deterministic () =
+  let run seed =
+    let sched, mon = setup (Sched.Random (Rng.create seed)) in
+    let body _tid ctx =
+      for k = 1 to 5 do
+        Mem.fence ctx ~event:(Event.Note (string_of_int k)) ()
+      done
+    in
+    Sched.spawn sched ~tid:0 (body 0);
+    Sched.spawn sched ~tid:1 (body 1);
+    ignore (Sched.run sched);
+    List.map Event.to_string (Monitor.trace mon)
+  in
+  Alcotest.(check (list string)) "same seed, same schedule" (run 5) (run 5);
+  Alcotest.(check bool) "different seeds diverge" true
+    (run 5 <> run 6 || run 5 <> run 7)
+
+let test_crash_captured () =
+  let sched, _ = setup ~nthreads:1 Sched.Round_robin in
+  Sched.spawn sched ~tid:0 (fun ctx ->
+      Sched.yield ctx;
+      failwith "boom");
+  ignore (Sched.run sched);
+  Alcotest.(check bool) "crash recorded" true
+    (match Sched.thread_outcome sched 0 with
+    | Sched.Crashed (Failure msg) -> String.equal msg "boom"
+    | _ -> false)
+
+let test_run_op_records () =
+  let sched, mon = setup ~nthreads:1 Sched.Round_robin in
+  Sched.spawn sched ~tid:0 (fun ctx ->
+      ignore
+        (Sched.run_op ctx
+           { Event.name = "insert"; args = [ 7 ] }
+           (fun () ->
+             Sched.yield ctx;
+             Event.R_bool true)));
+  ignore (Sched.run sched);
+  let h = Era_history.History.of_monitor mon in
+  Alcotest.(check int) "one op" 1 (List.length h);
+  let r = List.hd h in
+  Alcotest.(check string) "name" "insert" r.Era_history.History.op.Event.name;
+  Alcotest.(check bool) "completed" true
+    (r.Era_history.History.result = Some (Event.R_bool true))
+
+let test_external_ctx () =
+  (* Data-structure code runs outside the scheduler during setup. *)
+  let sched, mon = setup ~nthreads:1 Sched.Round_robin in
+  let ext = Sched.external_ctx sched ~tid:0 in
+  let w = Mem.alloc ext ~key:3 in
+  Mem.write ext ~via:w ~field:0 Word.Null;
+  Alcotest.(check int) "events recorded" 2 (Monitor.time mon)
+
+let test_mem_ops_are_steps () =
+  (* Every Mem access is exactly one scheduling quantum. *)
+  let sched, _ = setup Sched.Round_robin in
+  let log = ref [] in
+  Sched.spawn sched ~tid:0 (fun ctx ->
+      let w = Mem.alloc ctx ~key:0 in
+      log := "alloc0" :: !log;
+      Mem.write ctx ~via:w ~field:0 Word.Null;
+      log := "write0" :: !log);
+  Sched.spawn sched ~tid:1 (fun ctx ->
+      let _ = Mem.alloc ctx ~key:1 in
+      log := "alloc1" :: !log;
+      Sched.yield ctx;
+      log := "done1" :: !log);
+  ignore (Sched.run sched);
+  Alcotest.(check (list string))
+    "interleaved at access granularity"
+    [ "alloc0"; "alloc1"; "write0"; "done1" ]
+    (List.rev !log)
+
+let () =
+  Alcotest.run "era_sched"
+    [
+      ( "scheduler",
+        [
+          Alcotest.test_case "round robin" `Quick test_round_robin_completes;
+          Alcotest.test_case "quantum boundaries" `Quick
+            test_yield_is_one_quantum;
+          Alcotest.test_case "script run_until label" `Quick
+            test_script_run_until;
+          Alcotest.test_case "script step counts" `Quick test_script_run_steps;
+          Alcotest.test_case "stall/unstall" `Quick test_stall_skips_thread;
+          Alcotest.test_case "bounded solo run" `Quick
+            test_finish_bounded_flags_progress;
+          Alcotest.test_case "random determinism" `Quick
+            test_random_deterministic;
+          Alcotest.test_case "crash capture" `Quick test_crash_captured;
+          Alcotest.test_case "run_op records history" `Quick
+            test_run_op_records;
+          Alcotest.test_case "external ctx" `Quick test_external_ctx;
+          Alcotest.test_case "mem ops are steps" `Quick test_mem_ops_are_steps;
+        ] );
+    ]

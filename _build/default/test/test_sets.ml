@@ -1,0 +1,463 @@
+(* Data-structure tests: sequential semantics against model oracles,
+   concurrent safety + linearizability under every applicable scheme,
+   and leak-freedom at quiescence for the robust schemes. *)
+
+open Era_sim
+module Sched = Era_sched.Sched
+module Workload = Era_workload.Workload
+
+let fresh ?(nthreads = 3) ?(strategy = Sched.Round_robin) () =
+  let mon = Monitor.create ~mode:`Raise ~trace:true () in
+  let heap = Heap.create mon in
+  let sched = Sched.create ~nthreads strategy heap in
+  (heap, mon, sched)
+
+(* ------------------------------------------------------------------ *)
+(* Sequential model check, generic over structure builders             *)
+(* ------------------------------------------------------------------ *)
+
+module Int_set = Set.Make (Int)
+
+let sequential_set_model build seed =
+  (* Run 300 random ops single-threaded; compare against Set. *)
+  let heap, mon, sched = fresh ~nthreads:1 () in
+  let ext = Sched.external_ctx sched ~tid:0 in
+  let ops : Era_sets.Set_intf.ops = build heap ext in
+  let rng = Rng.create seed in
+  let model = ref Int_set.empty in
+  for _ = 1 to 300 do
+    let k = 1 + Rng.int rng 10 in
+    match Rng.int rng 3 with
+    | 0 ->
+      let expect = not (Int_set.mem k !model) in
+      model := Int_set.add k !model;
+      Alcotest.(check bool) (Fmt.str "insert %d" k) expect (ops.insert k)
+    | 1 ->
+      let expect = Int_set.mem k !model in
+      model := Int_set.remove k !model;
+      Alcotest.(check bool) (Fmt.str "delete %d" k) expect (ops.delete k)
+    | _ ->
+      Alcotest.(check bool)
+        (Fmt.str "contains %d" k)
+        (Int_set.mem k !model) (ops.contains k)
+  done;
+  Alcotest.(check int) "no violations" 0 (Monitor.violation_count mon)
+
+let harris_build (module S : Era_smr.Smr_intf.S) heap ext =
+  let module L = Era_sets.Harris_list.Make (S) in
+  let g = S.create heap ~nthreads:1 in
+  let dl = L.create ext g in
+  L.ops (L.handle dl ext) ~record:false
+
+let michael_build (module S : Era_smr.Smr_intf.S) heap ext =
+  let module L = Era_sets.Michael_list.Make (S) in
+  let g = S.create heap ~nthreads:1 in
+  let dl = L.create ext g in
+  L.ops (L.handle dl ext) ~record:false
+
+let hash_build (module S : Era_smr.Smr_intf.S) heap ext =
+  let module H = Era_sets.Hash_set.Make (S) in
+  let g = S.create heap ~nthreads:1 in
+  let hs = H.create ~nbuckets:3 ext g in
+  H.ops (H.handle hs ext) ~record:false
+
+(* VBR's simulated read validation is stricter than real VBR for
+   single-thread runs too (it validates against the global version), so
+   it is exercised like the rest. *)
+let all_schemes = Era_smr.Registry.all
+
+let seq_cases name build =
+  List.map
+    (fun (module S : Era_smr.Smr_intf.S) ->
+      Alcotest.test_case
+        (Fmt.str "%s+%s sequential model" name S.name)
+        `Quick
+        (fun () ->
+          sequential_set_model (build (module S : Era_smr.Smr_intf.S)) 42))
+    all_schemes
+
+(* ------------------------------------------------------------------ *)
+(* Stack and queue sequential semantics                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_stack_sequential (module S : Era_smr.Smr_intf.S) () =
+  let heap, mon, sched = fresh ~nthreads:1 () in
+  let g = S.create heap ~nthreads:1 in
+  let ext = Sched.external_ctx sched ~tid:0 in
+  let module T = Era_sets.Treiber_stack.Make (S) in
+  let st = T.create ext g in
+  let h = T.handle st ext in
+  Alcotest.(check (option int)) "pop empty" None (T.pop h);
+  T.push h 1;
+  T.push h 2;
+  T.push h 3;
+  Alcotest.(check (list int)) "to_list" [ 3; 2; 1 ] (T.to_list h);
+  Alcotest.(check (option int)) "pop 3" (Some 3) (T.pop h);
+  Alcotest.(check (option int)) "pop 2" (Some 2) (T.pop h);
+  T.push h 4;
+  Alcotest.(check (option int)) "pop 4" (Some 4) (T.pop h);
+  Alcotest.(check (option int)) "pop 1" (Some 1) (T.pop h);
+  Alcotest.(check (option int)) "empty again" None (T.pop h);
+  Alcotest.(check int) "no violations" 0 (Monitor.violation_count mon)
+
+let test_queue_sequential (module S : Era_smr.Smr_intf.S) () =
+  let heap, mon, sched = fresh ~nthreads:1 () in
+  let g = S.create heap ~nthreads:1 in
+  let ext = Sched.external_ctx sched ~tid:0 in
+  let module Q = Era_sets.Ms_queue.Make (S) in
+  let q = Q.create ext g in
+  let h = Q.handle q ext in
+  Alcotest.(check (option int)) "dequeue empty" None (Q.dequeue h);
+  Q.enqueue h 1;
+  Q.enqueue h 2;
+  Q.enqueue h 3;
+  Alcotest.(check (list int)) "to_list" [ 1; 2; 3 ] (Q.to_list h);
+  Alcotest.(check (option int)) "fifo 1" (Some 1) (Q.dequeue h);
+  Q.enqueue h 4;
+  Alcotest.(check (option int)) "fifo 2" (Some 2) (Q.dequeue h);
+  Alcotest.(check (option int)) "fifo 3" (Some 3) (Q.dequeue h);
+  Alcotest.(check (option int)) "fifo 4" (Some 4) (Q.dequeue h);
+  Alcotest.(check (option int)) "empty" None (Q.dequeue h);
+  Alcotest.(check int) "no violations" 0 (Monitor.violation_count mon)
+
+(* ------------------------------------------------------------------ *)
+(* Concurrent: safety + linearizability per applicable pair            *)
+(* ------------------------------------------------------------------ *)
+
+let concurrent_run (module S : Era_smr.Smr_intf.S) structure seed =
+  let v =
+    Era.Applicability.run ~fuzz_runs:4 ~threads:3 ~ops_per_thread:25 ~seed
+      (module S : Era_smr.Smr_intf.S)
+      structure
+  in
+  Alcotest.(check int)
+    (Fmt.str "%s violations" S.name)
+    0 v.Era.Applicability.violations;
+  Alcotest.(check int)
+    (Fmt.str "%s non-linearizable" S.name)
+    0 v.Era.Applicability.non_linearizable;
+  Alcotest.(check int)
+    (Fmt.str "%s crashes" S.name)
+    0 v.Era.Applicability.crashed
+
+(* Schemes safe on Harris-family structures. *)
+let harris_safe = [ "none"; "ebr"; "rc"; "vbr"; "nbr" ]
+
+(* All schemes are safe on Michael's list, the stack and the queue. *)
+let concurrent_cases =
+  let mk structure names =
+    List.filter_map
+      (fun (module S : Era_smr.Smr_intf.S) ->
+        if List.mem S.name names then
+          Some
+            (Alcotest.test_case
+               (Fmt.str "%s+%s concurrent"
+                  (Era.Applicability.structure_name structure)
+                  S.name)
+               `Slow
+               (fun () -> concurrent_run (module S) structure 3))
+        else None)
+      all_schemes
+  in
+  mk Era.Applicability.Harris harris_safe
+  @ mk Era.Applicability.Hash harris_safe
+  @ mk Era.Applicability.Hash_michael
+      (List.map Era_smr.Registry.name_of all_schemes)
+  @ mk Era.Applicability.Michael (List.map Era_smr.Registry.name_of all_schemes)
+  @ mk Era.Applicability.Stack (List.map Era_smr.Registry.name_of all_schemes)
+  @ mk Era.Applicability.Queue (List.map Era_smr.Registry.name_of all_schemes)
+
+(* ------------------------------------------------------------------ *)
+(* Leak freedom at quiescence for robust schemes                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_quiescent_leak_free (module S : Era_smr.Smr_intf.S) bound () =
+  let heap, mon, sched = fresh ~nthreads:1 () in
+  let g = S.create heap ~nthreads:1 in
+  let ext = Sched.external_ctx sched ~tid:0 in
+  let module L = Era_sets.Harris_list.Make (S) in
+  let dl = L.create ext g in
+  let h = L.handle dl ext in
+  let ops = L.ops h ~record:false in
+  Workload.run_set_ops ops (Rng.create 9) ~ops:400
+    ~keys:(Workload.Uniform 16) ~mix:Workload.update_heavy;
+  (* Quiesce repeatedly: epochs advance, eras drop, scans run. *)
+  for _ = 1 to 8 do
+    ops.quiesce ()
+  done;
+  Alcotest.(check bool)
+    (Fmt.str "%s backlog %d within bound %d" S.name (Monitor.retired mon)
+       bound)
+    true
+    (Monitor.retired mon <= bound)
+
+let leak_cases =
+  [
+    ("ebr", 0);  (* single thread: everything past two epochs frees *)
+    ("rc", 0);  (* single thread: all counts drop at op end *)
+    ("hp", Era_smr.Hp.scan_threshold);
+    ("ibr", Era_smr.Ibr.scan_threshold);
+    ("he", Era_smr.He.scan_threshold);
+    ("vbr", Era_smr.Vbr.retire_cap);
+    ("nbr", Era_smr.Nbr.retire_cap);
+  ]
+  |> List.map (fun (name, bound) ->
+         Alcotest.test_case
+           (Fmt.str "%s leak-free at quiescence" name)
+           `Quick
+           (test_quiescent_leak_free (Era_smr.Registry.find_exn name) bound))
+
+(* ------------------------------------------------------------------ *)
+(* Structure-specific behaviours                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_harris_marked_traversal () =
+  (* A traversal must stride over marked nodes: stall a deleter after
+     marking and check a reader still completes correctly. *)
+  let mon = Monitor.create ~mode:`Raise ~trace:true () in
+  let heap = Heap.create mon in
+  let module L = Era_sets.Harris_list.Make (Era_smr.None_scheme) in
+  let g_none = Era_smr.None_scheme.create heap ~nthreads:2 in
+  let cas_seen = ref 0 in
+  let marked_cas = function
+    (* the marking CAS is the first successful CAS by thread 0 *)
+    | Event.Access { tid = 0; kind = Event.Cas true; _ } ->
+      incr cas_seen;
+      !cas_seen = 1
+    | _ -> false
+  in
+  let sched =
+    Sched.create ~nthreads:2
+      (Sched.Script
+         [ Sched.Run_until (0, marked_cas); Sched.Finish 1; Sched.Finish 0 ])
+      heap
+  in
+  let ext = Sched.external_ctx sched ~tid:1 in
+  let dl = L.create ext g_none in
+  let hs = L.handle dl ext in
+  List.iter (fun k -> ignore (L.insert hs k)) [ 1; 2; 3 ];
+  let reader_saw = ref [] in
+  Sched.spawn sched ~tid:0 (fun ctx ->
+      ignore (L.delete (L.handle dl ctx) 2));
+  Sched.spawn sched ~tid:1 (fun ctx ->
+      let h = L.handle dl ctx in
+      reader_saw :=
+        [ L.contains h 1; L.contains h 2; L.contains h 3 ]);
+  ignore (Sched.run sched);
+  (* Node 2 is marked (logically deleted) when the reader runs. *)
+  Alcotest.(check (list bool)) "reader sees logical deletion"
+    [ true; false; true ] !reader_saw;
+  Alcotest.(check (list int)) "final" [ 1; 3 ] (L.to_list hs)
+
+let test_michael_unlinks_eagerly () =
+  (* After the same stall-after-mark schedule, a Michael traversal has
+     physically unlinked the marked node. *)
+  let mon = Monitor.create ~mode:`Raise ~trace:true () in
+  let heap = Heap.create mon in
+  let module L = Era_sets.Michael_list.Make (Era_smr.None_scheme) in
+  let g_none = Era_smr.None_scheme.create heap ~nthreads:2 in
+  let cas_seen = ref 0 in
+  let marked_cas = function
+    | Event.Access { tid = 0; kind = Event.Cas true; _ } ->
+      incr cas_seen;
+      !cas_seen = 1
+    | _ -> false
+  in
+  let sched =
+    Sched.create ~nthreads:2
+      (Sched.Script
+         [ Sched.Run_until (0, marked_cas); Sched.Finish 1; Sched.Finish 0 ])
+      heap
+  in
+  let ext = Sched.external_ctx sched ~tid:1 in
+  let dl = L.create ext g_none in
+  let hs = L.handle dl ext in
+  List.iter (fun k -> ignore (L.insert hs k)) [ 1; 2; 3 ];
+  let retired_by_reader = ref false in
+  Monitor.subscribe mon (fun _ ev ->
+      match ev with
+      | Event.Retire { tid = 1; _ } -> retired_by_reader := true
+      | _ -> ());
+  Sched.spawn sched ~tid:0 (fun ctx ->
+      ignore (L.delete (L.handle dl ctx) 2));
+  Sched.spawn sched ~tid:1 (fun ctx ->
+      let h = L.handle dl ctx in
+      ignore (L.contains h 3));
+  ignore (Sched.run sched);
+  Alcotest.(check bool) "traverser unlinked and retired the marked node"
+    true !retired_by_reader;
+  Alcotest.(check (list int)) "final" [ 1; 3 ] (L.to_list hs)
+
+let test_hash_dispatch () =
+  let heap, _, sched = fresh ~nthreads:1 () in
+  let g = Era_smr.Ebr.create heap ~nthreads:1 in
+  let ext = Sched.external_ctx sched ~tid:0 in
+  let module H = Era_sets.Hash_set.Make (Era_smr.Ebr) in
+  let hs = H.create ~nbuckets:4 ext g in
+  let h = H.handle hs ext in
+  for k = 1 to 20 do
+    Alcotest.(check bool) "fresh insert" true (H.insert h k)
+  done;
+  Alcotest.(check (list int)) "all present sorted"
+    (List.init 20 (fun i -> i + 1))
+    (H.to_list h);
+  Alcotest.(check bool) "delete" true (H.delete h 7);
+  Alcotest.(check bool) "deleted" false (H.contains h 7)
+
+(* ------------------------------------------------------------------ *)
+(* Failure injection                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Reclaimed memory leaves the program space entirely: any lingering
+   access would be a simulated segmentation fault, not just a stale
+   read. Correct scheme integrations must stay clean even then. *)
+let test_system_space_injection (module S : Era_smr.Smr_intf.S) () =
+  let mon = Monitor.create ~mode:`Raise ~trace:false () in
+  let config =
+    { Heap.default_config with Heap.space = Heap.Return_to_system }
+  in
+  let heap = Heap.create ~config mon in
+  let sched =
+    Sched.create ~nthreads:3 (Sched.Random (Rng.create 31)) heap
+  in
+  let g = S.create heap ~nthreads:3 in
+  let ext = Sched.external_ctx sched ~tid:0 in
+  let module L = Era_sets.Michael_list.Make (S) in
+  let dl = L.create ext g in
+  for tid = 0 to 2 do
+    Sched.spawn sched ~tid (fun ctx ->
+        let ops = L.ops (L.handle dl ctx) ~record:false in
+        Workload.run_set_ops ops
+          (Rng.create (100 + tid))
+          ~ops:60 ~keys:(Workload.Uniform 8) ~mix:Workload.update_heavy)
+  done;
+  Alcotest.(check bool) "finished" true (Sched.run sched = Sched.All_finished);
+  Alcotest.(check bool) "memory actually left the program space" true
+    ((Heap.stats heap).Heap.system_cells > 0
+    || S.name = "none" (* the baseline never reclaims *));
+  Alcotest.(check int) "no segfaults" 0 (Monitor.violation_count mon)
+
+(* A thread stalled at an arbitrary point and resumed later must not
+   break safety or linearizability for any scheme on Michael's list. *)
+let test_stall_resume (module S : Era_smr.Smr_intf.S) () =
+  let mon = Monitor.create ~mode:`Raise ~trace:true () in
+  let heap = Heap.create mon in
+  let sched =
+    Sched.create ~nthreads:3 (Sched.Random (Rng.create 17)) heap
+  in
+  (* Stall T0 after its 40th access; other threads keep going. *)
+  let countdown = ref 40 in
+  Monitor.subscribe mon (fun _ ev ->
+      match ev with
+      | Event.Access { tid = 0; _ } ->
+        decr countdown;
+        if !countdown = 0 then Sched.stall sched 0
+      | _ -> ());
+  let g = S.create heap ~nthreads:3 in
+  let ext = Sched.external_ctx sched ~tid:0 in
+  let module L = Era_sets.Michael_list.Make (S) in
+  let dl = L.create ext g in
+  for tid = 0 to 2 do
+    Sched.spawn sched ~tid (fun ctx ->
+        let ops = L.ops (L.handle dl ctx) ~record:true in
+        Workload.run_set_ops ops
+          (Rng.create (50 + tid))
+          ~ops:40 ~keys:(Workload.Uniform 6) ~mix:Workload.balanced)
+  done;
+  (* First phase: runs until only the stalled thread remains. *)
+  (match Sched.run sched with
+  | Sched.No_runnable | Sched.All_finished -> ()
+  | Sched.Script_done | Sched.Step_limit ->
+    Alcotest.fail "unexpected scheduler outcome");
+  (* Resume and finish. *)
+  Sched.unstall sched 0;
+  Alcotest.(check bool) "finished after resume" true
+    (Sched.run sched = Sched.All_finished);
+  Alcotest.(check int) "no violations" 0 (Monitor.violation_count mon);
+  Alcotest.(check bool) "linearizable" true
+    (Era_history.Linearize.check_monitor
+       (module Era_history.Spec.Int_set)
+       mon)
+      .Era_history.Linearize.ok
+
+let injection_cases =
+  List.concat_map
+    (fun (module S : Era_smr.Smr_intf.S) ->
+      [
+        Alcotest.test_case
+          (Fmt.str "system-space reclamation under %s" S.name)
+          `Slow
+          (test_system_space_injection (module S));
+        Alcotest.test_case
+          (Fmt.str "stall/resume under %s" S.name)
+          `Slow
+          (test_stall_resume (module S));
+      ])
+    all_schemes
+
+let qcheck_set_vs_model (module S : Era_smr.Smr_intf.S) =
+  QCheck2.Test.make
+    ~name:(Fmt.str "harris+%s random ops match Set model" S.name)
+    ~count:30
+    QCheck2.Gen.(pair small_int (list (pair (int_range 0 2) (int_range 1 8))))
+    (fun (seed, cmds) ->
+      let mon = Monitor.create ~mode:`Raise ~trace:false () in
+      let heap = Heap.create mon in
+      let sched = Sched.create ~nthreads:1 Sched.Round_robin heap in
+      ignore seed;
+      let g = S.create heap ~nthreads:1 in
+      let ext = Sched.external_ctx sched ~tid:0 in
+      let module L = Era_sets.Harris_list.Make (S) in
+      let dl = L.create ext g in
+      let h = L.handle dl ext in
+      let model = ref Int_set.empty in
+      List.for_all
+        (fun (what, k) ->
+          match what with
+          | 0 ->
+            let e = not (Int_set.mem k !model) in
+            model := Int_set.add k !model;
+            L.insert h k = e
+          | 1 ->
+            let e = Int_set.mem k !model in
+            model := Int_set.remove k !model;
+            L.delete h k = e
+          | _ -> L.contains h k = Int_set.mem k !model)
+        cmds
+      && L.to_list h = Int_set.elements !model)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "era_sets"
+    [
+      ("harris-sequential", seq_cases "harris" harris_build);
+      ("michael-sequential", seq_cases "michael" michael_build);
+      ("hash-sequential", seq_cases "hash" hash_build);
+      ( "stack-queue-sequential",
+        List.concat_map
+          (fun (module S : Era_smr.Smr_intf.S) ->
+            [
+              Alcotest.test_case
+                (Fmt.str "treiber+%s" S.name)
+                `Quick
+                (test_stack_sequential (module S));
+              Alcotest.test_case
+                (Fmt.str "msqueue+%s" S.name)
+                `Quick
+                (test_queue_sequential (module S));
+            ])
+          all_schemes );
+      ("concurrent", concurrent_cases);
+      ("leak-freedom", leak_cases);
+      ("failure-injection", injection_cases);
+      ( "structure-behaviour",
+        [
+          Alcotest.test_case "harris strides over marked nodes" `Quick
+            test_harris_marked_traversal;
+          Alcotest.test_case "michael unlinks eagerly" `Quick
+            test_michael_unlinks_eagerly;
+          Alcotest.test_case "hash dispatch" `Quick test_hash_dispatch;
+        ] );
+      qsuite "model-props" (List.map qcheck_set_vs_model all_schemes);
+    ]

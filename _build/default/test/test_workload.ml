@@ -1,0 +1,105 @@
+(* Tests for the workload generators: distribution bounds and shapes,
+   mix proportions, and the Figure 1 churn sequence. *)
+
+open Era_workload
+module Rng = Era_sim.Rng
+
+let test_uniform_bounds () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let k = Workload.draw_key rng (Workload.Uniform 10) in
+    Alcotest.(check bool) "in range" true (k >= 1 && k <= 10)
+  done
+
+let test_zipf_bounds_and_skew () =
+  let rng = Rng.create 5 in
+  let counts = Array.make 21 0 in
+  for _ = 1 to 20_000 do
+    let k = Workload.draw_key rng (Workload.Zipf (20, 1.2)) in
+    Alcotest.(check bool) "in range" true (k >= 1 && k <= 20);
+    counts.(k) <- counts.(k) + 1
+  done;
+  (* Zipf with s=1.2: key 1 must dominate, the tail must be light. *)
+  Alcotest.(check bool) "head heavy" true (counts.(1) > counts.(5));
+  Alcotest.(check bool) "monotone-ish head" true (counts.(1) > counts.(2));
+  Alcotest.(check bool) "tail light" true
+    (counts.(20) < counts.(1) / 4)
+
+let zipf_prop =
+  QCheck2.Test.make ~name:"zipf: draws always within [1, n]" ~count:100
+    QCheck2.Gen.(pair small_int (int_range 1 50))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let k = Workload.draw_key rng (Workload.Zipf (n, 0.8)) in
+      k >= 1 && k <= n)
+
+let test_mix_proportions () =
+  (* Route a large op count through a counting handle and check the mix
+     lands near the requested percentages. *)
+  let ins = ref 0 and del = ref 0 and con = ref 0 in
+  let ops : Era_sets.Set_intf.ops =
+    {
+      insert = (fun _ -> incr ins; true);
+      delete = (fun _ -> incr del; true);
+      contains = (fun _ -> incr con; true);
+      quiesce = ignore;
+    }
+  in
+  Workload.run_set_ops ops (Rng.create 11) ~ops:10_000
+    ~keys:(Workload.Uniform 5)
+    ~mix:{ Workload.insert_pct = 10; delete_pct = 10 };
+  Alcotest.(check int) "total" 10_000 (!ins + !del + !con);
+  Alcotest.(check bool) "inserts ~10%" true (abs (!ins - 1000) < 200);
+  Alcotest.(check bool) "deletes ~10%" true (abs (!del - 1000) < 200);
+  Alcotest.(check bool) "contains ~80%" true (abs (!con - 8000) < 400)
+
+let test_churn_keys () =
+  Alcotest.(check (list (pair int int)))
+    "figure 1 sequence"
+    [ (3, 2); (4, 3); (5, 4) ]
+    (Workload.churn_keys ~base:2 ~rounds:3)
+
+let test_stack_queue_drivers () =
+  let pushes = ref 0 and pops = ref 0 in
+  let sops : Era_sets.Treiber_stack.stack_ops =
+    {
+      push = (fun _ -> incr pushes);
+      pop = (fun () -> incr pops; None);
+      quiesce = ignore;
+    }
+  in
+  Workload.run_stack_ops sops (Rng.create 2) ~ops:1000
+    ~keys:(Workload.Uniform 5);
+  Alcotest.(check int) "stack total" 1000 (!pushes + !pops);
+  Alcotest.(check bool) "stack roughly half/half" true
+    (abs (!pushes - 500) < 100);
+  let enq = ref 0 and deq = ref 0 in
+  let qops : Era_sets.Ms_queue.queue_ops =
+    {
+      enqueue = (fun _ -> incr enq);
+      dequeue = (fun () -> incr deq; None);
+      quiesce = ignore;
+    }
+  in
+  Workload.run_queue_ops qops (Rng.create 2) ~ops:1000
+    ~keys:(Workload.Uniform 5);
+  Alcotest.(check int) "queue total" 1000 (!enq + !deq)
+
+let () =
+  Alcotest.run "era_workload"
+    [
+      ( "keys",
+        [
+          Alcotest.test_case "uniform bounds" `Quick test_uniform_bounds;
+          Alcotest.test_case "zipf bounds and skew" `Quick
+            test_zipf_bounds_and_skew;
+        ] );
+      ("key-props", [ QCheck_alcotest.to_alcotest zipf_prop ]);
+      ( "drivers",
+        [
+          Alcotest.test_case "mix proportions" `Quick test_mix_proportions;
+          Alcotest.test_case "churn keys" `Quick test_churn_keys;
+          Alcotest.test_case "stack/queue drivers" `Quick
+            test_stack_queue_drivers;
+        ] );
+    ]
