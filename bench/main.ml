@@ -1,14 +1,32 @@
 (* Benchmark and experiment harness: regenerates every figure and claim
    table of the paper (experiments E1-E9 of DESIGN.md), then runs the
-   Bechamel microbenchmarks (B1-B5).
+   Bechamel microbenchmarks (B1-B5). Besides the human-readable tables,
+   every experiment emits machine-readable rows into one BENCH_*.json
+   file (see lib/metrics) — the trajectory bin/bench_compare.exe gates
+   future changes against.
 
-     dune exec bench/main.exe              # everything
-     dune exec bench/main.exe -- quick     # smaller parameters *)
+     dune exec bench/main.exe                         # everything
+     dune exec bench/main.exe -- --quick              # smaller parameters
+     dune exec bench/main.exe -- --quick --json BENCH_quick.json
+     dune exec bench/main.exe -- --only E8,E9 --schemes ebr,hp *)
 
 open Bechamel
 module Sched = Era_sched.Sched
+module M = Era_metrics.Metrics
+module Rc = Era_metrics.Run_config
 
-let quick = Array.length Sys.argv > 1 && Sys.argv.(1) = "quick"
+let cfg = Rc.parse ~prog:"bench/main.exe" ()
+let quick = cfg.Rc.quick
+let sink = M.sink ()
+let emit = M.add sink
+let want = Rc.selects_experiment cfg
+let want_scheme = Rc.selects_scheme cfg
+
+let sim_schemes () =
+  List.filter
+    (fun s -> want_scheme (Era_smr.Registry.name_of s))
+    Era_smr.Registry.all
+
 let section title = Fmt.pr "@.==== %s ====@.@." title
 
 (* ------------------------------------------------------------------ *)
@@ -17,8 +35,8 @@ let section title = Fmt.pr "@.==== %s ====@.@." title
 
 let e1 () =
   section "E1 | Figure 1: the Theorem 6.1 execution (Harris list, N=2)";
-  let rounds = if quick then 128 else 1024 in
-  let results = Era.Figure1.run_all ~rounds () in
+  let rounds = Rc.rounds_or cfg (if quick then 128 else 1024) in
+  let results = List.map (Era.Figure1.run ~rounds) (sim_schemes ()) in
   List.iter (fun r -> Fmt.pr "  %a@." Era.Figure1.pp_result r) results;
   (* The figure's series: retired backlog vs churn round. *)
   Fmt.pr "@.  retired backlog after n churn rounds (the figure's series):@.";
@@ -38,6 +56,23 @@ let e1 () =
           | None -> Fmt.pr "%8s" "-")
         points;
       Fmt.pr "@.")
+    results;
+  List.iter
+    (fun r ->
+      let note, max_backlog, extra =
+        match r.Era.Figure1.outcome with
+        | Era.Figure1.Robustness_violated { retired_end; max_active } ->
+          ( "ROBUSTNESS VIOLATED",
+            retired_end,
+            [ ("max_active", float_of_int max_active) ] )
+        | Era.Figure1.Safety_violated _ -> ("SAFETY VIOLATED", 0, [])
+        | Era.Figure1.Survived { retired_peak } ->
+          ("survived", retired_peak, [])
+      in
+      emit
+        (M.row ~experiment:"E1" ~label:("figure1/" ^ r.Era.Figure1.scheme)
+           ~scheme:r.Era.Figure1.scheme ~structure:"harris-list"
+           ~total_ops:rounds ~max_backlog ~note ~extra ()))
     results
 
 (* ------------------------------------------------------------------ *)
@@ -46,9 +81,21 @@ let e1 () =
 
 let e2 () =
   section "E2 | Figure 2: protection defeated on Harris's list";
+  let results = List.map Era.Figure2.run (sim_schemes ()) in
+  List.iter (fun r -> Fmt.pr "  %a@." Era.Figure2.pp_result r) results;
   List.iter
-    (fun r -> Fmt.pr "  %a@." Era.Figure2.pp_result r)
-    (Era.Figure2.run_all ())
+    (fun r ->
+      let note, max_backlog =
+        match r.Era.Figure2.outcome with
+        | Era.Figure2.Unsafe _ -> ("UNSAFE", 0)
+        | Era.Figure2.Safe_completion { retired_backlog } ->
+          ("safe", retired_backlog)
+      in
+      emit
+        (M.row ~experiment:"E2" ~label:("figure2/" ^ r.Era.Figure2.scheme)
+           ~scheme:r.Era.Figure2.scheme ~structure:"harris-list" ~max_backlog
+           ~note ()))
+    results
 
 (* ------------------------------------------------------------------ *)
 (* E3: robustness classification                                       *)
@@ -58,9 +105,26 @@ let e3 () =
   section "E3 | Robustness classes (Definitions 5.1/5.2)";
   let churn_points = if quick then [ 64; 256 ] else [ 128; 256; 512; 1024 ] in
   let size_points = if quick then [ 32; 96 ] else [ 32; 64; 128; 256 ] in
+  let ms =
+    List.map
+      (Era.Robustness.classify ~churn_points ~size_points)
+      (sim_schemes ())
+  in
+  List.iter (fun m -> Fmt.pr "  %a@." Era.Robustness.pp_measurement m) ms;
   List.iter
-    (fun m -> Fmt.pr "  %a@." Era.Robustness.pp_measurement m)
-    (Era.Robustness.classify_all ~churn_points ~size_points ())
+    (fun m ->
+      emit
+        (M.row ~experiment:"E3"
+           ~label:("robustness/" ^ m.Era.Robustness.scheme)
+           ~scheme:m.Era.Robustness.scheme ~structure:"harris-list"
+           ~note:(Era.Robustness.clazz_name m.Era.Robustness.clazz)
+           ~extra:
+             [
+               ("churn_slope", m.Era.Robustness.churn_slope);
+               ("size_slope", m.Era.Robustness.size_slope);
+             ]
+           ()))
+    ms
 
 (* ------------------------------------------------------------------ *)
 (* E4: applicability matrix                                            *)
@@ -68,8 +132,16 @@ let e3 () =
 
 let e4 () =
   section "E4 | Applicability matrix (Definitions 5.4/5.6)";
-  let fuzz_runs = if quick then 4 else 12 in
-  let matrix = Era.Applicability.matrix ~fuzz_runs () in
+  let fuzz_runs = Rc.fuzz_or cfg (if quick then 4 else 12) in
+  let matrix =
+    List.map
+      (fun s ->
+        ( Era_smr.Registry.name_of s,
+          List.map
+            (fun st -> (st, Era.Applicability.run ~fuzz_runs s st))
+            Era.Applicability.structures ))
+      (sim_schemes ())
+  in
   Fmt.pr "  %-6s" "";
   List.iter
     (fun st -> Fmt.pr "%-15s" (Era.Applicability.structure_name st))
@@ -84,6 +156,29 @@ let e4 () =
             (if Era.Applicability.applicable v then "yes" else "NO"))
         verdicts;
       Fmt.pr "@.")
+    matrix;
+  List.iter
+    (fun (scheme, verdicts) ->
+      List.iter
+        (fun (st, v) ->
+          let stname = Era.Applicability.structure_name st in
+          emit
+            (M.row ~experiment:"E4"
+               ~label:(scheme ^ "/" ^ stname)
+               ~scheme ~structure:stname
+               ~note:(if Era.Applicability.applicable v then "yes" else "NO")
+               ~extra:
+                 [
+                   ( "violations",
+                     float_of_int v.Era.Applicability.violations );
+                   ( "non_linearizable",
+                     float_of_int v.Era.Applicability.non_linearizable );
+                   ( "adversarial_unsafe",
+                     if v.Era.Applicability.adversarial_unsafe then 1. else 0.
+                   );
+                 ]
+               ()))
+        verdicts)
     matrix
 
 (* ------------------------------------------------------------------ *)
@@ -95,8 +190,14 @@ let e5 () =
   List.iter
     (fun s ->
       Fmt.pr "  %a@." Era_smr.Integration.pp_spec
-        (Era_smr.Registry.integration_of s))
-    Era_smr.Registry.all
+        (Era_smr.Registry.integration_of s);
+      let name = Era_smr.Registry.name_of s in
+      let easy = Era_smr.Registry.easily_integrated s in
+      emit
+        (M.row ~experiment:"E5" ~label:("integration/" ^ name) ~scheme:name
+           ~note:(if easy then "easy" else "not-easy")
+           ()))
+    (sim_schemes ())
 
 (* ------------------------------------------------------------------ *)
 (* E6: the ERA matrix                                                  *)
@@ -104,13 +205,33 @@ let e5 () =
 
 let e6 () =
   section "E6 | The ERA matrix (Theorem 6.1)";
+  (* The theorem check quantifies over every scheme; --schemes only
+     filters which rows are emitted, not which are computed. *)
   let rows =
     if quick then
       Era.Era_matrix.compute ~fuzz_runs:4 ~churn_points:[ 64; 256 ]
         ~size_points:[ 32; 96 ] ()
     else Era.Era_matrix.compute ~fuzz_runs:8 ()
   in
-  Fmt.pr "%a" Era.Era_matrix.pp_table rows
+  Fmt.pr "%a" Era.Era_matrix.pp_table rows;
+  List.iter
+    (fun (r : Era.Era_matrix.row) ->
+      if want_scheme r.scheme then
+        emit
+          (M.row ~experiment:"E6" ~label:("era/" ^ r.scheme) ~scheme:r.scheme
+             ~note:
+               (Fmt.str "E=%b R=%s A=%b" r.easy
+                  (Era.Robustness.clazz_name r.robustness)
+                  r.widely_applicable)
+             ~extra:
+               [
+                 ( "properties_held",
+                   float_of_int (Era.Era_matrix.properties_held r) );
+                 ("churn_slope", r.churn_slope);
+                 ("size_slope", r.size_slope);
+               ]
+             ()))
+    rows
 
 (* ------------------------------------------------------------------ *)
 (* E7: access-aware audit                                              *)
@@ -118,25 +239,37 @@ let e6 () =
 
 let e7 () =
   section "E7 | Access-aware discipline audit (Appendices C/D)";
-  List.iter
-    (fun r -> Fmt.pr "  %a@." Era.Access_aware.pp_report r)
-    (Era.Access_aware.audit_all ~runs:(if quick then 3 else 8) ());
+  let reports = Era.Access_aware.audit_all ~runs:(if quick then 3 else 8) () in
+  List.iter (fun r -> Fmt.pr "  %a@." Era.Access_aware.pp_report r) reports;
   Fmt.pr "  negative control flags: %a@."
     Fmt.(list ~sep:semi (pair ~sep:(any " x") string int))
-    (Era.Access_aware.negative_control ())
+    (Era.Access_aware.negative_control ());
+  List.iter
+    (fun (r : Era.Access_aware.report) ->
+      let stname = Era.Applicability.structure_name r.structure in
+      let violations =
+        List.fold_left (fun a (_, n) -> a + n) 0 r.discipline_violations
+      in
+      emit
+        (M.row ~experiment:"E7" ~label:("access-aware/" ^ stname)
+           ~structure:stname ~total_ops:r.total_ops
+           ~note:(if Era.Access_aware.clean r then "clean" else "VIOLATIONS")
+           ~extra:[ ("discipline_violations", float_of_int violations) ]
+           ()))
+    reports
 
 (* ------------------------------------------------------------------ *)
 (* E8/E9: native throughput and backlog                                *)
 (* ------------------------------------------------------------------ *)
 
+let emit_native experiment category r =
+  emit (Era_native.Throughput.to_row ~experiment ~category r)
+
 let e8 () =
   section "E8 | Native: Harris vs Michael's HP-compatible list";
   let open Era_native.Throughput in
-  let ops = if quick then 50_000 else 200_000 in
-  List.iter
-    (fun (kind, scheme, mix, domains) ->
-      Fmt.pr "  %a@." pp_result
-        (e8_row kind ~scheme mix ~domains ~ops_per_domain:ops))
+  let ops = Rc.ops_or cfg (if quick then 50_000 else 200_000) in
+  let grid =
     [
       (Harris, `Ebr, Churn, 1); (Michael, `Ebr, Churn, 1);
       (Michael, `Hp, Churn, 1); (Michael, `Ibr, Churn, 1);
@@ -145,23 +278,52 @@ let e8 () =
       (Michael, `Hp, Read_heavy, 1); (Michael, `Ibr, Read_heavy, 1);
       (Harris, `Ebr, Read_heavy, 2); (Michael, `Hp, Read_heavy, 2);
     ]
+  in
+  let grid =
+    match cfg.Rc.domains with
+    | None -> grid
+    | Some n ->
+      List.sort_uniq compare
+        (List.map (fun (k, s, m, _) -> (k, s, m, n)) grid)
+  in
+  List.iter
+    (fun (kind, scheme, mix, domains) ->
+      if want_scheme (scheme_name scheme) then begin
+        let r = e8_row kind ~scheme mix ~domains ~ops_per_domain:ops in
+        Fmt.pr "  %a@." pp_result r;
+        emit_native "E8" "native-throughput" r
+      end)
+    grid
 
 let e8b () =
   section "E8b | Native: stack and queue throughput per scheme";
   let open Era_native.Throughput in
-  let ops = if quick then 50_000 else 200_000 in
+  let ops = Rc.ops_or cfg (if quick then 50_000 else 200_000) in
+  let domains = Rc.domains_or cfg 2 in
   List.iter
     (fun scheme ->
-      Fmt.pr "  %a@." pp_result (stack_row ~scheme ~domains:2 ~ops_per_domain:ops);
-      Fmt.pr "  %a@." pp_result (queue_row ~scheme ~domains:2 ~ops_per_domain:ops))
+      if want_scheme (scheme_name scheme) then begin
+        let s = stack_row ~scheme ~domains ~ops_per_domain:ops in
+        Fmt.pr "  %a@." pp_result s;
+        emit_native "E8b" "native-throughput" s;
+        let q = queue_row ~scheme ~domains ~ops_per_domain:ops in
+        Fmt.pr "  %a@." pp_result q;
+        emit_native "E8b" "native-throughput" q
+      end)
     [ `None; `Ebr; `Hp; `Ibr ]
 
 let e9 () =
   section "E9 | Native: retired backlog with a stalled domain";
   let open Era_native.Throughput in
-  let ops = if quick then 50_000 else 200_000 in
+  let ops = Rc.ops_or cfg (if quick then 50_000 else 200_000) in
   List.iter
-    (fun s -> Fmt.pr "  %a@." pp_result (e9_row ~scheme:s ~churn_ops:ops))
+    (fun scheme ->
+      if want_scheme (scheme_name (scheme :> [ `Ebr | `Hp | `Ibr | `None ]))
+      then begin
+        let r = e9_row ~scheme ~churn_ops:ops in
+        Fmt.pr "  %a@." pp_result r;
+        emit_native "E9" "native-backlog" r
+      end)
     [ `Ebr; `Hp; `Ibr ]
 
 (* ------------------------------------------------------------------ *)
@@ -170,30 +332,57 @@ let e9 () =
 
 let e10 () =
   section "E10 | Ablation: HP scan threshold (space vs scan-frequency)";
-  List.iter
-    (fun r -> Fmt.pr "  %a@." Era.Ablation.pp_hp_row r)
-    (Era.Ablation.hp_sweep
-       ~thresholds:(if quick then [ 2; 32 ] else [ 2; 8; 32; 128 ])
-       ());
+  let rows =
+    Era.Ablation.hp_sweep
+      ~thresholds:(if quick then [ 2; 32 ] else [ 2; 8; 32; 128 ])
+      ()
+  in
+  List.iter (fun r -> Fmt.pr "  %a@." Era.Ablation.pp_hp_row r) rows;
   Fmt.pr
     "  (the bounded backlog tracks the threshold: the Braginsky et al. \
-     space/time dial)@."
+     space/time dial)@.";
+  List.iter
+    (fun (r : Era.Ablation.hp_row) ->
+      emit
+        (M.row ~experiment:"E10"
+           ~label:(Fmt.str "hp-threshold/%d" r.threshold)
+           ~scheme:"hp" ~structure:"michael-list" ~max_backlog:r.max_backlog
+           ~extra:
+             [
+               ("threshold", float_of_int r.threshold);
+               ("slots", float_of_int r.slots);
+               ("steps", float_of_int r.steps);
+             ]
+           ()))
+    rows
 
 let e11 () =
   section "E11 | Ablation: IBR epoch granularity vs the theorem";
-  List.iter
-    (fun r -> Fmt.pr "  %a@." Era.Ablation.pp_ibr_row r)
-    (Era.Ablation.ibr_sweep ~rates:(if quick then [ 1; 16 ] else [ 1; 4; 16; 64 ]) ());
+  let rows =
+    Era.Ablation.ibr_sweep ~rates:(if quick then [ 1; 16 ] else [ 1; 4; 16; 64 ]) ()
+  in
+  List.iter (fun r -> Fmt.pr "  %a@." Era.Ablation.pp_ibr_row r) rows;
   Fmt.pr
     "  (coarse epochs dodge the stock Figure 2 schedule but Figure 1 \
      defeats every@.   granularity: no tuning restores wide \
-     applicability)@."
+     applicability)@.";
+  List.iter
+    (fun (r : Era.Ablation.ibr_row) ->
+      emit
+        (M.row ~experiment:"E11"
+           ~label:(Fmt.str "ibr-rate/%d" r.allocs_per_epoch)
+           ~scheme:"ibr" ~structure:"harris-list"
+           ~max_backlog:r.size_backlog
+           ~note:(r.figure1 ^ "/" ^ r.figure2)
+           ~extra:[ ("allocs_per_epoch", float_of_int r.allocs_per_epoch) ]
+           ()))
+    rows
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks                                            *)
 (* ------------------------------------------------------------------ *)
 
-let run_bechamel test =
+let run_bechamel ~experiment test =
   let ols =
     Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
   in
@@ -213,7 +402,11 @@ let run_bechamel test =
            Fmt.pr "  %-44s %12.1f ns/op%s@." name t
              (match Analyze.OLS.r_square r with
              | Some r2 -> Fmt.str "   (r² %.3f)" r2
-             | None -> "")
+             | None -> "");
+           emit
+             (M.row ~experiment ~label:name ~category:"microbench"
+                ~extra:[ ("ns_per_op", t) ]
+                ())
          | _ -> Fmt.pr "  %-44s (no estimate)@." name)
 
 (* B1: simulated per-operation cost of each scheme's read path. *)
@@ -237,7 +430,7 @@ let b1_sim_read_cost () =
            incr i;
            ignore (L.contains h (1 + (!i mod 64)))))
   in
-  run_bechamel
+  run_bechamel ~experiment:"B1"
     (Test.make_grouped ~name:"sim-contains"
        (List.map make_one Era_smr.Registry.all))
 
@@ -256,7 +449,7 @@ let b2_sim_lifecycle_cost () =
                let w = S.alloc t ~key:1 in
                S.retire t w)))
   in
-  run_bechamel
+  run_bechamel ~experiment:"B2"
     (Test.make_grouped ~name:"sim-alloc-retire"
        (List.map make_one Era_smr.Registry.all))
 
@@ -285,7 +478,8 @@ let b3_native_read_cost () =
       make "ibr" (module Era_native.N_ibr);
     ]
   in
-  run_bechamel (Test.make_grouped ~name:"native-contains" tests)
+  run_bechamel ~experiment:"B3"
+    (Test.make_grouped ~name:"native-contains" tests)
 
 (* B4: linearizability checker scaling in history length. *)
 let b4_checker_scaling () =
@@ -325,7 +519,7 @@ let b4_checker_scaling () =
                     h))))
       [ 16; 32; 64; 128 ]
   in
-  run_bechamel (Test.make_grouped ~name:"linearize" tests)
+  run_bechamel ~experiment:"B4" (Test.make_grouped ~name:"linearize" tests)
 
 (* B5: scheduler quantum overhead. *)
 let b5_scheduler_overhead () =
@@ -345,27 +539,24 @@ let b5_scheduler_overhead () =
            ignore (Sched.run sched)))
   in
   Fmt.pr "  (one run = 2 fibers x 50 yields + setup)@.";
-  run_bechamel test
+  run_bechamel ~experiment:"B5" test
 
 let () =
   Fmt.pr
     "ERA theorem reproduction — experiment and benchmark harness%s@."
     (if quick then " (quick mode)" else "");
-  e1 ();
-  e2 ();
-  e3 ();
-  e4 ();
-  e5 ();
-  e6 ();
-  e7 ();
-  e8 ();
-  e8b ();
-  e9 ();
-  e10 ();
-  e11 ();
-  b1_sim_read_cost ();
-  b2_sim_lifecycle_cost ();
-  b3_native_read_cost ();
-  b4_checker_scaling ();
-  b5_scheduler_overhead ();
+  let experiments =
+    [
+      ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5);
+      ("E6", e6); ("E7", e7); ("E8", e8); ("E8b", e8b); ("E9", e9);
+      ("E10", e10); ("E11", e11);
+      ("B1", b1_sim_read_cost); ("B2", b2_sim_lifecycle_cost);
+      ("B3", b3_native_read_cost); ("B4", b4_checker_scaling);
+      ("B5", b5_scheduler_overhead);
+    ]
+  in
+  List.iter (fun (id, run) -> if want id then run ()) experiments;
+  let path = Rc.default_json_path cfg in
+  let n = M.flush sink ~mode:(Rc.mode cfg) ~path in
+  Fmt.pr "@.wrote %d metric rows to %s@." n path;
   Fmt.pr "@.done.@."

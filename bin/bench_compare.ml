@@ -1,0 +1,60 @@
+(* The tier-1 perf gate: diff two BENCH_*.json files.
+
+     dune exec bin/bench_compare.exe -- OLD.json NEW.json \
+       [--max-regression PCT] [--backlog-factor F] [--backlog-slack N]
+
+   Exit status: 0 when every native-throughput row of NEW is within the
+   regression tolerance of OLD and no native row's max backlog blew up;
+   1 on any regression, blow-up, or missing row; 2 on usage/parse
+   errors. *)
+
+module M = Era_metrics.Metrics
+module D = Era_metrics.Bench_diff
+
+let () =
+  let max_regression = ref 25. in
+  let backlog_factor = ref 2. in
+  let backlog_slack = ref 256 in
+  let files = ref [] in
+  let spec =
+    Arg.align
+      [
+        ( "--max-regression",
+          Arg.Set_float max_regression,
+          "PCT Throughput regression tolerance in percent (default 25)" );
+        ( "--backlog-factor",
+          Arg.Set_float backlog_factor,
+          "F Allowed multiplicative max-backlog growth (default 2.0)" );
+        ( "--backlog-slack",
+          Arg.Set_int backlog_slack,
+          "N Allowed additive max-backlog growth (default 256)" );
+      ]
+  in
+  let usage = "usage: bench_compare OLD.json NEW.json [options]" in
+  Arg.parse spec (fun f -> files := f :: !files) usage;
+  let old_file, new_file =
+    match List.rev !files with
+    | [ o; n ] -> (o, n)
+    | _ ->
+      prerr_endline usage;
+      exit 2
+  in
+  let load name path =
+    match M.load path with
+    | Ok r -> r
+    | Error msg ->
+      Printf.eprintf "bench_compare: cannot load %s file %s: %s\n" name path
+        msg;
+      exit 2
+  in
+  let old_report = load "old" old_file in
+  let new_report = load "new" new_file in
+  let v =
+    D.diff ~max_regression_pct:!max_regression
+      ~backlog_factor:!backlog_factor ~backlog_slack:!backlog_slack
+      ~old_report ~new_report ()
+  in
+  Format.printf "%s (%s) vs %s (%s)@." old_file
+    old_report.M.manifest.M.git_rev new_file new_report.M.manifest.M.git_rev;
+  Format.printf "%a" D.pp v;
+  exit (if D.ok v then 0 else 1)

@@ -3,69 +3,64 @@
      dune exec bin/era_cli.exe -- <command> [options]
 
    Commands: figure1, figure2, robustness, applicability, access-aware,
-   matrix, native, all. *)
+   matrix, native, ablation, stall-fuzz, all.
 
-open Cmdliner
+   Parsing goes through Era_metrics.Run_config — the same Arg-based flag
+   surface as bench/main.exe — so --schemes/--json/--domains/... behave
+   identically in both front-ends. *)
 
-let scheme_names = Era_smr.Registry.names
+module M = Era_metrics.Metrics
+module Rc = Era_metrics.Run_config
 
-let scheme_conv =
-  let parse s =
-    match Era_smr.Registry.find s with
-    | Some _ -> Ok s
-    | None ->
-      Error
-        (`Msg
-          (Fmt.str "unknown scheme %S (expected one of: %s)" s
-             (String.concat ", " scheme_names)))
-  in
-  Arg.conv (parse, Fmt.string)
+let commands =
+  [
+    "figure1"; "figure2"; "robustness"; "applicability"; "access-aware";
+    "matrix"; "native"; "ablation"; "stall-fuzz"; "all";
+  ]
 
-let scheme_arg =
-  let doc = "Restrict to one scheme (default: all)." in
-  Arg.(value & opt (some scheme_conv) None & info [ "s"; "scheme" ] ~doc)
+let cfg = Rc.parse ~prog:"era_cli" ~commands ()
 
-let schemes_of = function
-  | None -> Era_smr.Registry.all
-  | Some name -> [ Era_smr.Registry.find_exn name ]
+let schemes () =
+  let all = Era_smr.Registry.all in
+  (* Reject unknown names loudly rather than silently selecting nothing. *)
+  List.iter
+    (fun name ->
+      if not (List.exists (fun s -> Era_smr.Registry.name_of s = name) all)
+      then begin
+        Fmt.epr "era_cli: unknown scheme %S (expected one of: %s)@." name
+          (String.concat ", " Era_smr.Registry.names);
+        exit 2
+      end)
+    cfg.Rc.schemes;
+  List.filter (fun s -> Rc.selects_scheme cfg (Era_smr.Registry.name_of s)) all
 
-let rounds_arg =
-  let doc = "Churn rounds for the Figure 1 construction." in
-  Arg.(value & opt int 256 & info [ "rounds" ] ~doc)
-
-let fuzz_arg =
-  let doc = "Randomized executions per (scheme, structure) pair." in
-  Arg.(value & opt int 10 & info [ "fuzz" ] ~doc)
-
-let ops_arg =
-  let doc = "Operations per domain for native benchmarks." in
-  Arg.(value & opt int 100_000 & info [ "ops" ] ~doc)
-
-let figure1 scheme rounds =
+let figure1 () =
+  let rounds = Rc.rounds_or cfg 256 in
   List.iter
     (fun s -> Fmt.pr "%a@." Era.Figure1.pp_result (Era.Figure1.run ~rounds s))
-    (schemes_of scheme)
+    (schemes ())
 
-let figure2 scheme =
+let figure2 () =
   List.iter
     (fun s -> Fmt.pr "%a@." Era.Figure2.pp_result (Era.Figure2.run s))
-    (schemes_of scheme)
+    (schemes ())
 
-let robustness scheme =
+let robustness () =
   List.iter
     (fun s ->
       Fmt.pr "%a@." Era.Robustness.pp_measurement (Era.Robustness.classify s))
-    (schemes_of scheme)
+    (schemes ())
 
-let applicability scheme fuzz =
+let applicability () =
+  let fuzz_runs = Rc.fuzz_or cfg 10 in
   List.iter
     (fun s ->
       List.iter
         (fun st ->
           Fmt.pr "%a@." Era.Applicability.pp_verdict
-            (Era.Applicability.run ~fuzz_runs:fuzz s st))
+            (Era.Applicability.run ~fuzz_runs s st))
         Era.Applicability.structures)
-    (schemes_of scheme)
+    (schemes ())
 
 let access_aware () =
   List.iter
@@ -75,8 +70,8 @@ let access_aware () =
     Fmt.(list ~sep:semi (pair ~sep:(any " x") string int))
     (Era.Access_aware.negative_control ())
 
-let matrix fuzz =
-  let rows = Era.Era_matrix.compute ~fuzz_runs:fuzz () in
+let matrix () =
+  let rows = Era.Era_matrix.compute ~fuzz_runs:(Rc.fuzz_or cfg 10) () in
   Fmt.pr "%a@." Era.Era_matrix.pp_table rows;
   if not (Era.Era_matrix.theorem_holds rows) then exit 1
 
@@ -90,7 +85,8 @@ let ablation () =
     (fun r -> Fmt.pr "  %a@." Era.Ablation.pp_ibr_row r)
     (Era.Ablation.ibr_sweep ())
 
-let stall_fuzz_cmd scheme tries =
+let stall_fuzz () =
+  let tries = Rc.tries_or cfg 30 in
   List.iter
     (fun ((module S : Era_smr.Smr_intf.S) as s) ->
       let found =
@@ -98,72 +94,73 @@ let stall_fuzz_cmd scheme tries =
       in
       Fmt.pr "%-6s stall-fuzz on harris-list: %d/%d runs violated@." S.name
         found tries)
-    (schemes_of scheme)
+    (schemes ())
 
-let native ops =
+let native () =
   let open Era_native.Throughput in
+  let ops = Rc.ops_or cfg 100_000 in
+  let domains = Rc.domains_or cfg 2 in
+  let sink = M.sink () in
+  let native_scheme s = Rc.selects_scheme cfg (scheme_name s) in
   List.iter
     (fun (kind, scheme, mix) ->
-      Fmt.pr "%a@." pp_result
-        (e8_row kind ~scheme mix ~domains:2 ~ops_per_domain:ops))
+      if native_scheme scheme then begin
+        let r = e8_row kind ~scheme mix ~domains ~ops_per_domain:ops in
+        Fmt.pr "%a@." pp_result r;
+        M.add sink (to_row ~experiment:"E8" ~category:"native-throughput" r)
+      end)
     [
       (Harris, `Ebr, Churn); (Michael, `Ebr, Churn); (Michael, `Hp, Churn);
       (Harris, `Ebr, Read_heavy); (Michael, `Ebr, Read_heavy);
       (Michael, `Hp, Read_heavy);
     ];
   List.iter
-    (fun s -> Fmt.pr "%a@." pp_result (e9_row ~scheme:s ~churn_ops:ops))
-    [ `Ebr; `Hp; `Ibr ]
+    (fun s ->
+      if native_scheme (s :> [ `Ebr | `Hp | `Ibr | `None ]) then begin
+        let r = e9_row ~scheme:s ~churn_ops:ops in
+        Fmt.pr "%a@." pp_result r;
+        M.add sink (to_row ~experiment:"E9" ~category:"native-backlog" r)
+      end)
+    [ `Ebr; `Hp; `Ibr ];
+  match cfg.Rc.json with
+  | None -> ()
+  | Some path ->
+    let n = M.flush sink ~mode:(Rc.mode cfg) ~path in
+    Fmt.pr "wrote %d metric rows to %s@." n path
 
-let all rounds fuzz ops =
+let all () =
   Fmt.pr "== Figure 1 ==@.";
-  figure1 None rounds;
+  figure1 ();
   Fmt.pr "@.== Figure 2 ==@.";
-  figure2 None;
+  figure2 ();
   Fmt.pr "@.== Robustness ==@.";
-  robustness None;
+  robustness ();
   Fmt.pr "@.== Applicability ==@.";
-  applicability None fuzz;
+  applicability ();
   Fmt.pr "@.== Access-aware audit ==@.";
   access_aware ();
   Fmt.pr "@.== ERA matrix ==@.";
-  matrix fuzz;
+  matrix ();
   Fmt.pr "@.== Native ==@.";
-  native ops
-
-let cmd name doc term = Cmd.v (Cmd.info name ~doc) term
+  native ()
 
 let () =
-  let cmds =
-    [
-      cmd "figure1" "The Theorem 6.1 lower-bound execution (Figure 1)."
-        Term.(const figure1 $ scheme_arg $ rounds_arg);
-      cmd "figure2" "The Appendix E inapplicability execution (Figure 2)."
-        Term.(const figure2 $ scheme_arg);
-      cmd "robustness" "Robustness classification (Definitions 5.1/5.2)."
-        Term.(const robustness $ scheme_arg);
-      cmd "applicability" "Applicability matrix (Definitions 5.4/5.6)."
-        Term.(const applicability $ scheme_arg $ fuzz_arg);
-      cmd "access-aware" "Access-aware discipline audit (Appendices C/D)."
-        Term.(const access_aware $ const ());
-      cmd "matrix" "The ERA matrix and Theorem 6.1 check."
-        Term.(const matrix $ fuzz_arg);
-      cmd "native" "Native multicore throughput/backlog (E8/E9)."
-        Term.(const native $ ops_arg);
-      cmd "ablation" "Tuning-parameter ablations (E10/E11)."
-        Term.(const ablation $ const ());
-      cmd "stall-fuzz"
-        "Black-box violation hunting with random stalls (Harris list)."
-        Term.(
-          const stall_fuzz_cmd $ scheme_arg
-          $ Arg.(value & opt int 30 & info [ "tries" ] ~doc:"Fuzz attempts."));
-      cmd "all" "Run every experiment."
-        Term.(const all $ rounds_arg $ fuzz_arg $ ops_arg);
-    ]
-  in
-  let info =
-    Cmd.info "era_cli" ~version:"1.0"
-      ~doc:"Experiments reproducing `The ERA Theorem for Safe Memory \
-            Reclamation' (PODC 2023)"
-  in
-  exit (Cmd.eval (Cmd.group info cmds))
+  match cfg.Rc.command with
+  | Some "figure1" -> figure1 ()
+  | Some "figure2" -> figure2 ()
+  | Some "robustness" -> robustness ()
+  | Some "applicability" -> applicability ()
+  | Some "access-aware" -> access_aware ()
+  | Some "matrix" -> matrix ()
+  | Some "native" -> native ()
+  | Some "ablation" -> ablation ()
+  | Some "stall-fuzz" -> stall_fuzz ()
+  | Some "all" -> all ()
+  | Some other ->
+    (* unreachable: Run_config validated the command list *)
+    Fmt.epr "era_cli: unknown command %S@." other;
+    exit 2
+  | None ->
+    Fmt.epr "usage: era_cli <command> [options]@.commands: %s@."
+      (String.concat ", " commands);
+    exit 2

@@ -1,0 +1,114 @@
+type change = {
+  key : string;
+  old_mops : float;
+  new_mops : float;
+  delta_pct : float;
+}
+
+type blowup = {
+  key : string;
+  old_backlog : int;
+  new_backlog : int;
+}
+
+type verdict = {
+  compared : int;
+  regressions : change list;
+  improvements : change list;
+  blowups : blowup list;
+  missing : string list;
+  added : string list;
+}
+
+let is_native (r : Metrics.row) =
+  String.length r.category >= 7 && String.sub r.category 0 7 = "native-"
+
+let diff ?(max_regression_pct = 25.) ?(backlog_factor = 2.) ?(backlog_slack = 256)
+    ~old_report ~new_report () =
+  let index rows =
+    let tbl = Hashtbl.create 64 in
+    List.iter
+      (fun (r : Metrics.row) -> Hashtbl.replace tbl (Metrics.key r) r)
+      rows;
+    tbl
+  in
+  let old_tbl = index old_report.Metrics.rows in
+  let new_tbl = index new_report.Metrics.rows in
+  let compared = ref 0 in
+  let regressions = ref [] in
+  let improvements = ref [] in
+  let blowups = ref [] in
+  let missing = ref [] in
+  let added = ref [] in
+  List.iter
+    (fun (o : Metrics.row) ->
+      let k = Metrics.key o in
+      match Hashtbl.find_opt new_tbl k with
+      | None -> missing := k :: !missing
+      | Some n ->
+        incr compared;
+        if o.category = "native-throughput" && o.mops > 0. then begin
+          let delta_pct = (n.mops -. o.mops) /. o.mops *. 100. in
+          if delta_pct < -.max_regression_pct then
+            regressions :=
+              { key = k; old_mops = o.mops; new_mops = n.mops; delta_pct }
+              :: !regressions
+          else if delta_pct > max_regression_pct then
+            improvements :=
+              { key = k; old_mops = o.mops; new_mops = n.mops; delta_pct }
+              :: !improvements
+        end;
+        if is_native o then begin
+          let bound =
+            max
+              (int_of_float (float_of_int o.max_backlog *. backlog_factor))
+              (o.max_backlog + backlog_slack)
+          in
+          if n.max_backlog > bound then
+            blowups :=
+              {
+                key = k;
+                old_backlog = o.max_backlog;
+                new_backlog = n.max_backlog;
+              }
+              :: !blowups
+        end)
+    old_report.Metrics.rows;
+  List.iter
+    (fun (n : Metrics.row) ->
+      let k = Metrics.key n in
+      if not (Hashtbl.mem old_tbl k) then added := k :: !added)
+    new_report.Metrics.rows;
+  {
+    compared = !compared;
+    regressions = List.rev !regressions;
+    improvements = List.rev !improvements;
+    blowups = List.rev !blowups;
+    missing = List.rev !missing;
+    added = List.rev !added;
+  }
+
+let ok v = v.regressions = [] && v.blowups = [] && v.missing = []
+
+let pp fmt v =
+  Format.fprintf fmt "compared %d rows" v.compared;
+  if v.added <> [] then
+    Format.fprintf fmt ", %d new" (List.length v.added);
+  Format.fprintf fmt "@.";
+  List.iter
+    (fun (c : change) ->
+      Format.fprintf fmt "  REGRESSION %-40s %8.3f -> %8.3f Mops/s (%+.1f%%)@."
+        c.key c.old_mops c.new_mops c.delta_pct)
+    v.regressions;
+  List.iter
+    (fun (c : change) ->
+      Format.fprintf fmt "  improved   %-40s %8.3f -> %8.3f Mops/s (%+.1f%%)@."
+        c.key c.old_mops c.new_mops c.delta_pct)
+    v.improvements;
+  List.iter
+    (fun (b : blowup) ->
+      Format.fprintf fmt "  BACKLOG BLOW-UP %-33s %d -> %d@." b.key
+        b.old_backlog b.new_backlog)
+    v.blowups;
+  List.iter (fun k -> Format.fprintf fmt "  MISSING ROW %s@." k) v.missing;
+  if ok v then Format.fprintf fmt "  ok: within tolerance@."

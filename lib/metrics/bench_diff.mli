@@ -1,0 +1,54 @@
+(** The perf gate: diff two benchmark reports.
+
+    Rows are matched by {!Metrics.key}. Two checks decide the verdict:
+
+    - {b throughput regression} — for rows in category
+      ["native-throughput"] present in both reports, the new [mops] must
+      not fall more than [max_regression_pct] percent below the old;
+    - {b backlog blow-up} — for rows in any ["native-*"] category, the
+      new [max_backlog] must not exceed
+      [max (old * backlog_factor) (old + backlog_slack)] (the additive
+      slack absorbs bounded schemes whose old backlog is tiny).
+
+    Simulated classification rows carry timing noise and deterministic
+    outcomes, so they are compared for presence only. A row present in
+    the old report but absent from the new one also fails the gate —
+    silently dropping a benchmark must not read as "no regression". *)
+
+type change = {
+  key : string;
+  old_mops : float;
+  new_mops : float;
+  delta_pct : float;  (** signed; negative = slower *)
+}
+
+type blowup = {
+  key : string;
+  old_backlog : int;
+  new_backlog : int;
+}
+
+type verdict = {
+  compared : int;  (** rows present in both reports *)
+  regressions : change list;
+  improvements : change list;  (** informational: faster than threshold *)
+  blowups : blowup list;
+  missing : string list;  (** keys in the old report absent from the new *)
+  added : string list;  (** informational *)
+}
+
+val diff :
+  ?max_regression_pct:float ->
+  ?backlog_factor:float ->
+  ?backlog_slack:int ->
+  old_report:Metrics.report ->
+  new_report:Metrics.report ->
+  unit ->
+  verdict
+(** Defaults: 25%% regression tolerance, 2.0x backlog factor, 256 nodes
+    of additive backlog slack. *)
+
+val ok : verdict -> bool
+(** No regressions, no blow-ups, no missing rows. *)
+
+val pp : Format.formatter -> verdict -> unit

@@ -1,0 +1,33 @@
+(** Minimal zero-dependency JSON: enough of an emitter and parser for the
+    benchmark-metrics files ([BENCH_*.json]) without pulling yojson into
+    the build. Integers and floats are kept distinct (ops counts vs
+    Mops/s); floats are printed with round-trip precision. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?minify:bool -> t -> string
+(** Serialize. Default is 2-space-indented; [~minify:true] is compact. *)
+
+val of_string : string -> (t, string) result
+(** Parse a complete JSON document (trailing whitespace allowed). The
+    error string carries a character offset. *)
+
+(** {2 Accessors} — total functions returning [option]. *)
+
+val member : string -> t -> t option
+(** [member k (Obj ...)] — [None] on missing key or non-object. *)
+
+val to_list : t -> t list option
+val to_int : t -> int option  (** [Int]; does not coerce floats. *)
+
+val to_float : t -> float option  (** [Float] or [Int], coerced. *)
+
+val to_str : t -> string option
+val to_bool : t -> bool option

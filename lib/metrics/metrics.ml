@@ -1,0 +1,312 @@
+let schema_version = 1
+
+type row = {
+  experiment : string;
+  label : string;
+  category : string;
+  scheme : string;
+  structure : string;
+  domains : int;
+  total_ops : int;
+  elapsed_s : float;
+  mops : float;
+  max_backlog : int;
+  reclaimed : int;
+  retired : int;
+  scans : int;
+  note : string;
+  extra : (string * float) list;
+}
+
+let row ~experiment ~label ?(category = "simulated") ?(scheme = "")
+    ?(structure = "") ?(domains = 0) ?(total_ops = 0) ?(elapsed_s = 0.)
+    ?(mops = 0.) ?(max_backlog = 0) ?(reclaimed = 0) ?(retired = 0)
+    ?(scans = 0) ?(note = "") ?(extra = []) () =
+  {
+    experiment;
+    label;
+    category;
+    scheme;
+    structure;
+    domains;
+    total_ops;
+    elapsed_s;
+    mops;
+    max_backlog;
+    reclaimed;
+    retired;
+    scans;
+    note;
+    extra;
+  }
+
+let key r = r.experiment ^ "/" ^ r.label
+
+type manifest = {
+  schema_version : int;
+  created_at : float;
+  git_rev : string;
+  ocaml_version : string;
+  recommended_domains : int;
+  mode : string;
+  argv : string list;
+}
+
+(* Best-effort git revision without shelling out: walk up from the cwd
+   looking for .git, follow HEAD's symref, fall back to packed-refs. *)
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let packed_ref git_dir refname =
+  let data = read_file (Filename.concat git_dir "packed-refs") in
+  let hit = ref None in
+  String.split_on_char '\n' data
+  |> List.iter (fun line ->
+         match String.index_opt line ' ' with
+         | Some i when String.sub line (i + 1) (String.length line - i - 1)
+                       = refname ->
+           hit := Some (String.sub line 0 i)
+         | _ -> ());
+  !hit
+
+let git_rev () =
+  let rec find_git_dir dir depth =
+    if depth > 6 then None
+    else
+      let cand = Filename.concat dir ".git" in
+      if Sys.file_exists cand && Sys.is_directory cand then Some cand
+      else
+        let parent = Filename.dirname dir in
+        if parent = dir then None else find_git_dir parent (depth + 1)
+  in
+  match find_git_dir (Sys.getcwd ()) 0 with
+  | None -> "unknown"
+  | Some git_dir -> (
+    try
+      let head = String.trim (read_file (Filename.concat git_dir "HEAD")) in
+      match String.length head >= 5 && String.sub head 0 5 = "ref: " with
+      | false -> head (* detached HEAD: already a hash *)
+      | true -> (
+        let refname =
+          String.trim (String.sub head 5 (String.length head - 5))
+        in
+        let ref_file = Filename.concat git_dir refname in
+        if Sys.file_exists ref_file then String.trim (read_file ref_file)
+        else
+          match packed_ref git_dir refname with
+          | Some h -> h
+          | None -> "unknown")
+    with _ -> "unknown")
+
+let manifest ?(argv = Array.to_list Sys.argv) ~mode () =
+  {
+    schema_version;
+    created_at = Unix.gettimeofday ();
+    git_rev = git_rev ();
+    ocaml_version = Sys.ocaml_version;
+    recommended_domains = Domain.recommended_domain_count ();
+    mode;
+    argv;
+  }
+
+type report = {
+  manifest : manifest;
+  rows : row list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* JSON codec                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let row_to_json r =
+  Json.Obj
+    [
+      ("experiment", Json.String r.experiment);
+      ("label", Json.String r.label);
+      ("category", Json.String r.category);
+      ("scheme", Json.String r.scheme);
+      ("structure", Json.String r.structure);
+      ("domains", Json.Int r.domains);
+      ("total_ops", Json.Int r.total_ops);
+      ("elapsed_s", Json.Float r.elapsed_s);
+      ("mops", Json.Float r.mops);
+      ("max_backlog", Json.Int r.max_backlog);
+      ("reclaimed", Json.Int r.reclaimed);
+      ("retired", Json.Int r.retired);
+      ("scans", Json.Int r.scans);
+      ("note", Json.String r.note);
+      ("extra", Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) r.extra));
+    ]
+
+(* Field extraction helpers: missing fields fail loudly so schema drift
+   between two compared files is a diagnosis, not a silent zero. *)
+let field name conv j =
+  match Option.bind (Json.member name j) conv with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "row: missing or mistyped field %S" name)
+
+let ( let* ) = Result.bind
+
+let row_of_json j =
+  let* experiment = field "experiment" Json.to_str j in
+  let* label = field "label" Json.to_str j in
+  let* category = field "category" Json.to_str j in
+  let* scheme = field "scheme" Json.to_str j in
+  let* structure = field "structure" Json.to_str j in
+  let* domains = field "domains" Json.to_int j in
+  let* total_ops = field "total_ops" Json.to_int j in
+  let* elapsed_s = field "elapsed_s" Json.to_float j in
+  let* mops = field "mops" Json.to_float j in
+  let* max_backlog = field "max_backlog" Json.to_int j in
+  let* reclaimed = field "reclaimed" Json.to_int j in
+  let* retired = field "retired" Json.to_int j in
+  let* scans = field "scans" Json.to_int j in
+  let* note = field "note" Json.to_str j in
+  let* extra =
+    match Json.member "extra" j with
+    | Some (Json.Obj fields) ->
+      List.fold_left
+        (fun acc (k, v) ->
+          let* acc = acc in
+          match Json.to_float v with
+          | Some f -> Ok ((k, f) :: acc)
+          | None -> Error (Printf.sprintf "row: extra field %S not a number" k))
+        (Ok []) fields
+      |> Result.map List.rev
+    | _ -> Error "row: missing extra object"
+  in
+  Ok
+    {
+      experiment;
+      label;
+      category;
+      scheme;
+      structure;
+      domains;
+      total_ops;
+      elapsed_s;
+      mops;
+      max_backlog;
+      reclaimed;
+      retired;
+      scans;
+      note;
+      extra;
+    }
+
+let manifest_to_json m =
+  Json.Obj
+    [
+      ("schema_version", Json.Int m.schema_version);
+      ("created_at", Json.Float m.created_at);
+      ("git_rev", Json.String m.git_rev);
+      ("ocaml_version", Json.String m.ocaml_version);
+      ("recommended_domains", Json.Int m.recommended_domains);
+      ("mode", Json.String m.mode);
+      ("argv", Json.List (List.map (fun a -> Json.String a) m.argv));
+    ]
+
+let manifest_of_json j =
+  let* schema_version = field "schema_version" Json.to_int j in
+  if schema_version <> 1 then
+    Error (Printf.sprintf "unsupported schema_version %d" schema_version)
+  else
+    let* created_at = field "created_at" Json.to_float j in
+    let* git_rev = field "git_rev" Json.to_str j in
+    let* ocaml_version = field "ocaml_version" Json.to_str j in
+    let* recommended_domains = field "recommended_domains" Json.to_int j in
+    let* mode = field "mode" Json.to_str j in
+    let* argv =
+      match Option.bind (Json.member "argv" j) Json.to_list with
+      | Some l ->
+        List.fold_left
+          (fun acc v ->
+            let* acc = acc in
+            match Json.to_str v with
+            | Some s -> Ok (s :: acc)
+            | None -> Error "manifest: argv entry not a string")
+          (Ok []) l
+        |> Result.map List.rev
+      | None -> Error "manifest: missing argv"
+    in
+    Ok
+      {
+        schema_version;
+        created_at;
+        git_rev;
+        ocaml_version;
+        recommended_domains;
+        mode;
+        argv;
+      }
+
+let report_to_json r =
+  Json.Obj
+    [
+      ("manifest", manifest_to_json r.manifest);
+      ("rows", Json.List (List.map row_to_json r.rows));
+    ]
+
+let report_of_json j =
+  let* mj =
+    match Json.member "manifest" j with
+    | Some m -> Ok m
+    | None -> Error "report: missing manifest"
+  in
+  let* manifest = manifest_of_json mj in
+  let* rowsj =
+    match Option.bind (Json.member "rows" j) Json.to_list with
+    | Some l -> Ok l
+    | None -> Error "report: missing rows array"
+  in
+  let* rows =
+    List.fold_left
+      (fun acc rj ->
+        let* acc = acc in
+        let* r = row_of_json rj in
+        Ok (r :: acc))
+      (Ok []) rowsj
+    |> Result.map List.rev
+  in
+  Ok { manifest; rows }
+
+let write path report =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (Json.to_string (report_to_json report));
+      output_char oc '\n')
+
+let load path =
+  match read_file path with
+  | exception Sys_error msg -> Error msg
+  | data ->
+    let* j = Json.of_string data in
+    report_of_json j
+
+let pp_row fmt r =
+  Format.fprintf fmt
+    "%s/%-30s %-18s d=%d ops=%-8d %8.3f Mops/s backlog(max)=%-6d \
+     reclaimed=%-8d retired=%-8d scans=%d%s"
+    r.experiment r.label r.category r.domains r.total_ops r.mops r.max_backlog
+    r.reclaimed r.retired r.scans
+    (if r.note = "" then "" else "  [" ^ r.note ^ "]")
+
+(* ------------------------------------------------------------------ *)
+(* Sink                                                                *)
+(* ------------------------------------------------------------------ *)
+
+type sink = row list ref
+
+let sink () = ref []
+let add s r = s := r :: !s
+let rows s = List.rev !s
+
+let flush s ~mode ~path =
+  let rows = rows s in
+  write path { manifest = manifest ~mode (); rows };
+  List.length rows

@@ -1,0 +1,98 @@
+(** Machine-readable experiment results.
+
+    Every experiment row the harness produces — simulated classification
+    runs (E1–E7, E10/E11) and native throughput/backlog runs (E8/E8b/E9)
+    — is a uniform {!row}; a run writes one {!report} (manifest + rows)
+    to a [BENCH_*.json] file. [bin/bench_compare.exe] diffs two such
+    files, which is the perf gate future changes run against.
+
+    Schema (version {!schema_version}):
+    {v
+    { "manifest": { "schema_version": int, "created_at": float,
+                    "git_rev": str, "ocaml_version": str,
+                    "recommended_domains": int, "mode": "quick"|"full",
+                    "argv": [str] },
+      "rows": [ { "experiment": str, "label": str, "category": str,
+                  "scheme": str, "structure": str, "domains": int,
+                  "total_ops": int, "elapsed_s": float, "mops": float,
+                  "max_backlog": int, "reclaimed": int, "retired": int,
+                  "scans": int, "note": str,
+                  "extra": { str: float, ... } } ] }
+    v} *)
+
+val schema_version : int
+
+type row = {
+  experiment : string;  (** "E1" … "E11" *)
+  label : string;  (** unique within the experiment, e.g. "harris+ebr/churn" *)
+  category : string;
+      (** "native-throughput" (mops is the gated signal),
+          "native-backlog" (max_backlog is), or "simulated"
+          (deterministic classification rows). *)
+  scheme : string;  (** "" when the row is not per-scheme *)
+  structure : string;
+  domains : int;
+  total_ops : int;
+  elapsed_s : float;
+  mops : float;  (** million completed operations per second; 0 if n/a *)
+  max_backlog : int;
+  reclaimed : int;
+  retired : int;
+  scans : int;  (** reclamation scan passes (per-scheme semantics) *)
+  note : string;  (** free-text verdict, e.g. "ROBUSTNESS VIOLATED" *)
+  extra : (string * float) list;  (** experiment-specific numerics *)
+}
+
+val row :
+  experiment:string -> label:string -> ?category:string -> ?scheme:string ->
+  ?structure:string -> ?domains:int -> ?total_ops:int -> ?elapsed_s:float ->
+  ?mops:float -> ?max_backlog:int -> ?reclaimed:int -> ?retired:int ->
+  ?scans:int -> ?note:string -> ?extra:(string * float) list -> unit -> row
+(** All optional fields default to [0] / [""] / [[]]; [category] defaults
+    to ["simulated"]. *)
+
+val key : row -> string
+(** ["experiment/label"] — the identity rows are matched on when two
+    reports are diffed. *)
+
+type manifest = {
+  schema_version : int;
+  created_at : float;  (** Unix time *)
+  git_rev : string;  (** best-effort from [.git]; "unknown" otherwise *)
+  ocaml_version : string;
+  recommended_domains : int;  (** [Domain.recommended_domain_count ()] *)
+  mode : string;  (** "quick" | "full" *)
+  argv : string list;
+}
+
+val manifest : ?argv:string list -> mode:string -> unit -> manifest
+
+type report = {
+  manifest : manifest;
+  rows : row list;
+}
+
+val row_to_json : row -> Json.t
+val row_of_json : Json.t -> (row, string) result
+val report_to_json : report -> Json.t
+val report_of_json : Json.t -> (report, string) result
+
+val write : string -> report -> unit
+(** Write the report to a file (pretty-printed JSON, trailing newline). *)
+
+val load : string -> (report, string) result
+(** Read and parse; [Error] carries a parse or schema message. *)
+
+val pp_row : Format.formatter -> row -> unit
+
+(** {2 Collecting rows during a run} *)
+
+type sink
+
+val sink : unit -> sink
+val add : sink -> row -> unit
+val rows : sink -> row list  (** In insertion order. *)
+
+val flush : sink -> mode:string -> path:string -> int
+(** Write all collected rows (plus a fresh manifest) to [path]; returns
+    the number of rows written. *)

@@ -1,0 +1,136 @@
+type t = {
+  quick : bool;
+  json : string option;
+  only : string list;
+  schemes : string list;
+  domains : int option;
+  ops : int option;
+  rounds : int option;
+  fuzz : int option;
+  tries : int option;
+  command : string option;
+}
+
+let split_commas s =
+  String.split_on_char ',' s
+  |> List.filter_map (fun x ->
+         match String.trim x with "" -> None | x -> Some x)
+
+let parse_result ~argv ~prog ?(commands = []) () =
+  let quick = ref false in
+  let json = ref None in
+  let only = ref [] in
+  let schemes = ref [] in
+  let domains = ref None in
+  let ops = ref None in
+  let rounds = ref None in
+  let fuzz = ref None in
+  let tries = ref None in
+  let command = ref None in
+  let set_opt r v = r := Some v in
+  let spec =
+    Arg.align
+      [
+        ("--quick", Arg.Set quick, " Smaller parameters for every experiment");
+        ( "--json",
+          Arg.String (set_opt json),
+          "FILE Write machine-readable rows to FILE (default \
+           BENCH_<timestamp>.json)" );
+        ( "--only",
+          Arg.String (fun s -> only := !only @ split_commas s),
+          "LIST Run only these experiments (comma-separated, e.g. E1,E8b,B3)"
+        );
+        ( "--schemes",
+          Arg.String (fun s -> schemes := !schemes @ split_commas s),
+          "LIST Restrict to these schemes (comma-separated, e.g. ebr,ibr)" );
+        ( "-s",
+          Arg.String (fun s -> schemes := !schemes @ split_commas s),
+          "LIST Alias for --schemes" );
+        ( "--domains",
+          Arg.Int (set_opt domains),
+          "N Domains for native throughput rows" );
+        ("--ops", Arg.Int (set_opt ops), "N Operations per domain (native)");
+        ("--rounds", Arg.Int (set_opt rounds), "N Figure 1 churn rounds");
+        ( "--fuzz",
+          Arg.Int (set_opt fuzz),
+          "N Randomized executions per (scheme, structure) pair" );
+        ("--tries", Arg.Int (set_opt tries), "N Stall-fuzz attempts");
+      ]
+  in
+  let usage =
+    if commands = [] then Printf.sprintf "usage: %s [options]" prog
+    else
+      Printf.sprintf "usage: %s <command> [options]\ncommands: %s" prog
+        (String.concat ", " commands)
+  in
+  let anon a =
+    if a = "quick" then quick := true (* the historical positional form *)
+    else if commands = [] then
+      raise (Arg.Bad (Printf.sprintf "unexpected argument %S" a))
+    else
+      match !command with
+      | Some _ ->
+        raise (Arg.Bad (Printf.sprintf "unexpected second command %S" a))
+      | None ->
+        if List.mem a commands then command := Some a
+        else
+          raise
+            (Arg.Bad
+               (Printf.sprintf "unknown command %S (expected one of: %s)" a
+                  (String.concat ", " commands)))
+  in
+  match Arg.parse_argv ~current:(ref 0) argv spec anon usage with
+  | () ->
+    Ok
+      {
+        quick = !quick;
+        json = !json;
+        only = !only;
+        schemes = !schemes;
+        domains = !domains;
+        ops = !ops;
+        rounds = !rounds;
+        fuzz = !fuzz;
+        tries = !tries;
+        command = !command;
+      }
+  | exception Arg.Bad msg -> Error msg
+  | exception Arg.Help msg -> Error msg
+
+let parse ?(argv = Sys.argv) ~prog ?(commands = []) () =
+  match parse_result ~argv ~prog ~commands () with
+  | Ok t -> t
+  | Error msg ->
+    (* Arg.Bad carries the full usage text; --help lands here too. *)
+    let is_help =
+      Array.exists (fun a -> a = "-help" || a = "--help") argv
+    in
+    if is_help then begin
+      print_string msg;
+      exit 0
+    end
+    else begin
+      prerr_string msg;
+      exit 2
+    end
+
+let lower = String.lowercase_ascii
+let selects_experiment t id = t.only = [] || List.mem (lower id) (List.map lower t.only)
+let selects_scheme t name =
+  t.schemes = [] || List.mem (lower name) (List.map lower t.schemes)
+
+let domains_or t d = Option.value t.domains ~default:d
+let ops_or t d = Option.value t.ops ~default:d
+let rounds_or t d = Option.value t.rounds ~default:d
+let fuzz_or t d = Option.value t.fuzz ~default:d
+let tries_or t d = Option.value t.tries ~default:d
+let mode t = if t.quick then "quick" else "full"
+
+let default_json_path ?(clock = Unix.gettimeofday) t =
+  match t.json with
+  | Some f -> f
+  | None ->
+    let tm = Unix.localtime (clock ()) in
+    Printf.sprintf "BENCH_%04d%02d%02dT%02d%02d%02d.json" (tm.Unix.tm_year + 1900)
+      (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+      tm.Unix.tm_sec

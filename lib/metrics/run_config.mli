@@ -1,0 +1,54 @@
+(** The one command-line surface shared by the experiment front-ends
+    ([bench/main.exe] and [bin/era_cli.exe]).
+
+    Historically [bench/main.ml] only recognised a positional ["quick"]
+    at [Sys.argv.(1)] and [era_cli] had its own dispatch; both now parse
+    through this [Arg]-based module, so flags like [--json] and
+    [--schemes] behave identically everywhere. The bare positional
+    ["quick"] is still accepted as an alias for [--quick]. *)
+
+type t = {
+  quick : bool;
+  json : string option;  (** [--json FILE] *)
+  only : string list;  (** [--only E1,E8b] — empty means everything *)
+  schemes : string list;  (** [--schemes ebr,ibr] — empty means all *)
+  domains : int option;  (** [--domains N] override for native rows *)
+  ops : int option;  (** [--ops N] per-domain op count override *)
+  rounds : int option;  (** [--rounds N] Figure 1 churn rounds *)
+  fuzz : int option;  (** [--fuzz N] randomized runs per pair *)
+  tries : int option;  (** [--tries N] stall-fuzz attempts *)
+  command : string option;  (** first non-flag word (era_cli commands) *)
+}
+
+val parse :
+  ?argv:string array -> prog:string -> ?commands:string list -> unit -> t
+(** Parse [argv] (default [Sys.argv]). If [commands] is non-empty, one
+    positional command from that list is accepted; an unknown command or
+    a second positional is an error. Exits 2 on bad usage, 0 on [--help]
+    (standard [Arg] behaviour). *)
+
+val parse_result :
+  argv:string array -> prog:string -> ?commands:string list -> unit ->
+  (t, string) result
+(** Like {!parse} but returns [Error usage_message] instead of exiting —
+    for tests. *)
+
+val selects_experiment : t -> string -> bool
+(** [--only] filter; ids are matched case-insensitively ("e8b" = "E8b").
+    An empty filter selects everything. *)
+
+val selects_scheme : t -> string -> bool
+(** [--schemes] filter, case-insensitive; empty selects all. *)
+
+val domains_or : t -> int -> int
+val ops_or : t -> int -> int
+val rounds_or : t -> int -> int
+val fuzz_or : t -> int -> int
+val tries_or : t -> int -> int
+
+val mode : t -> string
+(** ["quick"] or ["full"], for the run manifest. *)
+
+val default_json_path : ?clock:(unit -> float) -> t -> string
+(** [--json FILE] if given, else [BENCH_<timestamp>.json] derived from
+    [clock] (default [Unix.gettimeofday]). *)

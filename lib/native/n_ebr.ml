@@ -13,6 +13,8 @@ type dstate = {
   mutable backlog : int;
   mutable max_backlog : int;
   mutable reclaimed : int;
+  mutable retired : int;
+  mutable scans : int;  (* epoch-bucket frees (passes that reclaimed) *)
 }
 
 type t = {
@@ -36,7 +38,7 @@ let create ~ndomains =
     domains =
       Array.init ndomains (fun _ ->
           { buckets = []; pool = []; backlog = 0; max_backlog = 0;
-            reclaimed = 0 });
+            reclaimed = 0; retired = 0; scans = 0 });
   }
 
 let thread g d = { g; d }
@@ -50,6 +52,7 @@ let reclaim_eligible t =
     List.partition (fun (e, _, _) -> e <= horizon) ds.buckets
   in
   ds.buckets <- kept;
+  if eligible <> [] then ds.scans <- ds.scans + 1;
   List.iter
     (fun (_, nodes, count) ->
       ds.pool <- List.rev_append nodes ds.pool;
@@ -94,6 +97,7 @@ let retire t n =
     (match ds.buckets with
     | (e', nodes, c) :: rest when e' = e -> (e, n :: nodes, c + 1) :: rest
     | l -> (e, [ n ], 1) :: l));
+  ds.retired <- ds.retired + 1;
   ds.backlog <- ds.backlog + 1;
   if ds.backlog > ds.max_backlog then ds.max_backlog <- ds.backlog;
   reclaim_eligible t
@@ -106,3 +110,16 @@ let max_backlog g =
   Array.fold_left (fun a d -> max a d.max_backlog) 0 g.domains
 
 let reclaimed g = Array.fold_left (fun a d -> a + d.reclaimed) 0 g.domains
+
+let stats g =
+  Array.fold_left
+    (fun (s : Nsmr.stats) d ->
+      {
+        Nsmr.retired = s.retired + d.retired;
+        reclaimed = s.reclaimed + d.reclaimed;
+        backlog = s.backlog + d.backlog;
+        max_backlog = max s.max_backlog d.max_backlog;
+        scans = s.scans + d.scans;
+      })
+    { Nsmr.retired = 0; reclaimed = 0; backlog = 0; max_backlog = 0; scans = 0 }
+    g.domains

@@ -12,6 +12,8 @@ type dstate = {
   mutable pool : Nnode.node list;
   mutable max_backlog : int;
   mutable reclaimed : int;
+  mutable retired_total : int;
+  mutable scans : int;
 }
 
 type t = {
@@ -38,7 +40,7 @@ let create ~ndomains =
     domains =
       Array.init ndomains (fun _ ->
           { retired = []; retired_count = 0; pool = []; max_backlog = 0;
-            reclaimed = 0 });
+            reclaimed = 0; retired_total = 0; scans = 0 });
   }
 
 let thread g d = { g; d }
@@ -83,6 +85,7 @@ let intersects g ~birth ~retire_epoch =
 let scan t =
   let g = t.g in
   let ds = g.domains.(t.d) in
+  ds.scans <- ds.scans + 1;
   let keep, free =
     List.partition
       (fun (_, birth, retire_epoch) -> intersects g ~birth ~retire_epoch)
@@ -98,6 +101,7 @@ let retire t n =
   ds.retired <-
     (n, n.Nnode.birth, Atomic.get t.g.epoch) :: ds.retired;
   ds.retired_count <- ds.retired_count + 1;
+  ds.retired_total <- ds.retired_total + 1;
   if ds.retired_count > ds.max_backlog then ds.max_backlog <- ds.retired_count;
   if ds.retired_count >= scan_threshold then scan t
 
@@ -111,3 +115,16 @@ let max_backlog g =
   Array.fold_left (fun a d -> max a d.max_backlog) 0 g.domains
 
 let reclaimed g = Array.fold_left (fun a d -> a + d.reclaimed) 0 g.domains
+
+let stats g =
+  Array.fold_left
+    (fun (s : Nsmr.stats) d ->
+      {
+        Nsmr.retired = s.retired + d.retired_total;
+        reclaimed = s.reclaimed + d.reclaimed;
+        backlog = s.backlog + d.retired_count;
+        max_backlog = max s.max_backlog d.max_backlog;
+        scans = s.scans + d.scans;
+      })
+    { Nsmr.retired = 0; reclaimed = 0; backlog = 0; max_backlog = 0; scans = 0 }
+    g.domains

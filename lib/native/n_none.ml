@@ -31,3 +31,13 @@ let read_link _ n = Nnode.get n
 let backlog t = Atomic.get t.backlog
 let max_backlog t = Atomic.get t.max_backlog
 let reclaimed _ = 0
+
+let stats t =
+  let b = Atomic.get t.backlog in
+  {
+    Nsmr.retired = b;  (* nothing is ever reclaimed: retired = backlog *)
+    reclaimed = 0;
+    backlog = b;
+    max_backlog = Atomic.get t.max_backlog;
+    scans = 0;
+  }

@@ -7,6 +7,19 @@
     statistics expose reclaimed counts and the retired-backlog high-water
     mark, which is the space axis of the robustness trade-off. *)
 
+(** Aggregated per-scheme counters, snapshotted by [S.stats]. The
+    invariants [reclaimed <= retired] and [backlog = retired - reclaimed]
+    hold at any quiescent point (no operation in flight). *)
+type stats = {
+  retired : int;  (** total nodes ever passed to [retire] *)
+  reclaimed : int;  (** nodes recycled into the pools *)
+  backlog : int;  (** currently retired-but-unreclaimed *)
+  max_backlog : int;  (** high-water mark of the backlog *)
+  scans : int;
+      (** reclamation passes: threshold-triggered scans for HP/IBR,
+          epoch-bucket frees for EBR, always 0 for none *)
+}
+
 module type S = sig
   val name : string
 
@@ -33,6 +46,10 @@ module type S = sig
 
   val max_backlog : t -> int
   val reclaimed : t -> int
+
+  val stats : t -> stats
+  (** One consistent snapshot of every counter (experiment rows are built
+      from this rather than the individual accessors). *)
 end
 
 (* Per-domain padded slot helper: OCaml records/arrays give no real

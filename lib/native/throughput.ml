@@ -1,11 +1,17 @@
+module Rng = Era_sim.Rng
+
 type result = {
   label : string;
+  scheme : string;
+  structure : string;
   domains : int;
   total_ops : int;
   elapsed_s : float;
   mops : float;
   max_backlog : int;
   reclaimed : int;
+  retired : int;
+  scans : int;
 }
 
 type list_kind =
@@ -16,21 +22,19 @@ type mix =
   | Churn
   | Read_heavy
 
-(* splitmix64, local copy to keep this library free of simulator deps *)
-let rng_next state =
-  let open Int64 in
-  state := add !state 0x9E3779B97F4A7C15L;
-  let z = !state in
-  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
-  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
-  Int64.to_int (shift_right_logical (logxor z (shift_right_logical z 31)) 2)
-
-let run_workers ~label ~domains ~ops_per_domain ~make_worker ~stats =
-  let barrier = Atomic.make 0 in
+let run_workers ~label ~scheme ~structure ~domains ~ops_per_domain ~make_worker
+    ~stats =
+  (* Two-phase start barrier: every domain (including this one) builds
+     its worker, then signals [ready] and spins on [go]; only once all
+     of them are parked does the coordinator release them, and the start
+     timestamp is taken {e after} the release store. Sampling [t0]
+     before the release — or letting domain 0 run while spawned domains
+     were still being scheduled — undercounted [mops] on slow spawns. *)
+  let ready = Atomic.make 0 in
   let go = Atomic.make false in
   let body d () =
     let worker = make_worker d in
-    ignore (Atomic.fetch_and_add barrier 1);
+    ignore (Atomic.fetch_and_add ready 1);
     while not (Atomic.get go) do
       Domain.cpu_relax ()
     done;
@@ -41,32 +45,36 @@ let run_workers ~label ~domains ~ops_per_domain ~make_worker ~stats =
   let spawned =
     List.init (domains - 1) (fun i -> Domain.spawn (body (i + 1)))
   in
-  (* domain 0 = this one; wait for the others to be ready *)
   let worker0 = make_worker 0 in
-  ignore (Atomic.fetch_and_add barrier 1);
-  while Atomic.get barrier < domains do
+  ignore (Atomic.fetch_and_add ready 1);
+  while Atomic.get ready < domains do
     Domain.cpu_relax ()
   done;
-  let t0 = Unix.gettimeofday () in
   Atomic.set go true;
+  let t0 = Unix.gettimeofday () in
   for _ = 1 to ops_per_domain do
     worker0 ()
   done;
   List.iter Domain.join spawned;
   let elapsed = Unix.gettimeofday () -. t0 in
   let total = domains * ops_per_domain in
-  let max_backlog, reclaimed = stats () in
+  let s : Nsmr.stats = stats () in
   {
     label;
+    scheme;
+    structure;
     domains;
     total_ops = total;
     elapsed_s = elapsed;
     mops = float_of_int total /. elapsed /. 1e6;
-    max_backlog;
-    reclaimed;
+    max_backlog = s.Nsmr.max_backlog;
+    reclaimed = s.Nsmr.reclaimed;
+    retired = s.Nsmr.retired;
+    scans = s.Nsmr.scans;
   }
 
 let kind_name = function Harris -> "harris" | Michael -> "michael"
+let structure_name = function Harris -> "harris-list" | Michael -> "michael-list"
 let mix_name = function Churn -> "churn" | Read_heavy -> "read-heavy"
 
 let scheme_name = function
@@ -74,6 +82,25 @@ let scheme_name = function
   | `Hp -> "hp"
   | `Ibr -> "ibr"
   | `None -> "none"
+
+(* Shared per-operation body for the list mixes. The key and the
+   operation roll are {e independent} draws — deriving both from one
+   splitmix64 output (key from the low bits, roll from the quotient)
+   correlated the read/write decision with the key, biasing the mix per
+   key. *)
+let list_worker ~mix ~seed ~insert ~delete ~contains =
+  let rng = Rng.create seed in
+  let key_range, contains_pct =
+    match mix with Churn -> (64, 0) | Read_heavy -> (1024, 90)
+  in
+  fun () ->
+    let k = 1 + Rng.int rng key_range in
+    let roll = Rng.int rng 100 in
+    if roll < contains_pct then ignore (contains k)
+    else if roll land 1 = 0 then ignore (insert k)
+    else ignore (delete k)
+
+let worker_seed d = (d * 77) + 13
 
 (* Build (worker factory, stats) for a (list, scheme, mix) choice. The
    functor application must happen per concrete scheme module, hence the
@@ -89,19 +116,12 @@ let build_list (type a) (module S : Nsmr.S with type t = a) kind mix ~domains
     List.iter (fun k -> ignore (L.insert l s0 k)) prefill;
     let make_worker d =
       let s = S.thread g d in
-      let st = ref (Int64.of_int ((d * 77) + 13)) in
-      let key_range, contains_pct =
-        match mix with Churn -> (64, 0) | Read_heavy -> (1024, 90)
-      in
-      fun () ->
-        let r = rng_next st in
-        let k = 1 + (r mod key_range) in
-        let roll = (r / key_range) mod 100 in
-        if roll < contains_pct then ignore (L.contains l s k)
-        else if roll mod 2 = 0 then ignore (L.insert l s k)
-        else ignore (L.delete l s k)
+      list_worker ~mix ~seed:(worker_seed d)
+        ~insert:(fun k -> L.insert l s k)
+        ~delete:(fun k -> L.delete l s k)
+        ~contains:(fun k -> L.contains l s k)
     in
-    (make_worker, fun () -> (S.max_backlog g, S.reclaimed g))
+    (make_worker, fun () -> S.stats g)
   | Michael ->
     let module L = N_michael.Make (S) in
     let g = S.create ~ndomains:domains in
@@ -110,19 +130,12 @@ let build_list (type a) (module S : Nsmr.S with type t = a) kind mix ~domains
     List.iter (fun k -> ignore (L.insert l s0 k)) prefill;
     let make_worker d =
       let s = S.thread g d in
-      let st = ref (Int64.of_int ((d * 77) + 13)) in
-      let key_range, contains_pct =
-        match mix with Churn -> (64, 0) | Read_heavy -> (1024, 90)
-      in
-      fun () ->
-        let r = rng_next st in
-        let k = 1 + (r mod key_range) in
-        let roll = (r / key_range) mod 100 in
-        if roll < contains_pct then ignore (L.contains l s k)
-        else if roll mod 2 = 0 then ignore (L.insert l s k)
-        else ignore (L.delete l s k)
+      list_worker ~mix ~seed:(worker_seed d)
+        ~insert:(fun k -> L.insert l s k)
+        ~delete:(fun k -> L.delete l s k)
+        ~contains:(fun k -> L.contains l s k)
     in
-    (make_worker, fun () -> (S.max_backlog g, S.reclaimed g))
+    (make_worker, fun () -> S.stats g)
 
 let scheme_module = function
   | `Ebr -> (module N_ebr : Nsmr.S)
@@ -148,7 +161,8 @@ let e8_row kind ~scheme mix ~domains ~ops_per_domain =
     ~label:
       (Fmt.str "%s+%s/%s" (kind_name kind) (scheme_name scheme)
          (mix_name mix))
-    ~domains ~ops_per_domain ~make_worker ~stats
+    ~scheme:(scheme_name scheme) ~structure:(structure_name kind) ~domains
+    ~ops_per_domain ~make_worker ~stats
 
 (* E9: domain 0 opens an operation (announcing its epoch / publishing its
    reservation) and parks until the churn domains are done. *)
@@ -177,12 +191,11 @@ let e9_row ~scheme ~churn_ops =
           S.end_op s
         end)
     else
-      let st = ref (Int64.of_int ((d * 91) + 7)) in
+      let rng = Rng.create ((d * 91) + 7) in
       let count = ref 0 in
       fun () ->
-        let r = rng_next st in
-        let k = 1 + (r mod 64) in
-        if r mod 2 = 0 then ignore (L.insert l s k)
+        let k = 1 + Rng.int rng 64 in
+        if Rng.bool rng then ignore (L.insert l s k)
         else ignore (L.delete l s k);
         incr count;
         if !count = churn_ops then ignore (Atomic.fetch_and_add done_flag 1)
@@ -190,8 +203,9 @@ let e9_row ~scheme ~churn_ops =
   let res =
     run_workers
       ~label:(Fmt.str "stall/%s" (scheme_name scheme))
-      ~domains ~ops_per_domain:churn_ops ~make_worker
-      ~stats:(fun () -> (S.max_backlog g, S.reclaimed g))
+      ~scheme:(scheme_name scheme) ~structure:"michael-list" ~domains
+      ~ops_per_domain:churn_ops ~make_worker
+      ~stats:(fun () -> S.stats g)
   in
   { res with total_ops = 2 * churn_ops }
 
@@ -203,16 +217,16 @@ let stack_row ~scheme ~domains ~ops_per_domain =
   let st = T.create () in
   let make_worker d =
     let s = S.thread g d in
-    let rng = ref (Int64.of_int ((d * 31) + 5)) in
+    let rng = Rng.create ((d * 31) + 5) in
     fun () ->
-      let r = rng_next rng in
-      if r mod 2 = 0 then T.push st s (r mod 1000)
+      if Rng.bool rng then T.push st s (Rng.int rng 1000)
       else ignore (T.pop st s)
   in
   run_workers
     ~label:(Fmt.str "treiber+%s" (scheme_name scheme))
-    ~domains ~ops_per_domain ~make_worker
-    ~stats:(fun () -> (S.max_backlog g, S.reclaimed g))
+    ~scheme:(scheme_name scheme) ~structure:"treiber-stack" ~domains
+    ~ops_per_domain ~make_worker
+    ~stats:(fun () -> S.stats g)
 
 let queue_row ~scheme ~domains ~ops_per_domain =
   let (module S) = scheme_module scheme in
@@ -221,16 +235,26 @@ let queue_row ~scheme ~domains ~ops_per_domain =
   let q = Q.create () in
   let make_worker d =
     let s = S.thread g d in
-    let rng = ref (Int64.of_int ((d * 53) + 9)) in
+    let rng = Rng.create ((d * 53) + 9) in
     fun () ->
-      let r = rng_next rng in
-      if r mod 2 = 0 then Q.enqueue q s (r mod 1000)
+      if Rng.bool rng then Q.enqueue q s (Rng.int rng 1000)
       else ignore (Q.dequeue q s)
   in
   run_workers
     ~label:(Fmt.str "msqueue+%s" (scheme_name scheme))
-    ~domains ~ops_per_domain ~make_worker
-    ~stats:(fun () -> (S.max_backlog g, S.reclaimed g))
+    ~scheme:(scheme_name scheme) ~structure:"ms-queue" ~domains
+    ~ops_per_domain ~make_worker
+    ~stats:(fun () -> S.stats g)
+
+let to_row ~experiment ~category r =
+  (* The domain count is part of the row identity: the E8 grid runs the
+     same pairing at several domain counts, and bench_compare must never
+     pair a 1-domain row with a 2-domain one. *)
+  let label = Printf.sprintf "%s@%dd" r.label r.domains in
+  Era_metrics.Metrics.row ~experiment ~label ~category ~scheme:r.scheme
+    ~structure:r.structure ~domains:r.domains ~total_ops:r.total_ops
+    ~elapsed_s:r.elapsed_s ~mops:r.mops ~max_backlog:r.max_backlog
+    ~reclaimed:r.reclaimed ~retired:r.retired ~scans:r.scans ()
 
 let pp_result fmt r =
   Fmt.pf fmt "%-24s d=%d ops=%-8d %6.3f s  %8.3f Mops/s  backlog(max)=%-6d \

@@ -15,20 +15,29 @@
 
 type result = {
   label : string;
+  scheme : string;  (** e.g. "ebr" *)
+  structure : string;  (** e.g. "michael-list" *)
   domains : int;
   total_ops : int;
   elapsed_s : float;
   mops : float;  (** million completed operations per second *)
   max_backlog : int;
   reclaimed : int;
+  retired : int;  (** total nodes retired (= reclaimed + final backlog) *)
+  scans : int;  (** reclamation scan passes (see {!Nsmr.stats}) *)
 }
 
 val run_workers :
-  label:string -> domains:int -> ops_per_domain:int ->
+  label:string -> scheme:string -> structure:string -> domains:int ->
+  ops_per_domain:int ->
   make_worker:(int -> unit -> unit) ->
-  stats:(unit -> int * int) -> result
+  stats:(unit -> Nsmr.stats) -> result
 (** Spawn [domains] domains; each calls its worker [ops_per_domain]
-    times; [stats ()] returns [(max_backlog, reclaimed)] at the end. *)
+    times; [stats ()] snapshots the scheme counters at the end. The
+    domains are released through a two-phase barrier (build worker →
+    signal ready → spin) and the clock starts only after the release
+    store, so no domain's work predates [t0] and none is still spawning
+    when the timed region begins. *)
 
 type list_kind =
   | Harris
@@ -59,5 +68,15 @@ val queue_row :
   scheme:[ `Ebr | `Hp | `Ibr | `None ] -> domains:int ->
   ops_per_domain:int -> result
 (** Michael–Scott queue, 50/50 enqueue/dequeue. *)
+
+val scheme_name : [ `Ebr | `Hp | `Ibr | `None ] -> string
+
+val to_row :
+  experiment:string -> category:string -> result -> Era_metrics.Metrics.row
+(** The machine-readable form of a result, for [BENCH_*.json] files.
+    [category] is ["native-throughput"] for timed rows and
+    ["native-backlog"] for the E9 stall rows. The row label is
+    [<result label>@<domains>d] so the same pairing measured at several
+    domain counts yields distinct row keys. *)
 
 val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,400 @@
+(* Tests for the observability layer (lib/metrics): the JSON codec, the
+   shared CLI parser, the bench_compare gate logic, and the reclamation
+   statistics invariants of the native throughput harness. *)
+
+module Json = Era_metrics.Json
+module M = Era_metrics.Metrics
+module Rc = Era_metrics.Run_config
+module D = Era_metrics.Bench_diff
+
+(* ------------------------------------------------------------------ *)
+(* JSON emitter / parser                                               *)
+(* ------------------------------------------------------------------ *)
+
+let roundtrip v =
+  match Json.of_string (Json.to_string v) with
+  | Ok v' -> v'
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+
+let test_json_scalars () =
+  List.iter
+    (fun v -> Alcotest.(check bool) "roundtrip" true (roundtrip v = v))
+    [
+      Json.Null; Json.Bool true; Json.Bool false; Json.Int 0;
+      Json.Int (-42); Json.Int max_int; Json.Float 0.125;
+      Json.Float 3.141592653589793; Json.Float (-1e-9);
+      Json.String ""; Json.String "plain";
+      Json.String "esc \"quotes\" \\ and \n\t\r control \001 bytes";
+      Json.List []; Json.Obj [];
+    ]
+
+let test_json_nested () =
+  let v =
+    Json.Obj
+      [
+        ("a", Json.List [ Json.Int 1; Json.Float 2.5; Json.Null ]);
+        ("b", Json.Obj [ ("nested", Json.List [ Json.Obj [] ]) ]);
+        ("unicode", Json.String "caf\xc3\xa9");
+      ]
+  in
+  Alcotest.(check bool) "nested roundtrip" true (roundtrip v = v);
+  (* minified form parses to the same value *)
+  match Json.of_string (Json.to_string ~minify:true v) with
+  | Ok v' -> Alcotest.(check bool) "minified roundtrip" true (v' = v)
+  | Error msg -> Alcotest.failf "minified parse failed: %s" msg
+
+let test_json_unicode_escape () =
+  match Json.of_string {|"aéb😀c"|} with
+  | Ok (Json.String s) ->
+    Alcotest.(check string) "utf8 decode" "a\xc3\xa9b\xf0\x9f\x98\x80c" s
+  | Ok _ -> Alcotest.fail "expected string"
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+
+let test_json_errors () =
+  List.iter
+    (fun s ->
+      match Json.of_string s with
+      | Ok _ -> Alcotest.failf "expected parse error for %S" s
+      | Error _ -> ())
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "\"unterminated"; "1 2"; "{1: 2}" ]
+
+(* ------------------------------------------------------------------ *)
+(* Row / report codec                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let sample_row =
+  M.row ~experiment:"E8" ~label:"harris+ebr/churn" ~category:"native-throughput"
+    ~scheme:"ebr" ~structure:"harris-list" ~domains:2 ~total_ops:400_000
+    ~elapsed_s:0.112 ~mops:3.571428 ~max_backlog:3898 ~reclaimed:49661
+    ~retired:53559 ~scans:17 ~note:"smoke"
+    ~extra:[ ("contains_pct", 0.); ("key_range", 64.) ]
+    ()
+
+let test_row_roundtrip () =
+  match M.row_of_json (M.row_to_json sample_row) with
+  | Ok r -> Alcotest.(check bool) "row roundtrip" true (r = sample_row)
+  | Error msg -> Alcotest.failf "row decode failed: %s" msg
+
+let test_row_text_roundtrip () =
+  (* Through the actual serialized text, not just the Json.t tree. *)
+  match Json.of_string (Json.to_string (M.row_to_json sample_row)) with
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+  | Ok j -> (
+    match M.row_of_json j with
+    | Ok r -> Alcotest.(check bool) "text roundtrip" true (r = sample_row)
+    | Error msg -> Alcotest.failf "row decode failed: %s" msg)
+
+let test_report_file_roundtrip () =
+  let report =
+    {
+      M.manifest = M.manifest ~argv:[ "test" ] ~mode:"quick" ();
+      rows = [ sample_row; M.row ~experiment:"E9" ~label:"stall/ebr" () ];
+    }
+  in
+  let path = Filename.temp_file "era_metrics" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      M.write path report;
+      match M.load path with
+      | Ok r -> Alcotest.(check bool) "file roundtrip" true (r = report)
+      | Error msg -> Alcotest.failf "load failed: %s" msg)
+
+let test_row_decode_rejects_missing_field () =
+  let j =
+    match M.row_to_json sample_row with
+    | Json.Obj fields ->
+      Json.Obj (List.filter (fun (k, _) -> k <> "mops") fields)
+    | _ -> assert false
+  in
+  match M.row_of_json j with
+  | Ok _ -> Alcotest.fail "expected decode error on missing mops"
+  | Error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Run_config (the shared Arg parser)                                  *)
+(* ------------------------------------------------------------------ *)
+
+let parse_ok argv =
+  match Rc.parse_result ~argv ~prog:"test" ~commands:[ "native"; "all" ] () with
+  | Ok t -> t
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+
+let test_cli_flags () =
+  let t =
+    parse_ok
+      [|
+        "bench"; "--quick"; "--json"; "out.json"; "--only"; "E1,E8b";
+        "--schemes"; "ebr,ibr"; "--domains"; "4"; "--ops"; "1000";
+      |]
+  in
+  Alcotest.(check bool) "quick" true t.Rc.quick;
+  Alcotest.(check (option string)) "json" (Some "out.json") t.Rc.json;
+  Alcotest.(check (list string)) "only" [ "E1"; "E8b" ] t.Rc.only;
+  Alcotest.(check (list string)) "schemes" [ "ebr"; "ibr" ] t.Rc.schemes;
+  Alcotest.(check (option int)) "domains" (Some 4) t.Rc.domains;
+  Alcotest.(check (option int)) "ops" (Some 1000) t.Rc.ops;
+  Alcotest.(check bool) "selects e8b" true (Rc.selects_experiment t "e8b");
+  Alcotest.(check bool) "not e9" false (Rc.selects_experiment t "E9");
+  Alcotest.(check bool) "selects ebr" true (Rc.selects_scheme t "EBR");
+  Alcotest.(check bool) "not hp" false (Rc.selects_scheme t "hp")
+
+let test_cli_positional_quick_compat () =
+  (* The historical `bench/main.exe quick` spelling still works. *)
+  let t = parse_ok [| "bench"; "quick" |] in
+  Alcotest.(check bool) "compat quick" true t.Rc.quick;
+  Alcotest.(check string) "mode" "quick" (Rc.mode t);
+  let t = parse_ok [| "bench" |] in
+  Alcotest.(check bool) "no quick" false t.Rc.quick;
+  Alcotest.(check string) "mode full" "full" (Rc.mode t)
+
+let test_cli_commands () =
+  let t = parse_ok [| "era_cli"; "native"; "--ops"; "5" |] in
+  Alcotest.(check (option string)) "command" (Some "native") t.Rc.command;
+  Alcotest.(check int) "ops default" 5 (Rc.ops_or t 100);
+  Alcotest.(check int) "domains default" 2 (Rc.domains_or t 2);
+  (match
+     Rc.parse_result ~argv:[| "era_cli"; "bogus" |] ~prog:"test"
+       ~commands:[ "native" ] ()
+   with
+  | Ok _ -> Alcotest.fail "unknown command accepted"
+  | Error _ -> ());
+  match
+    Rc.parse_result ~argv:[| "era_cli"; "native"; "all" |] ~prog:"test"
+      ~commands:[ "native"; "all" ] ()
+  with
+  | Ok _ -> Alcotest.fail "two commands accepted"
+  | Error _ -> ()
+
+let test_cli_default_json_path () =
+  let t = parse_ok [| "bench" |] in
+  let path = Rc.default_json_path ~clock:(fun () -> 0.) t in
+  Alcotest.(check bool) "BENCH_ prefix" true
+    (String.length path > 6 && String.sub path 0 6 = "BENCH_");
+  Alcotest.(check bool) ".json suffix" true
+    (Filename.check_suffix path ".json");
+  let t = parse_ok [| "bench"; "--json"; "x.json" |] in
+  Alcotest.(check string) "explicit" "x.json"
+    (Rc.default_json_path ~clock:(fun () -> 0.) t)
+
+(* ------------------------------------------------------------------ *)
+(* bench_compare gate logic                                            *)
+(* ------------------------------------------------------------------ *)
+
+let report_of rows = { M.manifest = M.manifest ~argv:[] ~mode:"quick" (); rows }
+
+let tput ?(mops = 4.0) ?(max_backlog = 100) label =
+  M.row ~experiment:"E8" ~label ~category:"native-throughput" ~scheme:"ebr"
+    ~structure:"michael-list" ~domains:2 ~total_ops:100_000 ~elapsed_s:0.025
+    ~mops ~max_backlog ~reclaimed:40_000 ~retired:41_000 ~scans:12 ()
+
+let test_diff_identical_pair_passes () =
+  let r = report_of [ tput "a"; tput "b"; M.row ~experiment:"E1" ~label:"x" () ] in
+  let v = D.diff ~old_report:r ~new_report:r () in
+  Alcotest.(check bool) "ok" true (D.ok v);
+  Alcotest.(check int) "compared" 3 v.D.compared;
+  Alcotest.(check int) "no regressions" 0 (List.length v.D.regressions);
+  Alcotest.(check int) "no blowups" 0 (List.length v.D.blowups);
+  Alcotest.(check int) "no missing" 0 (List.length v.D.missing)
+
+let test_diff_flags_50pct_regression () =
+  let old_r = report_of [ tput "a"; tput ~mops:8.0 "b" ] in
+  let new_r = report_of [ tput "a"; tput ~mops:4.0 "b" ] in
+  let v = D.diff ~old_report:old_r ~new_report:new_r () in
+  Alcotest.(check bool) "fails" false (D.ok v);
+  (match v.D.regressions with
+  | [ c ] ->
+    Alcotest.(check string) "key" "E8/b" c.D.key;
+    Alcotest.(check (float 0.01)) "delta" (-50.) c.D.delta_pct
+  | l -> Alcotest.failf "expected 1 regression, got %d" (List.length l));
+  (* The same pair within a 60% tolerance passes. *)
+  let v' =
+    D.diff ~max_regression_pct:60. ~old_report:old_r ~new_report:new_r ()
+  in
+  Alcotest.(check bool) "lenient ok" true (D.ok v')
+
+let test_diff_flags_backlog_blowup () =
+  let old_r = report_of [ tput ~max_backlog:1_000 "a" ] in
+  let new_r = report_of [ tput ~max_backlog:10_000 "a" ] in
+  let v = D.diff ~old_report:old_r ~new_report:new_r () in
+  Alcotest.(check bool) "fails" false (D.ok v);
+  Alcotest.(check int) "one blowup" 1 (List.length v.D.blowups);
+  (* Additive slack: a bounded scheme growing 60 -> 200 is fine. *)
+  let v' =
+    D.diff
+      ~old_report:(report_of [ tput ~max_backlog:60 "a" ])
+      ~new_report:(report_of [ tput ~max_backlog:200 "a" ])
+      ()
+  in
+  Alcotest.(check bool) "within slack" true (D.ok v')
+
+let test_diff_flags_missing_row () =
+  let old_r = report_of [ tput "a"; tput "b" ] in
+  let new_r = report_of [ tput "a"; tput "c" ] in
+  let v = D.diff ~old_report:old_r ~new_report:new_r () in
+  Alcotest.(check bool) "fails" false (D.ok v);
+  Alcotest.(check (list string)) "missing" [ "E8/b" ] v.D.missing;
+  Alcotest.(check (list string)) "added" [ "E8/c" ] v.D.added
+
+let test_diff_ignores_simulated_timing () =
+  (* Simulated rows carry no gated mops/backlog signal. *)
+  let mk mops =
+    report_of
+      [ M.row ~experiment:"E1" ~label:"x" ~mops ~max_backlog:(int_of_float mops) () ]
+  in
+  let v = D.diff ~old_report:(mk 100.) ~new_report:(mk 1.) () in
+  Alcotest.(check bool) "ok" true (D.ok v)
+
+(* ------------------------------------------------------------------ *)
+(* Native stats invariants                                             *)
+(* ------------------------------------------------------------------ *)
+
+open Era_native
+
+let check_stats_invariants name (s : Nsmr.stats) =
+  Alcotest.(check bool) (name ^ ": retired >= 0") true (s.Nsmr.retired >= 0);
+  Alcotest.(check bool)
+    (name ^ ": reclaimed <= retired")
+    true
+    (s.Nsmr.reclaimed <= s.Nsmr.retired);
+  Alcotest.(check bool)
+    (name ^ ": backlog = retired - reclaimed")
+    true
+    (s.Nsmr.backlog = s.Nsmr.retired - s.Nsmr.reclaimed);
+  Alcotest.(check bool)
+    (name ^ ": max_backlog >= 0")
+    true (s.Nsmr.max_backlog >= 0)
+
+let test_stats_monotone_single_domain () =
+  (* Churn a Michael+EBR list in batches; between batches the counters
+     are quiescent, so the invariants must hold and max_backlog and
+     retired must be monotone in the batch index. *)
+  let module L = N_michael.Make (N_ebr) in
+  let g = N_ebr.create ~ndomains:1 in
+  let s = N_ebr.thread g 0 in
+  let l = L.create () in
+  let prev = ref (N_ebr.stats g) in
+  for batch = 1 to 20 do
+    for k = 1 to 100 do
+      ignore (L.insert l s (k mod 17));
+      ignore (L.delete l s (k mod 17))
+    done;
+    let st = N_ebr.stats g in
+    check_stats_invariants (Printf.sprintf "batch %d" batch) st;
+    Alcotest.(check bool) "max_backlog monotone" true
+      (st.Nsmr.max_backlog >= !prev.Nsmr.max_backlog);
+    Alcotest.(check bool) "retired monotone" true
+      (st.Nsmr.retired >= !prev.Nsmr.retired);
+    Alcotest.(check bool) "reclaimed monotone" true
+      (st.Nsmr.reclaimed >= !prev.Nsmr.reclaimed);
+    prev := st
+  done;
+  Alcotest.(check bool) "something was retired" true
+    (!prev.Nsmr.retired > 0);
+  Alcotest.(check bool) "ebr scans counted" true (!prev.Nsmr.scans > 0)
+
+let test_throughput_row_invariants_2domain () =
+  (* A real 2-domain run through the harness: the row's counters must
+     satisfy reclaimed <= retired and max_backlog <= retired, for every
+     scheme. *)
+  List.iter
+    (fun scheme ->
+      let r =
+        Throughput.stack_row ~scheme ~domains:2 ~ops_per_domain:20_000
+      in
+      let name = "stack/" ^ r.Throughput.scheme in
+      Alcotest.(check bool) (name ^ ": retired > 0") true
+        (r.Throughput.retired > 0);
+      Alcotest.(check bool)
+        (name ^ ": reclaimed <= retired")
+        true
+        (r.Throughput.reclaimed <= r.Throughput.retired);
+      Alcotest.(check bool)
+        (name ^ ": max_backlog <= retired")
+        true
+        (r.Throughput.max_backlog <= r.Throughput.retired);
+      Alcotest.(check bool) (name ^ ": elapsed > 0") true
+        (r.Throughput.elapsed_s > 0.);
+      Alcotest.(check int) (name ^ ": total ops") 40_000
+        r.Throughput.total_ops)
+    [ `Ebr; `Hp; `Ibr ]
+
+let test_e8_row_carries_stats () =
+  let r =
+    Throughput.e8_row Throughput.Michael ~scheme:`Hp Throughput.Churn
+      ~domains:2 ~ops_per_domain:20_000
+  in
+  Alcotest.(check string) "scheme" "hp" r.Throughput.scheme;
+  Alcotest.(check string) "structure" "michael-list" r.Throughput.structure;
+  Alcotest.(check bool) "hp scans happened" true (r.Throughput.scans > 0);
+  Alcotest.(check bool) "reclaimed <= retired" true
+    (r.Throughput.reclaimed <= r.Throughput.retired);
+  let row =
+    Throughput.to_row ~experiment:"E8" ~category:"native-throughput" r
+  in
+  Alcotest.(check string) "row key" "E8/michael+hp/churn@2d" (M.key row);
+  Alcotest.(check int) "row retired" r.Throughput.retired row.M.retired;
+  (* The domain count is part of the key: the E8 grid measures the same
+     pairing at several counts and they must not collide in the diff. *)
+  let r1 =
+    Throughput.e8_row Throughput.Michael ~scheme:`Hp Throughput.Churn
+      ~domains:1 ~ops_per_domain:1_000
+  in
+  let row1 =
+    Throughput.to_row ~experiment:"E8" ~category:"native-throughput" r1
+  in
+  Alcotest.(check bool) "domain count disambiguates keys" true
+    (M.key row1 <> M.key row)
+
+let () =
+  Alcotest.run "era_metrics"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "scalars" `Quick test_json_scalars;
+          Alcotest.test_case "nested" `Quick test_json_nested;
+          Alcotest.test_case "unicode escapes" `Quick
+            test_json_unicode_escape;
+          Alcotest.test_case "errors" `Quick test_json_errors;
+        ] );
+      ( "rows",
+        [
+          Alcotest.test_case "row roundtrip" `Quick test_row_roundtrip;
+          Alcotest.test_case "row text roundtrip" `Quick
+            test_row_text_roundtrip;
+          Alcotest.test_case "report file roundtrip" `Quick
+            test_report_file_roundtrip;
+          Alcotest.test_case "missing field rejected" `Quick
+            test_row_decode_rejects_missing_field;
+        ] );
+      ( "cli",
+        [
+          Alcotest.test_case "flags" `Quick test_cli_flags;
+          Alcotest.test_case "positional quick" `Quick
+            test_cli_positional_quick_compat;
+          Alcotest.test_case "commands" `Quick test_cli_commands;
+          Alcotest.test_case "default json path" `Quick
+            test_cli_default_json_path;
+        ] );
+      ( "bench_compare",
+        [
+          Alcotest.test_case "identical pair passes" `Quick
+            test_diff_identical_pair_passes;
+          Alcotest.test_case "50% regression flagged" `Quick
+            test_diff_flags_50pct_regression;
+          Alcotest.test_case "backlog blowup flagged" `Quick
+            test_diff_flags_backlog_blowup;
+          Alcotest.test_case "missing row flagged" `Quick
+            test_diff_flags_missing_row;
+          Alcotest.test_case "simulated rows not gated" `Quick
+            test_diff_ignores_simulated_timing;
+        ] );
+      ( "native_stats",
+        [
+          Alcotest.test_case "monotone counters" `Quick
+            test_stats_monotone_single_domain;
+          Alcotest.test_case "2-domain row invariants" `Slow
+            test_throughput_row_invariants_2domain;
+          Alcotest.test_case "e8 row stats" `Slow test_e8_row_carries_stats;
+        ] );
+    ]
