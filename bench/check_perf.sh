@@ -1,0 +1,25 @@
+#!/bin/sh
+# One-command perf check: rebuild, run the quick benchmark suite, and
+# gate the result against the committed baseline bench/BENCH_quick.json
+# with bench_compare. Tolerances are deliberately loose — the baseline
+# was recorded on one machine and this script must not flap on another,
+# or on a loaded single core. Tighten them when chasing a regression:
+#
+#   bench/check_perf.sh [extra bench_compare flags...]
+#
+# Exit status is bench_compare's: 0 = within tolerance, 1 = regression
+# (throughput, native backlog blow-up, or suite-timing slowdown).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out=$(mktemp -t BENCH_check.XXXXXX.json)
+trap 'rm -f "$out"' EXIT
+
+dune build bench/main.exe bin/bench_compare.exe
+dune exec --no-build bench/main.exe -- --quick --json "$out"
+dune exec --no-build bin/bench_compare.exe -- bench/BENCH_quick.json "$out" \
+  --max-regression 60 \
+  --backlog-factor 3 --backlog-slack 512 \
+  --max-suite-regression 100 --suite-slack 0.25 \
+  "$@"

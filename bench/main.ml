@@ -555,7 +555,27 @@ let () =
       ("B5", b5_scheduler_overhead);
     ]
   in
-  List.iter (fun (id, run) -> if want id then run ()) experiments;
+  (* Each experiment gets a wall-clock "suite-timing" row, plus one
+     SUITE/total row for the whole run — the series bench_compare gates
+     so that hot-path regressions in the simulator itself show up even
+     when every individual figure still comes out right. *)
+  let suite_t0 = Unix.gettimeofday () in
+  List.iter
+    (fun (id, run) ->
+      if want id then begin
+        let t0 = Unix.gettimeofday () in
+        run ();
+        let elapsed_s = Unix.gettimeofday () -. t0 in
+        emit
+          (M.row ~experiment:id ~label:"suite" ~category:"suite-timing"
+             ~elapsed_s ())
+      end)
+    experiments;
+  let total_s = Unix.gettimeofday () -. suite_t0 in
+  emit
+    (M.row ~experiment:"SUITE" ~label:"total" ~category:"suite-timing"
+       ~elapsed_s:total_s ());
+  Fmt.pr "@.suite wall clock: %.2f s@." total_s;
   let path = Rc.default_json_path cfg in
   let n = M.flush sink ~mode:(Rc.mode cfg) ~path in
   Fmt.pr "@.wrote %d metric rows to %s@." n path;

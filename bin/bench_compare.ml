@@ -1,12 +1,13 @@
 (* The tier-1 perf gate: diff two BENCH_*.json files.
 
      dune exec bin/bench_compare.exe -- OLD.json NEW.json \
-       [--max-regression PCT] [--backlog-factor F] [--backlog-slack N]
+       [--max-regression PCT] [--backlog-factor F] [--backlog-slack N] \
+       [--max-suite-regression PCT] [--suite-slack S]
 
    Exit status: 0 when every native-throughput row of NEW is within the
-   regression tolerance of OLD and no native row's max backlog blew up;
-   1 on any regression, blow-up, or missing row; 2 on usage/parse
-   errors. *)
+   regression tolerance of OLD, no native row's max backlog blew up, and
+   no suite-timing row slowed past its tolerance; 1 on any regression,
+   blow-up, slowdown, or missing row; 2 on usage/parse errors. *)
 
 module M = Era_metrics.Metrics
 module D = Era_metrics.Bench_diff
@@ -15,6 +16,8 @@ let () =
   let max_regression = ref 25. in
   let backlog_factor = ref 2. in
   let backlog_slack = ref 256 in
+  let max_suite_regression = ref 75. in
+  let suite_slack = ref 0.05 in
   let files = ref [] in
   let spec =
     Arg.align
@@ -28,6 +31,13 @@ let () =
         ( "--backlog-slack",
           Arg.Set_int backlog_slack,
           "N Allowed additive max-backlog growth (default 256)" );
+        ( "--max-suite-regression",
+          Arg.Set_float max_suite_regression,
+          "PCT Suite wall-clock regression tolerance in percent (default 75)"
+        );
+        ( "--suite-slack",
+          Arg.Set_float suite_slack,
+          "S Additive suite wall-clock slack in seconds (default 0.05)" );
       ]
   in
   let usage = "usage: bench_compare OLD.json NEW.json [options]" in
@@ -52,7 +62,8 @@ let () =
   let v =
     D.diff ~max_regression_pct:!max_regression
       ~backlog_factor:!backlog_factor ~backlog_slack:!backlog_slack
-      ~old_report ~new_report ()
+      ~max_suite_regression_pct:!max_suite_regression
+      ~suite_slack_s:!suite_slack ~old_report ~new_report ()
   in
   Format.printf "%s (%s) vs %s (%s)@." old_file
     old_report.M.manifest.M.git_rev new_file new_report.M.manifest.M.git_rev;

@@ -115,7 +115,16 @@ type run_stats = {
 
 let one_run (module S : Era_smr.Smr_intf.S) structure ~threads ~ops_per_thread
     ~seed ~progress_mode =
-  let mon = Monitor.create ~mode:`Record ~trace:true () in
+  (* Only the Invoke/Response stream feeds the linearizability check, so
+     collect exactly those kinds through a tag subscription; every
+     memory access then stays on the monitor's allocation-free fast
+     path. Filtering preserves the order of operation events, which is
+     all the precedence relation of the checker depends on. *)
+  let mon = Monitor.create ~mode:`Record ~trace:false () in
+  let ops_log = Vec.create () in
+  Monitor.subscribe_tags mon
+    [ Event.tag_invoke; Event.tag_response ]
+    (fun _time ev -> Vec.push ops_log ev);
   let heap = Heap.create mon in
   let strategy =
     if progress_mode then
@@ -151,7 +160,8 @@ let one_run (module S : Era_smr.Smr_intf.S) structure ~threads ~ops_per_thread
   let linearizable =
     if safety <> [] then true  (* poisoned heap: correctness moot *)
     else
-      (Era_history.Linearize.check_monitor (spec_of structure) mon)
+      (Era_history.Linearize.check (spec_of structure)
+         (Era_history.History.of_trace (Vec.to_list ops_log)))
         .Era_history.Linearize.ok
   in
   {

@@ -6,6 +6,22 @@ type verdict = {
   states_explored : int;
 }
 
+(* Memo keys: a visited search node is (linearized-set, abstract state).
+   For histories of up to 62 operations — all of them in practice — the
+   linearized set is kept as an int bitmask maintained incrementally, so
+   a key is built without copying the bytes buffer or concatenating
+   strings. Longer histories fall back to the old string encoding. *)
+module Memo_key = struct
+  type t = int * string  (* bitmask (or 0 for the fallback), state *)
+
+  let equal ((a, s) : t) ((b, u) : t) = a = b && String.equal s u
+  let hash ((a, s) : t) = Hashtbl.hash a + (Hashtbl.hash s * 65599)
+end
+
+module Memo = Hashtbl.Make (Memo_key)
+
+let max_mask_ops = 62
+
 (* Wing–Gong search. At each point, an operation may linearize next iff it
    is not yet linearized and its invocation precedes the earliest response
    among the not-yet-linearized completed operations (otherwise that other
@@ -17,7 +33,9 @@ let check (module S : Spec.S) (history : History.t) =
   let ops = Array.of_list history in
   let n = Array.length ops in
   let explored = ref 0 in
-  let memo : (string, unit) Hashtbl.t = Hashtbl.create 4096 in
+  let memo : unit Memo.t = Memo.create 4096 in
+  let small = n <= max_mask_ops in
+  let lin_mask = ref 0 in
   let linearized = Bytes.make n '0' in
   let completed_total =
     Array.fold_left
@@ -29,10 +47,13 @@ let check (module S : Spec.S) (history : History.t) =
   let rec go state completed_done =
     if completed_done = completed_total then true
     else begin
-      let key = Bytes.to_string linearized ^ "|" ^ S.canonical state in
-      if Hashtbl.mem memo key then false
+      let key =
+        if small then (!lin_mask, S.canonical state)
+        else (0, Bytes.to_string linearized ^ "|" ^ S.canonical state)
+      in
+      if Memo.mem memo key then false
       else begin
-        Hashtbl.add memo key ();
+        Memo.add memo key ();
         incr explored;
         let min_res = ref max_int in
         for i = 0 to n - 1 do
@@ -55,6 +76,7 @@ let check (module S : Spec.S) (history : History.t) =
               in
               if admissible then begin
                 Bytes.set linearized i '1';
+                if small then lin_mask := !lin_mask lor (1 lsl i);
                 let done' =
                   if r.result <> None then completed_done + 1
                   else completed_done
@@ -65,6 +87,7 @@ let check (module S : Spec.S) (history : History.t) =
                 end
                 else begin
                   Bytes.set linearized i '0';
+                  if small then lin_mask := !lin_mask land lnot (1 lsl i);
                   try_candidates (i + 1)
                 end
               end

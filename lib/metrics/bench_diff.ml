@@ -11,11 +11,18 @@ type blowup = {
   new_backlog : int;
 }
 
+type slowdown = {
+  key : string;
+  old_elapsed_s : float;
+  new_elapsed_s : float;
+}
+
 type verdict = {
   compared : int;
   regressions : change list;
   improvements : change list;
   blowups : blowup list;
+  slowdowns : slowdown list;
   missing : string list;
   added : string list;
 }
@@ -24,6 +31,7 @@ let is_native (r : Metrics.row) =
   String.length r.category >= 7 && String.sub r.category 0 7 = "native-"
 
 let diff ?(max_regression_pct = 25.) ?(backlog_factor = 2.) ?(backlog_slack = 256)
+    ?(max_suite_regression_pct = 75.) ?(suite_slack_s = 0.05)
     ~old_report ~new_report () =
   let index rows =
     let tbl = Hashtbl.create 64 in
@@ -38,6 +46,7 @@ let diff ?(max_regression_pct = 25.) ?(backlog_factor = 2.) ?(backlog_slack = 25
   let regressions = ref [] in
   let improvements = ref [] in
   let blowups = ref [] in
+  let slowdowns = ref [] in
   let missing = ref [] in
   let added = ref [] in
   List.iter
@@ -72,6 +81,25 @@ let diff ?(max_regression_pct = 25.) ?(backlog_factor = 2.) ?(backlog_slack = 25
                 new_backlog = n.max_backlog;
               }
               :: !blowups
+        end;
+        if o.category = "suite-timing" then begin
+          (* The additive slack absorbs scheduling jitter on experiments
+             that finish in milliseconds; the multiplicative tolerance is
+             deliberately loose — suite timing is wall clock on a shared
+             machine, and this gate exists to catch order-of-magnitude
+             hot-path regressions, not percent-level noise. *)
+          let bound =
+            (o.elapsed_s *. (1. +. (max_suite_regression_pct /. 100.)))
+            +. suite_slack_s
+          in
+          if n.elapsed_s > bound then
+            slowdowns :=
+              {
+                key = k;
+                old_elapsed_s = o.elapsed_s;
+                new_elapsed_s = n.elapsed_s;
+              }
+              :: !slowdowns
         end)
     old_report.Metrics.rows;
   List.iter
@@ -84,11 +112,13 @@ let diff ?(max_regression_pct = 25.) ?(backlog_factor = 2.) ?(backlog_slack = 25
     regressions = List.rev !regressions;
     improvements = List.rev !improvements;
     blowups = List.rev !blowups;
+    slowdowns = List.rev !slowdowns;
     missing = List.rev !missing;
     added = List.rev !added;
   }
 
-let ok v = v.regressions = [] && v.blowups = [] && v.missing = []
+let ok v =
+  v.regressions = [] && v.blowups = [] && v.slowdowns = [] && v.missing = []
 
 let pp fmt v =
   Format.fprintf fmt "compared %d rows" v.compared;
@@ -110,5 +140,10 @@ let pp fmt v =
       Format.fprintf fmt "  BACKLOG BLOW-UP %-33s %d -> %d@." b.key
         b.old_backlog b.new_backlog)
     v.blowups;
+  List.iter
+    (fun (s : slowdown) ->
+      Format.fprintf fmt "  SUITE SLOWDOWN %-34s %.3f -> %.3f s@." s.key
+        s.old_elapsed_s s.new_elapsed_s)
+    v.slowdowns;
   List.iter (fun k -> Format.fprintf fmt "  MISSING ROW %s@." k) v.missing;
   if ok v then Format.fprintf fmt "  ok: within tolerance@."

@@ -8,7 +8,13 @@
     - {b backlog blow-up} — for rows in any ["native-*"] category, the
       new [max_backlog] must not exceed
       [max (old * backlog_factor) (old + backlog_slack)] (the additive
-      slack absorbs bounded schemes whose old backlog is tiny).
+      slack absorbs bounded schemes whose old backlog is tiny);
+    - {b suite slowdown} — for rows in category ["suite-timing"]
+      (per-experiment wall clock plus the [SUITE/total] row), the new
+      [elapsed_s] must not exceed
+      [old * (1 + max_suite_regression_pct/100) + suite_slack_s]. The
+      loose default tolerance is intentional: this catches
+      order-of-magnitude hot-path regressions, not wall-clock noise.
 
     Simulated classification rows carry timing noise and deterministic
     outcomes, so they are compared for presence only. A row present in
@@ -28,11 +34,18 @@ type blowup = {
   new_backlog : int;
 }
 
+type slowdown = {
+  key : string;
+  old_elapsed_s : float;
+  new_elapsed_s : float;
+}
+
 type verdict = {
   compared : int;  (** rows present in both reports *)
   regressions : change list;
   improvements : change list;  (** informational: faster than threshold *)
   blowups : blowup list;
+  slowdowns : slowdown list;
   missing : string list;  (** keys in the old report absent from the new *)
   added : string list;  (** informational *)
 }
@@ -41,14 +54,17 @@ val diff :
   ?max_regression_pct:float ->
   ?backlog_factor:float ->
   ?backlog_slack:int ->
+  ?max_suite_regression_pct:float ->
+  ?suite_slack_s:float ->
   old_report:Metrics.report ->
   new_report:Metrics.report ->
   unit ->
   verdict
 (** Defaults: 25%% regression tolerance, 2.0x backlog factor, 256 nodes
-    of additive backlog slack. *)
+    of additive backlog slack, 75%% suite-timing tolerance with 0.05 s
+    additive slack. *)
 
 val ok : verdict -> bool
-(** No regressions, no blow-ups, no missing rows. *)
+(** No regressions, no blow-ups, no slowdowns, no missing rows. *)
 
 val pp : Format.formatter -> verdict -> unit

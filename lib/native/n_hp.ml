@@ -15,6 +15,9 @@ type dstate = {
   mutable retired_total : int;
   mutable scans : int;
   mutable rot : int;
+  hz_buf : Nnode.node option array;
+      (* per-domain scan scratch: the hazard snapshot; private to the
+         owning domain, so scans stay allocation-free and race-free *)
 }
 
 type t = {
@@ -38,7 +41,8 @@ let create ~ndomains =
     domains =
       Array.init ndomains (fun _ ->
           { retired = []; retired_count = 0; pool = []; max_backlog = 0;
-            reclaimed = 0; retired_total = 0; scans = 0; rot = 0 });
+            reclaimed = 0; retired_total = 0; scans = 0; rot = 0;
+            hz_buf = Array.make (ndomains * slots_per_domain) None });
   }
 
 let thread g d = { g; d }
@@ -66,29 +70,50 @@ let alloc t key =
     n
   | [] -> Nnode.make ~key
 
-let hazards g =
-  let acc = ref [] in
-  for d = 0 to g.ndomains - 1 do
-    for s = 0 to slots_per_domain - 1 do
-      match Atomic.get (slot g d s) with
-      | Some n -> acc := n :: !acc
-      | None -> ()
-    done
-  done;
-  !acc
-
+(* Snapshot the slots into the domain's scratch array, then walk the
+   retired list once: keep protected nodes (counted as we go), move the
+   rest straight to the pool. Pushing frees one by one while iterating
+   in list order leaves the pool in the same order as the old
+   [List.rev_append free] — and no intermediate lists are built. *)
 let scan t =
   let g = t.g in
   let ds = g.domains.(t.d) in
   ds.scans <- ds.scans + 1;
-  let hz = hazards g in
-  let keep, free =
-    List.partition (fun n -> List.memq n hz) ds.retired
+  let hz = ds.hz_buf in
+  let nhz = ref 0 in
+  for d = 0 to g.ndomains - 1 do
+    for s = 0 to slots_per_domain - 1 do
+      match Atomic.get (slot g d s) with
+      | Some _ as o ->
+        hz.(!nhz) <- o;
+        incr nhz
+      | None -> ()
+    done
+  done;
+  let protected_ n =
+    let rec probe i =
+      i < !nhz
+      && ((match hz.(i) with Some m -> m == n | None -> false)
+          || probe (i + 1))
+    in
+    probe 0
   in
-  ds.retired <- keep;
-  ds.retired_count <- List.length keep;
-  ds.reclaimed <- ds.reclaimed + List.length free;
-  ds.pool <- List.rev_append free ds.pool
+  let keep = ref [] in
+  let kept = ref 0 in
+  List.iter
+    (fun n ->
+      if protected_ n then begin
+        keep := n :: !keep;
+        incr kept
+      end
+      else begin
+        ds.reclaimed <- ds.reclaimed + 1;
+        ds.pool <- n :: ds.pool
+      end)
+    ds.retired;
+  ds.retired <- List.rev !keep;
+  ds.retired_count <- !kept;
+  Array.fill hz 0 !nhz None
 
 let retire t n =
   let ds = t.g.domains.(t.d) in

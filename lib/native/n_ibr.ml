@@ -82,19 +82,28 @@ let intersects g ~birth ~retire_epoch =
   done;
   !conflict
 
+(* One pass over the retired list: keep intersecting nodes (counted as
+   we go), push the rest straight onto the pool — same pool order as the
+   old [rev_append (map fst free)], without building either list. *)
 let scan t =
   let g = t.g in
   let ds = g.domains.(t.d) in
   ds.scans <- ds.scans + 1;
-  let keep, free =
-    List.partition
-      (fun (_, birth, retire_epoch) -> intersects g ~birth ~retire_epoch)
-      ds.retired
-  in
-  ds.retired <- keep;
-  ds.retired_count <- List.length keep;
-  ds.reclaimed <- ds.reclaimed + List.length free;
-  ds.pool <- List.rev_append (List.map (fun (n, _, _) -> n) free) ds.pool
+  let keep = ref [] in
+  let kept = ref 0 in
+  List.iter
+    (fun ((n, birth, retire_epoch) as r) ->
+      if intersects g ~birth ~retire_epoch then begin
+        keep := r :: !keep;
+        incr kept
+      end
+      else begin
+        ds.reclaimed <- ds.reclaimed + 1;
+        ds.pool <- n :: ds.pool
+      end)
+    ds.retired;
+  ds.retired <- List.rev !keep;
+  ds.retired_count <- !kept
 
 let retire t n =
   let ds = t.g.domains.(t.d) in

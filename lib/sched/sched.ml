@@ -53,10 +53,15 @@ type t = {
   mutable total : int;
   mutable rr_next : int;
   mutable opid : int;
+  mutable current : int;  (* tid being stepped; -1 outside a quantum *)
+  mutable runnable_count : int;  (* #threads live and not stalled *)
   strategy : strategy;
   mutable script : instr list;
   mutable instr_budget : int;  (* remaining quanta for the current instr *)
   step_events : Event.t Era_sim.Vec.t;  (* events of the current quantum *)
+  step_hook : int -> Event.t -> unit;  (* pushes into [step_events] *)
+  mutable step_hook_on : bool;  (* hook currently subscribed? *)
+  pick_buf : int array;  (* scratch for pick_random; length nthreads *)
 }
 
 and ctx = {
@@ -69,6 +74,8 @@ and ctx = {
    trick: the .mli lists ctx first; OCaml allows any order with 'and'. *)
 
 let create ?(max_steps = 20_000_000) ~nthreads strategy heap =
+  let step_events = Era_sim.Vec.create () in
+  let step_hook _time ev = Era_sim.Vec.push step_events ev in
   let t =
     {
       sim_heap = heap;
@@ -80,13 +87,22 @@ let create ?(max_steps = 20_000_000) ~nthreads strategy heap =
       total = 0;
       rr_next = 0;
       opid = 0;
+      current = -1;
+      runnable_count = 0;
       strategy;
       script = (match strategy with Script s -> s | _ -> []);
       instr_budget = -1;
-      step_events = Era_sim.Vec.create ();
+      step_events;
+      step_hook;
+      step_hook_on = false;
+      pick_buf = Array.make (max nthreads 1) 0;
     }
   in
-  Monitor.subscribe t.mon (fun _time ev -> Era_sim.Vec.push t.step_events ev);
+  (* [step_hook] is not subscribed here: only the [Run_until] /
+     [Run_until_label] script instructions inspect the events of the
+     current quantum, so the run loop attaches the hook exactly while
+     one of those is active. Every other schedule keeps the monitor's
+     allocation-free fast path for unobserved event kinds. *)
   t
 
 let spawn t ~tid body =
@@ -96,7 +112,8 @@ let spawn t ~tid body =
   | Not_spawned_s -> ()
   | _ -> invalid_arg "Sched.spawn: thread already spawned");
   let ctx = { tid; heap = t.sim_heap; sched = t } in
-  t.threads.(tid) <- Fresh (fun () -> body ctx)
+  t.threads.(tid) <- Fresh (fun () -> body ctx);
+  if not t.stalled.(tid) then t.runnable_count <- t.runnable_count + 1
 
 let external_ctx t ~tid = { tid; heap = t.sim_heap; sched = t }
 
@@ -114,25 +131,61 @@ let thread_outcome t tid =
 let steps_of t tid = t.steps.(tid)
 let total_steps t = t.total
 
+let live t tid =
+  match t.threads.(tid) with
+  | Fresh _ | Paused _ -> true
+  | Not_spawned_s | Finished_s | Crashed_s _ -> false
+
+let runnable t tid = live t tid && not t.stalled.(tid)
+
 let stall t tid =
   if not t.stalled.(tid) then begin
     t.stalled.(tid) <- true;
+    if live t tid then t.runnable_count <- t.runnable_count - 1;
     Monitor.emit t.mon (Event.Stalled { tid })
   end
 
 let unstall t tid =
   if t.stalled.(tid) then begin
     t.stalled.(tid) <- false;
+    if live t tid then t.runnable_count <- t.runnable_count + 1;
     Monitor.emit t.mon (Event.Resumed { tid })
   end
 
 let is_stalled t tid = t.stalled.(tid)
 
 (* Outside a fiber (test setup, pre-filling a structure before the
-   concurrent part starts) there is no handler for [Yield]; treat the
-   yield as a no-op so the same data-structure code runs in both
-   settings. *)
-let yield _ctx = try perform Yield with Effect.Unhandled _ -> ()
+   concurrent part starts) there is no handler for [Yield]: [current] is
+   -1 and the yield is a no-op, so the same data-structure code runs in
+   both settings — without raising and catching [Effect.Unhandled] per
+   access like [perform] would.
+
+   Inside a fiber, if the running thread is the only runnable one (solo
+   phases: single-thread runs, tails after the other threads finish),
+   suspending would bounce through the scheduler only to resume the same
+   fiber. Charge the quantum inline instead: same [steps]/[total]
+   accounting, and under [Random] the same single [Rng.int rng 1] draw
+   the pick would have made — seeded schedules are bit-for-bit
+   unchanged. Scripts are excluded: their per-instruction budgets count
+   actual [step_thread] calls. *)
+let yield ctx =
+  let t = ctx.sched in
+  if t.current < 0 then ()
+  else if
+    t.runnable_count = 1
+    && t.current = ctx.tid
+    && (not t.stalled.(ctx.tid))
+    && t.total < t.max_steps
+    && (match t.strategy with Script _ -> false | _ -> true)
+  then begin
+    (match t.strategy with
+    | Random rng -> ignore (Rng.int rng 1)
+    | Round_robin -> t.rr_next <- ctx.tid + 1
+    | Script _ -> ());
+    t.steps.(ctx.tid) <- t.steps.(ctx.tid) + 1;
+    t.total <- t.total + 1
+  end
+  else perform Yield
 
 let label ctx name =
   yield ctx;
@@ -166,19 +219,13 @@ let fiber_handler : (unit, fiber_status) handler =
         | _ -> None);
   }
 
-let runnable t tid =
-  match t.threads.(tid) with
-  | Fresh _ | Paused _ -> not t.stalled.(tid)
-  | Not_spawned_s | Finished_s | Crashed_s _ -> false
-
-let live t tid =
-  match t.threads.(tid) with
-  | Fresh _ | Paused _ -> true
-  | Not_spawned_s | Finished_s | Crashed_s _ -> false
-
-(* Give [tid] one quantum. Returns the events it emitted. *)
+(* Give [tid] one quantum. Only scripted schedules read back the events
+   of the quantum, so only they pay for resetting the buffer. *)
 let step_thread t tid =
-  Era_sim.Vec.clear t.step_events;
+  (match t.strategy with
+  | Script _ -> Era_sim.Vec.clear t.step_events
+  | Round_robin | Random _ -> ());
+  t.current <- tid;
   let status =
     match t.threads.(tid) with
     | Fresh body -> match_with body () fiber_handler
@@ -186,38 +233,55 @@ let step_thread t tid =
     | Not_spawned_s | Finished_s | Crashed_s _ ->
       invalid_arg "Sched.step_thread: thread not runnable"
   in
+  t.current <- -1;
   t.steps.(tid) <- t.steps.(tid) + 1;
   t.total <- t.total + 1;
-  (match status with
+  match status with
   | Suspended k -> t.threads.(tid) <- Paused k
-  | Done -> t.threads.(tid) <- Finished_s
-  | Failed e -> t.threads.(tid) <- Crashed_s e);
-  ()
+  | Done ->
+    t.threads.(tid) <- Finished_s;
+    if not t.stalled.(tid) then t.runnable_count <- t.runnable_count - 1
+  | Failed e ->
+    t.threads.(tid) <- Crashed_s e;
+    if not t.stalled.(tid) then t.runnable_count <- t.runnable_count - 1
 
 (* ------------------------------------------------------------------ *)
 (* Strategies                                                          *)
 (* ------------------------------------------------------------------ *)
 
+(* Both picks return the chosen tid, or -1 when nothing is runnable —
+   an option here would allocate a [Some] box on every quantum. *)
+
 let pick_round_robin t =
   let n = Array.length t.threads in
-  let rec search i remaining =
-    if remaining = 0 then None
-    else if runnable t (i mod n) then begin
-      t.rr_next <- (i mod n) + 1;
-      Some (i mod n)
-    end
-    else search (i + 1) (remaining - 1)
-  in
-  search t.rr_next n
+  let pick = ref (-1) in
+  let i = ref t.rr_next in
+  let remaining = ref n in
+  while !pick < 0 && !remaining > 0 do
+    let tid = !i mod n in
+    if runnable t tid then begin
+      t.rr_next <- tid + 1;
+      pick := tid
+    end;
+    incr i;
+    decr remaining
+  done;
+  !pick
 
+(* Collect runnable tids into a reusable scratch buffer (ascending, the
+   order the old list-based version produced) and draw the same single
+   [Rng.int] over the same count — seeded schedules are bit-for-bit
+   unchanged, with zero allocation per quantum. *)
 let pick_random t rng =
-  let candidates =
-    Array.to_list (Array.init (Array.length t.threads) Fun.id)
-    |> List.filter (runnable t)
-  in
-  match candidates with
-  | [] -> None
-  | l -> Some (List.nth l (Rng.int rng (List.length l)))
+  let n = Array.length t.threads in
+  let count = ref 0 in
+  for tid = 0 to n - 1 do
+    if runnable t tid then begin
+      t.pick_buf.(!count) <- tid;
+      incr count
+    end
+  done;
+  if !count = 0 then -1 else t.pick_buf.(Rng.int rng !count)
 
 let step_events_match t pred = Era_sim.Vec.exists pred t.step_events
 
@@ -282,16 +346,21 @@ let script_quantum t instr =
     end
   | Finish_all -> (
     match pick_round_robin t with
-    | None -> true
-    | Some tid ->
+    | -1 -> true
+    | tid ->
       step_thread t tid;
       false)
 
 let run t =
   let finished_all () =
-    let all = ref true in
-    Array.iteri (fun tid _ -> if live t tid then all := false) t.threads;
-    !all
+    let n = Array.length t.threads in
+    let rec go tid = tid >= n || ((not (live t tid)) && go (tid + 1)) in
+    go 0
+  in
+  (* [finished_all] is only consulted when a pick comes up empty — the
+     common per-quantum path is check-limit, pick, step. *)
+  let no_pick () =
+    raise (Stop (if finished_all () then All_finished else No_runnable))
   in
   try
     while true do
@@ -301,20 +370,37 @@ let run t =
         match t.script with
         | [] -> raise (Stop Script_done)
         | instr :: rest ->
+          (* Attach the step-events hook only while an instruction that
+             reads them is running; [Run]/[Finish]/[Finish_all] phases
+             keep unobserved events on the fast path. *)
+          (match instr with
+          | Run_until _ | Run_until_label _ ->
+            if not t.step_hook_on then begin
+              Monitor.subscribe t.mon t.step_hook;
+              t.step_hook_on <- true
+            end
+          | Run _ | Finish _ | Finish_bounded _ | Finish_all ->
+            if t.step_hook_on then begin
+              Monitor.unsubscribe t.mon t.step_hook;
+              t.step_hook_on <- false
+            end);
           if script_quantum t instr then begin
             t.script <- rest;
             t.instr_budget <- -1
           end)
       | Round_robin -> (
-        if finished_all () then raise (Stop All_finished);
         match pick_round_robin t with
-        | None -> raise (Stop No_runnable)
-        | Some tid -> step_thread t tid)
+        | -1 -> no_pick ()
+        | tid -> step_thread t tid)
       | Random rng -> (
-        if finished_all () then raise (Stop All_finished);
         match pick_random t rng with
-        | None -> raise (Stop No_runnable)
-        | Some tid -> step_thread t tid)
+        | -1 -> no_pick ()
+        | tid -> step_thread t tid)
     done;
     assert false
-  with Stop o -> if finished_all () && o = Script_done then All_finished else o
+  with Stop o ->
+    if t.step_hook_on then begin
+      Monitor.unsubscribe t.mon t.step_hook;
+      t.step_hook_on <- false
+    end;
+    if finished_all () && o = Script_done then All_finished else o

@@ -48,6 +48,45 @@ type t =
   | Resumed of { tid : int }
   | Note of string
 
+(* Dense numbering of the constructors, used by the monitor's per-kind
+   subscription tables. *)
+let n_tags = 16
+
+let tag_alloc = 0
+let tag_share = 1
+let tag_retire = 2
+let tag_reclaim = 3
+let tag_access = 4
+let tag_key_read = 5
+let tag_violation = 6
+let tag_invoke = 7
+let tag_response = 8
+let tag_label = 9
+let tag_protect = 10
+let tag_epoch = 11
+let tag_neutralize = 12
+let tag_stalled = 13
+let tag_resumed = 14
+let tag_note = 15
+
+let tag = function
+  | Alloc _ -> tag_alloc
+  | Share _ -> tag_share
+  | Retire _ -> tag_retire
+  | Reclaim _ -> tag_reclaim
+  | Access _ -> tag_access
+  | Key_read _ -> tag_key_read
+  | Violation _ -> tag_violation
+  | Invoke _ -> tag_invoke
+  | Response _ -> tag_response
+  | Label _ -> tag_label
+  | Protect _ -> tag_protect
+  | Epoch _ -> tag_epoch
+  | Neutralize _ -> tag_neutralize
+  | Stalled _ -> tag_stalled
+  | Resumed _ -> tag_resumed
+  | Note _ -> tag_note
+
 let violation_name = function
   | Unsafe_write -> "unsafe-write"
   | Unsafe_cas -> "unsafe-cas"

@@ -65,6 +65,34 @@ type t =
   | Resumed of { tid : int }
   | Note of string
 
+(** {2 Constructor tags}
+
+    Dense numbering of the constructors above, so the monitor can keep
+    per-kind subscription tables and callers can ask "is anyone listening
+    to this kind?" before building an event record at all. *)
+
+val n_tags : int
+
+val tag : t -> int
+(** [0 <= tag ev < n_tags]. *)
+
+val tag_alloc : int
+val tag_share : int
+val tag_retire : int
+val tag_reclaim : int
+val tag_access : int
+val tag_key_read : int
+val tag_violation : int
+val tag_invoke : int
+val tag_response : int
+val tag_label : int
+val tag_protect : int
+val tag_epoch : int
+val tag_neutralize : int
+val tag_stalled : int
+val tag_resumed : int
+val tag_note : int
+
 val violation_name : violation -> string
 val pp_op : Format.formatter -> op -> unit
 val pp_result : Format.formatter -> op_result -> unit

@@ -46,6 +46,8 @@ type t = {
   mutable allocs : int;
   mutable reclaims : int;
   mutable system_cells : int;
+  mutable in_use : int;  (* cells whose state is not Unallocated *)
+  mutable free_count : int;  (* length of [free] *)
 }
 
 let default_config =
@@ -61,25 +63,23 @@ let create ?(config = default_config) mon =
     allocs = 0;
     reclaims = 0;
     system_cells = 0;
+    in_use = 0;
+    free_count = 0;
   }
 
 let monitor t = t.mon
 let config t = t.cfg
 
+(* [in_use] and [free_count] are maintained incrementally at the three
+   points where a cell changes occupancy (alloc, reclaim, free-list pop)
+   so this is O(1) — it used to fold over every cell and walk the whole
+   free list on each call. *)
 let stats t =
-  let in_use =
-    Vec.fold_left
-      (fun n c ->
-        match c.state with
-        | Lifecycle.Unallocated -> n
-        | Local _ | Shared | Retired -> n + 1)
-      0 t.cells
-  in
   {
     allocs = t.allocs;
     reclaims = t.reclaims;
-    cells_in_use = in_use;
-    free_cells = List.length t.free;
+    cells_in_use = t.in_use;
+    free_cells = t.free_count;
     system_cells = t.system_cells;
   }
 
@@ -112,6 +112,7 @@ let fresh_cell t =
   match t.free with
   | addr :: rest ->
     t.free <- rest;
+    t.free_count <- t.free_count - 1;
     cell_of_addr t addr
   | [] ->
     let n = Vec.length t.cells in
@@ -138,6 +139,7 @@ let alloc_with_state t ~tid ~key state =
   let node = t.next_node in
   t.next_node <- node + 1;
   t.allocs <- t.allocs + 1;
+  t.in_use <- t.in_use + 1;
   c.node <- node;
   c.state <- state;
   c.key <- key;
@@ -191,6 +193,8 @@ let reclaim t ~tid w =
            p.addr p.node c.node Lifecycle.pp c.state)
     else begin
       transition t ~tid c Lifecycle.Unallocated;
+      if Lifecycle.equal c.state Lifecycle.Unallocated then
+        t.in_use <- t.in_use - 1;
       t.reclaims <- t.reclaims + 1;
       let to_system =
         match t.cfg.space with
@@ -202,7 +206,10 @@ let reclaim t ~tid w =
         c.in_system <- true;
         t.system_cells <- t.system_cells + 1
       end
-      else t.free <- c.addr :: t.free;
+      else begin
+        t.free <- c.addr :: t.free;
+        t.free_count <- t.free_count + 1
+      end;
       Monitor.emit t.mon
         (Event.Reclaim { tid; addr = p.addr; node = p.node; to_system })
     end
@@ -229,8 +236,11 @@ let check_field c field =
   if field < 0 || field >= Array.length c.ptrs then
     invalid_arg (Fmt.str "Heap: pointer field %d out of range" field)
 
-let access_event ~tid ~(p : Word.ptr) ~field ~kind ~unsafe =
-  Event.Access { tid; addr = p.addr; node = p.node; field; kind; unsafe }
+(* All access/key-read events funnel through the monitor's fast-path
+   emitters: when nobody observes the kind the record is never built. *)
+let emit_access t ~tid ~(p : Word.ptr) ~field ~kind ~unsafe =
+  Monitor.emit_access t.mon ~tid ~addr:p.addr ~node:p.node ~field ~kind
+    ~unsafe
 
 (* Auto-promotion of reachability: storing a pointer to a local node into a
    field of a shared node makes the target shared (it became reachable from
@@ -252,7 +262,7 @@ let read_checked t ~tid ~via ~field =
   let c, p, v = deref_cell t ~tid via in
   check_field c field;
   let unsafe = v <> Valid in
-  Monitor.emit t.mon (access_event ~tid ~p ~field ~kind:Event.Read ~unsafe);
+  emit_access t ~tid ~p ~field ~kind:Event.Read ~unsafe;
   if unsafe then begin
     violate t ~tid Event.Stale_value_used
       (Fmt.str "value read through invalid pointer %a (.f%d) is used"
@@ -265,15 +275,14 @@ let peek t ~tid ~via ~field =
   let c, p, v = deref_cell t ~tid via in
   check_field c field;
   let unsafe = v <> Valid in
-  Monitor.emit t.mon (access_event ~tid ~p ~field ~kind:Event.Read ~unsafe);
+  emit_access t ~tid ~p ~field ~kind:Event.Read ~unsafe;
   let w = c.ptrs.(field) in
   ((if unsafe then Word.taint w else w), v)
 
 let read_key_checked t ~tid ~via =
   let c, p, v = deref_cell t ~tid via in
   let unsafe = v <> Valid in
-  Monitor.emit t.mon
-    (Event.Key_read { tid; addr = p.addr; node = p.node; unsafe });
+  Monitor.emit_key_read t.mon ~tid ~addr:p.addr ~node:p.node ~unsafe;
   if unsafe then
     violate t ~tid Event.Stale_value_used
       (Fmt.str "key read through invalid pointer %a is used" Word.pp via);
@@ -282,8 +291,7 @@ let read_key_checked t ~tid ~via =
 let peek_key t ~tid ~via =
   let c, p, v = deref_cell t ~tid via in
   let unsafe = v <> Valid in
-  Monitor.emit t.mon
-    (Event.Key_read { tid; addr = p.addr; node = p.node; unsafe });
+  Monitor.emit_key_read t.mon ~tid ~addr:p.addr ~node:p.node ~unsafe;
   (c.key, v)
 
 let check_stored_value t ~tid w =
@@ -296,7 +304,7 @@ let write_checked t ~tid ~via ~field value =
   check_field c field;
   check_stored_value t ~tid value;
   let unsafe = v <> Valid in
-  Monitor.emit t.mon (access_event ~tid ~p ~field ~kind:Event.Write ~unsafe);
+  emit_access t ~tid ~p ~field ~kind:Event.Write ~unsafe;
   if unsafe then
     violate t ~tid Event.Unsafe_write
       (Fmt.str "write through invalid pointer %a (.f%d)" Word.pp via field)
@@ -322,8 +330,7 @@ let cas_gen ~compare_identity t ~tid ~via ~field ~expected ~desired =
   in
   let matches = if compare_identity then identity_match else bits_match in
   let success = matches && not (unsafe && compare_identity) in
-  Monitor.emit t.mon
-    (access_event ~tid ~p ~field ~kind:(Event.Cas success) ~unsafe);
+  emit_access t ~tid ~p ~field ~kind:(Event.Cas success) ~unsafe;
   if unsafe && not compare_identity then begin
     (* A plain CAS through an invalid pointer: if the bits match it would
        corrupt whatever node now lives there (Definition 4.2(2)). *)
@@ -360,7 +367,7 @@ let aux_get t ~tid ~via ~field =
   let c, p, v = deref_cell t ~tid via in
   check_aux_field t field;
   let unsafe = v <> Valid in
-  Monitor.emit t.mon (access_event ~tid ~p ~field ~kind:Event.Read ~unsafe);
+  emit_access t ~tid ~p ~field ~kind:Event.Read ~unsafe;
   let w = c.aux.(field) in
   ((if unsafe then Word.taint w else w), v)
 
@@ -368,7 +375,7 @@ let aux_set t ~tid ~via ~field value =
   let c, p, v = deref_cell t ~tid via in
   check_aux_field t field;
   let unsafe = v <> Valid in
-  Monitor.emit t.mon (access_event ~tid ~p ~field ~kind:Event.Write ~unsafe);
+  emit_access t ~tid ~p ~field ~kind:Event.Write ~unsafe;
   if unsafe then
     violate t ~tid Event.Unsafe_write
       (Fmt.str "scheme-field write through invalid pointer %a" Word.pp via)
@@ -380,8 +387,7 @@ let aux_cas t ~tid ~via ~field ~expected ~desired =
   let unsafe = v <> Valid in
   let current = c.aux.(field) in
   let success = (not unsafe) && Word.same_bits current expected in
-  Monitor.emit t.mon
-    (access_event ~tid ~p ~field ~kind:(Event.Cas success) ~unsafe);
+  emit_access t ~tid ~p ~field ~kind:(Event.Cas success) ~unsafe;
   if success then c.aux.(field) <- desired;
   success
 

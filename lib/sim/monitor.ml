@@ -7,13 +7,16 @@ type sample = {
   max_active : int;
 }
 
+type hook = int -> Event.t -> unit
+
 type t = {
   mode : mode;
   keep_trace : bool;
   events : Event.t Vec.t;
   viols : Event.t Vec.t;
   samps : sample Vec.t;
-  mutable hooks : (int -> Event.t -> unit) list;
+  kind_hooks : hook list array;  (* per Event.tag, newest first *)
+  mutable hook_mask : int;  (* bit [tag] set iff kind_hooks.(tag) <> [] *)
   mutable time : int;
   mutable active : int;
   mutable retired : int;
@@ -30,7 +33,8 @@ let create ?(mode = `Raise) ?(trace = true) () =
     events = Vec.create ();
     viols = Vec.create ();
     samps = Vec.create ();
-    hooks = [];
+    kind_hooks = Array.make Event.n_tags [];
+    hook_mask = 0;
     time = 0;
     active = 0;
     retired = 0;
@@ -38,7 +42,32 @@ let create ?(mode = `Raise) ?(trace = true) () =
     max_retired = 0;
   }
 
-let subscribe t f = t.hooks <- f :: t.hooks
+let subscribe_tags t tags f =
+  List.iter
+    (fun tag ->
+      if tag < 0 || tag >= Event.n_tags then
+        invalid_arg "Monitor.subscribe_tags: bad tag";
+      t.kind_hooks.(tag) <- f :: t.kind_hooks.(tag);
+      t.hook_mask <- t.hook_mask lor (1 lsl tag))
+    tags
+
+let subscribe t f =
+  subscribe_tags t (List.init Event.n_tags Fun.id) f
+
+(* Removal is by physical equality on the hook closure, so callers must
+   unsubscribe the exact closure they subscribed. *)
+let unsubscribe t f =
+  for tag = 0 to Event.n_tags - 1 do
+    match t.kind_hooks.(tag) with
+    | [] -> ()
+    | hooks ->
+      let hooks' = List.filter (fun g -> g != f) hooks in
+      t.kind_hooks.(tag) <- hooks';
+      if hooks' = [] then t.hook_mask <- t.hook_mask land lnot (1 lsl tag)
+  done
+
+let observed t ~tag =
+  t.keep_trace || (t.hook_mask lsr tag) land 1 = 1
 
 let sample t =
   Vec.push t.samps
@@ -68,13 +97,30 @@ let emit t ev =
   t.time <- t.time + 1;
   update_counts t ev;
   if t.keep_trace then Vec.push t.events ev;
-  (match ev with
-  | Violation _ -> Vec.push t.viols ev
-  | _ -> ());
-  List.iter (fun f -> f t.time ev) t.hooks;
+  let tag = Event.tag ev in
+  if tag = Event.tag_violation then Vec.push t.viols ev;
+  (match t.kind_hooks.(tag) with
+  | [] -> ()
+  | hooks -> List.iter (fun f -> f t.time ev) hooks);
   match ev, t.mode with
   | Violation _, `Raise -> raise (Violation ev)
   | _ -> ()
+
+(* Fast-path emitters for the two kinds every simulated memory access
+   produces. When nobody observes the kind (no trace, no hook) the event
+   record is never built: one branch, one counter bump, zero
+   allocations. The simulated step clock advances identically either
+   way, so seeded executions are unchanged. *)
+
+let emit_access t ~tid ~addr ~node ~field ~kind ~unsafe =
+  if t.keep_trace || (t.hook_mask lsr Event.tag_access) land 1 = 1 then
+    emit t (Event.Access { tid; addr; node; field; kind; unsafe })
+  else t.time <- t.time + 1
+
+let emit_key_read t ~tid ~addr ~node ~unsafe =
+  if t.keep_trace || (t.hook_mask lsr Event.tag_key_read) land 1 = 1 then
+    emit t (Event.Key_read { tid; addr; node; unsafe })
+  else t.time <- t.time + 1
 
 let time t = t.time
 let active t = t.active

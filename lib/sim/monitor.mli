@@ -32,12 +32,42 @@ val create : ?mode:mode -> ?trace:bool -> unit -> t
     for long robustness sweeps. Counters and samples are kept regardless. *)
 
 val emit : t -> Event.t -> unit
-(** Feed one event. Updates counters; dispatches to subscribed hooks; in
-    [`Raise] mode raises {!Violation} on violation events. *)
+(** Feed one event. Updates counters; dispatches to hooks subscribed to
+    the event's kind; in [`Raise] mode raises {!Violation} on violation
+    events. *)
 
 val subscribe : t -> (int -> Event.t -> unit) -> unit
 (** [subscribe t f] calls [f time event] on every subsequent event. Used by
     auditors (access-awareness, phase checkers) and scripted schedulers. *)
+
+val subscribe_tags : t -> int list -> (int -> Event.t -> unit) -> unit
+(** Like {!subscribe} but only for the given {!Event.tag} kinds — events
+    of other kinds keep their allocation-free fast path. *)
+
+val unsubscribe : t -> (int -> Event.t -> unit) -> unit
+(** Remove a hook from every kind it was subscribed to, restoring the
+    fast path for kinds left with no listener. Matches by physical
+    equality, so pass the exact closure given to {!subscribe} /
+    {!subscribe_tags}. *)
+
+val observed : t -> tag:int -> bool
+(** Is anyone listening to this event kind (trace enabled, or at least
+    one hook subscribed to [tag])? When [false], callers may skip
+    building the event record and call a [emit_*] fast-path instead. *)
+
+(** {2 Fast-path emitters}
+
+    Allocation-free counterparts of {!emit} for the per-memory-access
+    event kinds. When the kind is unobserved they only advance the step
+    clock; otherwise they build the record and go through {!emit}, so the
+    observable event sequence is identical either way. *)
+
+val emit_access :
+  t -> tid:int -> addr:int -> node:int -> field:int ->
+  kind:Event.access_kind -> unsafe:bool -> unit
+
+val emit_key_read :
+  t -> tid:int -> addr:int -> node:int -> unsafe:bool -> unit
 
 val time : t -> int
 (** Number of events emitted so far — the simulated step clock. *)

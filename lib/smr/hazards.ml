@@ -1,0 +1,66 @@
+(* A reusable scratch set of published integers (hazard addresses for
+   HP, eras for HE, epochs if a scheme wants them) shared by the scan
+   paths. Scans used to rebuild a list per pass and probe it with
+   [List.mem] — O(retired x hazards) with an allocation per slot; this
+   keeps one growable buffer per scheme instance, sorts it in place, and
+   answers membership / interval queries by binary search. *)
+
+type t = {
+  mutable data : int array;
+  mutable len : int;
+  mutable sorted : bool;
+}
+
+let create () = { data = Array.make 16 0; len = 0; sorted = true }
+
+let clear t =
+  t.len <- 0;
+  t.sorted <- true
+
+let length t = t.len
+
+let add t v =
+  if t.len = Array.length t.data then begin
+    let bigger = Array.make (2 * t.len) 0 in
+    Array.blit t.data 0 bigger 0 t.len;
+    t.data <- bigger
+  end;
+  t.data.(t.len) <- v;
+  t.len <- t.len + 1;
+  t.sorted <- false
+
+(* In-place insertion sort: hazard sets are tiny (threads x slots) and
+   often nearly sorted, and this allocates nothing. *)
+let sort t =
+  if not t.sorted then begin
+    let a = t.data in
+    for i = 1 to t.len - 1 do
+      let v = a.(i) in
+      let j = ref (i - 1) in
+      while !j >= 0 && a.(!j) > v do
+        a.(!j + 1) <- a.(!j);
+        decr j
+      done;
+      a.(!j + 1) <- v
+    done;
+    t.sorted <- true
+  end
+
+(* Index of the first element >= v, or len if none. *)
+let lower_bound t v =
+  let lo = ref 0 and hi = ref t.len in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.data.(mid) < v then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let mem t v =
+  sort t;
+  let i = lower_bound t v in
+  i < t.len && t.data.(i) = v
+
+let exists_in_range t ~lo ~hi =
+  sort t;
+  let i = lower_bound t lo in
+  i < t.len && t.data.(i) <= hi

@@ -1,0 +1,21 @@
+(** A reusable scratch set of published integers — hazard-pointer
+    addresses (HP), eras (HE) — shared by the scan paths of the
+    simulated schemes. One instance lives in a scheme's global state and
+    is cleared and refilled per scan, so scanning allocates nothing and
+    probes are O(log hazards) instead of the former
+    [List.mem]-per-retired-node. *)
+
+type t
+
+val create : unit -> t
+val clear : t -> unit
+val add : t -> int -> unit
+val length : t -> int
+
+val mem : t -> int -> bool
+(** Is the value present? Sorts lazily on first query after a batch of
+    {!add}s. *)
+
+val exists_in_range : t -> lo:int -> hi:int -> bool
+(** Is any published value within [\[lo, hi\]] (inclusive)? The HE
+    covered-interval test. *)

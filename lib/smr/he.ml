@@ -36,6 +36,7 @@ type t = {
   slots : int array array;  (* published eras; [no_era] = empty *)
   retired : (Word.t * int * int) list array;  (* node, birth, retire era *)
   retired_count : int array;
+  hz : Hazards.t;  (* scan-time scratch of published eras *)
 }
 
 type tctx = {
@@ -52,6 +53,7 @@ let create _heap ~nthreads =
     slots = Array.init nthreads (fun _ -> Array.make slots_per_thread no_era);
     retired = Array.make nthreads [];
     retired_count = Array.make nthreads 0;
+    hz = Hazards.create ();
   }
 
 let thread g ctx = { g; ctx; rot = 0 }
@@ -100,21 +102,30 @@ let birth_of t w =
   | Word.Int b, _ -> b
   | (Word.Null | Word.Ptr _), _ -> 0
 
-let covered g ~birth ~retire_era =
-  List.exists (fun e -> birth <= e && e <= retire_era) (published_eras g)
-
+(* One pass over the retired list: snapshot published eras into the
+   scratch set, keep covered nodes (counting as we go), reclaim the rest
+   in list order — same order as the old partition-then-iterate. *)
 let scan t =
   let g = t.g in
   let tid = t.ctx.Sched.tid in
   Mem.fence t.ctx ();
-  let keep, free =
-    List.partition
-      (fun (_, birth, retire_era) -> covered g ~birth ~retire_era)
-      g.retired.(tid)
-  in
-  g.retired.(tid) <- keep;
-  g.retired_count.(tid) <- List.length keep;
-  List.iter (fun (w, _, _) -> Mem.reclaim t.ctx w) free
+  Hazards.clear g.hz;
+  Array.iter
+    (fun slots ->
+      Array.iter (fun e -> if e <> no_era then Hazards.add g.hz e) slots)
+    g.slots;
+  let keep = ref [] in
+  let kept = ref 0 in
+  List.iter
+    (fun ((w, birth, retire_era) as r) ->
+      if Hazards.exists_in_range g.hz ~lo:birth ~hi:retire_era then begin
+        keep := r :: !keep;
+        incr kept
+      end
+      else Mem.reclaim t.ctx w)
+    g.retired.(tid);
+  g.retired.(tid) <- List.rev !keep;
+  g.retired_count.(tid) <- !kept
 
 let retire t w =
   let g = t.g in

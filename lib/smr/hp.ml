@@ -52,6 +52,7 @@ module Make (C : CONFIG) : S_EXT = struct
     hp : Word.t array array;  (* [tid].(slot); Null = empty *)
     retired : Word.t list array;
     retired_count : int array;
+    hz : Hazards.t;  (* scan-time scratch of protected addresses *)
   }
 
   type tctx = {
@@ -66,6 +67,7 @@ module Make (C : CONFIG) : S_EXT = struct
       hp = Array.init nthreads (fun _ -> Array.make slots_per_thread Word.Null);
       retired = Array.make nthreads [];
       retired_count = Array.make nthreads 0;
+      hz = Hazards.create ();
     }
 
   let thread g ctx = { g; ctx; rot = 0 }
@@ -99,21 +101,35 @@ module Make (C : CONFIG) : S_EXT = struct
 
   let alloc t ~key = Mem.alloc t.ctx ~key
 
-  (* Scan: snapshot every published hazard address, then reclaim all of this
-     thread's retired nodes whose address is unprotected. *)
+  (* Scan: snapshot every published hazard address into the reusable
+     scratch set, then walk this thread's retired list once, keeping
+     protected nodes (counted as we go) and reclaiming the rest in the
+     same order the two-pass version did. *)
   let scan t =
     let g = t.g in
     let tid = t.ctx.Sched.tid in
     Mem.fence t.ctx ();
-    let hazards = protected_addrs g in
-    let keep, free =
-      List.partition
-        (fun w -> List.mem (Word.addr_exn w) hazards)
-        g.retired.(tid)
-    in
-    g.retired.(tid) <- keep;
-    g.retired_count.(tid) <- List.length keep;
-    List.iter (fun w -> Mem.reclaim t.ctx w) free
+    Hazards.clear g.hz;
+    Array.iter
+      (fun slots ->
+        Array.iter
+          (function
+            | Word.Ptr p -> Hazards.add g.hz p.Word.addr
+            | Word.Null | Word.Int _ -> ())
+          slots)
+      g.hp;
+    let keep = ref [] in
+    let kept = ref 0 in
+    List.iter
+      (fun w ->
+        if Hazards.mem g.hz (Word.addr_exn w) then begin
+          keep := w :: !keep;
+          incr kept
+        end
+        else Mem.reclaim t.ctx w)
+      g.retired.(tid);
+    g.retired.(tid) <- List.rev !keep;
+    g.retired_count.(tid) <- !kept
 
   let retire t w =
     let g = t.g in

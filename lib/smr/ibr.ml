@@ -126,18 +126,25 @@ module Make (C : CONFIG) : S_EXT = struct
     done;
     !conflict
 
+  (* One pass: keep intersecting nodes (counting as we go), reclaim the
+     rest in list order — same order as the old partition-then-iterate,
+     without the trailing [List.length] walk. *)
   let scan t =
     let g = t.g in
     let tid = t.ctx.Sched.tid in
     Mem.fence t.ctx ();
-    let keep, free =
-      List.partition
-        (fun (_, birth, retire_epoch) -> intersects g ~birth ~retire_epoch)
-        g.retired.(tid)
-    in
-    g.retired.(tid) <- keep;
-    g.retired_count.(tid) <- List.length keep;
-    List.iter (fun (w, _, _) -> Mem.reclaim t.ctx w) free
+    let keep = ref [] in
+    let kept = ref 0 in
+    List.iter
+      (fun ((w, birth, retire_epoch) as r) ->
+        if intersects g ~birth ~retire_epoch then begin
+          keep := r :: !keep;
+          incr kept
+        end
+        else Mem.reclaim t.ctx w)
+      g.retired.(tid);
+    g.retired.(tid) <- List.rev !keep;
+    g.retired_count.(tid) <- !kept
 
   let retire t w =
     let g = t.g in

@@ -265,6 +265,49 @@ let checker_vs_bruteforce =
     ~count:400 gen_history (fun h ->
       Linearize.is_linearizable set_spec h = Linearize.brute_force set_spec h)
 
+(* Same oracle cross-check on longer histories (up to 8 ops, 3 keys):
+   more memo-table pressure on the bitmask keys than the n<=5 property
+   above, while staying cheap enough for brute force. *)
+let gen_history_wide : History.t QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let gen_op =
+    oneof
+      [
+        map (fun k -> op "insert" [ k ]) (int_range 1 3);
+        map (fun k -> op "delete" [ k ]) (int_range 1 3);
+        map (fun k -> op "contains" [ k ]) (int_range 1 3);
+      ]
+  in
+  let* n = int_range 4 8 in
+  let* raw =
+    list_size (return n)
+      (triple gen_op bool (pair (int_range 0 1) (int_range 1 4)))
+  in
+  let time = Array.make 2 0 in
+  let entries =
+    List.mapi
+      (fun i (o, res, (tid, dur)) ->
+        let inv = time.(tid) in
+        let resp = inv + dur in
+        time.(tid) <- resp + 1;
+        {
+          History.opid = i;
+          tid;
+          op = o;
+          inv_time = (inv * 2) + tid;
+          result = bool_res res;
+          res_time = (resp * 2) + tid;
+        })
+      raw
+  in
+  return entries
+
+let checker_vs_bruteforce_wide =
+  QCheck2.Test.make
+    ~name:"linearize: Wing-Gong agrees with brute force (wider)" ~count:150
+    gen_history_wide (fun h ->
+      Linearize.is_linearizable set_spec h = Linearize.brute_force set_spec h)
+
 let sequential_always_linearizable =
   QCheck2.Test.make
     ~name:"linearize: spec-generated sequential histories accepted"
@@ -298,6 +341,91 @@ let sequential_always_linearizable =
       in
       Linearize.is_linearizable set_spec h)
 
+(* ------------------------------------------------------------------ *)
+(* Memo-key encodings                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* A sequential spec-generated history longer than 62 ops exercises the
+   string-encoded memo-key fallback (histories up to 62 ops use an int
+   bitmask); flipping one result must still be caught there. *)
+let long_sequential_history n =
+  let state = ref Spec.Int_set.init in
+  List.init n (fun i ->
+      let o =
+        match i mod 3 with
+        | 0 -> op "insert" [ (i mod 4) + 1 ]
+        | 1 -> op "contains" [ (i mod 4) + 1 ]
+        | _ -> op "delete" [ (i mod 4) + 1 ]
+      in
+      let s', r = Spec.Int_set.apply !state o in
+      state := s';
+      {
+        History.opid = i;
+        tid = 0;
+        op = o;
+        inv_time = 2 * i;
+        result = Some r;
+        res_time = (2 * i) + 1;
+      })
+
+let flip_result (r : History.op_record) =
+  let result =
+    match r.History.result with
+    | Some (Event.R_bool b) -> Some (Event.R_bool (not b))
+    | other -> other
+  in
+  { r with History.result }
+
+let test_long_history_fallback () =
+  let h = long_sequential_history 70 in
+  Alcotest.(check bool) "70-op sequential history accepted" true
+    (Linearize.is_linearizable set_spec h);
+  let broken =
+    List.mapi (fun i r -> if i = 69 then flip_result r else r) h
+  in
+  Alcotest.(check bool) "flipped final result rejected" false
+    (Linearize.is_linearizable set_spec broken)
+
+(* Golden checker run captured before the memo keys switched from
+   string concatenation to int bitmasks: the key change is a bijection,
+   so the verdict AND the explored-state count must be unchanged. *)
+let golden_checker_run seed =
+  let mon = Monitor.create ~mode:`Raise ~trace:true () in
+  let heap = Heap.create mon in
+  let sched =
+    Era_sched.Sched.create ~nthreads:2
+      (Era_sched.Sched.Random (Rng.create seed))
+      heap
+  in
+  let module L = Era_sets.Harris_list.Make (Era_smr.Ebr) in
+  let g = Era_smr.Ebr.create heap ~nthreads:2 in
+  let ext = Era_sched.Sched.external_ctx sched ~tid:0 in
+  let dl = L.create ext g in
+  for tid = 0 to 1 do
+    Era_sched.Sched.spawn sched ~tid (fun ctx ->
+        let ops = L.ops (L.handle dl ctx) ~record:true in
+        Era_workload.Workload.run_set_ops ops
+          (Rng.create (tid + 3))
+          ~ops:16
+          ~keys:(Era_workload.Workload.Uniform 6)
+          ~mix:Era_workload.Workload.balanced)
+  done;
+  ignore (Era_sched.Sched.run sched);
+  let h = History.of_monitor mon in
+  (List.length h, Linearize.check set_spec h)
+
+let test_golden_checker_states () =
+  List.iter
+    (fun seed ->
+      let n, v = golden_checker_run seed in
+      Alcotest.(check int) (Fmt.str "ops (seed %d)" seed) 32 n;
+      Alcotest.(check bool) (Fmt.str "linearizable (seed %d)" seed) true
+        v.Linearize.ok;
+      Alcotest.(check int)
+        (Fmt.str "states explored (seed %d)" seed)
+        32 v.Linearize.states_explored)
+    [ 5; 9 ]
+
 let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
 
 let () =
@@ -330,7 +458,14 @@ let () =
           Alcotest.test_case "witness" `Quick test_lin_witness;
           Alcotest.test_case "queue FIFO violation" `Quick
             test_lin_queue_fifo_violation;
+          Alcotest.test_case "long-history memo fallback" `Quick
+            test_long_history_fallback;
+          Alcotest.test_case "golden checker run" `Quick
+            test_golden_checker_states;
         ] );
       qsuite "linearizability-props"
-        [ checker_vs_bruteforce; sequential_always_linearizable ];
+        [
+          checker_vs_bruteforce; checker_vs_bruteforce_wide;
+          sequential_always_linearizable;
+        ];
     ]

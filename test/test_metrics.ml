@@ -236,6 +236,34 @@ let test_diff_flags_missing_row () =
   Alcotest.(check (list string)) "missing" [ "E8/b" ] v.D.missing;
   Alcotest.(check (list string)) "added" [ "E8/c" ] v.D.added
 
+let suite ?(elapsed_s = 1.0) experiment =
+  M.row ~experiment ~label:"suite" ~category:"suite-timing" ~elapsed_s ()
+
+let test_diff_flags_suite_slowdown () =
+  let old_r = report_of [ suite "E1"; suite ~elapsed_s:0.4 "E3" ] in
+  let new_r = report_of [ suite ~elapsed_s:2.5 "E1"; suite ~elapsed_s:0.4 "E3" ] in
+  let v = D.diff ~old_report:old_r ~new_report:new_r () in
+  Alcotest.(check bool) "fails" false (D.ok v);
+  (match v.D.slowdowns with
+  | [ s ] ->
+    Alcotest.(check string) "key" "E1/suite" s.D.key;
+    Alcotest.(check (float 0.001)) "new elapsed" 2.5 s.D.new_elapsed_s
+  | l -> Alcotest.failf "expected 1 slowdown, got %d" (List.length l));
+  (* The same pair passes with a 200% tolerance. *)
+  let v' =
+    D.diff ~max_suite_regression_pct:200. ~old_report:old_r ~new_report:new_r
+      ()
+  in
+  Alcotest.(check bool) "lenient ok" true (D.ok v');
+  (* Additive slack absorbs jitter on near-instant experiments. *)
+  let v'' =
+    D.diff
+      ~old_report:(report_of [ suite ~elapsed_s:0.001 "E5" ])
+      ~new_report:(report_of [ suite ~elapsed_s:0.04 "E5" ])
+      ()
+  in
+  Alcotest.(check bool) "within slack" true (D.ok v'')
+
 let test_diff_ignores_simulated_timing () =
   (* Simulated rows carry no gated mops/backlog signal. *)
   let mk mops =
@@ -386,6 +414,8 @@ let () =
             test_diff_flags_backlog_blowup;
           Alcotest.test_case "missing row flagged" `Quick
             test_diff_flags_missing_row;
+          Alcotest.test_case "suite slowdown flagged" `Quick
+            test_diff_flags_suite_slowdown;
           Alcotest.test_case "simulated rows not gated" `Quick
             test_diff_ignores_simulated_timing;
         ] );

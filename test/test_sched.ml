@@ -130,6 +130,103 @@ let test_random_deterministic () =
   Alcotest.(check bool) "different seeds diverge" true
     (run 5 <> run 6 || run 5 <> run 7)
 
+(* ------------------------------------------------------------------ *)
+(* Golden determinism traces                                           *)
+(*                                                                     *)
+(* Captured from the build before the scratch-buffer pick path and the *)
+(* monitor fast path landed. A seeded Random run must reproduce both   *)
+(* the per-quantum tid sequence (same Rng draws) and the monitor event *)
+(* trace (same observed behaviour) bit for bit.                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Staggered finish times shrink the candidate set as threads finish,
+   exercising pick_random's index arithmetic. *)
+let golden_random_run seed =
+  let mon = Monitor.create ~mode:`Record ~trace:true () in
+  let heap = Heap.create mon in
+  let sched = Sched.create ~nthreads:3 (Sched.Random (Rng.create seed)) heap in
+  let quanta = ref [] in
+  let body tid iters ctx =
+    for k = 1 to iters do
+      let w = Mem.alloc ctx ~key:((tid * 100) + k) in
+      quanta := tid :: !quanta;
+      Mem.write ctx ~via:w ~field:0 Word.Null;
+      quanta := tid :: !quanta;
+      Mem.retire ctx w;
+      quanta := tid :: !quanta
+    done
+  in
+  Sched.spawn sched ~tid:0 (body 0 3);
+  Sched.spawn sched ~tid:1 (body 1 5);
+  Sched.spawn sched ~tid:2 (body 2 2);
+  ignore (Sched.run sched);
+  (List.rev !quanta, List.map Event.to_string (Monitor.trace mon))
+
+let test_golden_quanta_seed11 () =
+  let tids, events = golden_random_run 11 in
+  Alcotest.(check (list int)) "tid quantum trace (seed 11)"
+    [ 2; 2; 2; 2; 0; 0; 0; 2; 0; 1; 1; 2; 0; 1; 1;
+      1; 1; 0; 1; 1; 1; 1; 1; 1; 0; 1; 1; 1; 0; 0 ]
+    tids;
+  Alcotest.(check (list string)) "event trace (seed 11)"
+    [
+      "T2 alloc &0#0 key=201"; "T2 write &0#0.f0"; "T2 retire &0#0";
+      "T2 alloc &1#1 key=202"; "T0 alloc &2#2 key=1"; "T0 write &2#2.f0";
+      "T0 retire &2#2"; "T2 write &1#1.f0"; "T0 alloc &3#3 key=2";
+      "T1 alloc &4#4 key=101"; "T1 write &4#4.f0"; "T2 retire &1#1";
+      "T0 write &3#3.f0"; "T1 retire &4#4"; "T1 alloc &5#5 key=102";
+      "T1 write &5#5.f0"; "T1 retire &5#5"; "T0 retire &3#3";
+      "T1 alloc &6#6 key=103"; "T1 write &6#6.f0"; "T1 retire &6#6";
+      "T1 alloc &7#7 key=104"; "T1 write &7#7.f0"; "T1 retire &7#7";
+      "T0 alloc &8#8 key=3"; "T1 alloc &9#9 key=105"; "T1 write &9#9.f0";
+      "T1 retire &9#9"; "T0 write &8#8.f0"; "T0 retire &8#8";
+    ]
+    events
+
+let test_golden_quanta_seed12 () =
+  let tids, events = golden_random_run 12 in
+  Alcotest.(check (list int)) "tid quantum trace (seed 12)"
+    [ 0; 0; 2; 2; 0; 0; 0; 0; 2; 0; 2; 0; 0; 2; 2;
+      1; 1; 1; 1; 1; 1; 1; 1; 1; 1; 1; 1; 1; 1; 1 ]
+    tids;
+  Alcotest.(check int) "event count (seed 12)" 30 (List.length events);
+  Alcotest.(check int) "event fingerprint (seed 12)" 547975592
+    (Hashtbl.hash (String.concat "\n" events))
+
+(* The monitor fast path skips building Access/Key_read events when
+   nothing observes them — so attaching any observer (trace or hook)
+   must yield the identical event sequence. *)
+let test_hook_sees_trace_sequence () =
+  let run ~use_hook =
+    let collected = ref [] in
+    let mon = Monitor.create ~mode:`Record ~trace:(not use_hook) () in
+    if use_hook then
+      Monitor.subscribe mon (fun _time ev ->
+          collected := Event.to_string ev :: !collected);
+    let heap = Heap.create mon in
+    let sched =
+      Sched.create ~nthreads:2 (Sched.Random (Rng.create 21)) heap
+    in
+    let body tid ctx =
+      for k = 1 to 4 do
+        let w = Mem.alloc ctx ~key:((tid * 10) + k) in
+        Mem.write ctx ~via:w ~field:0 (Word.int k);
+        ignore (Mem.read ctx ~via:w ~field:0);
+        Mem.retire ctx w
+      done
+    in
+    Sched.spawn sched ~tid:0 (body 0);
+    Sched.spawn sched ~tid:1 (body 1);
+    ignore (Sched.run sched);
+    if use_hook then List.rev !collected
+    else List.map Event.to_string (Monitor.trace mon)
+  in
+  let via_trace = run ~use_hook:false in
+  let via_hook = run ~use_hook:true in
+  Alcotest.(check bool) "trace nonempty" true (via_trace <> []);
+  Alcotest.(check (list string))
+    "hook sees exactly the traced sequence" via_trace via_hook
+
 let test_crash_captured () =
   let sched, _ = setup ~nthreads:1 Sched.Round_robin in
   Sched.spawn sched ~tid:0 (fun ctx ->
@@ -202,6 +299,12 @@ let () =
             test_finish_bounded_flags_progress;
           Alcotest.test_case "random determinism" `Quick
             test_random_deterministic;
+          Alcotest.test_case "golden schedule seed 11" `Quick
+            test_golden_quanta_seed11;
+          Alcotest.test_case "golden schedule seed 12" `Quick
+            test_golden_quanta_seed12;
+          Alcotest.test_case "hook sees trace sequence" `Quick
+            test_hook_sees_trace_sequence;
           Alcotest.test_case "crash capture" `Quick test_crash_captured;
           Alcotest.test_case "run_op records history" `Quick
             test_run_op_records;
