@@ -379,6 +379,69 @@ let e11 () =
     rows
 
 (* ------------------------------------------------------------------ *)
+(* E12: systematic exploration                                         *)
+(* ------------------------------------------------------------------ *)
+
+let e12 () =
+  section
+    "E12 | Systematic exploration: bounded search rediscovers Figures 1-2";
+  let module Ex = Era_explore.Explore in
+  let budget = if quick then 2_000 else 20_000 in
+  (* Safety cells reuse the Figure 2 setting (short churn, no bound);
+     the robustness pair reruns the Figure 1 dichotomy — same workload
+     and backlog bound, EBR trips the robustness horn while HP trips the
+     safety horn instead. *)
+  let cells =
+    [
+      ("hp", "safety", 14, None); ("he", "safety", 14, None);
+      ("ibr", "safety", 14, None); ("ebr", "robust24", 60, Some 24);
+      ("hp", "robust24", 60, Some 24);
+    ]
+  in
+  List.iter
+    (fun (name, kind, ops_per_thread, robustness_bound) ->
+      if want_scheme name then
+        match Era_smr.Registry.find name with
+        | None -> ()
+        | Some scheme ->
+          let t0 = Unix.gettimeofday () in
+          let config = { Ex.default_config with Ex.max_runs = budget } in
+          let r =
+            Era.Applicability.explore ~config ~seed:2 ~ops_per_thread
+              ?robustness_bound scheme Era.Applicability.Harris
+          in
+          let elapsed_s = Unix.gettimeofday () -. t0 in
+          let s = r.Ex.res_stats in
+          let note, script_len =
+            match r.Ex.res_cex with
+            | Some c ->
+              ( Era_sim.Event.violation_name c.Ex.c_violation.Ex.v_kind,
+                List.length c.Ex.c_script )
+            | None -> ("none", 0)
+          in
+          Fmt.pr "  %-4s %-8s %a -> %s (%d-instr script, %.0f states/s)@."
+            name kind Ex.pp_stats s note script_len
+            (float_of_int s.Ex.states /. Float.max elapsed_s 1e-9);
+          emit
+            (M.row ~experiment:"E12"
+               ~label:(Fmt.str "explore/%s/%s" name kind)
+               ~scheme:name ~structure:"harris-list" ~elapsed_s ~note
+               ~extra:
+                 [
+                   ("runs", float_of_int s.Ex.runs);
+                   ("states", float_of_int s.Ex.states);
+                   ("pruned", float_of_int s.Ex.pruned);
+                   ("shrink_runs", float_of_int s.Ex.shrink_runs);
+                   ( "found_level",
+                     float_of_int (Option.value s.Ex.cex_preemptions ~default:(-1))
+                   ); ("script_len", float_of_int script_len);
+                   ( "states_per_sec",
+                     float_of_int s.Ex.states /. Float.max elapsed_s 1e-9 );
+                 ]
+               ()))
+    cells
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -549,7 +612,7 @@ let () =
     [
       ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5);
       ("E6", e6); ("E7", e7); ("E8", e8); ("E8b", e8b); ("E9", e9);
-      ("E10", e10); ("E11", e11);
+      ("E10", e10); ("E11", e11); ("E12", e12);
       ("B1", b1_sim_read_cost); ("B2", b2_sim_lifecycle_cost);
       ("B3", b3_native_read_cost); ("B4", b4_checker_scaling);
       ("B5", b5_scheduler_overhead);

@@ -3,7 +3,7 @@
      dune exec bin/era_cli.exe -- <command> [options]
 
    Commands: figure1, figure2, robustness, applicability, access-aware,
-   matrix, native, ablation, stall-fuzz, all.
+   matrix, native, ablation, stall-fuzz, explore, replay, all.
 
    Parsing goes through Era_metrics.Run_config — the same Arg-based flag
    surface as bench/main.exe — so --schemes/--json/--domains/... behave
@@ -11,14 +11,16 @@
 
 module M = Era_metrics.Metrics
 module Rc = Era_metrics.Run_config
+module Explore = Era_explore.Explore
 
 let commands =
   [
     "figure1"; "figure2"; "robustness"; "applicability"; "access-aware";
-    "matrix"; "native"; "ablation"; "stall-fuzz"; "all";
+    "matrix"; "native"; "ablation"; "stall-fuzz"; "explore"; "replay"; "all";
   ]
 
-let cfg = Rc.parse ~prog:"era_cli" ~commands ()
+(* [file_arg] admits the positional of [replay <counterexample.json>]. *)
+let cfg = Rc.parse ~prog:"era_cli" ~commands ~file_arg:true ()
 
 let schemes () =
   let all = Era_smr.Registry.all in
@@ -89,12 +91,114 @@ let stall_fuzz () =
   let tries = Rc.tries_or cfg 30 in
   List.iter
     (fun ((module S : Era_smr.Smr_intf.S) as s) ->
-      let found =
+      let r =
         Era.Applicability.stall_fuzz ~tries ~seed:1 s Era.Applicability.Harris
       in
-      Fmt.pr "%-6s stall-fuzz on harris-list: %d/%d runs violated@." S.name
-        found tries)
+      Fmt.pr "%-6s stall-fuzz on harris-list: %d/%d runs violated%a@." S.name
+        r.Explore.fz_found r.Explore.fz_tries
+        (Fmt.option (fun fmt v -> Fmt.pf fmt " (first: %a)" Explore.pp_violation v))
+        r.Explore.fz_first)
     (schemes ())
+
+(* ---------------------------------------------------------------- *)
+(* Systematic exploration                                            *)
+(* ---------------------------------------------------------------- *)
+
+let one_scheme () =
+  match cfg.Rc.schemes with
+  | [ name ] -> (
+    match Era_smr.Registry.find name with
+    | Some s -> s
+    | None ->
+      Fmt.epr "era_cli: unknown scheme %S (expected one of: %s)@." name
+        (String.concat ", " Era_smr.Registry.names);
+      exit 2)
+  | [] | _ :: _ :: _ ->
+    Fmt.epr "era_cli explore: pick exactly one scheme with --scheme@.";
+    exit 2
+
+let structure_arg () =
+  match cfg.Rc.structure with
+  | None -> Era.Applicability.Harris
+  | Some s -> (
+    match Era.Applicability.structure_of_name s with
+    | Some st -> st
+    | None ->
+      Fmt.epr "era_cli: unknown structure %S (expected one of: %s)@." s
+        (String.concat ", "
+           (List.map Era.Applicability.structure_name
+              Era.Applicability.structures));
+      exit 2)
+
+let explore_cmd () =
+  let ((module S : Era_smr.Smr_intf.S) as scheme) = one_scheme () in
+  let structure = structure_arg () in
+  let d = Explore.default_config in
+  let config =
+    {
+      d with
+      Explore.max_preemptions = Rc.preemptions_or cfg d.Explore.max_preemptions;
+      max_runs = Rc.max_runs_or cfg d.Explore.max_runs;
+      max_steps = Rc.steps_or cfg d.Explore.max_steps;
+    }
+  in
+  let seed = Rc.seed_or cfg 2 in
+  Fmt.pr "exploring %s/%s (preemption bound %d, budget %d runs)...@." S.name
+    (Era.Applicability.structure_name structure)
+    config.Explore.max_preemptions config.Explore.max_runs;
+  let r =
+    Era.Applicability.explore ~config ~seed ?ops_per_thread:cfg.Rc.ops
+      ?robustness_bound:cfg.Rc.robust_bound scheme structure
+  in
+  Fmt.pr "%a@." Explore.pp_stats r.Explore.res_stats;
+  match r.Explore.res_cex with
+  | None ->
+    Fmt.pr
+      "no violation found within the bounds — every explored schedule is \
+       safe@."
+  | Some cex ->
+    Fmt.pr "VIOLATION: %a@." Explore.pp_counterexample cex;
+    let out =
+      match cfg.Rc.out with
+      | Some f -> f
+      | None ->
+        Fmt.str "counterexample_%s_%s.json" S.name
+          (Era.Applicability.structure_name structure)
+    in
+    Explore.save ~file:out cex;
+    Fmt.pr "counterexample written to %s (replay with: era_cli replay %s)@."
+      out out
+
+let replay_cmd () =
+  let file =
+    match cfg.Rc.file with
+    | Some f -> f
+    | None ->
+      Fmt.epr "usage: era_cli replay <counterexample.json>@.";
+      exit 2
+  in
+  match Explore.load ~file with
+  | Error e ->
+    Fmt.epr "era_cli replay: %s@." e;
+    exit 2
+  | Ok cex -> (
+    match Era.Applicability.target_of_counterexample cex with
+    | Error e ->
+      Fmt.epr "era_cli replay: %s@." e;
+      exit 2
+    | Ok target ->
+      Fmt.pr "replaying %a@." Explore.pp_counterexample cex;
+      let r = Explore.replay target cex in
+      (match r.Explore.rp_violation with
+      | Some v when v.Explore.v_kind = cex.Explore.c_violation.Explore.v_kind
+        ->
+        Fmt.pr "reproduced: %a@." Explore.pp_violation v
+      | Some v ->
+        Fmt.pr "different violation on replay: %a@." Explore.pp_violation v;
+        exit 1
+      | None ->
+        Fmt.pr "violation did NOT reproduce@.";
+        exit 1))
 
 let native () =
   let open Era_native.Throughput in
@@ -155,6 +259,8 @@ let () =
   | Some "native" -> native ()
   | Some "ablation" -> ablation ()
   | Some "stall-fuzz" -> stall_fuzz ()
+  | Some "explore" -> explore_cmd ()
+  | Some "replay" -> replay_cmd ()
   | Some "all" -> all ()
   | Some other ->
     (* unreachable: Run_config validated the command list *)

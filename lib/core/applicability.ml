@@ -20,6 +20,18 @@ let structure_name = function
   | Stack -> "treiber-stack"
   | Queue -> "ms-queue"
 
+(* Accepts the canonical names above plus the obvious short forms, so CLI
+   users can say [--structure harris]. *)
+let structure_of_name s =
+  match String.lowercase_ascii s with
+  | "harris-list" | "harris" -> Some Harris
+  | "michael-list" | "michael" -> Some Michael
+  | "hash-harris" | "hash" -> Some Hash
+  | "hash-michael" -> Some Hash_michael
+  | "treiber-stack" | "treiber" | "stack" -> Some Stack
+  | "ms-queue" | "queue" -> Some Queue
+  | _ -> None
+
 type verdict = {
   scheme : string;
   structure : structure;
@@ -43,52 +55,68 @@ let spec_of = function
   | Stack -> (module Era_history.Spec.Int_stack)
   | Queue -> (module Era_history.Spec.Int_queue)
 
-(* Build the structure and return one worker body per thread. *)
+(* Build the structure and return one worker body per thread. [keys],
+   [mix] and [prefill] default to the historical fuzzing workload; the
+   explorer passes a smaller key range, update-heavy churn and a prefilled
+   structure so interesting interleavings need very few quanta. Prefill
+   runs through the external context, so every [make] call of an explorer
+   target reproduces the identical initial heap. *)
 let build_workers (type gt tc)
     (module S : Era_smr.Smr_intf.S with type t = gt and type tctx = tc)
-    structure heap ~nthreads ~seed ~ops_per_thread ext =
+    structure heap ~nthreads ~seed ~ops_per_thread
+    ?(keys = Workload.Uniform 6) ?(mix = Workload.balanced) ?(prefill = [])
+    ext =
   let g = S.create heap ~nthreads in
-  let keys = Workload.Uniform 6 in
   match structure with
   | Harris ->
     let module L = Era_sets.Harris_list.Make (S) in
     let dl = L.create ext g in
+    let pre = L.ops (L.handle dl ext) ~record:false in
+    List.iter (fun k -> ignore (pre.insert k)) prefill;
     fun tid (ctx : Sched.ctx) ->
       let ops = L.ops (L.handle dl ctx) ~record:true in
       Workload.run_set_ops ops
         (Rng.create ((seed * 131) + tid))
-        ~ops:ops_per_thread ~keys ~mix:Workload.balanced;
+        ~ops:ops_per_thread ~keys ~mix;
       ops.quiesce ()
   | Michael ->
     let module L = Era_sets.Michael_list.Make (S) in
     let dl = L.create ext g in
+    let pre = L.ops (L.handle dl ext) ~record:false in
+    List.iter (fun k -> ignore (pre.insert k)) prefill;
     fun tid ctx ->
       let ops = L.ops (L.handle dl ctx) ~record:true in
       Workload.run_set_ops ops
         (Rng.create ((seed * 131) + tid))
-        ~ops:ops_per_thread ~keys ~mix:Workload.balanced;
+        ~ops:ops_per_thread ~keys ~mix;
       ops.quiesce ()
   | Hash ->
     let module H = Era_sets.Hash_set.Make (S) in
     let hs = H.create ~nbuckets:4 ext g in
+    let pre = H.ops (H.handle hs ext) ~record:false in
+    List.iter (fun k -> ignore (pre.insert k)) prefill;
     fun tid ctx ->
       let ops = H.ops (H.handle hs ctx) ~record:true in
       Workload.run_set_ops ops
         (Rng.create ((seed * 131) + tid))
-        ~ops:ops_per_thread ~keys ~mix:Workload.balanced;
+        ~ops:ops_per_thread ~keys ~mix;
       ops.quiesce ()
   | Hash_michael ->
     let module H = Era_sets.Hash_set.Make_michael (S) in
     let hs = H.create ~nbuckets:4 ext g in
+    let pre = H.ops (H.handle hs ext) ~record:false in
+    List.iter (fun k -> ignore (pre.insert k)) prefill;
     fun tid ctx ->
       let ops = H.ops (H.handle hs ctx) ~record:true in
       Workload.run_set_ops ops
         (Rng.create ((seed * 131) + tid))
-        ~ops:ops_per_thread ~keys ~mix:Workload.balanced;
+        ~ops:ops_per_thread ~keys ~mix;
       ops.quiesce ()
   | Stack ->
     let module T = Era_sets.Treiber_stack.Make (S) in
     let st = T.create ext g in
+    let pre = T.ops (T.handle st ext) ~record:false in
+    List.iter (fun k -> pre.push k) prefill;
     fun tid ctx ->
       let ops = T.ops (T.handle st ctx) ~record:true in
       Workload.run_stack_ops ops
@@ -98,6 +126,8 @@ let build_workers (type gt tc)
   | Queue ->
     let module Q = Era_sets.Ms_queue.Make (S) in
     let q = Q.create ext g in
+    let pre = Q.ops (Q.handle q ext) ~record:false in
+    List.iter (fun k -> pre.enqueue k) prefill;
     fun tid ctx ->
       let ops = Q.ops (Q.handle q ctx) ~record:true in
       Workload.run_queue_ops ops
@@ -229,6 +259,7 @@ let stall_fuzz ?(threads = 3) ?(ops_per_thread = 60) ~tries ~seed
     ((module S : Era_smr.Smr_intf.S) as scheme) structure =
   ignore scheme;
   let found = ref 0 in
+  let first = ref None in
   for i = 0 to tries - 1 do
     let mon = Monitor.create ~mode:`Record ~trace:false () in
     let heap = Heap.create mon in
@@ -242,6 +273,17 @@ let stall_fuzz ?(threads = 3) ?(ops_per_thread = 60) ~tries ~seed
           incr count;
           if !count = stall_at then Sched.stall sched 0
         | _ -> ());
+    (* Same first-violation record the systematic explorer produces, so
+       fuzz findings and search findings report in one format. *)
+    let viol = ref None in
+    Monitor.subscribe_tags mon [ Event.tag_violation ] (fun _ ev ->
+        match ev with
+        | Event.Violation { kind = Event.Progress_failure; _ } -> ()
+        | ev ->
+          if !viol = None then
+            viol :=
+              Era_explore.Explore.violation_of_event
+                ~step:(Sched.total_steps sched) ev);
     let ext = Sched.external_ctx sched ~tid:0 in
     let worker =
       build_workers (module S) structure heap ~nthreads:threads
@@ -256,14 +298,6 @@ let stall_fuzz ?(threads = 3) ?(ops_per_thread = 60) ~tries ~seed
       Sched.unstall sched 0;
       ignore (Sched.run sched)
     | Sched.All_finished | Sched.Script_done | Sched.Step_limit -> ());
-    let real_violation =
-      List.exists
-        (function
-          | Event.Violation { kind = Event.Progress_failure; _ } -> false
-          | Event.Violation _ -> true
-          | _ -> false)
-        (Monitor.violations mon)
-    in
     let crashed =
       List.exists
         (fun tid ->
@@ -272,9 +306,14 @@ let stall_fuzz ?(threads = 3) ?(ops_per_thread = 60) ~tries ~seed
           | _ -> false)
         (List.init threads Fun.id)
     in
-    if real_violation || crashed then incr found
+    if !viol <> None || crashed then incr found;
+    if !first = None then first := !viol
   done;
-  !found
+  {
+    Era_explore.Explore.fz_tries = tries;
+    fz_found = !found;
+    fz_first = !first;
+  }
 
 let matrix ?fuzz_runs ?seed () =
   List.map
@@ -287,6 +326,86 @@ let matrix ?fuzz_runs ?seed () =
 
 let widely_applicable verdicts =
   List.for_all (fun (_, v) -> applicable v) verdicts
+
+(* ------------------------------------------------------------------ *)
+(* Systematic exploration targets                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Defaults deliberately tiny: the Figure 1/2 executions live inside a
+   couple of operations on a near-empty list, and every extra quantum
+   multiplies the schedule space. Threads draw their operations from
+   per-thread RNGs seeded by [(seed * 131) + tid], so the op sequences —
+   and hence the choice-point structure — are schedule-independent, which
+   is what makes prefix replay deterministic. *)
+let explore_target ?(threads = 2) ?(ops_per_thread = 14) ?(keys = 4)
+    ?(seed = 2) ?(prefill = 2) ?robustness_bound
+    ((module S : Era_smr.Smr_intf.S) as scheme) structure =
+  ignore scheme;
+  let params =
+    [
+      ("threads", threads);
+      ("ops", ops_per_thread);
+      ("keys", keys);
+      ("seed", seed);
+      ("prefill", prefill);
+      ("bound", Option.value robustness_bound ~default:(-1));
+    ]
+  in
+  let make ~trace strategy =
+    let mon = Monitor.create ~mode:`Record ~trace () in
+    let heap = Heap.create mon in
+    let sched = Sched.create ~nthreads:threads strategy heap in
+    let ext = Sched.external_ctx sched ~tid:0 in
+    let worker =
+      build_workers (module S) structure heap ~nthreads:threads ~seed
+        ~ops_per_thread ~keys:(Workload.Uniform keys)
+        ~mix:Workload.update_heavy
+        ~prefill:(List.init prefill (fun i -> i + 1))
+        ext
+    in
+    for tid = 0 to threads - 1 do
+      Sched.spawn sched ~tid (fun ctx -> worker tid ctx)
+    done;
+    sched
+  in
+  {
+    Era_explore.Explore.name = S.name ^ "/" ^ structure_name structure;
+    nthreads = threads;
+    params;
+    robustness_bound;
+    make;
+  }
+
+let explore ?config ?threads ?ops_per_thread ?keys ?seed ?prefill
+    ?robustness_bound scheme structure =
+  Era_explore.Explore.explore ?config
+    (explore_target ?threads ?ops_per_thread ?keys ?seed ?prefill
+       ?robustness_bound scheme structure)
+
+(* Rebuild the target a saved counterexample was found on, from its
+   ["scheme/structure"] name and recorded construction parameters. *)
+let target_of_counterexample (cex : Era_explore.Explore.counterexample) =
+  match String.split_on_char '/' cex.c_target with
+  | [ scheme_name; struct_name ] -> (
+    match
+      (Era_smr.Registry.find scheme_name, structure_of_name struct_name)
+    with
+    | Some scheme, Some structure ->
+      let p k d =
+        match List.assoc_opt k cex.c_params with Some v -> v | None -> d
+      in
+      let bound = p "bound" (-1) in
+      Ok
+        (explore_target ~threads:(p "threads" 2) ~ops_per_thread:(p "ops" 14)
+           ~keys:(p "keys" 4) ~seed:(p "seed" 2) ~prefill:(p "prefill" 2)
+           ?robustness_bound:(if bound < 0 then None else Some bound)
+           scheme structure)
+    | None, _ -> Error (Fmt.str "unknown scheme %S" scheme_name)
+    | _, None -> Error (Fmt.str "unknown structure %S" struct_name))
+  | _ ->
+    Error
+      (Fmt.str "malformed target name %S (expected \"scheme/structure\")"
+         cex.c_target)
 
 let pp_verdict fmt v =
   if applicable v then

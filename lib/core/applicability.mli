@@ -29,6 +29,10 @@ type structure =
 val structures : structure list
 val structure_name : structure -> string
 
+val structure_of_name : string -> structure option
+(** Accepts {!structure_name} outputs plus short forms ([harris],
+    [michael], [hash], [stack], [queue], …), case-insensitively. *)
+
 type verdict = {
   scheme : string;
   structure : structure;
@@ -51,13 +55,46 @@ val run :
 
 val stall_fuzz :
   ?threads:int -> ?ops_per_thread:int -> tries:int -> seed:int ->
-  Era_smr.Registry.scheme -> structure -> int
+  Era_smr.Registry.scheme -> structure -> Era_explore.Explore.fuzz_report
 (** Black-box violation hunting: randomized schedules with one thread
     frozen at a random point and solo-resumed at the end — enough, with
     reclamation-triggering churn, to stumble on Figure 1-like executions
-    without knowing the construction. Returns how many of the [tries]
-    runs produced a safety violation (expected: >0 for HP/HE/IBR on the
-    Harris family, 0 for applicable pairings). *)
+    without knowing the construction. [fz_found] counts the [tries] runs
+    that produced a safety violation or crash (expected: >0 for HP/HE/IBR
+    on the Harris family, 0 for applicable pairings); the first violation
+    is reported in the same {!Era_explore.Explore.violation_info} format
+    the systematic explorer emits. *)
+
+(** {2 Systematic exploration}
+
+    Bounded model checking over any (scheme × structure) cell: the
+    explorer of [lib/explore] pointed at a tiny deterministic workload —
+    the "find the paper's executions instead of scripting them"
+    entry point. *)
+
+val explore_target :
+  ?threads:int -> ?ops_per_thread:int -> ?keys:int -> ?seed:int ->
+  ?prefill:int -> ?robustness_bound:int ->
+  Era_smr.Registry.scheme -> structure -> Era_explore.Explore.target
+(** Defaults: 2 threads, 14 ops each, keys uniform in [1, 4], seed 2,
+    prefill of 2 keys, update-heavy mix, no robustness bound. Pass
+    [robustness_bound] to also hunt non-robustness (Definition 5.1): a
+    retired backlog beyond the bound becomes a [Robustness_exceeded]
+    violation. *)
+
+val explore :
+  ?config:Era_explore.Explore.config -> ?threads:int ->
+  ?ops_per_thread:int -> ?keys:int -> ?seed:int -> ?prefill:int ->
+  ?robustness_bound:int -> Era_smr.Registry.scheme -> structure ->
+  Era_explore.Explore.search_result
+(** [Era_explore.Explore.explore] on {!explore_target}. *)
+
+val target_of_counterexample :
+  Era_explore.Explore.counterexample ->
+  (Era_explore.Explore.target, string) result
+(** Rebuild the exact target a saved counterexample was found on from its
+    ["scheme/structure"] name and recorded parameters — the replay half
+    of the CLI round trip. *)
 
 val matrix :
   ?fuzz_runs:int -> ?seed:int -> unit ->

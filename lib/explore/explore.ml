@@ -1,0 +1,584 @@
+module Event = Era_sim.Event
+module Monitor = Era_sim.Monitor
+module Heap = Era_sim.Heap
+module Sched = Era_sched.Sched
+module Json = Era_metrics.Json
+
+type target = {
+  name : string;
+  nthreads : int;
+  params : (string * int) list;
+  robustness_bound : int option;
+  make : trace:bool -> Sched.strategy -> Sched.t;
+}
+
+type violation_info = {
+  v_kind : Event.violation;
+  v_tid : int;
+  v_step : int;
+  v_detail : string;
+}
+
+type counterexample = {
+  c_target : string;
+  c_nthreads : int;
+  c_params : (string * int) list;
+  c_violation : violation_info;
+  c_steps : int list;
+  c_script : Sched.instr list;
+  c_preemptions : int;
+}
+
+type stats = {
+  runs : int;
+  states : int;
+  pruned : int;
+  shrink_runs : int;
+  cex_preemptions : int option;
+  levels_completed : int;
+}
+
+type search_result = {
+  res_stats : stats;
+  res_cex : counterexample option;
+}
+
+type config = {
+  max_preemptions : int;
+  max_runs : int;
+  max_steps : int;
+  shrink : bool;
+  shrink_budget : int;
+}
+
+let default_config =
+  {
+    max_preemptions = 2;
+    max_runs = 20_000;
+    max_steps = 50_000;
+    shrink = true;
+    shrink_budget = 500;
+  }
+
+type fuzz_report = {
+  fz_tries : int;
+  fz_found : int;
+  fz_first : violation_info option;
+}
+
+let violation_of_event ~step = function
+  | Event.Violation { tid; kind; detail } ->
+    Some { v_kind = kind; v_tid = tid; v_step = step; v_detail = detail }
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Schedules as step lists                                            *)
+(* ------------------------------------------------------------------ *)
+
+let script_of_steps steps =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | t :: rest -> (
+      match acc with
+      | Sched.Run (t', n) :: acc' when t' = t ->
+        go (Sched.Run (t, n + 1) :: acc') rest
+      | _ -> go (Sched.Run (t, 1) :: acc) rest)
+  in
+  go [] steps
+
+(* A switch away from a thread whose tid occurs again later in the list:
+   from the steps alone a tid's final occurrence is indistinguishable
+   from the thread finishing, so switches after it count as free. *)
+let preemptions_of_steps steps =
+  let arr = Array.of_list steps in
+  let last_occ = Hashtbl.create 8 in
+  Array.iteri (fun i t -> Hashtbl.replace last_occ t i) arr;
+  let p = ref 0 in
+  for i = 1 to Array.length arr - 1 do
+    if arr.(i) <> arr.(i - 1) && Hashtbl.find last_occ arr.(i - 1) > i - 1
+    then incr p
+  done;
+  !p
+
+(* ------------------------------------------------------------------ *)
+(* Watchers                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Install the violation recorder (first violation, with its quantum
+   index) and, when the target asks for one, the robustness watcher that
+   turns a retired backlog crossing the bound into a
+   [Robustness_exceeded] violation event — Definitions 5.1/5.2 made
+   executable: a thread the schedule is currently not running is a
+   potentially-delayed thread, so a backlog beyond the bound under some
+   schedule is exactly non-robustness. Returns the violation cell. *)
+let install_watchers target sched =
+  let mon = Sched.monitor sched in
+  let viol = ref None in
+  Monitor.subscribe_tags mon [ Event.tag_violation ] (fun _ ev ->
+      if !viol = None then
+        viol := violation_of_event ~step:(Sched.total_steps sched) ev);
+  (match target.robustness_bound with
+  | None -> ()
+  | Some bound ->
+    let fired = ref false in
+    Monitor.subscribe_tags mon [ Event.tag_retire ] (fun _ _ ->
+        if (not !fired) && Monitor.retired mon > bound then begin
+          fired := true;
+          let tid = max 0 (Sched.current_tid sched) in
+          Monitor.emit mon
+            (Event.Violation
+               {
+                 tid;
+                 kind = Event.Robustness_exceeded;
+                 detail =
+                   Fmt.str "retired backlog %d exceeded robustness bound %d"
+                     (Monitor.retired mon) bound;
+               })
+        end));
+  viol
+
+(* ------------------------------------------------------------------ *)
+(* One controlled run                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type decision = {
+  de_chosen : int;
+  de_runnable : int list;  (* >= 2 entries: a real choice point *)
+  de_prev : int;  (* tid of the preceding quantum; -1 at the start *)
+}
+
+type run_record = {
+  ru_steps : int list;  (* tids in execution order *)
+  ru_decisions : decision array;
+  ru_violation : violation_info option;
+  ru_pruned : bool;
+  ru_quanta : int;
+}
+
+let state_fp sched =
+  let mix h v = (h lxor v) * 0x100000001b3 in
+  let h = ref (Heap.fingerprint (Sched.heap sched)) in
+  h := mix !h (Monitor.fingerprint (Sched.monitor sched));
+  for tid = 0 to Sched.nthreads sched - 1 do
+    h := mix !h (Sched.steps_of sched tid);
+    h := mix !h (if Sched.is_live sched tid then 1 else 0)
+  done;
+  !h
+
+(* Execute one schedule: replay [prefix] (one entry per choice point — a
+   quantum with >= 2 runnable threads), then follow the deterministic
+   non-preemptive default (keep running the current thread; on its
+   completion, the lowest runnable tid). Right after the deviating
+   quantum — the last prefix entry — the global state is checked against
+   [visited] and the run is cut short on a hit: its continuation and all
+   its extensions were already covered from the first visit. *)
+let run_one target ~max_steps ~visited ~prefix =
+  let steps = ref [] in
+  let nsteps = ref 0 in
+  let decisions = ref [] in
+  let ndec = ref 0 in
+  let plen = Array.length prefix in
+  let last = ref (-1) in
+  let pruned = ref false in
+  let fp_pending = ref false in
+  (* Re-bound after [make] installs the real cell; the controller only
+     reads it once the run is underway. *)
+  let viol = ref (ref None) in
+  let push tid =
+    steps := tid :: !steps;
+    incr nsteps;
+    last := tid
+  in
+  let pick sched =
+    if !fp_pending then begin
+      fp_pending := false;
+      let fp = state_fp sched in
+      if Hashtbl.mem visited fp then pruned := true
+      else Hashtbl.replace visited fp ()
+    end;
+    if !pruned || !(!viol) <> None || !nsteps >= max_steps then -1
+    else
+      match Sched.runnable_tids sched with
+      | [] -> -1
+      | [ t ] ->
+        push t;
+        t
+      | ts ->
+        let chosen =
+          if !ndec < plen then prefix.(!ndec)
+          else if !last >= 0 && List.mem !last ts then !last
+          else List.hd ts
+        in
+        if not (List.mem chosen ts) then
+          invalid_arg
+            (Fmt.str
+               "Explore: target %S is not schedule-deterministic (prefix \
+                tid %d not runnable at choice point %d)"
+               target.name chosen !ndec);
+        decisions :=
+          { de_chosen = chosen; de_runnable = ts; de_prev = !last }
+          :: !decisions;
+        incr ndec;
+        if plen > 0 && !ndec = plen then fp_pending := true;
+        push chosen;
+        chosen
+  in
+  let sched = target.make ~trace:false (Sched.Controlled pick) in
+  viol := install_watchers target sched;
+  ignore (Sched.run sched);
+  let v =
+    match !(!viol) with
+    | Some _ as v -> v
+    | None ->
+      (* a violation emitted during setup, before the watcher existed *)
+      Option.bind (Monitor.first_violation (Sched.monitor sched))
+        (violation_of_event ~step:0)
+  in
+  {
+    ru_steps = List.rev !steps;
+    ru_decisions = Array.of_list (List.rev !decisions);
+    ru_violation = v;
+    ru_pruned = !pruned;
+    ru_quanta = !nsteps;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Script replay                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type replay_result = {
+  rp_violation : violation_info option;
+  rp_outcome : Sched.outcome;
+  rp_trace : Event.t list;
+}
+
+let run_steps ?(trace = false) target steps =
+  let sched = target.make ~trace (Sched.Script (script_of_steps steps)) in
+  let viol = install_watchers target sched in
+  let outcome = Sched.run sched in
+  {
+    rp_violation = !viol;
+    rp_outcome = outcome;
+    rp_trace = Monitor.trace (Sched.monitor sched);
+  }
+
+let replay ?trace target cex = run_steps ?trace target cex.c_steps
+
+(* ------------------------------------------------------------------ *)
+(* Shrinking: ddmin over the quantum-by-quantum schedule              *)
+(* ------------------------------------------------------------------ *)
+
+let split_chunks lst n =
+  let len = List.length lst in
+  let base = len / n and rem = len mod n in
+  let rec go i acc lst =
+    if i >= n then List.rev acc
+    else begin
+      let size = base + (if i < rem then 1 else 0) in
+      let chunk, rest =
+        let rec take k acc = function
+          | rest when k = 0 -> (List.rev acc, rest)
+          | [] -> (List.rev acc, [])
+          | x :: tl -> take (k - 1) (x :: acc) tl
+        in
+        take size [] lst
+      in
+      go (i + 1) (chunk :: acc) rest
+    end
+  in
+  go 0 [] lst
+
+(* Zeller-Hildebrandt ddmin. [test] must hold on [lst]; the result is a
+   sublist on which [test] still holds and that is 1-minimal up to the
+   test budget (a budget-exhausted test reports [false], which only stops
+   further reduction). *)
+let ddmin test lst =
+  let rec go lst n =
+    let len = List.length lst in
+    if len <= 1 || n > len then lst
+    else begin
+      let chunks = split_chunks lst n in
+      match List.find_opt test chunks with
+      | Some c -> go c 2
+      | None -> (
+        let complements =
+          List.mapi
+            (fun i _ ->
+              List.concat
+                (List.filteri (fun j _ -> j <> i) chunks))
+            chunks
+        in
+        match if n = 2 then None else List.find_opt test complements with
+        | Some c -> go c (max (n - 1) 2)
+        | None -> if n < len then go lst (min len (2 * n)) else lst)
+    end
+  in
+  go lst 2
+
+let shrink_steps target ~budget ~kind steps0 =
+  let tests = ref 0 in
+  let check steps =
+    !tests < budget
+    && begin
+         incr tests;
+         match (run_steps target steps).rp_violation with
+         | Some v -> v.v_kind = kind
+         | None -> false
+       end
+  in
+  let shrunk = ddmin check steps0 in
+  (shrunk, !tests)
+
+(* ------------------------------------------------------------------ *)
+(* The bounded DFS                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let rec list_take n = function
+  | [] -> []
+  | _ when n <= 0 -> []
+  | x :: tl -> x :: list_take (n - 1) tl
+
+exception Search_over
+
+let explore ?(config = default_config) target =
+  let visited = Hashtbl.create 8192 in
+  let runs = ref 0 in
+  let states = ref 0 in
+  let pruned_n = ref 0 in
+  let found = ref None in
+  let found_level = ref None in
+  let levels_completed = ref 0 in
+  let level = ref 0 in
+  (* Iterative preemption bounding: the level-[k] stack holds prefixes
+     whose deviation needed its [k]-th preemption; free-switch siblings
+     stay within the level, preempting siblings seed level [k+1]. *)
+  let stack = ref [ [||] ] in
+  let deferred = ref [] in
+  (try
+     while !level <= config.max_preemptions do
+       while !stack <> [] do
+         if !runs >= config.max_runs then raise Search_over;
+         match !stack with
+         | [] -> assert false
+         | prefix :: rest ->
+           stack := rest;
+           let r =
+             run_one target ~max_steps:config.max_steps ~visited ~prefix
+           in
+           incr runs;
+           states := !states + r.ru_quanta;
+           if r.ru_pruned then incr pruned_n;
+           (match r.ru_violation with
+           | Some v ->
+             found := Some (v, r.ru_steps);
+             found_level := Some !level;
+             raise Search_over
+           | None -> ());
+           if not r.ru_pruned then begin
+             let dec = r.ru_decisions in
+             let plen = Array.length prefix in
+             (* Deviations strictly after this run's prefix; siblings at
+                earlier points were enumerated by ancestors. Pushed in
+                reverse so DFS extends the earliest choice point first. *)
+             for i = Array.length dec - 1 downto plen do
+               let d = dec.(i) in
+               List.iter
+                 (fun alt ->
+                   if alt <> d.de_chosen then begin
+                     let child =
+                       Array.init (i + 1) (fun j ->
+                           if j = i then alt else dec.(j).de_chosen)
+                     in
+                     let preempts =
+                       d.de_prev >= 0 && alt <> d.de_prev
+                       && List.mem d.de_prev d.de_runnable
+                     in
+                     if preempts then deferred := child :: !deferred
+                     else stack := child :: !stack
+                   end)
+                 d.de_runnable
+             done
+           end
+       done;
+       levels_completed := !level + 1;
+       stack := List.rev !deferred;
+       deferred := [];
+       incr level;
+       if !stack = [] then raise Search_over
+     done
+   with Search_over -> ());
+  let shrink_runs = ref 0 in
+  let cex =
+    match !found with
+    | None -> None
+    | Some (v, steps) ->
+      let steps = list_take (v.v_step + 1) steps in
+      let steps, v =
+        if config.shrink && steps <> [] then begin
+          let shrunk, tests =
+            shrink_steps target ~budget:config.shrink_budget ~kind:v.v_kind
+              steps
+          in
+          shrink_runs := tests;
+          (* Re-derive the violation from the shrunk schedule so the
+             recorded step index matches what replay will observe. *)
+          match (run_steps target shrunk).rp_violation with
+          | Some v' -> (shrunk, v')
+          | None -> (steps, v)  (* defensive: keep the original witness *)
+        end
+        else (steps, v)
+      in
+      Some
+        {
+          c_target = target.name;
+          c_nthreads = target.nthreads;
+          c_params = target.params;
+          c_violation = v;
+          c_steps = steps;
+          c_script = script_of_steps steps;
+          c_preemptions = preemptions_of_steps steps;
+        }
+  in
+  {
+    res_stats =
+      {
+        runs = !runs;
+        states = !states;
+        pruned = !pruned_n;
+        shrink_runs = !shrink_runs;
+        cex_preemptions = Option.map (fun _ -> Option.get !found_level) cex;
+        levels_completed = !levels_completed;
+      };
+    res_cex = cex;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Serialization                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let violation_to_json v =
+  Json.Obj
+    [
+      ("kind", Json.String (Event.violation_name v.v_kind));
+      ("tid", Json.Int v.v_tid);
+      ("step", Json.Int v.v_step);
+      ("detail", Json.String v.v_detail);
+    ]
+
+let instr_to_json = function
+  | Sched.Run (tid, n) ->
+    Json.Obj [ ("tid", Json.Int tid); ("n", Json.Int n) ]
+  | _ ->
+    invalid_arg "Explore: only Run instructions appear in counterexamples"
+
+let counterexample_to_json c =
+  Json.Obj
+    [
+      ("target", Json.String c.c_target);
+      ("nthreads", Json.Int c.c_nthreads);
+      ("params", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) c.c_params));
+      ("violation", violation_to_json c.c_violation);
+      ("preemptions", Json.Int c.c_preemptions);
+      ("steps", Json.List (List.map (fun t -> Json.Int t) c.c_steps));
+      ("script", Json.List (List.map instr_to_json c.c_script));
+    ]
+
+let ( let* ) = Result.bind
+
+let req what = function
+  | Some x -> Ok x
+  | None -> Error (Fmt.str "counterexample JSON: missing or bad %s" what)
+
+let violation_of_json j =
+  let* kind_s = req "violation.kind" Json.(Option.bind (member "kind" j) to_str) in
+  let* kind = req ("violation kind " ^ kind_s) (Event.violation_of_name kind_s) in
+  let* tid = req "violation.tid" Json.(Option.bind (member "tid" j) to_int) in
+  let* step = req "violation.step" Json.(Option.bind (member "step" j) to_int) in
+  let* detail =
+    req "violation.detail" Json.(Option.bind (member "detail" j) to_str)
+  in
+  Ok { v_kind = kind; v_tid = tid; v_step = step; v_detail = detail }
+
+let all_ints what l =
+  List.fold_left
+    (fun acc j ->
+      let* acc = acc in
+      let* i = req what (Json.to_int j) in
+      Ok (i :: acc))
+    (Ok []) l
+  |> Result.map List.rev
+
+let counterexample_of_json j =
+  let* tname = req "target" Json.(Option.bind (member "target" j) to_str) in
+  let* nthreads =
+    req "nthreads" Json.(Option.bind (member "nthreads" j) to_int)
+  in
+  let* params =
+    match Json.member "params" j with
+    | Some (Json.Obj kvs) ->
+      List.fold_left
+        (fun acc (k, vj) ->
+          let* acc = acc in
+          let* v = req ("params." ^ k) (Json.to_int vj) in
+          Ok ((k, v) :: acc))
+        (Ok []) kvs
+      |> Result.map List.rev
+    | Some _ -> Error "counterexample JSON: params is not an object"
+    | None -> Ok []
+  in
+  let* vj = req "violation" (Json.member "violation" j) in
+  let* v = violation_of_json vj in
+  let* preempts =
+    req "preemptions" Json.(Option.bind (member "preemptions" j) to_int)
+  in
+  let* steps_j =
+    req "steps" Json.(Option.bind (member "steps" j) to_list)
+  in
+  let* steps = all_ints "steps entry" steps_j in
+  Ok
+    {
+      c_target = tname;
+      c_nthreads = nthreads;
+      c_params = params;
+      c_violation = v;
+      c_steps = steps;
+      c_script = script_of_steps steps;
+      c_preemptions = preempts;
+    }
+
+let save ~file cex =
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string (counterexample_to_json cex));
+      output_char oc '\n')
+
+let load ~file =
+  match In_channel.with_open_text file In_channel.input_all with
+  | exception Sys_error e -> Error e
+  | text ->
+    let* j = Json.of_string text in
+    counterexample_of_json j
+
+(* ------------------------------------------------------------------ *)
+(* Pretty-printing                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let pp_violation fmt v =
+  Fmt.pf fmt "%s by T%d at quantum %d (%s)"
+    (Event.violation_name v.v_kind)
+    v.v_tid v.v_step v.v_detail
+
+let pp_counterexample fmt c =
+  Fmt.pf fmt
+    "%s: %a@ schedule: %d quanta, %d preemption(s), %d script instruction(s)"
+    c.c_target pp_violation c.c_violation (List.length c.c_steps)
+    c.c_preemptions (List.length c.c_script)
+
+let pp_stats fmt s =
+  Fmt.pf fmt
+    "%d runs, %d states, %d pruned, %d shrink runs, %d level(s) completed%a"
+    s.runs s.states s.pruned s.shrink_runs s.levels_completed
+    (Fmt.option (fun fmt p -> Fmt.pf fmt ", found at preemption bound %d" p))
+    s.cex_preemptions

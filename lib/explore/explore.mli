@@ -1,0 +1,158 @@
+(** Systematic schedule exploration: bounded model checking over the
+    deterministic scheduler.
+
+    The paper's refutations (Figure 1 / Theorem 6.1, Figure 2 /
+    Appendix E) are hand-crafted adversarial interleavings; this module
+    {e searches} for them instead. A {!target} packages a deterministic
+    multi-threaded execution (threads whose operation sequences do not
+    depend on the schedule); {!explore} then enumerates schedules
+    depth-first by stateless re-execution — each run replays a recorded
+    prefix of scheduling choices and deviates at the frontier — under
+    CHESS-style iterative preemption bounding: all schedules reachable
+    with at most [k] context switches away from a runnable thread are
+    explored before any schedule needing [k+1]. Unscheduled threads are
+    de-facto stalled threads, so the search space at small bounds already
+    contains the delayed-thread executions of the robustness definitions
+    (5.1/5.2) as well as the preempt-and-churn safety executions of
+    Figure 2.
+
+    Two reduction devices keep the space tractable:
+    - {e state pruning}: after a run's first deviating quantum the global
+      state — heap content, SMR bookkeeping, per-thread positions — is
+      fingerprinted; runs reaching an already-visited state are cut short.
+      Pruning is a coverage heuristic (hash collisions and budget
+      differences can drop schedules) but never affects the soundness of
+      a reported violation, which is a concrete witnessed execution.
+    - {e preemption bounding}: empirically (CHESS), real concurrency bugs
+      need very few preemptions; both paper constructions need one.
+
+    A found violation is shrunk by delta-debugging its quantum-by-quantum
+    schedule to a minimal still-violating sequence, compressed into a
+    [Sched.Script] ([Run (tid, n)] instructions), and serialized as a
+    replayable JSON counterexample ({!save} / {!load} / {!replay}). *)
+
+type target = {
+  name : string;  (** e.g. ["hp/harris-list"] — round-tripped through JSON *)
+  nthreads : int;
+  params : (string * int) list;
+      (** opaque construction parameters (seed, key range, ops per
+          thread, …), carried into the counterexample so the CLI can
+          rebuild the same target for replay *)
+  robustness_bound : int option;
+      (** when [Some b], a watcher emits a [Robustness_exceeded]
+          violation the first time the retired backlog exceeds [b]
+          (Definitions 5.1/5.2); [None] searches for safety violations
+          only *)
+  make : trace:bool -> Era_sched.Sched.strategy -> Era_sched.Sched.t;
+      (** Build a fresh instance: heap and monitor (in [`Record] mode,
+          event trace kept iff [trace]), structure setup and prefill, and
+          all [nthreads] threads spawned. Must be deterministic — every
+          call yields the identical initial configuration and thread
+          bodies whose operation sequences are schedule-independent. *)
+}
+
+type violation_info = {
+  v_kind : Era_sim.Event.violation;
+  v_tid : int;
+  v_step : int;  (** quantum index at which the violation fired *)
+  v_detail : string;
+}
+
+type counterexample = {
+  c_target : string;  (** {!field:target.name} of the violating target *)
+  c_nthreads : int;
+  c_params : (string * int) list;
+  c_violation : violation_info;
+  c_steps : int list;
+      (** the shrunk schedule: the tid stepped at each quantum, ending at
+          the violating quantum *)
+  c_script : Era_sched.Sched.instr list;
+      (** [c_steps] compressed into [Run (tid, n)] instructions *)
+  c_preemptions : int;  (** preemptions in [c_steps] *)
+}
+
+type stats = {
+  runs : int;  (** executions performed during the search *)
+  states : int;  (** quanta executed across all runs ("states visited") *)
+  pruned : int;  (** runs cut short by the visited-fingerprint set *)
+  shrink_runs : int;  (** extra executions spent delta-debugging *)
+  cex_preemptions : int option;
+      (** preemption bound at which the violation was found *)
+  levels_completed : int;
+      (** preemption bounds fully exhausted without finding a violation *)
+}
+
+type search_result = {
+  res_stats : stats;
+  res_cex : counterexample option;
+}
+
+type config = {
+  max_preemptions : int;  (** highest preemption bound to search *)
+  max_runs : int;  (** total execution budget for the search *)
+  max_steps : int;  (** per-run quantum budget *)
+  shrink : bool;
+  shrink_budget : int;  (** execution budget for delta-debugging *)
+}
+
+val default_config : config
+(** 2 preemptions, 20_000 runs, 50_000 steps/run, shrinking on with a
+    budget of 500 runs. *)
+
+val explore : ?config:config -> target -> search_result
+(** Search the target's schedule space. Stops at the first violation
+    (shrunk if [config.shrink]), or when every schedule within
+    [max_preemptions] has been covered, or when [max_runs] is spent.
+    Deterministic: identical target and config give identical stats and
+    counterexample. *)
+
+type replay_result = {
+  rp_violation : violation_info option;
+  rp_outcome : Era_sched.Sched.outcome;
+  rp_trace : Era_sim.Event.t list;
+      (** the full monitor event trace of the replayed execution *)
+}
+
+val run_steps : ?trace:bool -> target -> int list -> replay_result
+(** Execute the target under the exact quantum-by-quantum schedule
+    [steps] (entries naming finished threads are skipped), with the same
+    violation/robustness watchers the explorer uses. *)
+
+val replay : ?trace:bool -> target -> counterexample -> replay_result
+(** {!run_steps} on the counterexample's shrunk schedule. *)
+
+val preemptions_of_steps : int list -> int
+(** Context switches away from a still-live thread (first choice and
+    switches after a thread's last quantum are free). Counts against the
+    steps list alone, treating a tid's final occurrence as its end. *)
+
+(** {2 Serialization} *)
+
+val save : file:string -> counterexample -> unit
+(** Write the counterexample as an indented JSON document. *)
+
+val load : file:string -> (counterexample, string) result
+
+val counterexample_to_json : counterexample -> Era_metrics.Json.t
+val counterexample_of_json :
+  Era_metrics.Json.t -> (counterexample, string) result
+
+(** {2 Shared violation reporting}
+
+    Randomized stall fuzzing ([Applicability.stall_fuzz]) reports through
+    the same record types as systematic exploration, so downstream tables
+    consume one format. *)
+
+type fuzz_report = {
+  fz_tries : int;
+  fz_found : int;  (** runs that produced a violation or thread crash *)
+  fz_first : violation_info option;
+}
+
+val violation_of_event :
+  step:int -> Era_sim.Event.t -> violation_info option
+(** [Some] iff the event is a [Violation]. *)
+
+val pp_violation : Format.formatter -> violation_info -> unit
+val pp_counterexample : Format.formatter -> counterexample -> unit
+val pp_stats : Format.formatter -> stats -> unit

@@ -3,12 +3,20 @@ type t = {
   json : string option;
   only : string list;
   schemes : string list;
+  structure : string option;
   domains : int option;
   ops : int option;
   rounds : int option;
   fuzz : int option;
   tries : int option;
+  seed : int option;
+  preemptions : int option;
+  max_runs : int option;
+  steps : int option;
+  robust_bound : int option;
+  out : string option;
   command : string option;
+  file : string option;
 }
 
 let split_commas s =
@@ -16,17 +24,25 @@ let split_commas s =
   |> List.filter_map (fun x ->
          match String.trim x with "" -> None | x -> Some x)
 
-let parse_result ~argv ~prog ?(commands = []) () =
+let parse_result ~argv ~prog ?(commands = []) ?(file_arg = false) () =
   let quick = ref false in
   let json = ref None in
   let only = ref [] in
   let schemes = ref [] in
+  let structure = ref None in
   let domains = ref None in
   let ops = ref None in
   let rounds = ref None in
   let fuzz = ref None in
   let tries = ref None in
+  let seed = ref None in
+  let preemptions = ref None in
+  let max_runs = ref None in
+  let steps = ref None in
+  let robust_bound = ref None in
+  let out = ref None in
   let command = ref None in
+  let file = ref None in
   let set_opt r v = r := Some v in
   let spec =
     Arg.align
@@ -43,9 +59,16 @@ let parse_result ~argv ~prog ?(commands = []) () =
         ( "--schemes",
           Arg.String (fun s -> schemes := !schemes @ split_commas s),
           "LIST Restrict to these schemes (comma-separated, e.g. ebr,ibr)" );
+        ( "--scheme",
+          Arg.String (fun s -> schemes := !schemes @ split_commas s),
+          "LIST Alias for --schemes" );
         ( "-s",
           Arg.String (fun s -> schemes := !schemes @ split_commas s),
           "LIST Alias for --schemes" );
+        ( "--structure",
+          Arg.String (set_opt structure),
+          "NAME Data structure (harris, michael, hash, hash-michael, stack, \
+           queue)" );
         ( "--domains",
           Arg.Int (set_opt domains),
           "N Domains for native throughput rows" );
@@ -55,6 +78,20 @@ let parse_result ~argv ~prog ?(commands = []) () =
           Arg.Int (set_opt fuzz),
           "N Randomized executions per (scheme, structure) pair" );
         ("--tries", Arg.Int (set_opt tries), "N Stall-fuzz attempts");
+        ("--seed", Arg.Int (set_opt seed), "N Workload seed (explore)");
+        ( "--preemptions",
+          Arg.Int (set_opt preemptions),
+          "N Preemption bound for systematic exploration" );
+        ( "--max-runs",
+          Arg.Int (set_opt max_runs),
+          "N Execution budget for systematic exploration" );
+        ("--steps", Arg.Int (set_opt steps), "N Per-run quantum budget");
+        ( "--robust-bound",
+          Arg.Int (set_opt robust_bound),
+          "N Also hunt retired-backlog robustness violations beyond N" );
+        ( "--out",
+          Arg.String (set_opt out),
+          "FILE Counterexample output path (explore)" );
       ]
   in
   let usage =
@@ -70,7 +107,8 @@ let parse_result ~argv ~prog ?(commands = []) () =
     else
       match !command with
       | Some _ ->
-        raise (Arg.Bad (Printf.sprintf "unexpected second command %S" a))
+        if file_arg && !file = None then file := Some a
+        else raise (Arg.Bad (Printf.sprintf "unexpected second command %S" a))
       | None ->
         if List.mem a commands then command := Some a
         else
@@ -87,18 +125,26 @@ let parse_result ~argv ~prog ?(commands = []) () =
         json = !json;
         only = !only;
         schemes = !schemes;
+        structure = !structure;
         domains = !domains;
         ops = !ops;
         rounds = !rounds;
         fuzz = !fuzz;
         tries = !tries;
+        seed = !seed;
+        preemptions = !preemptions;
+        max_runs = !max_runs;
+        steps = !steps;
+        robust_bound = !robust_bound;
+        out = !out;
         command = !command;
+        file = !file;
       }
   | exception Arg.Bad msg -> Error msg
   | exception Arg.Help msg -> Error msg
 
-let parse ?(argv = Sys.argv) ~prog ?(commands = []) () =
-  match parse_result ~argv ~prog ~commands () with
+let parse ?(argv = Sys.argv) ~prog ?(commands = []) ?(file_arg = false) () =
+  match parse_result ~argv ~prog ~commands ~file_arg () with
   | Ok t -> t
   | Error msg ->
     (* Arg.Bad carries the full usage text; --help lands here too. *)
@@ -124,6 +170,10 @@ let ops_or t d = Option.value t.ops ~default:d
 let rounds_or t d = Option.value t.rounds ~default:d
 let fuzz_or t d = Option.value t.fuzz ~default:d
 let tries_or t d = Option.value t.tries ~default:d
+let seed_or t d = Option.value t.seed ~default:d
+let preemptions_or t d = Option.value t.preemptions ~default:d
+let max_runs_or t d = Option.value t.max_runs ~default:d
+let steps_or t d = Option.value t.steps ~default:d
 let mode t = if t.quick then "quick" else "full"
 
 let default_json_path ?(clock = Unix.gettimeofday) t =

@@ -11,25 +11,40 @@ type t = {
   quick : bool;
   json : string option;  (** [--json FILE] *)
   only : string list;  (** [--only E1,E8b] — empty means everything *)
-  schemes : string list;  (** [--schemes ebr,ibr] — empty means all *)
+  schemes : string list;
+      (** [--schemes ebr,ibr] (aliases [--scheme], [-s]) — empty means all *)
+  structure : string option;  (** [--structure harris] (explore/replay) *)
   domains : int option;  (** [--domains N] override for native rows *)
   ops : int option;  (** [--ops N] per-domain op count override *)
   rounds : int option;  (** [--rounds N] Figure 1 churn rounds *)
   fuzz : int option;  (** [--fuzz N] randomized runs per pair *)
   tries : int option;  (** [--tries N] stall-fuzz attempts *)
+  seed : int option;  (** [--seed N] workload seed (explore) *)
+  preemptions : int option;  (** [--preemptions N] exploration bound *)
+  max_runs : int option;  (** [--max-runs N] exploration budget *)
+  steps : int option;  (** [--steps N] per-run quantum budget *)
+  robust_bound : int option;
+      (** [--robust-bound N] — explore also flags retired backlogs > N *)
+  out : string option;  (** [--out FILE] counterexample output path *)
   command : string option;  (** first non-flag word (era_cli commands) *)
+  file : string option;
+      (** second positional (e.g. [replay <counterexample.json>]); only
+          accepted when [parse] was called with [~file_arg:true] *)
 }
 
 val parse :
-  ?argv:string array -> prog:string -> ?commands:string list -> unit -> t
+  ?argv:string array -> prog:string -> ?commands:string list ->
+  ?file_arg:bool -> unit -> t
 (** Parse [argv] (default [Sys.argv]). If [commands] is non-empty, one
     positional command from that list is accepted; an unknown command or
-    a second positional is an error. Exits 2 on bad usage, 0 on [--help]
-    (standard [Arg] behaviour). *)
+    a second positional is an error, except that [~file_arg:true]
+    (default false) allows one positional after the command, captured in
+    {!field:t.file}. Exits 2 on bad usage, 0 on [--help] (standard [Arg]
+    behaviour). *)
 
 val parse_result :
-  argv:string array -> prog:string -> ?commands:string list -> unit ->
-  (t, string) result
+  argv:string array -> prog:string -> ?commands:string list ->
+  ?file_arg:bool -> unit -> (t, string) result
 (** Like {!parse} but returns [Error usage_message] instead of exiting —
     for tests. *)
 
@@ -45,6 +60,10 @@ val ops_or : t -> int -> int
 val rounds_or : t -> int -> int
 val fuzz_or : t -> int -> int
 val tries_or : t -> int -> int
+val seed_or : t -> int -> int
+val preemptions_or : t -> int -> int
+val max_runs_or : t -> int -> int
+val steps_or : t -> int -> int
 
 val mode : t -> string
 (** ["quick"] or ["full"], for the run manifest. *)

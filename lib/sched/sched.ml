@@ -26,11 +26,6 @@ type instr =
   | Finish_bounded of int * int
   | Finish_all
 
-type strategy =
-  | Round_robin
-  | Random of Rng.t
-  | Script of instr list
-
 type outcome =
   | All_finished
   | Script_done
@@ -43,7 +38,13 @@ type thread_outcome =
   | Finished
   | Crashed of exn
 
-type t = {
+type strategy =
+  | Round_robin
+  | Random of Rng.t
+  | Script of instr list
+  | Controlled of (t -> int)
+
+and t = {
   sim_heap : Era_sim.Heap.t;
   mon : Monitor.t;
   max_steps : int;
@@ -137,6 +138,17 @@ let live t tid =
   | Not_spawned_s | Finished_s | Crashed_s _ -> false
 
 let runnable t tid = live t tid && not t.stalled.(tid)
+let is_live = live
+let is_runnable = runnable
+let runnable_count t = t.runnable_count
+let current_tid t = t.current
+
+let runnable_tids t =
+  let acc = ref [] in
+  for tid = Array.length t.threads - 1 downto 0 do
+    if runnable t tid then acc := tid :: !acc
+  done;
+  !acc
 
 let stall t tid =
   if not t.stalled.(tid) then begin
@@ -167,7 +179,8 @@ let is_stalled t tid = t.stalled.(tid)
    accounting, and under [Random] the same single [Rng.int rng 1] draw
    the pick would have made — seeded schedules are bit-for-bit
    unchanged. Scripts are excluded: their per-instruction budgets count
-   actual [step_thread] calls. *)
+   actual [step_thread] calls. Controlled schedules are excluded for the
+   same reason: the controller's choice trace must see every quantum. *)
 let yield ctx =
   let t = ctx.sched in
   if t.current < 0 then ()
@@ -176,12 +189,14 @@ let yield ctx =
     && t.current = ctx.tid
     && (not t.stalled.(ctx.tid))
     && t.total < t.max_steps
-    && (match t.strategy with Script _ -> false | _ -> true)
+    && (match t.strategy with
+       | Script _ | Controlled _ -> false
+       | Round_robin | Random _ -> true)
   then begin
     (match t.strategy with
     | Random rng -> ignore (Rng.int rng 1)
     | Round_robin -> t.rr_next <- ctx.tid + 1
-    | Script _ -> ());
+    | Script _ | Controlled _ -> ());
     t.steps.(ctx.tid) <- t.steps.(ctx.tid) + 1;
     t.total <- t.total + 1
   end
@@ -224,7 +239,7 @@ let fiber_handler : (unit, fiber_status) handler =
 let step_thread t tid =
   (match t.strategy with
   | Script _ -> Era_sim.Vec.clear t.step_events
-  | Round_robin | Random _ -> ());
+  | Round_robin | Random _ | Controlled _ -> ());
   t.current <- tid;
   let status =
     match t.threads.(tid) with
@@ -396,6 +411,15 @@ let run t =
         match pick_random t rng with
         | -1 -> no_pick ()
         | tid -> step_thread t tid)
+      | Controlled pick -> (
+        match pick t with
+        | -1 -> raise (Stop Script_done)
+        | tid when tid >= 0 && tid < Array.length t.threads && runnable t tid
+          ->
+          step_thread t tid
+        | tid ->
+          invalid_arg
+            (Fmt.str "Sched.run: controller picked unrunnable tid %d" tid))
     done;
     assert false
   with Stop o ->

@@ -7,12 +7,16 @@
     access (see {!Mem}); the scheduler resumes exactly one fiber at a time,
     so every quantum is one atomic step plus thread-local computation.
 
-    Schedules come in three flavours:
+    Schedules come in four flavours:
     - [Round_robin] and [Random _] for fuzzing and throughput-style runs;
     - [Script _] for the paper's adversarial constructions — e.g. Figure 1
       needs "run T1 until it has read [head.next], then run T2 to
       completion, then solo-run T1", which is exactly a three-instruction
-      script.
+      script;
+    - [Controlled _] for systematic exploration: an external controller is
+      consulted before {e every} quantum and picks the thread to step, so
+      a model checker can enumerate scheduling choices one at a time (see
+      [lib/explore]).
 
     Threads can be stalled (they model the failed/delayed threads of the
     robustness definitions) and resumed; a bounded solo run that exceeds
@@ -49,6 +53,13 @@ type strategy =
   | Round_robin
   | Random of Era_sim.Rng.t
   | Script of instr list
+  | Controlled of (t -> int)
+      (** The controller is called before every quantum with the scheduler
+          itself and returns the tid to step next (it must be runnable), or
+          [-1] to end the run ([Script_done], or [All_finished] when every
+          thread has completed). Like scripts, controlled schedules never
+          take the solo inline-yield shortcut, so the controller observes a
+          choice point for every single quantum. *)
 
 type outcome =
   | All_finished
@@ -77,9 +88,33 @@ val run : t -> outcome
 
 val thread_outcome : t -> int -> thread_outcome
 val steps_of : t -> int -> int
-(** Quanta consumed by a thread so far. *)
+(** Quanta consumed by a thread so far — the thread's position in its own
+    instruction stream. *)
 
 val total_steps : t -> int
+(** Quanta executed so far across all threads — the schedule's current
+    step count. *)
+
+(** {2 Runnable-set introspection}
+
+    Read-only accessors used by exploration tooling (and tests) to
+    enumerate the scheduling choices available at the current
+    configuration. None of them affect the schedule. *)
+
+val is_live : t -> int -> bool
+(** Spawned and neither finished nor crashed (it may be stalled). *)
+
+val is_runnable : t -> int -> bool
+(** Live and not stalled: a legal pick for the next quantum. *)
+
+val runnable_count : t -> int
+
+val runnable_tids : t -> int list
+(** Ascending. [runnable_tids t] is empty iff [runnable_count t = 0]. *)
+
+val current_tid : t -> int
+(** The tid being stepped right now; [-1] between quanta (in particular,
+    inside a [Controlled] callback). *)
 
 val stall : t -> int -> unit
 (** Mark a thread failed/delayed: [Round_robin]/[Random] skip it. Emits a

@@ -21,6 +21,7 @@ type violation =
   | Double_free
   | Lifecycle_error
   | Progress_failure
+  | Robustness_exceeded
   | Linearizability_failure
 
 type t =
@@ -87,6 +88,13 @@ let tag = function
   | Resumed _ -> tag_resumed
   | Note _ -> tag_note
 
+let all_violations =
+  [
+    Unsafe_write; Unsafe_cas; System_space_access; Stale_value_used;
+    Double_free; Lifecycle_error; Progress_failure; Robustness_exceeded;
+    Linearizability_failure;
+  ]
+
 let violation_name = function
   | Unsafe_write -> "unsafe-write"
   | Unsafe_cas -> "unsafe-cas"
@@ -95,7 +103,11 @@ let violation_name = function
   | Double_free -> "double-free"
   | Lifecycle_error -> "lifecycle-error"
   | Progress_failure -> "progress-failure"
+  | Robustness_exceeded -> "robustness-exceeded"
   | Linearizability_failure -> "linearizability-failure"
+
+let violation_of_name s =
+  List.find_opt (fun v -> violation_name v = s) all_violations
 
 let pp_op fmt { name; args } =
   Fmt.pf fmt "%s(%a)" name Fmt.(list ~sep:comma int) args

@@ -36,6 +36,10 @@ type violation =
   | Progress_failure
       (** a solo run exceeded its step budget: lock-freedom lost
           (Definition 5.4(3)) *)
+  | Robustness_exceeded
+      (** the retired backlog crossed a configured robustness bound while
+          some thread was delayed (Definitions 5.1/5.2) — emitted by the
+          explorer's robustness watcher, not by the heap *)
   | Linearizability_failure
 
 type t =
@@ -94,6 +98,11 @@ val tag_resumed : int
 val tag_note : int
 
 val violation_name : violation -> string
+
+val violation_of_name : string -> violation option
+(** Inverse of {!violation_name} — used when deserializing saved
+    counterexamples. *)
+
 val pp_op : Format.formatter -> op -> unit
 val pp_result : Format.formatter -> op_result -> unit
 val pp : Format.formatter -> t -> unit

@@ -395,6 +395,42 @@ let aux_cas t ~tid ~via ~field ~expected ~desired =
 (* Introspection                                                      *)
 (* ------------------------------------------------------------------ *)
 
+(* FNV-1a-style mixing over the occupied cells. The fingerprint ignores
+   free/unmapped cell identity beyond its count, so two executions that
+   reach the same logical configuration through different transient
+   allocations still collide only when the observable state matches. *)
+let fp_mix h v = (h lxor v) * 0x100000001b3
+
+let fp_word h w =
+  match w with
+  | Word.Null -> fp_mix h 1
+  | Word.Int v -> fp_mix (fp_mix h 2) v
+  | Word.Ptr p ->
+    let tag = 3 lor (if p.marked then 4 else 0) lor (if p.stale then 8 else 0) in
+    fp_mix (fp_mix (fp_mix h tag) p.addr) p.node
+
+let fp_state h = function
+  | Lifecycle.Unallocated -> fp_mix h 11
+  | Lifecycle.Local tid -> fp_mix (fp_mix h 13) tid
+  | Lifecycle.Shared -> fp_mix h 17
+  | Lifecycle.Retired -> fp_mix h 19
+
+let fingerprint t =
+  Vec.fold_left
+    (fun h c ->
+      if Lifecycle.equal c.state Lifecycle.Unallocated && not c.in_system then
+        h
+      else begin
+        let h = fp_mix (fp_mix h c.addr) c.node in
+        let h = fp_state h c.state in
+        let h = fp_mix h c.key in
+        let h = if c.in_system then fp_mix h 23 else h in
+        let h = Array.fold_left fp_word h c.ptrs in
+        Array.fold_left fp_word h c.aux
+      end)
+    (fp_mix 0x1cbf29ce4 t.free_count)
+    t.cells
+
 let cell_state t ~addr = (cell_of_addr t addr).state
 let node_at t ~addr = (cell_of_addr t addr).node
 let key_of_cell t ~addr = (cell_of_addr t addr).key

@@ -146,6 +146,15 @@ val aux_cas :
 val is_entry : t -> addr:int -> bool
 (** Was this cell allocated as a sentinel/entry point? *)
 
+val fingerprint : t -> int
+(** Hash of the occupied heap content: per occupied cell the logical node
+    identity, life-cycle state, key, pointer and aux fields, and space;
+    plus the free-list size. Used by the schedule explorer to recognise
+    (and not re-explore) equivalent configurations reached by different
+    interleavings. Equal states hash equal; collisions are possible but
+    only cost exploration coverage, never soundness of a reported
+    violation. *)
+
 val cell_state : t -> addr:int -> Lifecycle.t
 val node_at : t -> addr:int -> int
 val key_of_cell : t -> addr:int -> int

@@ -171,8 +171,9 @@ let test_applicability_claims () =
    Harris's list, and finds nothing against the applicable schemes. *)
 let test_stall_fuzz_discovers () =
   let found name =
-    Era.Applicability.stall_fuzz ~tries:30 ~seed:1 (scheme name)
-      Era.Applicability.Harris
+    (Era.Applicability.stall_fuzz ~tries:30 ~seed:1 (scheme name)
+       Era.Applicability.Harris)
+      .Era_explore.Explore.fz_found
   in
   Alcotest.(check bool) "hp found" true (found "hp" > 0);
   Alcotest.(check bool) "ibr found" true (found "ibr" > 0);

@@ -1,0 +1,185 @@
+(* Systematic schedule explorer (lib/explore): determinism, rediscovery
+   of the paper's Figure 1/Figure 2 executions with zero scripting,
+   shrinker soundness, and counterexample round-tripping. *)
+
+module Ex = Era_explore.Explore
+module App = Era.Applicability
+
+let scheme name =
+  match Era_smr.Registry.find name with
+  | Some s -> s
+  | None -> Alcotest.failf "unknown scheme %s" name
+
+(* Small budget: every rediscovery below lands within ~100 runs. *)
+let small = { Ex.default_config with Ex.max_runs = 2_000 }
+
+let explore ?ops_per_thread ?robustness_bound name =
+  App.explore ~config:small ?ops_per_thread ?robustness_bound (scheme name)
+    App.Harris
+
+let kind_of (r : Ex.search_result) =
+  Option.map (fun c -> c.Ex.c_violation.Ex.v_kind) r.Ex.res_cex
+
+(* ------------------------------------------------------------------ *)
+(* Determinism                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_deterministic () =
+  let a = explore "hp" and b = explore "hp" in
+  Alcotest.(check int) "runs" a.Ex.res_stats.Ex.runs b.Ex.res_stats.Ex.runs;
+  Alcotest.(check int) "states" a.Ex.res_stats.Ex.states
+    b.Ex.res_stats.Ex.states;
+  let steps r =
+    match r.Ex.res_cex with
+    | Some c -> c.Ex.c_steps
+    | None -> Alcotest.fail "expected a counterexample"
+  in
+  Alcotest.(check (list int)) "identical shrunk schedule" (steps a) (steps b)
+
+(* ------------------------------------------------------------------ *)
+(* E2 rediscovery: the Figure 2 refutations, found not scripted         *)
+(* ------------------------------------------------------------------ *)
+
+let test_rediscovers_figure2 () =
+  List.iter
+    (fun name ->
+      let r = explore name in
+      (match r.Ex.res_cex with
+      | None -> Alcotest.failf "%s: no violation found" name
+      | Some c ->
+        Alcotest.(check bool)
+          (name ^ " found within one preemption")
+          true
+          (c.Ex.c_preemptions <= 1);
+        Alcotest.(check bool)
+          (name ^ " shrunk script is short")
+          true
+          (List.length c.Ex.c_script <= 5));
+      Alcotest.(check bool)
+        (name ^ " is a safety violation")
+        true
+        (kind_of r <> Some Era_sim.Event.Robustness_exceeded))
+    [ "hp"; "he"; "ibr" ]
+
+(* EBR has no Figure 2 safety bug: the same search comes back empty. *)
+let test_ebr_safe () =
+  let r = explore "ebr" in
+  Alcotest.(check bool) "ebr: no safety counterexample" true
+    (r.Ex.res_cex = None)
+
+(* ------------------------------------------------------------------ *)
+(* E1 rediscovery: the Figure 1 dichotomy                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_rediscovers_figure1_dichotomy () =
+  (* Same workload, same backlog bound: EBR trips the robustness horn,
+     HP the safety horn — Theorem 6.1's "pick your poison". *)
+  let ebr = explore ~ops_per_thread:60 ~robustness_bound:24 "ebr" in
+  Alcotest.(check bool) "ebr exceeds the robustness bound" true
+    (kind_of ebr = Some Era_sim.Event.Robustness_exceeded);
+  let hp = explore ~ops_per_thread:60 ~robustness_bound:24 "hp" in
+  (match kind_of hp with
+  | None -> Alcotest.fail "hp: no violation found"
+  | Some Era_sim.Event.Robustness_exceeded ->
+    Alcotest.fail "hp: robustness tripped before the safety violation"
+  | Some _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Shrinking and replay                                                *)
+(* ------------------------------------------------------------------ *)
+
+let cex_and_target name =
+  let target = App.explore_target (scheme name) App.Harris in
+  match (Ex.explore ~config:small target).Ex.res_cex with
+  | Some c -> (c, target)
+  | None -> Alcotest.failf "%s: no counterexample" name
+
+let test_shrunk_still_violates () =
+  let c, target = cex_and_target "hp" in
+  let r = Ex.replay target c in
+  match r.Ex.rp_violation with
+  | Some v ->
+    Alcotest.(check bool) "same violation kind" true
+      (v.Ex.v_kind = c.Ex.c_violation.Ex.v_kind)
+  | None -> Alcotest.fail "shrunk schedule no longer violates"
+
+let test_replay_trace_identical () =
+  let c, target = cex_and_target "hp" in
+  let a = Ex.replay ~trace:true target c in
+  let b = Ex.replay ~trace:true target c in
+  Alcotest.(check bool) "trace is non-trivial" true
+    (List.length a.Ex.rp_trace > 10);
+  Alcotest.(check bool) "two replays emit the identical event trace" true
+    (a.Ex.rp_trace = b.Ex.rp_trace)
+
+let test_json_roundtrip () =
+  let c, _ = cex_and_target "ibr" in
+  match Ex.counterexample_of_json (Ex.counterexample_to_json c) with
+  | Error e -> Alcotest.failf "decode failed: %s" e
+  | Ok c' ->
+    Alcotest.(check string) "target" c.Ex.c_target c'.Ex.c_target;
+    Alcotest.(check (list int)) "steps" c.Ex.c_steps c'.Ex.c_steps;
+    Alcotest.(check bool) "violation" true
+      (c.Ex.c_violation = c'.Ex.c_violation);
+    Alcotest.(check bool) "params" true (c.Ex.c_params = c'.Ex.c_params)
+
+let test_save_load_replay () =
+  let c, _ = cex_and_target "hp" in
+  let file = Filename.temp_file "counterexample" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove file)
+    (fun () ->
+      Ex.save ~file c;
+      match Ex.load ~file with
+      | Error e -> Alcotest.failf "load failed: %s" e
+      | Ok c' -> (
+        (* The CLI replay path: rebuild the target from the JSON alone. *)
+        match App.target_of_counterexample c' with
+        | Error e -> Alcotest.failf "target rebuild failed: %s" e
+        | Ok target -> (
+          match (Ex.replay target c').Ex.rp_violation with
+          | Some v ->
+            Alcotest.(check bool) "reproduced" true
+              (v.Ex.v_kind = c.Ex.c_violation.Ex.v_kind)
+          | None -> Alcotest.fail "saved counterexample did not reproduce")))
+
+(* ------------------------------------------------------------------ *)
+(* Schedule bookkeeping                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_preemption_count () =
+  (* First choice and post-exit switches are free; only a switch away
+     from a thread that still runs later is a preemption. *)
+  Alcotest.(check int) "solo" 0 (Ex.preemptions_of_steps [ 0; 0; 0 ]);
+  Alcotest.(check int) "handoff at exit" 0
+    (Ex.preemptions_of_steps [ 0; 0; 1; 1 ]);
+  Alcotest.(check int) "one preemption" 1
+    (Ex.preemptions_of_steps [ 0; 1; 0 ]);
+  Alcotest.(check int) "two preemptions" 2
+    (Ex.preemptions_of_steps [ 0; 1; 0; 1 ])
+
+let () =
+  Alcotest.run "explore"
+    [
+      ( "explorer",
+        [
+          Alcotest.test_case "deterministic search" `Quick test_deterministic;
+          Alcotest.test_case "rediscovers Figure 2 (hp/he/ibr)" `Quick
+            test_rediscovers_figure2;
+          Alcotest.test_case "ebr safe under same search" `Quick test_ebr_safe;
+          Alcotest.test_case "rediscovers Figure 1 dichotomy" `Quick
+            test_rediscovers_figure1_dichotomy;
+        ] );
+      ( "shrink-replay",
+        [
+          Alcotest.test_case "shrunk schedule still violates" `Quick
+            test_shrunk_still_violates;
+          Alcotest.test_case "replay trace is identical" `Quick
+            test_replay_trace_identical;
+          Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "save/load/replay round trip" `Quick
+            test_save_load_replay;
+          Alcotest.test_case "preemption counting" `Quick
+            test_preemption_count;
+        ] );
+    ]
