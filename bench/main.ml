@@ -437,8 +437,111 @@ let e12 () =
                    ); ("script_len", float_of_int script_len);
                    ( "states_per_sec",
                      float_of_int s.Ex.states /. Float.max elapsed_s 1e-9 );
+                   ("domains", float_of_int s.Ex.domains_used);
                  ]
                ()))
+    cells
+
+(* ------------------------------------------------------------------ *)
+(* E13: parallel exploration scaling                                   *)
+(* ------------------------------------------------------------------ *)
+
+let e13 () =
+  section "E13 | Parallel exploration: domains scaling sweep";
+  let module Ex = Era_explore.Explore in
+  let hw = Domain.recommended_domain_count () in
+  Fmt.pr "  (hardware parallelism: %d domain%s recommended — speedup is \
+          bounded by it)@."
+    hw
+    (if hw = 1 then "" else "s");
+  (* Two cells per sweep: the Figure 2 target (hp — the search races to a
+     violation, states/sec measures aggregate search throughput) and the
+     EBR coverage cell (no violation exists, every domain count explores
+     the same fixed run budget — the cleanest scaling measurement).
+     Small searches are repeated so spawn overhead and timer noise
+     amortize. *)
+  let repeats = if quick then 3 else 6 in
+  let cells =
+    [
+      ("hp", "figure2", None, 2_000); ("ebr", "coverage", None, 400);
+    ]
+  in
+  let domain_counts = [ 1; 2; 4 ] in
+  List.iter
+    (fun (name, kind, robustness_bound, budget) ->
+      if want_scheme name then
+        match Era_smr.Registry.find name with
+        | None -> ()
+        | Some scheme ->
+          let base_sps = ref 0. in
+          List.iter
+            (fun domains ->
+              let config =
+                {
+                  Ex.default_config with
+                  Ex.max_runs = budget;
+                  domains;
+                  shrink = false;
+                }
+              in
+              let states = ref 0 in
+              let runs = ref 0 in
+              let found_level = ref (-1) in
+              let found_kind = ref "none" in
+              let replays = ref true in
+              let t0 = Unix.gettimeofday () in
+              for _ = 1 to repeats do
+                let target =
+                  Era.Applicability.explore_target ~seed:2 ?robustness_bound
+                    scheme Era.Applicability.Harris
+                in
+                let r = Ex.explore ~config target in
+                let s = r.Ex.res_stats in
+                states := !states + s.Ex.states;
+                runs := !runs + s.Ex.runs;
+                match r.Ex.res_cex with
+                | None -> ()
+                | Some c ->
+                  found_level :=
+                    Option.value s.Ex.cex_preemptions ~default:(-1);
+                  found_kind :=
+                    Era_sim.Event.violation_name c.Ex.c_violation.Ex.v_kind;
+                  (* Every violation a parallel search reports must
+                     replay sequentially to the same violation kind. *)
+                  replays :=
+                    !replays
+                    && (match (Ex.replay target c).Ex.rp_violation with
+                       | Some v -> v.Ex.v_kind = c.Ex.c_violation.Ex.v_kind
+                       | None -> false)
+              done;
+              let elapsed_s = Unix.gettimeofday () -. t0 in
+              let sps = float_of_int !states /. Float.max elapsed_s 1e-9 in
+              if domains = 1 then base_sps := sps;
+              let speedup = sps /. Float.max !base_sps 1e-9 in
+              Fmt.pr
+                "  %-4s %-8s domains=%d  %7d runs %9d states  %9.0f \
+                 states/s  speedup %.2fx  found=%s@%d  replays=%b@."
+                name kind domains !runs !states sps speedup !found_kind
+                !found_level !replays;
+              emit
+                (M.row ~experiment:"E13"
+                   ~label:(Fmt.str "explore-scaling/%s/%s/d%d" name kind domains)
+                   ~scheme:name ~structure:"harris-list" ~domains ~elapsed_s
+                   ~note:(Fmt.str "%s@%d" !found_kind !found_level)
+                   ~extra:
+                     [
+                       ("domains", float_of_int domains);
+                       ("hw_domains", float_of_int hw);
+                       ("repeats", float_of_int repeats);
+                       ("runs", float_of_int !runs);
+                       ("states", float_of_int !states);
+                       ("states_per_sec", sps);
+                       ("speedup", speedup);
+                       ( "found_level", float_of_int !found_level );
+                       ("replays_ok", if !replays then 1. else 0.);
+                     ]
+                   ()))
+            domain_counts)
     cells
 
 (* ------------------------------------------------------------------ *)
@@ -612,7 +715,7 @@ let () =
     [
       ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5);
       ("E6", e6); ("E7", e7); ("E8", e8); ("E8b", e8b); ("E9", e9);
-      ("E10", e10); ("E11", e11); ("E12", e12);
+      ("E10", e10); ("E11", e11); ("E12", e12); ("E13", e13);
       ("B1", b1_sim_read_cost); ("B2", b2_sim_lifecycle_cost);
       ("B3", b3_native_read_cost); ("B4", b4_checker_scaling);
       ("B5", b5_scheduler_overhead);

@@ -140,17 +140,25 @@ let explore_cmd () =
       Explore.max_preemptions = Rc.preemptions_or cfg d.Explore.max_preemptions;
       max_runs = Rc.max_runs_or cfg d.Explore.max_runs;
       max_steps = Rc.steps_or cfg d.Explore.max_steps;
+      domains = Rc.domains_or cfg d.Explore.domains;
     }
   in
   let seed = Rc.seed_or cfg 2 in
-  Fmt.pr "exploring %s/%s (preemption bound %d, budget %d runs)...@." S.name
+  Fmt.pr "exploring %s/%s (preemption bound %d, budget %d runs, %d domain%s)...@."
+    S.name
     (Era.Applicability.structure_name structure)
-    config.Explore.max_preemptions config.Explore.max_runs;
+    config.Explore.max_preemptions config.Explore.max_runs
+    config.Explore.domains
+    (if config.Explore.domains = 1 then "" else "s");
+  let t0 = Unix.gettimeofday () in
   let r =
     Era.Applicability.explore ~config ~seed ?ops_per_thread:cfg.Rc.ops
       ?robustness_bound:cfg.Rc.robust_bound scheme structure
   in
-  Fmt.pr "%a@." Explore.pp_stats r.Explore.res_stats;
+  let elapsed_s = Unix.gettimeofday () -. t0 in
+  Fmt.pr "%a (%.0f states/s)@." Explore.pp_stats r.Explore.res_stats
+    (float_of_int r.Explore.res_stats.Explore.states
+    /. Float.max elapsed_s 1e-9);
   match r.Explore.res_cex with
   | None ->
     Fmt.pr

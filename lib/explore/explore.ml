@@ -36,11 +36,14 @@ type stats = {
   shrink_runs : int;
   cex_preemptions : int option;
   levels_completed : int;
+  failed_runs : int;
+  domains_used : int;
 }
 
 type search_result = {
   res_stats : stats;
   res_cex : counterexample option;
+  res_fps : int list;
 }
 
 type config = {
@@ -49,6 +52,11 @@ type config = {
   max_steps : int;
   shrink : bool;
   shrink_budget : int;
+  domains : int;
+  batch : int;
+  prune : bool;
+  record_fps : bool;
+  fault_hook : (int -> unit) option;
 }
 
 let default_config =
@@ -58,6 +66,11 @@ let default_config =
     max_steps = 50_000;
     shrink = true;
     shrink_budget = 500;
+    domains = 1;
+    batch = 16;
+    prune = true;
+    record_fps = false;
+    fault_hook = None;
   }
 
 type fuzz_report = {
@@ -169,10 +182,13 @@ let state_fp sched =
    quantum with >= 2 runnable threads), then follow the deterministic
    non-preemptive default (keep running the current thread; on its
    completion, the lowest runnable tid). Right after the deviating
-   quantum — the last prefix entry — the global state is checked against
-   [visited] and the run is cut short on a hit: its continuation and all
-   its extensions were already covered from the first visit. *)
-let run_one target ~max_steps ~visited ~prefix =
+   quantum — the last prefix entry — the global state's fingerprint is
+   offered to [fp_check]; when it reports a previous visit the run is cut
+   short: its continuation and all its extensions were already covered
+   from the first visit. [cancel] is polled once per quantum so a
+   first-violation latch can cut in-flight runs short across domain
+   workers. *)
+let run_one target ~max_steps ~fp_check ~cancel ~prefix =
   let steps = ref [] in
   let nsteps = ref 0 in
   let decisions = ref [] in
@@ -181,6 +197,7 @@ let run_one target ~max_steps ~visited ~prefix =
   let last = ref (-1) in
   let pruned = ref false in
   let fp_pending = ref false in
+  let buf = ref [||] in  (* runnable-tid scratch, sized on first pick *)
   (* Re-bound after [make] installs the real cell; the controller only
      reads it once the run is underway. *)
   let viol = ref (ref None) in
@@ -192,18 +209,21 @@ let run_one target ~max_steps ~visited ~prefix =
   let pick sched =
     if !fp_pending then begin
       fp_pending := false;
-      let fp = state_fp sched in
-      if Hashtbl.mem visited fp then pruned := true
-      else Hashtbl.replace visited fp ()
+      if fp_check (state_fp sched) then pruned := true
     end;
-    if !pruned || !(!viol) <> None || !nsteps >= max_steps then -1
-    else
-      match Sched.runnable_tids sched with
-      | [] -> -1
-      | [ t ] ->
+    if !pruned || !(!viol) <> None || !nsteps >= max_steps || cancel ()
+    then -1
+    else begin
+      if Array.length !buf = 0 then
+        buf := Array.make (max (Sched.nthreads sched) 1) 0;
+      match Sched.runnable_into sched !buf with
+      | 0 -> -1
+      | 1 ->
+        let t = !buf.(0) in
         push t;
         t
-      | ts ->
+      | n ->
+        let ts = Array.to_list (Array.sub !buf 0 n) in
         let chosen =
           if !ndec < plen then prefix.(!ndec)
           else if !last >= 0 && List.mem !last ts then !last
@@ -222,6 +242,7 @@ let run_one target ~max_steps ~visited ~prefix =
         if plen > 0 && !ndec = plen then fp_pending := true;
         push chosen;
         chosen
+    end
   in
   let sched = target.make ~trace:false (Sched.Controlled pick) in
   viol := install_watchers target sched;
@@ -338,13 +359,85 @@ let rec list_take n = function
   | _ when n <= 0 -> []
   | x :: tl -> x :: list_take (n - 1) tl
 
+(* Children of a completed, unpruned run: deviations strictly after its
+   prefix (siblings at earlier points were enumerated by ancestors).
+   Walked in reverse so a LIFO consumer extends the earliest choice
+   point first — the DFS order of the sequential search. Free-switch
+   siblings stay within the preemption level ([same]), preempting
+   siblings seed level k+1 ([next]). *)
+let children_of_run ~prefix r ~same ~next =
+  let dec = r.ru_decisions in
+  let plen = Array.length prefix in
+  for i = Array.length dec - 1 downto plen do
+    let d = dec.(i) in
+    List.iter
+      (fun alt ->
+        if alt <> d.de_chosen then begin
+          let child =
+            Array.init (i + 1) (fun j ->
+                if j = i then alt else dec.(j).de_chosen)
+          in
+          let preempts =
+            d.de_prev >= 0 && alt <> d.de_prev
+            && List.mem d.de_prev d.de_runnable
+          in
+          if preempts then next child else same child
+        end)
+      d.de_runnable
+  done
+
+(* Shrink a found violation and package the counterexample; shared by
+   the sequential and parallel searches (shrinking is always sequential:
+   ddmin on the one winning schedule). *)
+let build_cex config target (v, steps) =
+  let shrink_runs = ref 0 in
+  let steps = list_take (v.v_step + 1) steps in
+  let steps, v =
+    if config.shrink && steps <> [] then begin
+      let shrunk, tests =
+        shrink_steps target ~budget:config.shrink_budget ~kind:v.v_kind steps
+      in
+      shrink_runs := tests;
+      (* Re-derive the violation from the shrunk schedule so the
+         recorded step index matches what replay will observe. *)
+      match (run_steps target shrunk).rp_violation with
+      | Some v' -> (shrunk, v')
+      | None -> (steps, v)  (* defensive: keep the original witness *)
+    end
+    else (steps, v)
+  in
+  ( {
+      c_target = target.name;
+      c_nthreads = target.nthreads;
+      c_params = target.params;
+      c_violation = v;
+      c_steps = steps;
+      c_script = script_of_steps steps;
+      c_preemptions = preemptions_of_steps steps;
+    },
+    !shrink_runs )
+
 exception Search_over
 
-let explore ?(config = default_config) target =
+let no_cancel () = false
+
+let explore_sequential config target =
   let visited = Hashtbl.create 8192 in
+  let fps = if config.record_fps then Some (Hashtbl.create 1024) else None in
+  let fp_check fp =
+    (match fps with Some t -> Hashtbl.replace t fp () | None -> ());
+    if config.prune then
+      if Hashtbl.mem visited fp then true
+      else begin
+        Hashtbl.replace visited fp ();
+        false
+      end
+    else false
+  in
   let runs = ref 0 in
   let states = ref 0 in
   let pruned_n = ref 0 in
+  let failed = ref 0 in
   let found = ref None in
   let found_level = ref None in
   let levels_completed = ref 0 in
@@ -363,42 +456,35 @@ let explore ?(config = default_config) target =
          | prefix :: rest ->
            stack := rest;
            let r =
-             run_one target ~max_steps:config.max_steps ~visited ~prefix
+             match config.fault_hook with
+             | None ->
+               Some
+                 (run_one target ~max_steps:config.max_steps ~fp_check
+                    ~cancel:no_cancel ~prefix)
+             | Some h -> (
+               try
+                 h !runs;
+                 Some
+                   (run_one target ~max_steps:config.max_steps ~fp_check
+                      ~cancel:no_cancel ~prefix)
+               with _ -> None)
            in
            incr runs;
-           states := !states + r.ru_quanta;
-           if r.ru_pruned then incr pruned_n;
-           (match r.ru_violation with
-           | Some v ->
-             found := Some (v, r.ru_steps);
-             found_level := Some !level;
-             raise Search_over
-           | None -> ());
-           if not r.ru_pruned then begin
-             let dec = r.ru_decisions in
-             let plen = Array.length prefix in
-             (* Deviations strictly after this run's prefix; siblings at
-                earlier points were enumerated by ancestors. Pushed in
-                reverse so DFS extends the earliest choice point first. *)
-             for i = Array.length dec - 1 downto plen do
-               let d = dec.(i) in
-               List.iter
-                 (fun alt ->
-                   if alt <> d.de_chosen then begin
-                     let child =
-                       Array.init (i + 1) (fun j ->
-                           if j = i then alt else dec.(j).de_chosen)
-                     in
-                     let preempts =
-                       d.de_prev >= 0 && alt <> d.de_prev
-                       && List.mem d.de_prev d.de_runnable
-                     in
-                     if preempts then deferred := child :: !deferred
-                     else stack := child :: !stack
-                   end)
-                 d.de_runnable
-             done
-           end
+           (match r with
+           | None -> incr failed
+           | Some r ->
+             states := !states + r.ru_quanta;
+             if r.ru_pruned then incr pruned_n;
+             (match r.ru_violation with
+             | Some v ->
+               found := Some (v, r.ru_steps);
+               found_level := Some !level;
+               raise Search_over
+             | None -> ());
+             if not r.ru_pruned then
+               children_of_run ~prefix r
+                 ~same:(fun child -> stack := child :: !stack)
+                 ~next:(fun child -> deferred := child :: !deferred))
        done;
        levels_completed := !level + 1;
        stack := List.rev !deferred;
@@ -407,37 +493,12 @@ let explore ?(config = default_config) target =
        if !stack = [] then raise Search_over
      done
    with Search_over -> ());
-  let shrink_runs = ref 0 in
-  let cex =
+  let cex, shrink_runs =
     match !found with
-    | None -> None
-    | Some (v, steps) ->
-      let steps = list_take (v.v_step + 1) steps in
-      let steps, v =
-        if config.shrink && steps <> [] then begin
-          let shrunk, tests =
-            shrink_steps target ~budget:config.shrink_budget ~kind:v.v_kind
-              steps
-          in
-          shrink_runs := tests;
-          (* Re-derive the violation from the shrunk schedule so the
-             recorded step index matches what replay will observe. *)
-          match (run_steps target shrunk).rp_violation with
-          | Some v' -> (shrunk, v')
-          | None -> (steps, v)  (* defensive: keep the original witness *)
-        end
-        else (steps, v)
-      in
-      Some
-        {
-          c_target = target.name;
-          c_nthreads = target.nthreads;
-          c_params = target.params;
-          c_violation = v;
-          c_steps = steps;
-          c_script = script_of_steps steps;
-          c_preemptions = preemptions_of_steps steps;
-        }
+    | None -> (None, 0)
+    | Some witness ->
+      let c, n = build_cex config target witness in
+      (Some c, n)
   in
   {
     res_stats =
@@ -445,12 +506,186 @@ let explore ?(config = default_config) target =
         runs = !runs;
         states = !states;
         pruned = !pruned_n;
-        shrink_runs = !shrink_runs;
+        shrink_runs;
         cex_preemptions = Option.map (fun _ -> Option.get !found_level) cex;
         levels_completed = !levels_completed;
+        failed_runs = !failed;
+        domains_used = 1;
       };
     res_cex = cex;
+    res_fps =
+      (match fps with
+      | None -> []
+      | Some t ->
+        List.sort compare (Hashtbl.fold (fun fp () acc -> fp :: acc) t []));
   }
+
+(* ------------------------------------------------------------------ *)
+(* Parallel search across OCaml 5 domains                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Same level-synchronous frontier as the sequential search — every
+   schedule within preemption bound [k] is covered before any schedule
+   needing [k+1], so a reported violation still carries the minimal
+   bound — but within a level the prefixes are sharded across [domains]
+   workers through a batched work queue. Each worker owns a private
+   re-execution loop (every run builds a fresh heap/monitor/scheduler, so
+   nothing of the simulation itself is shared); the only cross-domain
+   state is the work queue, the lock-striped visited table, the atomic
+   budget/stat counters, and the first-violation latch. On a violation
+   the latch cancels in-flight runs (polled once per quantum) and
+   shrinking proceeds sequentially on the winning schedule.
+
+   Which violating schedule wins the latch depends on worker timing, so
+   across domain counts the reported counterexample may differ — but
+   never its validity (it is always a concretely witnessed execution,
+   re-checkable by sequential replay), and thanks to the level barrier
+   never its preemption level. With pruning on, run/state counts for
+   [domains > 1] are timing-dependent too: the visited table fills in a
+   different order, so different runs get cut short. [domains = 1] never
+   enters this code path and stays bit-identical to the sequential
+   search. *)
+let explore_parallel config target ~domains =
+  let visited = Fp_table.create () in
+  let fps = if config.record_fps then Some (Fp_table.create ()) else None in
+  let fp_check fp =
+    (match fps with Some t -> Fp_table.add t fp | None -> ());
+    if config.prune then Fp_table.check_and_add visited fp else false
+  in
+  let runs = Atomic.make 0 in
+  let states = Atomic.make 0 in
+  let pruned_n = Atomic.make 0 in
+  let failed = Atomic.make 0 in
+  let budget_out = Atomic.make false in
+  let cancel = Atomic.make false in
+  let cancelled () = Atomic.get cancel in
+  let found_m = Mutex.create () in
+  let found = ref None in
+  let found_level = ref 0 in
+  (* Reserve one run slot against the shared budget; the slot ordinal
+     doubles as the fault-hook's run index. *)
+  let reserve () =
+    let slot = Atomic.fetch_and_add runs 1 in
+    if slot >= config.max_runs then begin
+      ignore (Atomic.fetch_and_add runs (-1));
+      Atomic.set budget_out true;
+      None
+    end
+    else Some slot
+  in
+  let levels_completed = ref 0 in
+  let level = ref 0 in
+  let frontier = ref [ [||] ] in
+  let stop_all = ref false in
+  while (not !stop_all) && !level <= config.max_preemptions do
+    let q = Work_queue.create ~batch:config.batch () in
+    let deferred_m = Mutex.create () in
+    let deferred = ref [] in
+    Work_queue.push_batch q !frontier;
+    let this_level = !level in
+    let worker () =
+      let rec loop () =
+        match Work_queue.take q with
+        | None -> ()
+        | Some batch ->
+          (* [batch_done] must run even if a fault escapes, or the
+             queue's quiescence count would deadlock the level. *)
+          Fun.protect
+            ~finally:(fun () -> Work_queue.batch_done q)
+            (fun () ->
+              let same = ref [] in
+              let next = ref [] in
+              List.iter
+                (fun prefix ->
+                  if not (Atomic.get cancel || Atomic.get budget_out) then
+                    match reserve () with
+                    | None -> Work_queue.stop q
+                    | Some slot -> (
+                      let r =
+                        match config.fault_hook with
+                        | None ->
+                          Some
+                            (run_one target ~max_steps:config.max_steps
+                               ~fp_check ~cancel:cancelled ~prefix)
+                        | Some h -> (
+                          try
+                            h slot;
+                            Some
+                              (run_one target ~max_steps:config.max_steps
+                                 ~fp_check ~cancel:cancelled ~prefix)
+                          with _ -> None)
+                      in
+                      match r with
+                      | None -> Atomic.incr failed
+                      | Some r ->
+                        ignore (Atomic.fetch_and_add states r.ru_quanta);
+                        if r.ru_pruned then Atomic.incr pruned_n;
+                        (match r.ru_violation with
+                        | Some v ->
+                          Mutex.lock found_m;
+                          if !found = None then begin
+                            found := Some (v, r.ru_steps);
+                            found_level := this_level
+                          end;
+                          Mutex.unlock found_m;
+                          Atomic.set cancel true;
+                          Work_queue.stop q
+                        | None ->
+                          if not r.ru_pruned then
+                            children_of_run ~prefix r
+                              ~same:(fun c -> same := c :: !same)
+                              ~next:(fun c -> next := c :: !next))))
+                batch;
+              Work_queue.push_batch q (List.rev !same);
+              if !next <> [] then begin
+                Mutex.lock deferred_m;
+                deferred := List.rev_append !next !deferred;
+                Mutex.unlock deferred_m
+              end);
+          loop ()
+      in
+      loop ()
+    in
+    let spawned = List.init (domains - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join spawned;
+    if Atomic.get cancel || Atomic.get budget_out then stop_all := true
+    else begin
+      levels_completed := !level + 1;
+      frontier := List.rev !deferred;
+      incr level;
+      if !frontier = [] then stop_all := true
+    end
+  done;
+  let cex, shrink_runs =
+    match !found with
+    | None -> (None, 0)
+    | Some witness ->
+      let c, n = build_cex config target witness in
+      (Some c, n)
+  in
+  {
+    res_stats =
+      {
+        runs = Atomic.get runs;
+        states = Atomic.get states;
+        pruned = Atomic.get pruned_n;
+        shrink_runs;
+        cex_preemptions = Option.map (fun _ -> !found_level) cex;
+        levels_completed = !levels_completed;
+        failed_runs = Atomic.get failed;
+        domains_used = domains;
+      };
+    res_cex = cex;
+    res_fps =
+      (match fps with
+      | None -> []
+      | Some t -> List.sort compare (Fp_table.elements t));
+  }
+
+let explore ?(config = default_config) target =
+  if config.domains <= 1 then explore_sequential config target
+  else explore_parallel config target ~domains:config.domains
 
 (* ------------------------------------------------------------------ *)
 (* Serialization                                                      *)
@@ -546,8 +781,31 @@ let counterexample_of_json j =
       c_preemptions = preempts;
     }
 
+(* [open_out] on a path whose directory does not exist fails with a bare
+   "No such file or directory" — opaque when the path came from [--out].
+   Create the missing parents instead (and surface a clear error when
+   even that fails, e.g. a file standing where a directory is needed). *)
+let rec mkdir_p dir =
+  if
+    dir <> "" && dir <> "." && dir <> "/" && dir <> Filename.current_dir_name
+    && not (Sys.file_exists dir)
+  then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755
+    with Sys_error _ when Sys.is_directory dir -> ()
+  end
+
 let save ~file cex =
-  let oc = open_out file in
+  (try mkdir_p (Filename.dirname file)
+   with Sys_error e ->
+     raise
+       (Sys_error
+          (Fmt.str "Explore.save: cannot create directory for %S: %s" file e)));
+  let oc =
+    try open_out file
+    with Sys_error e ->
+      raise (Sys_error (Fmt.str "Explore.save: cannot write %S: %s" file e))
+  in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
@@ -578,7 +836,12 @@ let pp_counterexample fmt c =
 
 let pp_stats fmt s =
   Fmt.pf fmt
-    "%d runs, %d states, %d pruned, %d shrink runs, %d level(s) completed%a"
+    "%d runs, %d states, %d pruned, %d shrink runs, %d level(s) completed%a%a%a"
     s.runs s.states s.pruned s.shrink_runs s.levels_completed
     (Fmt.option (fun fmt p -> Fmt.pf fmt ", found at preemption bound %d" p))
     s.cex_preemptions
+    (fun fmt d -> if d > 1 then Fmt.pf fmt ", %d domains" d)
+    s.domains_used
+    (fun fmt f ->
+      if f > 0 then Fmt.pf fmt ", %d FAILED run(s) (partial coverage)" f)
+    s.failed_runs

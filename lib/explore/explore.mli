@@ -29,7 +29,15 @@
     A found violation is shrunk by delta-debugging its quantum-by-quantum
     schedule to a minimal still-violating sequence, compressed into a
     [Sched.Script] ([Run (tid, n)] instructions), and serialized as a
-    replayable JSON counterexample ({!save} / {!load} / {!replay}). *)
+    replayable JSON counterexample ({!save} / {!load} / {!replay}).
+
+    The search is embarrassingly parallel — every run is a stateless
+    re-execution of a choice-point prefix — so [config.domains > 1]
+    shards each preemption level's frontier across OCaml 5 domains: a
+    batched work queue of prefixes, a lock-striped visited-fingerprint
+    table, and a first-violation latch that cancels in-flight workers
+    before shrinking proceeds sequentially on the winning schedule (see
+    {!explore} for the exact determinism contract). *)
 
 type target = {
   name : string;  (** e.g. ["hp/harris-list"] — round-tripped through JSON *)
@@ -80,11 +88,19 @@ type stats = {
       (** preemption bound at which the violation was found *)
   levels_completed : int;
       (** preemption bounds fully exhausted without finding a violation *)
+  failed_runs : int;
+      (** runs that raised instead of completing (fault injection, target
+          bugs); nonzero means the coverage report is partial *)
+  domains_used : int;  (** worker domains the search actually ran on *)
 }
 
 type search_result = {
   res_stats : stats;
   res_cex : counterexample option;
+  res_fps : int list;
+      (** sorted distinct deviation-point fingerprints, recorded only
+          when [config.record_fps] — the coverage witness the
+          differential tests compare across domain counts *)
 }
 
 type config = {
@@ -93,18 +109,46 @@ type config = {
   max_steps : int;  (** per-run quantum budget *)
   shrink : bool;
   shrink_budget : int;  (** execution budget for delta-debugging *)
+  domains : int;
+      (** worker domains; 1 (the default) runs the exact sequential DFS,
+          [> 1] shards each preemption level's frontier across
+          [Domain.spawn] workers (see {!explore}) *)
+  batch : int;
+      (** schedule prefixes handed to a worker per queue interaction
+          (parallel mode only); amortizes queue contention *)
+  prune : bool;
+      (** visited-fingerprint pruning; disable only for coverage
+          comparisons — the full tree is explored without it *)
+  record_fps : bool;  (** collect {!field:search_result.res_fps} *)
+  fault_hook : (int -> unit) option;
+      (** test-only: called with each run's index before it executes; an
+          exception it raises is charged to [failed_runs] and the search
+          continues with the remaining frontier *)
 }
 
 val default_config : config
 (** 2 preemptions, 20_000 runs, 50_000 steps/run, shrinking on with a
-    budget of 500 runs. *)
+    budget of 500 runs; 1 domain, batch 16, pruning on, no fingerprint
+    recording, no fault hook. *)
 
 val explore : ?config:config -> target -> search_result
 (** Search the target's schedule space. Stops at the first violation
     (shrunk if [config.shrink]), or when every schedule within
     [max_preemptions] has been covered, or when [max_runs] is spent.
-    Deterministic: identical target and config give identical stats and
-    counterexample. *)
+
+    With [config.domains = 1] the search is the sequential CHESS-style
+    DFS and is fully deterministic: identical target and config give
+    identical stats and counterexample. With [config.domains > 1] each
+    preemption level's frontier is sharded across that many OCaml 5
+    domains (level barriers preserve the iterative-bounding order, so a
+    found violation still carries the minimal preemption bound); a
+    first-violation latch cancels in-flight workers and shrinking runs
+    sequentially on the winning schedule. The determinism contract
+    weakens to: {e which} violating schedule is reported (and, with
+    pruning, the run/state counts) may vary across domain counts and
+    timings, but a reported violation is always a concretely witnessed
+    execution that replays sequentially to the same violation kind, and
+    a no-violation verdict covers the same bounded space. *)
 
 type replay_result = {
   rp_violation : violation_info option;
@@ -129,7 +173,9 @@ val preemptions_of_steps : int list -> int
 (** {2 Serialization} *)
 
 val save : file:string -> counterexample -> unit
-(** Write the counterexample as an indented JSON document. *)
+(** Write the counterexample as an indented JSON document, creating the
+    parent directories if needed. Raises [Sys_error] with the offending
+    path in the message when the path is unwritable. *)
 
 val load : file:string -> (counterexample, string) result
 

@@ -1,0 +1,63 @@
+(* Lock-striped visited-state set over int fingerprints.
+
+   The explorer consults the table exactly once per run (at the deviating
+   quantum), so contention is per-run, not per-quantum; a modest stripe
+   count keeps the common case — distinct fingerprints hitting distinct
+   stripes — entirely uncontended across domain workers. Keys are the
+   already well-mixed [Heap.fingerprint ⊕ Monitor.fingerprint ⊕ thread
+   positions] hashes, so stripe selection just folds the high bits in. *)
+
+type t = {
+  stripes : (int, unit) Hashtbl.t array;
+  locks : Mutex.t array;
+  mask : int;
+}
+
+let rec pow2_at_least n k = if k >= n then k else pow2_at_least n (k * 2)
+
+let create ?(stripes = 64) () =
+  let n = pow2_at_least (max 1 stripes) 1 in
+  {
+    stripes = Array.init n (fun _ -> Hashtbl.create 256);
+    locks = Array.init n (fun _ -> Mutex.create ());
+    mask = n - 1;
+  }
+
+let stripe_of t fp = (fp lxor (fp lsr 17) lxor (fp lsr 31)) land t.mask
+
+(* [true] iff [fp] was already present; otherwise inserts it. The
+   check-and-insert is atomic per stripe, so two workers reaching the
+   same state concurrently agree on exactly one first visitor. *)
+let check_and_add t fp =
+  let i = stripe_of t fp in
+  let l = t.locks.(i) in
+  Mutex.lock l;
+  let seen = Hashtbl.mem t.stripes.(i) fp in
+  if not seen then Hashtbl.replace t.stripes.(i) fp ();
+  Mutex.unlock l;
+  seen
+
+let mem t fp =
+  let i = stripe_of t fp in
+  let l = t.locks.(i) in
+  Mutex.lock l;
+  let seen = Hashtbl.mem t.stripes.(i) fp in
+  Mutex.unlock l;
+  seen
+
+let add t fp = ignore (check_and_add t fp)
+
+let size t =
+  Array.fold_left (fun acc h -> acc + Hashtbl.length h) 0 t.stripes
+
+(* Unsorted; callers sort. Only used for post-search reporting, never on
+   the hot path, so locking stripe-by-stripe is fine. *)
+let elements t =
+  let acc = ref [] in
+  Array.iteri
+    (fun i h ->
+      Mutex.lock t.locks.(i);
+      Hashtbl.iter (fun fp () -> acc := fp :: !acc) h;
+      Mutex.unlock t.locks.(i))
+    t.stripes;
+  !acc

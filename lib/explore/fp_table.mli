@@ -1,0 +1,24 @@
+(** Lock-striped set of visited-state fingerprints, shared by the
+    parallel explorer's domain workers.
+
+    One lookup per run (at the deviating quantum), so the table is far
+    off the per-quantum hot path; striping exists to keep concurrent
+    runs from serializing on a single table mutex. Safe for concurrent
+    use from any number of domains. *)
+
+type t
+
+val create : ?stripes:int -> unit -> t
+(** [stripes] (default 64) is rounded up to a power of two. *)
+
+val check_and_add : t -> int -> bool
+(** [check_and_add t fp] is [true] iff [fp] was already present, and
+    inserts it otherwise — atomically, so concurrent callers with the
+    same fingerprint agree on a single first visitor. *)
+
+val mem : t -> int -> bool
+val add : t -> int -> unit
+val size : t -> int
+
+val elements : t -> int list
+(** All fingerprints, unsorted. Post-search reporting only. *)

@@ -1,0 +1,99 @@
+(* Mutex + condvar work queue with batched handoff and quiescence
+   detection, shared by the parallel explorer's domain workers.
+
+   Workers both consume and produce: a run's non-preempting children go
+   back into the same queue (they belong to the same preemption level).
+   A level is exhausted when the queue is empty AND no worker is mid-
+   batch — an in-flight worker may still push children — which is what
+   the [active] count tracks. Handoff is batched ([take] hands out up to
+   [batch] prefixes per lock acquisition, [push_batch] inserts a whole
+   child list under one) so queue contention is amortized across many
+   runs even when individual runs are microseconds long. *)
+
+type 'a t = {
+  m : Mutex.t;
+  cond : Condition.t;
+  q : 'a Queue.t;
+  batch : int;
+  mutable active : int;  (* workers holding an unfinished batch *)
+  mutable stopped : bool;
+}
+
+let create ?(batch = 16) () =
+  {
+    m = Mutex.create ();
+    cond = Condition.create ();
+    q = Queue.create ();
+    batch = max 1 batch;
+    active = 0;
+    stopped = false;
+  }
+
+let push_batch t xs =
+  match xs with
+  | [] -> ()
+  | xs ->
+    Mutex.lock t.m;
+    List.iter (fun x -> Queue.add x t.q) xs;
+    Condition.broadcast t.cond;
+    Mutex.unlock t.m
+
+(* Blocks until work is available (returning up to [batch] items and
+   marking the caller active) or the level is over ([None]: stopped, or
+   drained with no active worker left to produce more). Every [Some]
+   must be matched by exactly one [batch_done]. *)
+let take t =
+  Mutex.lock t.m;
+  let rec wait () =
+    if t.stopped then None
+    else if not (Queue.is_empty t.q) then begin
+      let n = min t.batch (Queue.length t.q) in
+      let acc = ref [] in
+      for _ = 1 to n do
+        acc := Queue.pop t.q :: !acc
+      done;
+      t.active <- t.active + 1;
+      Some (List.rev !acc)
+    end
+    else if t.active = 0 then begin
+      (* Globally drained: wake the other waiters so they exit too. *)
+      Condition.broadcast t.cond;
+      None
+    end
+    else begin
+      Condition.wait t.cond t.m;
+      wait ()
+    end
+  in
+  let r = wait () in
+  Mutex.unlock t.m;
+  r
+
+let batch_done t =
+  Mutex.lock t.m;
+  t.active <- t.active - 1;
+  if t.active = 0 && Queue.is_empty t.q then Condition.broadcast t.cond;
+  Mutex.unlock t.m
+
+let stop t =
+  Mutex.lock t.m;
+  t.stopped <- true;
+  Condition.broadcast t.cond;
+  Mutex.unlock t.m
+
+let stopped t =
+  Mutex.lock t.m;
+  let s = t.stopped in
+  Mutex.unlock t.m;
+  s
+
+(* Remaining (undistributed) items, e.g. to roll an unfinished level's
+   frontier over after an early stop. *)
+let drain t =
+  Mutex.lock t.m;
+  let acc = ref [] in
+  while not (Queue.is_empty t.q) do
+    acc := Queue.pop t.q :: !acc
+  done;
+  Mutex.unlock t.m;
+  List.rev !acc

@@ -1,0 +1,35 @@
+(** Mutex + condvar work queue with batched handoff, for domain workers
+    that both consume and produce work (a run's same-level children go
+    back into the queue).
+
+    Termination is by quiescence: {!take} returns [None] once the queue
+    is empty and no worker is mid-batch (so nobody can produce more), or
+    after {!stop}. Safe for concurrent use from any number of domains. *)
+
+type 'a t
+
+val create : ?batch:int -> unit -> 'a t
+(** [batch] (default 16) bounds how many items one {!take} hands out. *)
+
+val push_batch : 'a t -> 'a list -> unit
+(** Insert a whole list under one lock acquisition. Never blocks. *)
+
+val take : 'a t -> 'a list option
+(** Block until work arrives (up to [batch] items, caller becomes
+    {e active}) or the queue quiesces / is stopped ([None]). Every
+    [Some] result must be followed by exactly one {!batch_done} — the
+    crash-safety contract: a worker that fails mid-batch must still call
+    it (e.g. via [Fun.protect]) or the quiescence count deadlocks. *)
+
+val batch_done : 'a t -> unit
+(** Declare the batch from the matching {!take} fully processed (all
+    children pushed). *)
+
+val stop : 'a t -> unit
+(** Make every current and future {!take} return [None]. Idempotent. *)
+
+val stopped : 'a t -> bool
+
+val drain : 'a t -> 'a list
+(** Remove and return all undistributed items (after an early {!stop},
+    the unexplored remainder of the level's frontier). *)

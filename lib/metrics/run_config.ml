@@ -71,7 +71,8 @@ let parse_result ~argv ~prog ?(commands = []) ?(file_arg = false) () =
            queue)" );
         ( "--domains",
           Arg.Int (set_opt domains),
-          "N Domains for native throughput rows" );
+          "N Domains: native throughput rows, and parallel explore workers"
+        );
         ("--ops", Arg.Int (set_opt ops), "N Operations per domain (native)");
         ("--rounds", Arg.Int (set_opt rounds), "N Figure 1 churn rounds");
         ( "--fuzz",

@@ -150,6 +150,19 @@ let runnable_tids t =
   done;
   !acc
 
+let runnable_into t buf =
+  let n = Array.length t.threads in
+  if Array.length buf < n then
+    invalid_arg "Sched.runnable_into: buffer shorter than nthreads";
+  let count = ref 0 in
+  for tid = 0 to n - 1 do
+    if runnable t tid then begin
+      buf.(!count) <- tid;
+      incr count
+    end
+  done;
+  !count
+
 let stall t tid =
   if not t.stalled.(tid) then begin
     t.stalled.(tid) <- true;

@@ -112,6 +112,14 @@ val runnable_count : t -> int
 val runnable_tids : t -> int list
 (** Ascending. [runnable_tids t] is empty iff [runnable_count t = 0]. *)
 
+val runnable_into : t -> int array -> int
+(** Allocation-free variant for per-quantum callers (the explorer's
+    controller): fill [buf] with the runnable tids in ascending order and
+    return their count. [buf] must have length at least [nthreads t].
+    Exploration workers on separate domains each own a private scheduler
+    and scratch buffer — a [t] itself is single-domain and must never be
+    shared across domains. *)
+
 val current_tid : t -> int
 (** The tid being stepped right now; [-1] between quanta (in particular,
     inside a [Controlled] callback). *)

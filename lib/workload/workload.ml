@@ -15,23 +15,34 @@ type key_dist =
 
 (* Zipf via inverse-CDF over a precomputed table would be overkill here;
    rejection-free approximation by the harmonic partial sums, computed
-   lazily per (n, s) pair. *)
+   lazily per (n, s) pair. The memo table is the one piece of
+   module-level mutable state in the simulation stack, so it is
+   mutex-protected: parallel exploration workers (lib/explore) run
+   workloads concurrently from several domains, and an unguarded
+   [Hashtbl] resize is a crash. The lock is per table {e lookup}, not per
+   key draw — [draw_key] hits it once per Zipf draw, never for Uniform. *)
 let zipf_tables : (int * float, float array) Hashtbl.t = Hashtbl.create 8
+let zipf_mutex = Mutex.create ()
 
 let zipf_cdf n s =
-  match Hashtbl.find_opt zipf_tables (n, s) with
-  | Some t -> t
-  | None ->
-    let t = Array.make n 0.0 in
-    let acc = ref 0.0 in
-    for i = 0 to n - 1 do
-      acc := !acc +. (1.0 /. Float.pow (float_of_int (i + 1)) s);
-      t.(i) <- !acc
-    done;
-    let total = !acc in
-    Array.iteri (fun i v -> t.(i) <- v /. total) t;
-    Hashtbl.replace zipf_tables (n, s) t;
-    t
+  Mutex.lock zipf_mutex;
+  let table =
+    match Hashtbl.find_opt zipf_tables (n, s) with
+    | Some t -> t
+    | None ->
+      let t = Array.make n 0.0 in
+      let acc = ref 0.0 in
+      for i = 0 to n - 1 do
+        acc := !acc +. (1.0 /. Float.pow (float_of_int (i + 1)) s);
+        t.(i) <- !acc
+      done;
+      let total = !acc in
+      Array.iteri (fun i v -> t.(i) <- v /. total) t;
+      Hashtbl.replace zipf_tables (n, s) t;
+      t
+  in
+  Mutex.unlock zipf_mutex;
+  table
 
 let draw_key rng = function
   | Uniform n -> 1 + Rng.int rng n

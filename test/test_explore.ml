@@ -144,6 +144,339 @@ let test_save_load_replay () =
           | None -> Alcotest.fail "saved counterexample did not reproduce")))
 
 (* ------------------------------------------------------------------ *)
+(* Parallel exploration: differential suite                            *)
+(* ------------------------------------------------------------------ *)
+
+let with_domains d config = { config with Ex.domains = d }
+let kind_of_cex c = c.Ex.c_violation.Ex.v_kind
+
+(* The built-in targets: the Figure 2 safety cells for each unsafe
+   scheme, the Figure 1 robustness-dichotomy pair, and the stall-fuzz
+   workload setting (60 ops/thread, no bound) explored systematically. *)
+let diff_cells =
+  [
+    ("figure2/hp", "hp", None, None);
+    ("figure2/he", "he", None, None);
+    ("figure2/ibr", "ibr", None, None);
+    ("figure1/ebr", "ebr", Some 60, Some 24);
+    ("figure1/hp", "hp", Some 60, Some 24);
+    ("stall-fuzz/hp", "hp", Some 60, None);
+  ]
+
+let target_of_cell (_, name, ops_per_thread, robustness_bound) =
+  App.explore_target ?ops_per_thread ?robustness_bound (scheme name)
+    App.Harris
+
+(* Parallel explore at 2 and 4 domains must agree with the sequential
+   search on the violation kind and the preemption level it is found at
+   (the level barrier guarantees minimality), and its shrunk script must
+   still violate under sequential replay. Which violating schedule wins
+   the race may differ — validity never. *)
+let test_differential () =
+  List.iter
+    (fun ((label, _, _, _) as cell) ->
+      let target = target_of_cell cell in
+      let seq = Ex.explore ~config:small target in
+      let seq_kind = Option.map kind_of_cex seq.Ex.res_cex in
+      Alcotest.(check bool)
+        (label ^ " sequential search finds a violation")
+        true (seq_kind <> None);
+      List.iter
+        (fun d ->
+          let par = Ex.explore ~config:(with_domains d small) target in
+          let par_kind = Option.map kind_of_cex par.Ex.res_cex in
+          Alcotest.(check bool)
+            (Fmt.str "%s d=%d same violation kind" label d)
+            true (par_kind = seq_kind);
+          Alcotest.(check (option int))
+            (Fmt.str "%s d=%d same found preemption level" label d)
+            seq.Ex.res_stats.Ex.cex_preemptions
+            par.Ex.res_stats.Ex.cex_preemptions;
+          match par.Ex.res_cex with
+          | None -> ()
+          | Some c -> (
+            match (Ex.replay target c).Ex.rp_violation with
+            | Some v ->
+              Alcotest.(check bool)
+                (Fmt.str "%s d=%d shrunk script replays sequentially" label d)
+                true
+                (v.Ex.v_kind = kind_of_cex c)
+            | None ->
+              Alcotest.failf "%s d=%d: shrunk script does not replay" label d))
+        [ 2; 4 ])
+    diff_cells
+
+(* [domains = 1] is the pre-PR sequential DFS, bit for bit. The hp cell's
+   run/state counts are pinned as goldens — the simulation is
+   deterministic and machine-independent, so any drift here means the
+   single-domain search path changed. *)
+let test_domains1_bit_identical () =
+  let a = explore "hp" in
+  let b =
+    App.explore ~config:(with_domains 1 small) (scheme "hp") App.Harris
+  in
+  Alcotest.(check int) "golden run count" 82 a.Ex.res_stats.Ex.runs;
+  Alcotest.(check int) "golden state count" 45092 a.Ex.res_stats.Ex.states;
+  Alcotest.(check int) "runs" a.Ex.res_stats.Ex.runs b.Ex.res_stats.Ex.runs;
+  Alcotest.(check int) "states" a.Ex.res_stats.Ex.states
+    b.Ex.res_stats.Ex.states;
+  Alcotest.(check int) "domains_used" 1 b.Ex.res_stats.Ex.domains_used;
+  let steps r =
+    match r.Ex.res_cex with
+    | Some c -> c.Ex.c_steps
+    | None -> Alcotest.fail "expected a counterexample"
+  in
+  Alcotest.(check (list int)) "identical shrunk schedule" (steps a) (steps b)
+
+(* ------------------------------------------------------------------ *)
+(* QCheck: random small targets, sequential vs parallel                *)
+(* ------------------------------------------------------------------ *)
+
+module SI = Era_sets.Set_intf
+module Sched = Era_sched.Sched
+
+type qop = I of int | D of int | C of int
+
+let pp_qop = function
+  | I k -> Fmt.str "I%d" k
+  | D k -> Fmt.str "D%d" k
+  | C k -> Fmt.str "C%d" k
+
+let apply_op (ops : SI.ops) = function
+  | I k -> ignore (ops.SI.insert k)
+  | D k -> ignore (ops.SI.delete k)
+  | C k -> ignore (ops.SI.contains k)
+
+(* A target whose two threads run explicit op sequences over a
+   one-element list — op sequences (not outcomes) are fixed up front, so
+   the choice-point structure is schedule-independent by construction. *)
+let op_target ~structure ~scheme_name tid_ops =
+  let nthreads = Array.length tid_ops in
+  let (module S : Era_smr.Smr_intf.S) = scheme scheme_name in
+  let make ~trace strategy =
+    let mon = Era_sim.Monitor.create ~mode:`Record ~trace () in
+    let heap = Era_sim.Heap.create mon in
+    let sched = Sched.create ~nthreads strategy heap in
+    let ext = Sched.external_ctx sched ~tid:0 in
+    let g = S.create heap ~nthreads in
+    let spawn_all ops_of =
+      for tid = 0 to nthreads - 1 do
+        let mine = tid_ops.(tid) in
+        Sched.spawn sched ~tid (fun ctx ->
+            let ops = ops_of ctx in
+            List.iter (apply_op ops) mine;
+            ops.SI.quiesce ())
+      done
+    in
+    (match structure with
+    | `Harris ->
+      let module L = Era_sets.Harris_list.Make (S) in
+      let dl = L.create ext g in
+      ignore ((L.ops (L.handle dl ext) ~record:false).SI.insert 2);
+      spawn_all (fun ctx -> L.ops (L.handle dl ctx) ~record:false)
+    | `Michael ->
+      let module L = Era_sets.Michael_list.Make (S) in
+      let dl = L.create ext g in
+      ignore ((L.ops (L.handle dl ext) ~record:false).SI.insert 2);
+      spawn_all (fun ctx -> L.ops (L.handle dl ctx) ~record:false));
+    sched
+  in
+  {
+    Ex.name =
+      ("qcheck/"
+      ^ (match structure with `Harris -> "harris" | `Michael -> "michael"));
+    nthreads;
+    params = [];
+    robustness_bound = None;
+    make;
+  }
+
+let gen_case =
+  QCheck.Gen.(
+    let gen_op =
+      map2
+        (fun c k -> match c with 0 -> I k | 1 -> D k | _ -> C k)
+        (int_bound 2) (int_range 1 3)
+    in
+    let gen_ops = list_size (int_range 1 3) gen_op in
+    triple (oneofl [ `Harris; `Michael ]) gen_ops gen_ops)
+
+let arb_case =
+  QCheck.make
+    ~print:(fun (structure, a, b) ->
+      Fmt.str "%s [%a] [%a]"
+        (match structure with `Harris -> "harris" | `Michael -> "michael")
+        Fmt.(list ~sep:comma (of_to_string pp_qop))
+        a
+        Fmt.(list ~sep:comma (of_to_string pp_qop))
+        b)
+    gen_case
+
+(* With pruning off the bounded tree is enumerated in full, so parallel
+   and sequential searches must visit exactly the same runs — same
+   deviation-point fingerprint set, same run/state counts — whatever the
+   worker interleaving. EBR targets have no safety violation to cut the
+   search short, which keeps the comparison exact. *)
+let prop_fp_equivalence =
+  QCheck.Test.make
+    ~name:"pruning off: parallel visits the same fingerprint set" ~count:10
+    arb_case
+    (fun (structure, ops0, ops1) ->
+      let target = op_target ~structure ~scheme_name:"ebr" [| ops0; ops1 |] in
+      let config =
+        {
+          Ex.default_config with
+          Ex.max_preemptions = 1;
+          max_runs = 30_000;
+          shrink = false;
+          prune = false;
+          record_fps = true;
+        }
+      in
+      let seq = Ex.explore ~config target in
+      QCheck.assume (seq.Ex.res_cex = None);
+      (* the space must have been exhausted, not budget-truncated *)
+      QCheck.assume (seq.Ex.res_stats.Ex.levels_completed = 2);
+      List.for_all
+        (fun d ->
+          let par = Ex.explore ~config:(with_domains d config) target in
+          par.Ex.res_fps = seq.Ex.res_fps
+          && par.Ex.res_stats.Ex.runs = seq.Ex.res_stats.Ex.runs
+          && par.Ex.res_stats.Ex.states = seq.Ex.res_stats.Ex.states
+          && par.Ex.res_cex = None)
+        [ 2; 4 ])
+
+(* Soundness: whatever schedule a parallel search reports, the sequential
+   replayer must reproduce the violation — a parallel-only artifact would
+   surface here as an irreproducible counterexample. *)
+let prop_parallel_sound =
+  QCheck.Test.make
+    ~name:"parallel violations always replay sequentially" ~count:8 arb_case
+    (fun (structure, ops0, ops1) ->
+      let target = op_target ~structure ~scheme_name:"hp" [| ops0; ops1 |] in
+      let config =
+        {
+          Ex.default_config with
+          Ex.max_preemptions = 1;
+          max_runs = 5_000;
+          shrink_budget = 100;
+        }
+      in
+      List.for_all
+        (fun d ->
+          match
+            (Ex.explore ~config:(with_domains d config) target).Ex.res_cex
+          with
+          | None -> true
+          | Some c -> (
+            match (Ex.run_steps target c.Ex.c_steps).Ex.rp_violation with
+            | Some v -> v.Ex.v_kind = kind_of_cex c
+            | None -> false))
+        [ 2; 4 ])
+
+(* ------------------------------------------------------------------ *)
+(* Crash safety: injected worker faults                                *)
+(* ------------------------------------------------------------------ *)
+
+exception Injected_fault
+
+let test_worker_crash_queue_integrity () =
+  let target = App.explore_target (scheme "ebr") App.Harris in
+  let hits = Atomic.make 0 in
+  let hook slot =
+    if slot mod 5 = 3 then begin
+      Atomic.incr hits;
+      raise Injected_fault
+    end
+  in
+  let config =
+    {
+      Ex.default_config with
+      Ex.max_runs = 200;
+      domains = 4;
+      shrink = false;
+      fault_hook = Some hook;
+    }
+  in
+  (* The real assertion is that this returns at all: a worker dying with
+     the queue's active count held would deadlock the level barrier. *)
+  let r = Ex.explore ~config target in
+  let s = r.Ex.res_stats in
+  Alcotest.(check bool) "faults fired" true (Atomic.get hits > 0);
+  Alcotest.(check int) "every fault reported as a failed run"
+    (Atomic.get hits) s.Ex.failed_runs;
+  Alcotest.(check bool)
+    "frontier survived the crashes (other prefixes still explored)" true
+    (s.Ex.runs > s.Ex.failed_runs);
+  Alcotest.(check bool) "partial-coverage report: search still concluded"
+    true
+    (s.Ex.runs = 200 || s.Ex.levels_completed > 0)
+
+let test_sequential_fault_partial_report () =
+  let target = App.explore_target (scheme "ebr") App.Harris in
+  let hook slot = if slot = 2 then raise Injected_fault in
+  let config =
+    {
+      Ex.default_config with
+      Ex.max_runs = 50;
+      shrink = false;
+      fault_hook = Some hook;
+    }
+  in
+  let r = Ex.explore ~config target in
+  Alcotest.(check int) "one failed run" 1 r.Ex.res_stats.Ex.failed_runs;
+  Alcotest.(check int) "budget still fully used" 50 r.Ex.res_stats.Ex.runs
+
+(* ------------------------------------------------------------------ *)
+(* Save: parent-directory handling                                     *)
+(* ------------------------------------------------------------------ *)
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let test_save_creates_parent_dirs () =
+  let c, _ = cex_and_target "hp" in
+  let base = Filename.temp_file "explore_out" "" in
+  Sys.remove base;
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists base then rm_rf base)
+    (fun () ->
+      let file =
+        List.fold_left Filename.concat base [ "nested"; "deep"; "cex.json" ]
+      in
+      Ex.save ~file c;
+      Alcotest.(check bool) "file written" true (Sys.file_exists file);
+      match Ex.load ~file with
+      | Ok c' ->
+        Alcotest.(check (list int)) "round-trips" c.Ex.c_steps c'.Ex.c_steps
+      | Error e -> Alcotest.failf "load failed: %s" e)
+
+let test_save_clear_error () =
+  let c, _ = cex_and_target "hp" in
+  (* A plain file standing where a directory is needed: creation cannot
+     succeed, and the error must name the offending path. *)
+  let blocker = Filename.temp_file "explore_block" "" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove blocker)
+    (fun () ->
+      let file = Filename.concat (Filename.concat blocker "sub") "cex.json" in
+      match Ex.save ~file c with
+      | () -> Alcotest.fail "save through a file should not succeed"
+      | exception Sys_error msg ->
+        Alcotest.(check bool) "error names the path" true
+          (let sub = file and msg = msg in
+           let n = String.length sub in
+           let rec contains i =
+             i + n <= String.length msg
+             && (String.sub msg i n = sub || contains (i + 1))
+           in
+           contains 0))
+
+(* ------------------------------------------------------------------ *)
 (* Schedule bookkeeping                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -181,5 +514,31 @@ let () =
             test_save_load_replay;
           Alcotest.test_case "preemption counting" `Quick
             test_preemption_count;
+        ] );
+      ( "parallel-differential",
+        [
+          Alcotest.test_case "built-in targets at 2 and 4 domains" `Quick
+            test_differential;
+          Alcotest.test_case "domains=1 bit-identical to sequential" `Quick
+            test_domains1_bit_identical;
+        ] );
+      ( "parallel-qcheck",
+        [
+          QCheck_alcotest.to_alcotest prop_fp_equivalence;
+          QCheck_alcotest.to_alcotest prop_parallel_sound;
+        ] );
+      ( "crash-safety",
+        [
+          Alcotest.test_case "worker fault does not deadlock the queue"
+            `Quick test_worker_crash_queue_integrity;
+          Alcotest.test_case "sequential fault gives a partial report" `Quick
+            test_sequential_fault_partial_report;
+        ] );
+      ( "save-dirs",
+        [
+          Alcotest.test_case "save creates parent directories" `Quick
+            test_save_creates_parent_dirs;
+          Alcotest.test_case "save fails with a clear error" `Quick
+            test_save_clear_error;
         ] );
     ]
