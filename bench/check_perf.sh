@@ -22,4 +22,5 @@ dune exec --no-build bin/bench_compare.exe -- bench/BENCH_quick.json "$out" \
   --max-regression 60 \
   --backlog-factor 3 --backlog-slack 512 \
   --max-suite-regression 100 --suite-slack 0.25 \
+  --require B6/trace_off_overhead \
   "$@"

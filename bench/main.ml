@@ -1,6 +1,6 @@
 (* Benchmark and experiment harness: regenerates every figure and claim
    table of the paper (experiments E1-E9 of DESIGN.md), then runs the
-   Bechamel microbenchmarks (B1-B5). Besides the human-readable tables,
+   Bechamel microbenchmarks (B1-B6). Besides the human-readable tables,
    every experiment emits machine-readable rows into one BENCH_*.json
    file (see lib/metrics) — the trajectory bin/bench_compare.exe gates
    future changes against.
@@ -303,10 +303,10 @@ let e8b () =
   List.iter
     (fun scheme ->
       if want_scheme (scheme_name scheme) then begin
-        let s = stack_row ~scheme ~domains ~ops_per_domain:ops in
+        let s = stack_row ~scheme ~domains ~ops_per_domain:ops () in
         Fmt.pr "  %a@." pp_result s;
         emit_native "E8b" "native-throughput" s;
-        let q = queue_row ~scheme ~domains ~ops_per_domain:ops in
+        let q = queue_row ~scheme ~domains ~ops_per_domain:ops () in
         Fmt.pr "  %a@." pp_result q;
         emit_native "E8b" "native-throughput" q
       end)
@@ -687,6 +687,56 @@ let b4_checker_scaling () =
   in
   run_bechamel ~experiment:"B4" (Test.make_grouped ~name:"linearize" tests)
 
+(* B6: observability overhead. The tracer-off run re-times the seeded
+   Figure 1/2 simulations with no tracer attached — the disabled path
+   must stay at seed speed, so that row is emitted as "suite-timing" and
+   gated by bench_compare (check_perf.sh additionally --require's it, so
+   silently dropping the experiment can't pass the gate). The tracer-on
+   run records the honest cost of full instrumentation; tracing is
+   opt-in, so that row is informational, not gated. *)
+let b6_trace_overhead () =
+  section "B6 | Trace overhead: tracer-off must stay at seed speed";
+  let rounds = if quick then 128 else 512 in
+  let reps = if quick then 3 else 6 in
+  let workload tracer () =
+    List.iter
+      (fun s ->
+        ignore (Era.Figure1.run ?tracer ~rounds s);
+        ignore (Era.Figure2.run ?tracer s))
+      Era_smr.Registry.all
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      f ()
+    done;
+    Unix.gettimeofday () -. t0
+  in
+  ignore (time (workload None));
+  (* warm-up *)
+  let off_s = time (workload None) in
+  let tr = Era_obs.Tracer.create ~capacity:(1 lsl 16) () in
+  let on_s = time (workload (Some tr)) in
+  let overhead_pct = (on_s -. off_s) /. Float.max off_s 1e-9 *. 100. in
+  Fmt.pr "  tracer off: %.3f s   tracer on: %.3f s   overhead %+.1f%%@."
+    off_s on_s overhead_pct;
+  Fmt.pr "  (%d trace events captured, %d dropped by the ring)@."
+    (Era_obs.Tracer.length tr)
+    (Era_obs.Tracer.dropped tr);
+  emit
+    (M.row ~experiment:"B6" ~label:"trace_off_overhead"
+       ~category:"suite-timing" ~elapsed_s:off_s ());
+  emit
+    (M.row ~experiment:"B6" ~label:"trace_on" ~category:"observability"
+       ~elapsed_s:on_s
+       ~extra:
+         [
+           ("overhead_pct", overhead_pct);
+           ("events", float_of_int (Era_obs.Tracer.length tr));
+           ("dropped", float_of_int (Era_obs.Tracer.dropped tr));
+         ]
+       ())
+
 (* B5: scheduler quantum overhead. *)
 let b5_scheduler_overhead () =
   section "B5 | Scheduler cost per quantum (fiber suspend/resume)";
@@ -718,7 +768,7 @@ let () =
       ("E10", e10); ("E11", e11); ("E12", e12); ("E13", e13);
       ("B1", b1_sim_read_cost); ("B2", b2_sim_lifecycle_cost);
       ("B3", b3_native_read_cost); ("B4", b4_checker_scaling);
-      ("B5", b5_scheduler_overhead);
+      ("B5", b5_scheduler_overhead); ("B6", b6_trace_overhead);
     ]
   in
   (* Each experiment gets a wall-clock "suite-timing" row, plus one

@@ -2,12 +2,15 @@
 
      dune exec bin/bench_compare.exe -- OLD.json NEW.json \
        [--max-regression PCT] [--backlog-factor F] [--backlog-slack N] \
-       [--max-suite-regression PCT] [--suite-slack S]
+       [--max-suite-regression PCT] [--suite-slack S] [--require KEY]...
 
    Exit status: 0 when every native-throughput row of NEW is within the
-   regression tolerance of OLD, no native row's max backlog blew up, and
-   no suite-timing row slowed past its tolerance; 1 on any regression,
-   blow-up, slowdown, or missing row; 2 on usage/parse errors. *)
+   regression tolerance of OLD, no native row's max backlog blew up, no
+   suite-timing row slowed past its tolerance, and every --require'd key
+   is present in both files; 1 on any regression, blow-up, slowdown, or
+   missing row; 2 on usage/parse errors. --require guards gate rows that
+   MUST exist (e.g. B6/trace_off_overhead): without it, deleting the row
+   from both files would silently pass. *)
 
 module M = Era_metrics.Metrics
 module D = Era_metrics.Bench_diff
@@ -18,6 +21,7 @@ let () =
   let backlog_slack = ref 256 in
   let max_suite_regression = ref 75. in
   let suite_slack = ref 0.05 in
+  let required = ref [] in
   let files = ref [] in
   let spec =
     Arg.align
@@ -38,6 +42,10 @@ let () =
         ( "--suite-slack",
           Arg.Set_float suite_slack,
           "S Additive suite wall-clock slack in seconds (default 0.05)" );
+        ( "--require",
+          Arg.String (fun k -> required := k :: !required),
+          "KEY Fail unless row KEY (experiment/label) exists in both files \
+           (repeatable)" );
       ]
   in
   let usage = "usage: bench_compare OLD.json NEW.json [options]" in
@@ -68,4 +76,17 @@ let () =
   Format.printf "%s (%s) vs %s (%s)@." old_file
     old_report.M.manifest.M.git_rev new_file new_report.M.manifest.M.git_rev;
   Format.printf "%a" D.pp v;
-  exit (if D.ok v then 0 else 1)
+  let has (r : M.report) k =
+    List.exists (fun row -> M.key row = k) r.M.rows
+  in
+  let unmet =
+    List.filter
+      (fun k -> not (has old_report k && has new_report k))
+      (List.rev !required)
+  in
+  List.iter
+    (fun k ->
+      Format.printf "  REQUIRED ROW MISSING %s (old:%b new:%b)@." k
+        (has old_report k) (has new_report k))
+    unmet;
+  exit (if D.ok v && unmet = [] then 0 else 1)

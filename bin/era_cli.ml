@@ -3,23 +3,32 @@
      dune exec bin/era_cli.exe -- <command> [options]
 
    Commands: figure1, figure2, robustness, applicability, access-aware,
-   matrix, native, ablation, stall-fuzz, explore, replay, all.
+   matrix, native, ablation, stall-fuzz, explore, replay, trace, all.
 
    Parsing goes through Era_metrics.Run_config — the same Arg-based flag
    surface as bench/main.exe — so --schemes/--json/--domains/... behave
-   identically in both front-ends. *)
+   identically in both front-ends.
+
+   Exit codes: 0 success, 1 a run/check failed (violation did not
+   reproduce, theorem matrix broken, unreadable input file), 2 usage
+   error. *)
 
 module M = Era_metrics.Metrics
 module Rc = Era_metrics.Run_config
 module Explore = Era_explore.Explore
+module Tracer = Era_obs.Tracer
+module Registry = Era_obs.Registry
+module Sim_trace = Era_obs.Sim_trace
 
 let commands =
   [
     "figure1"; "figure2"; "robustness"; "applicability"; "access-aware";
-    "matrix"; "native"; "ablation"; "stall-fuzz"; "explore"; "replay"; "all";
+    "matrix"; "native"; "ablation"; "stall-fuzz"; "explore"; "replay";
+    "trace"; "all";
   ]
 
-(* [file_arg] admits the positional of [replay <counterexample.json>]. *)
+(* [file_arg] admits the positionals of [replay <counterexample.json>]
+   and [trace <scenario>]. *)
 let cfg = Rc.parse ~prog:"era_cli" ~commands ~file_arg:true ()
 
 let schemes () =
@@ -130,10 +139,29 @@ let structure_arg () =
               Era.Applicability.structures));
       exit 2)
 
+(* Attach the tracer to a replay's internally built scheduler — the
+   [?on_sched] hook of [Explore.run_steps]. *)
+let attach_to_replay tr ~process sched =
+  Tracer.set_process_name tr process;
+  ignore (Sim_trace.attach tr (Era_sched.Sched.monitor sched) : unit -> unit);
+  Sim_trace.attach_sched tr sched
+
+let write_trace tr ~file =
+  Tracer.write ~file tr;
+  Fmt.pr "trace written to %s (%d events%s) — open in Perfetto \
+          (https://ui.perfetto.dev) or chrome://tracing@."
+    file (Tracer.length tr)
+    (match Tracer.dropped tr with
+    | 0 -> ""
+    | d -> Fmt.str ", %d oldest dropped" d)
+
 let explore_cmd () =
   let ((module S : Era_smr.Smr_intf.S) as scheme) = one_scheme () in
   let structure = structure_arg () in
+  let structure_n = Era.Applicability.structure_name structure in
   let d = Explore.default_config in
+  let t0 = Unix.gettimeofday () in
+  let last_progress = ref None in
   let config =
     {
       d with
@@ -141,41 +169,145 @@ let explore_cmd () =
       max_runs = Rc.max_runs_or cfg d.Explore.max_runs;
       max_steps = Rc.steps_or cfg d.Explore.max_steps;
       domains = Rc.domains_or cfg d.Explore.domains;
+      progress_every = Option.value cfg.Rc.heartbeat ~default:0;
+      on_progress =
+        (match cfg.Rc.heartbeat with
+        | None -> None
+        | Some _ ->
+          Some
+            (fun (p : Explore.progress) ->
+              last_progress := Some p;
+              let elapsed = Unix.gettimeofday () -. t0 in
+              Fmt.pr
+                "[heartbeat] level=%d runs=%d (budget left %d) states=%d \
+                 (%.0f/s) pruned=%d frontier=%d(+%d deferred) fp=%d \
+                 domain-runs=[%a]@."
+                p.Explore.pg_level p.Explore.pg_runs
+                p.Explore.pg_budget_left p.Explore.pg_states
+                (float_of_int p.Explore.pg_states /. Float.max elapsed 1e-9)
+                p.Explore.pg_pruned p.Explore.pg_frontier
+                p.Explore.pg_deferred p.Explore.pg_fp_size
+                Fmt.(array ~sep:comma int)
+                p.Explore.pg_per_domain_runs));
     }
   in
   let seed = Rc.seed_or cfg 2 in
   Fmt.pr "exploring %s/%s (preemption bound %d, budget %d runs, %d domain%s)...@."
-    S.name
-    (Era.Applicability.structure_name structure)
+    S.name structure_n
     config.Explore.max_preemptions config.Explore.max_runs
     config.Explore.domains
     (if config.Explore.domains = 1 then "" else "s");
-  let t0 = Unix.gettimeofday () in
   let r =
     Era.Applicability.explore ~config ~seed ?ops_per_thread:cfg.Rc.ops
       ?robustness_bound:cfg.Rc.robust_bound scheme structure
   in
   let elapsed_s = Unix.gettimeofday () -. t0 in
-  Fmt.pr "%a (%.0f states/s)@." Explore.pp_stats r.Explore.res_stats
-    (float_of_int r.Explore.res_stats.Explore.states
-    /. Float.max elapsed_s 1e-9);
+  let stats = r.Explore.res_stats in
+  Fmt.pr "%a (%.0f states/s)@." Explore.pp_stats stats
+    (float_of_int stats.Explore.states /. Float.max elapsed_s 1e-9);
+  (* The heartbeat sidecar: final search stats plus run-shape gauges, in
+     the registry JSON format shared with every other metrics export. *)
+  (match cfg.Rc.heartbeat with
+  | None -> ()
+  | Some _ ->
+    let reg = Explore.stats_registry stats in
+    Registry.set (Registry.gauge reg "explore_elapsed_s") elapsed_s;
+    Registry.set
+      (Registry.gauge reg "explore_states_per_s")
+      (float_of_int stats.Explore.states /. Float.max elapsed_s 1e-9);
+    (match !last_progress with
+    | None -> ()
+    | Some p ->
+      Registry.set_int
+        (Registry.gauge reg "explore_frontier_last")
+        p.Explore.pg_frontier;
+      Registry.set_int
+        (Registry.gauge reg "explore_fp_size_last")
+        p.Explore.pg_fp_size);
+    let hb_file = Fmt.str "heartbeat_%s_%s.json" S.name structure_n in
+    Registry.write ~file:hb_file reg;
+    Fmt.pr "heartbeat sidecar written to %s@." hb_file);
   match r.Explore.res_cex with
   | None ->
     Fmt.pr
       "no violation found within the bounds — every explored schedule is \
-       safe@."
+       safe@.";
+    if cfg.Rc.trace then
+      Fmt.pr "(--trace: no counterexample to capture)@."
   | Some cex ->
     Fmt.pr "VIOLATION: %a@." Explore.pp_counterexample cex;
     let out =
       match cfg.Rc.out with
       | Some f -> f
-      | None ->
-        Fmt.str "counterexample_%s_%s.json" S.name
-          (Era.Applicability.structure_name structure)
+      | None -> Fmt.str "counterexample_%s_%s.json" S.name structure_n
     in
     Explore.save ~file:out cex;
     Fmt.pr "counterexample written to %s (replay with: era_cli replay %s)@."
-      out out
+      out out;
+    if cfg.Rc.trace then begin
+      match Era.Applicability.target_of_counterexample cex with
+      | Error e ->
+        Fmt.epr "era_cli explore: trace capture failed: %s@." e;
+        exit 1
+      | Ok target ->
+        let tr = Tracer.create ~capacity:(1 lsl 20) () in
+        let process = Fmt.str "counterexample %s" cex.Explore.c_target in
+        ignore
+          (Explore.replay ~on_sched:(attach_to_replay tr ~process) target cex);
+        write_trace tr ~file:(Fmt.str "trace_%s_%s.json" S.name structure_n)
+    end
+
+(* [trace <scenario|counterexample.json>] — run a seeded scenario (or a
+   saved counterexample replay) with the tracer attached and write a
+   Perfetto-loadable Chrome trace-event JSON. *)
+let trace_cmd () =
+  let what =
+    match cfg.Rc.file with
+    | Some f -> f
+    | None ->
+      Fmt.epr
+        "usage: era_cli trace <figure1|figure2|counterexample.json> \
+         [--scheme S] [--out FILE]@.";
+      exit 2
+  in
+  let tr = Tracer.create ~capacity:(1 lsl 20) () in
+  let default_out =
+    match what with
+    | "figure1" ->
+      let scheme = one_scheme () in
+      let rounds = Rc.rounds_or cfg 64 in
+      let r = Era.Figure1.run ~tracer:tr ~rounds scheme in
+      Fmt.pr "%a@." Era.Figure1.pp_result r;
+      Fmt.str "trace_figure1_%s.json" r.Era.Figure1.scheme
+    | "figure2" ->
+      let r = Era.Figure2.run ~tracer:tr (one_scheme ()) in
+      Fmt.pr "%a@." Era.Figure2.pp_result r;
+      Fmt.str "trace_figure2_%s.json" r.Era.Figure2.scheme
+    | file -> (
+      match Explore.load ~file with
+      | Error e ->
+        Fmt.epr "era_cli trace: %s@." e;
+        exit 1
+      | Ok cex -> (
+        match Era.Applicability.target_of_counterexample cex with
+        | Error e ->
+          Fmt.epr "era_cli trace: %s@." e;
+          exit 1
+        | Ok target ->
+          let process = Fmt.str "counterexample %s" cex.Explore.c_target in
+          let r =
+            Explore.replay ~on_sched:(attach_to_replay tr ~process) target cex
+          in
+          (match r.Explore.rp_violation with
+          | Some v -> Fmt.pr "replayed violation: %a@." Explore.pp_violation v
+          | None -> Fmt.pr "replay finished without a violation@.");
+          Fmt.str "trace_%s.json"
+            (String.map
+               (fun c -> if c = '/' then '_' else c)
+               cex.Explore.c_target)))
+  in
+  let out = Option.value cfg.Rc.out ~default:default_out in
+  write_trace tr ~file:out
 
 let replay_cmd () =
   let file =
@@ -188,12 +320,12 @@ let replay_cmd () =
   match Explore.load ~file with
   | Error e ->
     Fmt.epr "era_cli replay: %s@." e;
-    exit 2
+    exit 1
   | Ok cex -> (
     match Era.Applicability.target_of_counterexample cex with
     | Error e ->
       Fmt.epr "era_cli replay: %s@." e;
-      exit 2
+      exit 1
     | Ok target ->
       Fmt.pr "replaying %a@." Explore.pp_counterexample cex;
       let r = Explore.replay target cex in
@@ -269,6 +401,7 @@ let () =
   | Some "stall-fuzz" -> stall_fuzz ()
   | Some "explore" -> explore_cmd ()
   | Some "replay" -> replay_cmd ()
+  | Some "trace" -> trace_cmd ()
   | Some "all" -> all ()
   | Some other ->
     (* unreachable: Run_config validated the command list *)

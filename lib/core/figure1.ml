@@ -21,7 +21,7 @@ type result = {
 let t1 = 0
 let t2 = 1
 
-let run ?(rounds = 256) (module S : Era_smr.Smr_intf.S) =
+let run ?tracer ?(rounds = 256) (module S : Era_smr.Smr_intf.S) =
   let mon = Monitor.create ~mode:`Record ~trace:false () in
   let heap = Heap.create mon in
   let module L = Era_sets.Harris_list.Make (S) in
@@ -45,6 +45,13 @@ let run ?(rounds = 256) (module S : Era_smr.Smr_intf.S) =
       ]
   in
   let sched = Sched.create ~nthreads:2 script heap in
+  (match tracer with
+  | None -> ()
+  | Some tr ->
+    Era_obs.Tracer.set_process_name tr (Printf.sprintf "figure1 %s" S.name);
+    ignore (Era_obs.Sim_trace.attach tr mon : unit -> unit);
+    Era_obs.Sim_trace.attach_sched tr sched
+      ~names:[ (t1, "T1 delete(3) [stalls]"); (t2, "T2 churn") ]);
   (* Stage (a): the list contains nodes 1 and 2. *)
   let ext = Sched.external_ctx sched ~tid:t2 in
   let dl = L.create ext g in

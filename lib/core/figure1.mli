@@ -35,8 +35,10 @@ type result = {
   t1_outcome : string;  (** how the stalled thread's solo run ended *)
 }
 
-val run : ?rounds:int -> Era_smr.Registry.scheme -> result
-(** Default 256 churn rounds. *)
+val run : ?tracer:Era_obs.Tracer.t -> ?rounds:int -> Era_smr.Registry.scheme -> result
+(** Default 256 churn rounds. [tracer] records the execution timeline
+    for Perfetto export without changing the run (see
+    {!Era_obs.Sim_trace}). *)
 
 val run_all : ?rounds:int -> unit -> result list
 

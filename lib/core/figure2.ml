@@ -17,7 +17,7 @@ let t_ins = 1  (* insert 43 *)
 let t_del43 = 2  (* delete 43, then run a reclamation pass *)
 let t_del15 = 3  (* delete 15 *)
 
-let run_gen ~insert_43_early (module S : Era_smr.Smr_intf.S) =
+let run_gen ?tracer ~insert_43_early (module S : Era_smr.Smr_intf.S) =
   let mon = Monitor.create ~mode:`Record ~trace:false () in
   let heap = Heap.create mon in
   let module L = Era_sets.Harris_list.Make (S) in
@@ -54,6 +54,15 @@ let run_gen ~insert_43_early (module S : Era_smr.Smr_intf.S) =
       ]
   in
   let sched = Sched.create ~nthreads:4 script heap in
+  (match tracer with
+  | None -> ()
+  | Some tr ->
+    Era_obs.Tracer.set_process_name tr (Printf.sprintf "figure2 %s" S.name);
+    ignore (Era_obs.Sim_trace.attach tr mon : unit -> unit);
+    Era_obs.Sim_trace.attach_sched tr sched
+      ~names:
+        [ (t1, "T1 insert(58) [stalls]"); (t_ins, "T2 insert(43)");
+          (t_del43, "T3 delete(43)+quiesce"); (t_del15, "T4 delete(15)") ]);
   let ext = Sched.external_ctx sched ~tid:t_ins in
   let dl = L.create ext g in
   let h_setup = L.handle dl ext in
@@ -106,8 +115,10 @@ let run_gen ~insert_43_early (module S : Era_smr.Smr_intf.S) =
   in
   { scheme = S.name; outcome; t1_outcome; final_list }
 
-let run scheme = run_gen ~insert_43_early:false scheme
-let run_footnote_variant scheme = run_gen ~insert_43_early:true scheme
+let run ?tracer scheme = run_gen ?tracer ~insert_43_early:false scheme
+
+let run_footnote_variant ?tracer scheme =
+  run_gen ?tracer ~insert_43_early:true scheme
 let run_all () = List.map run Era_smr.Registry.all
 
 let pp_result fmt r =

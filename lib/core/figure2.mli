@@ -28,9 +28,13 @@ type result = {
   final_list : int list;  (** contents after the run (sanity) *)
 }
 
-val run : Era_smr.Registry.scheme -> result
+val run : ?tracer:Era_obs.Tracer.t -> Era_smr.Registry.scheme -> result
+(** [tracer] records the execution timeline — scheduler quanta, SMR
+    lifecycle, operation spans, the violation instant — for Perfetto
+    export; the run itself is unchanged (see {!Era_obs.Sim_trace}). *)
 
-val run_footnote_variant : Era_smr.Registry.scheme -> result
+val run_footnote_variant :
+  ?tracer:Era_obs.Tracer.t -> Era_smr.Registry.scheme -> result
 (** The Appendix E footnote's control: node 43 is inserted {e before} T1
     establishes its protection. Era/interval reservations (HE, IBR) then
     cover 43 and the run is safe; HP is defeated either way (it protects

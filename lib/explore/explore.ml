@@ -38,12 +38,25 @@ type stats = {
   levels_completed : int;
   failed_runs : int;
   domains_used : int;
+  per_domain_runs : int list;
 }
 
 type search_result = {
   res_stats : stats;
   res_cex : counterexample option;
   res_fps : int list;
+}
+
+type progress = {
+  pg_level : int;
+  pg_runs : int;
+  pg_states : int;
+  pg_pruned : int;
+  pg_frontier : int;
+  pg_deferred : int;
+  pg_fp_size : int;
+  pg_budget_left : int;
+  pg_per_domain_runs : int array;
 }
 
 type config = {
@@ -57,6 +70,8 @@ type config = {
   prune : bool;
   record_fps : bool;
   fault_hook : (int -> unit) option;
+  progress_every : int;
+  on_progress : (progress -> unit) option;
 }
 
 let default_config =
@@ -71,6 +86,8 @@ let default_config =
     prune = true;
     record_fps = false;
     fault_hook = None;
+    progress_every = 0;
+    on_progress = None;
   }
 
 type fuzz_report = {
@@ -273,8 +290,12 @@ type replay_result = {
   rp_trace : Event.t list;
 }
 
-let run_steps ?(trace = false) target steps =
+let run_steps ?(trace = false) ?on_sched target steps =
   let sched = target.make ~trace (Sched.Script (script_of_steps steps)) in
+  (* [on_sched] lets a caller attach observers (e.g. a tracer, via
+     [Era_obs.Sim_trace.attach]) to the internally built scheduler and
+     monitor before the replay runs. *)
+  (match on_sched with None -> () | Some f -> f sched);
   let viol = install_watchers target sched in
   let outcome = Sched.run sched in
   {
@@ -283,7 +304,8 @@ let run_steps ?(trace = false) target steps =
     rp_trace = Monitor.trace (Sched.monitor sched);
   }
 
-let replay ?trace target cex = run_steps ?trace target cex.c_steps
+let replay ?trace ?on_sched target cex =
+  run_steps ?trace ?on_sched target cex.c_steps
 
 (* ------------------------------------------------------------------ *)
 (* Shrinking: ddmin over the quantum-by-quantum schedule              *)
@@ -484,7 +506,24 @@ let explore_sequential config target =
              if not r.ru_pruned then
                children_of_run ~prefix r
                  ~same:(fun child -> stack := child :: !stack)
-                 ~next:(fun child -> deferred := child :: !deferred))
+                 ~next:(fun child -> deferred := child :: !deferred));
+           (match config.on_progress with
+           | Some f
+             when config.progress_every > 0
+                  && !runs mod config.progress_every = 0 ->
+             f
+               {
+                 pg_level = !level;
+                 pg_runs = !runs;
+                 pg_states = !states;
+                 pg_pruned = !pruned_n;
+                 pg_frontier = List.length !stack;
+                 pg_deferred = List.length !deferred;
+                 pg_fp_size = Hashtbl.length visited;
+                 pg_budget_left = max 0 (config.max_runs - !runs);
+                 pg_per_domain_runs = [| !runs |];
+               }
+           | _ -> ())
        done;
        levels_completed := !level + 1;
        stack := List.rev !deferred;
@@ -511,6 +550,7 @@ let explore_sequential config target =
         levels_completed = !levels_completed;
         failed_runs = !failed;
         domains_used = 1;
+        per_domain_runs = [ !runs ];
       };
     res_cex = cex;
     res_fps =
@@ -577,13 +617,48 @@ let explore_parallel config target ~domains =
   let level = ref 0 in
   let frontier = ref [ [||] ] in
   let stop_all = ref false in
+  (* Per-worker run counts: slot [w] is written only by worker [w], so
+     plain array stores suffice; the coordinator's heartbeat reads are
+     racy snapshots (monotone counters, at worst one run stale) and the
+     final read happens after every join. *)
+  let per_domain = Array.make domains 0 in
+  let last_report = ref 0 in
   while (not !stop_all) && !level <= config.max_preemptions do
     let q = Work_queue.create ~batch:config.batch () in
     let deferred_m = Mutex.create () in
     let deferred = ref [] in
     Work_queue.push_batch q !frontier;
     let this_level = !level in
-    let worker () =
+    (* Heartbeats come from the coordinator only — the [on_progress]
+       callback then never needs to be domain-safe. *)
+    let maybe_report () =
+      match config.on_progress with
+      | Some f when config.progress_every > 0 ->
+        let r = Atomic.get runs in
+        if r - !last_report >= config.progress_every then begin
+          last_report := r;
+          let deferred_n =
+            Mutex.lock deferred_m;
+            let n = List.length !deferred in
+            Mutex.unlock deferred_m;
+            n
+          in
+          f
+            {
+              pg_level = this_level;
+              pg_runs = r;
+              pg_states = Atomic.get states;
+              pg_pruned = Atomic.get pruned_n;
+              pg_frontier = Work_queue.length q;
+              pg_deferred = deferred_n;
+              pg_fp_size = Fp_table.size visited;
+              pg_budget_left = max 0 (config.max_runs - r);
+              pg_per_domain_runs = Array.copy per_domain;
+            }
+        end
+      | _ -> ()
+    in
+    let worker wid =
       let rec loop () =
         match Work_queue.take q with
         | None -> ()
@@ -601,6 +676,7 @@ let explore_parallel config target ~domains =
                     match reserve () with
                     | None -> Work_queue.stop q
                     | Some slot -> (
+                      per_domain.(wid) <- per_domain.(wid) + 1;
                       let r =
                         match config.fault_hook with
                         | None ->
@@ -642,12 +718,15 @@ let explore_parallel config target ~domains =
                 deferred := List.rev_append !next !deferred;
                 Mutex.unlock deferred_m
               end);
+          if wid = 0 then maybe_report ();
           loop ()
       in
       loop ()
     in
-    let spawned = List.init (domains - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
+    let spawned =
+      List.init (domains - 1) (fun i -> Domain.spawn (fun () -> worker (i + 1)))
+    in
+    worker 0;
     List.iter Domain.join spawned;
     if Atomic.get cancel || Atomic.get budget_out then stop_all := true
     else begin
@@ -675,6 +754,7 @@ let explore_parallel config target ~domains =
         levels_completed = !levels_completed;
         failed_runs = Atomic.get failed;
         domains_used = domains;
+        per_domain_runs = Array.to_list per_domain;
       };
     res_cex = cex;
     res_fps =
@@ -783,34 +863,14 @@ let counterexample_of_json j =
 
 (* [open_out] on a path whose directory does not exist fails with a bare
    "No such file or directory" — opaque when the path came from [--out].
-   Create the missing parents instead (and surface a clear error when
-   even that fails, e.g. a file standing where a directory is needed). *)
-let rec mkdir_p dir =
-  if
-    dir <> "" && dir <> "." && dir <> "/" && dir <> Filename.current_dir_name
-    && not (Sys.file_exists dir)
-  then begin
-    mkdir_p (Filename.dirname dir);
-    try Sys.mkdir dir 0o755
-    with Sys_error _ when Sys.is_directory dir -> ()
-  end
-
+   [Fsutil.write_file] (shared with the tracer and heartbeat writers)
+   creates the missing parents instead and surfaces a clear error when
+   even that fails, e.g. a file standing where a directory is needed. *)
 let save ~file cex =
-  (try mkdir_p (Filename.dirname file)
-   with Sys_error e ->
-     raise
-       (Sys_error
-          (Fmt.str "Explore.save: cannot create directory for %S: %s" file e)));
-  let oc =
-    try open_out file
-    with Sys_error e ->
-      raise (Sys_error (Fmt.str "Explore.save: cannot write %S: %s" file e))
-  in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      output_string oc (Json.to_string (counterexample_to_json cex));
-      output_char oc '\n')
+  try
+    Era_metrics.Fsutil.write_file ~file
+      (Json.to_string (counterexample_to_json cex) ^ "\n")
+  with Sys_error e -> raise (Sys_error (Fmt.str "Explore.save: %s" e))
 
 let load ~file =
   match In_channel.with_open_text file In_channel.input_all with
@@ -818,6 +878,33 @@ let load ~file =
   | text ->
     let* j = Json.of_string text in
     counterexample_of_json j
+
+(* ------------------------------------------------------------------ *)
+(* Metrics export                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let stats_registry s =
+  let module R = Era_obs.Registry in
+  let reg = R.create () in
+  let c name v = R.set_counter (R.counter reg name) v in
+  c "explore_runs" s.runs;
+  c "explore_states" s.states;
+  c "explore_pruned" s.pruned;
+  c "explore_shrink_runs" s.shrink_runs;
+  c "explore_levels_completed" s.levels_completed;
+  c "explore_failed_runs" s.failed_runs;
+  R.set_int (R.gauge reg "explore_domains") s.domains_used;
+  List.iteri
+    (fun d n ->
+      R.set_counter
+        (R.counter reg ~labels:[ ("domain", string_of_int d) ]
+           "explore_domain_runs")
+        n)
+    s.per_domain_runs;
+  (match s.cex_preemptions with
+  | None -> ()
+  | Some p -> R.set_int (R.gauge reg "explore_cex_preemptions") p);
+  reg
 
 (* ------------------------------------------------------------------ *)
 (* Pretty-printing                                                    *)

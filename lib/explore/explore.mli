@@ -92,6 +92,10 @@ type stats = {
       (** runs that raised instead of completing (fault injection, target
           bugs); nonzero means the coverage report is partial *)
   domains_used : int;  (** worker domains the search actually ran on *)
+  per_domain_runs : int list;
+      (** runs executed by each worker domain, index = domain ordinal
+          (a single entry for the sequential search); sums to [runs] —
+          the utilization breakdown behind the heartbeat telemetry *)
 }
 
 type search_result = {
@@ -102,6 +106,22 @@ type search_result = {
           when [config.record_fps] — the coverage witness the
           differential tests compare across domain counts *)
 }
+
+type progress = {
+  pg_level : int;  (** preemption level being explored *)
+  pg_runs : int;
+  pg_states : int;
+  pg_pruned : int;
+  pg_frontier : int;  (** unexplored prefixes left at this level *)
+  pg_deferred : int;  (** prefixes already seeded for the next level *)
+  pg_fp_size : int;  (** visited-fingerprint table occupancy *)
+  pg_budget_left : int;  (** runs remaining in [max_runs] *)
+  pg_per_domain_runs : int array;  (** runs per worker domain so far *)
+}
+(** A telemetry snapshot of a search in flight, delivered through
+    [config.on_progress]. Parallel-mode snapshots are racy reads of
+    monotone counters — each may be a few runs stale, but never
+    invented. *)
 
 type config = {
   max_preemptions : int;  (** highest preemption bound to search *)
@@ -124,6 +144,14 @@ type config = {
       (** test-only: called with each run's index before it executes; an
           exception it raises is charged to [failed_runs] and the search
           continues with the remaining frontier *)
+  progress_every : int;
+      (** emit a {!progress} snapshot roughly every this many runs;
+          [0] (the default) disables telemetry entirely *)
+  on_progress : (progress -> unit) option;
+      (** heartbeat consumer. Always invoked on the calling domain (the
+          parallel search reports from its coordinator worker), so it
+          may print or mutate caller state without synchronization. It
+          runs inside the search loop — keep it cheap. *)
 }
 
 val default_config : config
@@ -157,12 +185,20 @@ type replay_result = {
       (** the full monitor event trace of the replayed execution *)
 }
 
-val run_steps : ?trace:bool -> target -> int list -> replay_result
+val run_steps :
+  ?trace:bool -> ?on_sched:(Era_sched.Sched.t -> unit) -> target ->
+  int list -> replay_result
 (** Execute the target under the exact quantum-by-quantum schedule
     [steps] (entries naming finished threads are skipped), with the same
-    violation/robustness watchers the explorer uses. *)
+    violation/robustness watchers the explorer uses. [on_sched] is
+    called with the freshly built scheduler before the run starts —
+    the hook point for attaching a tracer
+    ([Era_obs.Sim_trace.attach]/[attach_sched]) to an execution whose
+    scheduler the caller never sees otherwise. *)
 
-val replay : ?trace:bool -> target -> counterexample -> replay_result
+val replay :
+  ?trace:bool -> ?on_sched:(Era_sched.Sched.t -> unit) -> target ->
+  counterexample -> replay_result
 (** {!run_steps} on the counterexample's shrunk schedule. *)
 
 val preemptions_of_steps : int list -> int
@@ -198,6 +234,13 @@ type fuzz_report = {
 val violation_of_event :
   step:int -> Era_sim.Event.t -> violation_info option
 (** [Some] iff the event is a [Violation]. *)
+
+val stats_registry : stats -> Era_obs.Registry.t
+(** Publish final search statistics into a fresh metrics registry
+    (counters [explore_runs], [explore_states], …, one labelled
+    [explore_domain_runs] counter per worker domain) — the payload of
+    the heartbeat JSON sidecar and the unified export path shared with
+    the sim monitor and native scheme stats. *)
 
 val pp_violation : Format.formatter -> violation_info -> unit
 val pp_counterexample : Format.formatter -> counterexample -> unit

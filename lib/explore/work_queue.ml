@@ -87,6 +87,12 @@ let stopped t =
   Mutex.unlock t.m;
   s
 
+let length t =
+  Mutex.lock t.m;
+  let n = Queue.length t.q in
+  Mutex.unlock t.m;
+  n
+
 (* Remaining (undistributed) items, e.g. to roll an unfinished level's
    frontier over after an early stop. *)
 let drain t =

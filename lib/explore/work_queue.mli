@@ -30,6 +30,10 @@ val stop : 'a t -> unit
 
 val stopped : 'a t -> bool
 
+val length : 'a t -> int
+(** Undistributed items currently queued — a telemetry snapshot (the
+    heartbeat's frontier depth), immediately stale under concurrency. *)
+
 val drain : 'a t -> 'a list
 (** Remove and return all undistributed items (after an early {!stop},
     the unexplored remainder of the level's frontier). *)

@@ -1,0 +1,24 @@
+let rec mkdir_p dir =
+  if
+    dir <> "" && dir <> "." && dir <> "/" && dir <> Filename.current_dir_name
+    && not (Sys.file_exists dir)
+  then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755
+    with Sys_error _ when Sys.is_directory dir -> ()
+  end
+
+let write_file ~file data =
+  (try mkdir_p (Filename.dirname file)
+   with Sys_error e ->
+     raise
+       (Sys_error
+          (Printf.sprintf "cannot create directory for %S: %s" file e)));
+  let oc =
+    try open_out file
+    with Sys_error e ->
+      raise (Sys_error (Printf.sprintf "cannot write %S: %s" file e))
+  in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc data)

@@ -1,0 +1,15 @@
+(** Small filesystem helpers shared by every writer of result artifacts
+    (bench reports, explorer counterexamples, trace files, heartbeat
+    sidecars): create parent directories instead of failing with a bare
+    "No such file or directory" when an [--out] path names a directory
+    that does not exist yet. *)
+
+val mkdir_p : string -> unit
+(** Create the directory and its missing parents ([mkdir -p]). A
+    component that already exists as a directory is fine; one that
+    exists as a file raises [Sys_error]. *)
+
+val write_file : file:string -> string -> unit
+(** Write [data] to [file], creating the parent directories first.
+    Raises [Sys_error] with the offending path in the message when the
+    path is unwritable even after that. *)

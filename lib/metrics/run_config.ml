@@ -15,6 +15,8 @@ type t = {
   steps : int option;
   robust_bound : int option;
   out : string option;
+  heartbeat : int option;
+  trace : bool;
   command : string option;
   file : string option;
 }
@@ -41,6 +43,8 @@ let parse_result ~argv ~prog ?(commands = []) ?(file_arg = false) () =
   let steps = ref None in
   let robust_bound = ref None in
   let out = ref None in
+  let heartbeat = ref None in
+  let trace = ref false in
   let command = ref None in
   let file = ref None in
   let set_opt r v = r := Some v in
@@ -92,7 +96,15 @@ let parse_result ~argv ~prog ?(commands = []) ?(file_arg = false) () =
           "N Also hunt retired-backlog robustness violations beyond N" );
         ( "--out",
           Arg.String (set_opt out),
-          "FILE Counterexample output path (explore)" );
+          "FILE Output path (explore counterexample, trace JSON)" );
+        ( "--heartbeat",
+          Arg.Int (set_opt heartbeat),
+          "N Report explore progress every N runs and write a heartbeat \
+           JSON sidecar" );
+        ( "--trace",
+          Arg.Set trace,
+          " Capture a Perfetto trace (explore: of the shrunk \
+           counterexample replay)" );
       ]
   in
   let usage =
@@ -138,6 +150,8 @@ let parse_result ~argv ~prog ?(commands = []) ?(file_arg = false) () =
         steps = !steps;
         robust_bound = !robust_bound;
         out = !out;
+        heartbeat = !heartbeat;
+        trace = !trace;
         command = !command;
         file = !file;
       }
@@ -148,16 +162,25 @@ let parse ?(argv = Sys.argv) ~prog ?(commands = []) ?(file_arg = false) () =
   match parse_result ~argv ~prog ~commands ~file_arg () with
   | Ok t -> t
   | Error msg ->
-    (* Arg.Bad carries the full usage text; --help lands here too. *)
     let is_help =
       Array.exists (fun a -> a = "-help" || a = "--help") argv
     in
     if is_help then begin
+      (* --help keeps the full Arg-generated text. *)
       print_string msg;
       exit 0
     end
     else begin
-      prerr_string msg;
+      (* Arg.Bad prepends the full usage + option listing to the actual
+         complaint; a typo'd flag then scrolls the real error off
+         screen. Keep just the first line (the complaint itself) and
+         point at --help. *)
+      let first_line =
+        match String.index_opt msg '\n' with
+        | Some i -> String.sub msg 0 i
+        | None -> msg
+      in
+      Printf.eprintf "%s\nrun '%s --help' for usage\n" first_line prog;
       exit 2
     end
 

@@ -25,7 +25,14 @@ type t = {
   steps : int option;  (** [--steps N] per-run quantum budget *)
   robust_bound : int option;
       (** [--robust-bound N] — explore also flags retired backlogs > N *)
-  out : string option;  (** [--out FILE] counterexample output path *)
+  out : string option;
+      (** [--out FILE] output path (explore counterexample, trace JSON) *)
+  heartbeat : int option;
+      (** [--heartbeat N] — explore progress report interval in runs,
+          plus a heartbeat JSON sidecar at the end *)
+  trace : bool;
+      (** [--trace] — capture a Perfetto trace of the relevant
+          execution (explore: the shrunk counterexample replay) *)
   command : string option;  (** first non-flag word (era_cli commands) *)
   file : string option;
       (** second positional (e.g. [replay <counterexample.json>]); only
@@ -39,8 +46,10 @@ val parse :
     positional command from that list is accepted; an unknown command or
     a second positional is an error, except that [~file_arg:true]
     (default false) allows one positional after the command, captured in
-    {!field:t.file}. Exits 2 on bad usage, 0 on [--help] (standard [Arg]
-    behaviour). *)
+    {!field:t.file}. On bad usage (unknown flag, unknown command, stray
+    positional) prints a {e one-line} error plus a [--help] pointer to
+    stderr and exits 2; [--help] prints the full usage text and exits
+    0. *)
 
 val parse_result :
   argv:string array -> prog:string -> ?commands:string list ->

@@ -22,8 +22,8 @@ type mix =
   | Churn
   | Read_heavy
 
-let run_workers ~label ~scheme ~structure ~domains ~ops_per_domain ~make_worker
-    ~stats =
+let run_workers ?tracer ~label ~scheme ~structure ~domains ~ops_per_domain
+    ~make_worker ~stats () =
   (* Two-phase start barrier: every domain (including this one) builds
      its worker, then signals [ready] and spins on [go]; only once all
      of them are parked does the coordinator release them, and the start
@@ -32,15 +32,24 @@ let run_workers ~label ~scheme ~structure ~domains ~ops_per_domain ~make_worker
      were still being scheduled — undercounted [mops] on slow spawns. *)
   let ready = Atomic.make 0 in
   let go = Atomic.make false in
+  (* Per-domain work-phase boundaries for the tracer. Each slot is
+     written by exactly one domain; [Domain.join] orders the writes
+     before the coordinator reads them. Two clock reads per domain per
+     run — noise against a multi-second run, and the only cost the
+     disabled-tracer path pays beyond one option match. *)
+  let t_start = Array.make domains 0.0 in
+  let t_end = Array.make domains 0.0 in
   let body d () =
     let worker = make_worker d in
     ignore (Atomic.fetch_and_add ready 1);
     while not (Atomic.get go) do
       Domain.cpu_relax ()
     done;
+    t_start.(d) <- Unix.gettimeofday ();
     for _ = 1 to ops_per_domain do
       worker ()
-    done
+    done;
+    t_end.(d) <- Unix.gettimeofday ()
   in
   let spawned =
     List.init (domains - 1) (fun i -> Domain.spawn (body (i + 1)))
@@ -52,13 +61,44 @@ let run_workers ~label ~scheme ~structure ~domains ~ops_per_domain ~make_worker
   done;
   Atomic.set go true;
   let t0 = Unix.gettimeofday () in
-  for _ = 1 to ops_per_domain do
-    worker0 ()
-  done;
+  t_start.(0) <- t0;
+  let us t = int_of_float ((t -. t0) *. 1e6) in
+  (match tracer with
+  | None ->
+    for _ = 1 to ops_per_domain do
+      worker0 ()
+    done
+  | Some tr ->
+    (* Only the coordinator touches the tracer (it is single-domain);
+       it samples the scheme counters — which are cross-domain-readable
+       by design — at a fixed stride so the trace shows the backlog
+       evolving mid-run. *)
+    let stride = max 1 (ops_per_domain / 64) in
+    for i = 1 to ops_per_domain do
+      worker0 ();
+      if i mod stride = 0 then begin
+        let s : Nsmr.stats = stats () in
+        Era_obs.Tracer.counter tr ~ts:(us (Unix.gettimeofday ())) "nsmr"
+          [ ("retired", s.Nsmr.retired); ("reclaimed", s.Nsmr.reclaimed);
+            ("backlog", s.Nsmr.backlog) ]
+      end
+    done);
+  t_end.(0) <- Unix.gettimeofday ();
   List.iter Domain.join spawned;
   let elapsed = Unix.gettimeofday () -. t0 in
   let total = domains * ops_per_domain in
   let s : Nsmr.stats = stats () in
+  (match tracer with
+  | None -> ()
+  | Some tr ->
+    Era_obs.Tracer.set_process_name tr (Fmt.str "native %s" label);
+    for d = 0 to domains - 1 do
+      Era_obs.Tracer.set_thread_name tr ~tid:d (Printf.sprintf "D%d" d);
+      Era_obs.Tracer.complete tr ~ts:(us t_start.(d))
+        ~dur:(us t_end.(d) - us t_start.(d))
+        ~tid:d ~cat:"native" "work"
+        ~args:[ ("ops", Era_metrics.Json.Int ops_per_domain) ]
+    done);
   {
     label;
     scheme;
@@ -143,7 +183,7 @@ let scheme_module = function
   | `Ibr -> (module N_ibr)
   | `None -> (module N_none)
 
-let e8_row kind ~scheme mix ~domains ~ops_per_domain =
+let e8_row ?tracer kind ~scheme mix ~domains ~ops_per_domain =
   (match kind, scheme with
   | Harris, `Hp ->
     invalid_arg
@@ -157,12 +197,12 @@ let e8_row kind ~scheme mix ~domains ~ops_per_domain =
   in
   let (module S) = scheme_module scheme in
   let make_worker, stats = build_list (module S) kind mix ~domains ~prefill in
-  run_workers
+  run_workers ?tracer
     ~label:
       (Fmt.str "%s+%s/%s" (kind_name kind) (scheme_name scheme)
          (mix_name mix))
     ~scheme:(scheme_name scheme) ~structure:(structure_name kind) ~domains
-    ~ops_per_domain ~make_worker ~stats
+    ~ops_per_domain ~make_worker ~stats ()
 
 (* E9: domain 0 opens an operation (announcing its epoch / publishing its
    reservation) and parks until the churn domains are done. *)
@@ -206,11 +246,12 @@ let e9_row ~scheme ~churn_ops =
       ~scheme:(scheme_name scheme) ~structure:"michael-list" ~domains
       ~ops_per_domain:churn_ops ~make_worker
       ~stats:(fun () -> S.stats g)
+      ()
   in
   { res with total_ops = 2 * churn_ops }
 
 (* Stack and queue throughput rows: 50/50 producer/consumer mixes. *)
-let stack_row ~scheme ~domains ~ops_per_domain =
+let stack_row ?tracer ~scheme ~domains ~ops_per_domain () =
   let (module S) = scheme_module scheme in
   let module T = N_treiber.Make (S) in
   let g = S.create ~ndomains:domains in
@@ -222,13 +263,14 @@ let stack_row ~scheme ~domains ~ops_per_domain =
       if Rng.bool rng then T.push st s (Rng.int rng 1000)
       else ignore (T.pop st s)
   in
-  run_workers
+  run_workers ?tracer
     ~label:(Fmt.str "treiber+%s" (scheme_name scheme))
     ~scheme:(scheme_name scheme) ~structure:"treiber-stack" ~domains
     ~ops_per_domain ~make_worker
     ~stats:(fun () -> S.stats g)
+    ()
 
-let queue_row ~scheme ~domains ~ops_per_domain =
+let queue_row ?tracer ~scheme ~domains ~ops_per_domain () =
   let (module S) = scheme_module scheme in
   let module Q = N_msqueue.Make (S) in
   let g = S.create ~ndomains:domains in
@@ -240,11 +282,12 @@ let queue_row ~scheme ~domains ~ops_per_domain =
       if Rng.bool rng then Q.enqueue q s (Rng.int rng 1000)
       else ignore (Q.dequeue q s)
   in
-  run_workers
+  run_workers ?tracer
     ~label:(Fmt.str "msqueue+%s" (scheme_name scheme))
     ~scheme:(scheme_name scheme) ~structure:"ms-queue" ~domains
     ~ops_per_domain ~make_worker
     ~stats:(fun () -> S.stats g)
+    ()
 
 let to_row ~experiment ~category r =
   (* The domain count is part of the row identity: the E8 grid runs the

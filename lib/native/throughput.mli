@@ -28,16 +28,25 @@ type result = {
 }
 
 val run_workers :
+  ?tracer:Era_obs.Tracer.t ->
   label:string -> scheme:string -> structure:string -> domains:int ->
   ops_per_domain:int ->
   make_worker:(int -> unit -> unit) ->
-  stats:(unit -> Nsmr.stats) -> result
+  stats:(unit -> Nsmr.stats) -> unit -> result
 (** Spawn [domains] domains; each calls its worker [ops_per_domain]
     times; [stats ()] snapshots the scheme counters at the end. The
     domains are released through a two-phase barrier (build worker →
     signal ready → spin) and the clock starts only after the release
     store, so no domain's work predates [t0] and none is still spawning
-    when the timed region begins. *)
+    when the timed region begins.
+
+    [tracer] adds a wall-clock timeline (timestamps in microseconds
+    since the barrier release): one ["work"] span per domain plus a
+    periodically sampled ["nsmr"] counter series (retired / reclaimed /
+    backlog). The tracer is single-domain, so only the coordinator
+    writes to it; spawned domains just record their span boundaries.
+    With [tracer] absent the run is byte-identical to before: one
+    option match outside the hot loop and two clock reads per domain. *)
 
 type list_kind =
   | Harris
@@ -48,6 +57,7 @@ type mix =
   | Read_heavy  (** 90% contains over a prefilled larger range *)
 
 val e8_row :
+  ?tracer:Era_obs.Tracer.t ->
   list_kind -> scheme:[ `Ebr | `Hp | `Ibr | `None ] -> mix ->
   domains:int -> ops_per_domain:int -> result
 (** One throughput row. Pairings of HP with [Harris] are refused
@@ -60,13 +70,15 @@ val e9_row :
     two churn domains push [churn_ops] each through a Michael list. *)
 
 val stack_row :
+  ?tracer:Era_obs.Tracer.t ->
   scheme:[ `Ebr | `Hp | `Ibr | `None ] -> domains:int ->
-  ops_per_domain:int -> result
+  ops_per_domain:int -> unit -> result
 (** Treiber stack, 50/50 push/pop. *)
 
 val queue_row :
+  ?tracer:Era_obs.Tracer.t ->
   scheme:[ `Ebr | `Hp | `Ibr | `None ] -> domains:int ->
-  ops_per_domain:int -> result
+  ops_per_domain:int -> unit -> result
 (** Michael–Scott queue, 50/50 enqueue/dequeue. *)
 
 val scheme_name : [ `Ebr | `Hp | `Ibr | `None ] -> string

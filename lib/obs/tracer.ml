@@ -1,0 +1,144 @@
+module Json = Era_metrics.Json
+
+type arg = string * Json.t
+
+(* One buffered trace event. The ring stores these fully constructed —
+   producers only push when a tracer is attached, so construction cost
+   is only paid on traced runs. *)
+type ev =
+  | Instant of {
+      name : string;
+      ts : int;
+      tid : int;
+      cat : string;
+      global : bool;
+      args : arg list;
+    }
+  | Complete of {
+      name : string;
+      ts : int;
+      dur : int;
+      tid : int;
+      cat : string;
+      args : arg list;
+    }
+  | Begin of { name : string; ts : int; tid : int; cat : string; args : arg list }
+  | End of { ts : int; tid : int }
+  | Counter of { name : string; ts : int; values : (string * int) list }
+
+let dummy = End { ts = 0; tid = 0 }
+
+type t = {
+  cap : int;  (* power of two *)
+  buf : ev array;
+  mutable total : int;  (* events ever pushed; index = total land (cap-1) *)
+  mutable process_name : string option;
+  mutable thread_names : (int * string) list;  (* newest first *)
+}
+
+let rec pow2 n k = if k >= n then k else pow2 n (k * 2)
+
+let create ?(capacity = 65536) () =
+  if capacity <= 0 then invalid_arg "Tracer.create: capacity must be positive";
+  let cap = pow2 capacity 1 in
+  { buf = Array.make cap dummy; cap; total = 0;
+    process_name = None; thread_names = [] }
+
+let set_process_name t name = t.process_name <- Some name
+
+let set_thread_name t ~tid name =
+  t.thread_names <- (tid, name) :: List.remove_assoc tid t.thread_names
+
+let push t ev =
+  t.buf.(t.total land (t.cap - 1)) <- ev;
+  t.total <- t.total + 1
+
+let instant t ?(scope = `Thread) ?(args = []) ~ts ~tid ~cat name =
+  push t (Instant { name; ts; tid; cat; global = scope = `Global; args })
+
+let complete t ?(args = []) ~ts ~dur ~tid ~cat name =
+  push t (Complete { name; ts; dur; tid; cat; args })
+
+let begin_span t ?(args = []) ~ts ~tid ~cat name =
+  push t (Begin { name; ts; tid; cat; args })
+
+let end_span t ~ts ~tid = push t (End { ts; tid })
+
+let counter t ~ts name values = push t (Counter { name; ts; values })
+
+let length t = min t.total t.cap
+let dropped t = max 0 (t.total - t.cap)
+
+(* Chrome trace-event JSON. All events live in one process (pid 0); tid
+   selects the track. Field order follows the trace-event spec examples
+   so the output diffs cleanly against goldens. *)
+
+let base ~name ~ph ~ts ~tid ~cat =
+  [ ("name", Json.String name); ("ph", Json.String ph);
+    ("ts", Json.Int ts); ("pid", Json.Int 0); ("tid", Json.Int tid);
+    ("cat", Json.String cat) ]
+
+let with_args args fields =
+  match args with [] -> fields | _ -> fields @ [ ("args", Json.Obj args) ]
+
+let ev_to_json = function
+  | Instant { name; ts; tid; cat; global; args } ->
+    Json.Obj
+      (with_args args
+         (base ~name ~ph:"i" ~ts ~tid ~cat
+         @ [ ("s", Json.String (if global then "g" else "t")) ]))
+  | Complete { name; ts; dur; tid; cat; args } ->
+    Json.Obj
+      (with_args args
+         (base ~name ~ph:"X" ~ts ~tid ~cat @ [ ("dur", Json.Int dur) ]))
+  | Begin { name; ts; tid; cat; args } ->
+    Json.Obj (with_args args (base ~name ~ph:"B" ~ts ~tid ~cat))
+  | End { ts; tid } ->
+    Json.Obj
+      [ ("ph", Json.String "E"); ("ts", Json.Int ts); ("pid", Json.Int 0);
+        ("tid", Json.Int tid) ]
+  | Counter { name; ts; values } ->
+    Json.Obj
+      [ ("name", Json.String name); ("ph", Json.String "C");
+        ("ts", Json.Int ts); ("pid", Json.Int 0); ("tid", Json.Int 0);
+        ("args", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) values)) ]
+
+let meta_event ~name ~tid ~arg_name ~value =
+  Json.Obj
+    [ ("name", Json.String name); ("ph", Json.String "M");
+      ("pid", Json.Int 0); ("tid", Json.Int tid);
+      ("args", Json.Obj [ (arg_name, Json.String value) ]) ]
+
+let iter_chronological t f =
+  let n = length t in
+  let start = if t.total > t.cap then t.total land (t.cap - 1) else 0 in
+  for i = 0 to n - 1 do
+    f t.buf.((start + i) land (t.cap - 1))
+  done
+
+let to_json t =
+  let metas =
+    (match t.process_name with
+    | None -> []
+    | Some p -> [ meta_event ~name:"process_name" ~tid:0 ~arg_name:"name" ~value:p ])
+    @ List.rev_map
+        (fun (tid, name) ->
+          meta_event ~name:"thread_name" ~tid ~arg_name:"name" ~value:name)
+        t.thread_names
+  in
+  let events = ref [] in
+  iter_chronological t (fun ev -> events := ev_to_json ev :: !events);
+  let doc =
+    [ ("traceEvents", Json.List (metas @ List.rev !events));
+      ("displayTimeUnit", Json.String "ms") ]
+  in
+  let doc =
+    if t.total > t.cap then
+      doc @ [ ("droppedEvents", Json.Int (t.total - t.cap)) ]
+    else doc
+  in
+  Json.Obj doc
+
+let to_string t = Json.to_string (to_json t) ^ "\n"
+
+let write ~file t = Era_metrics.Fsutil.write_file ~file (to_string t)

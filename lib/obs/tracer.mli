@@ -1,0 +1,74 @@
+(** Low-overhead ring-buffer execution tracer.
+
+    Records timeline events — scheduler quanta, SMR lifecycle instants,
+    data-structure operation spans, violations — into a bounded ring
+    (oldest events are overwritten once the ring is full, with a drop
+    count), and exports them as Chrome trace-event JSON, loadable in
+    Perfetto ({: https://ui.perfetto.dev}) or [chrome://tracing].
+
+    The tracer itself is passive: it never hooks anything. Producers
+    ({!Sim_trace} for simulated executions, the native throughput
+    harness, the explorer) push events into it; when no tracer is
+    attached every producer keeps its zero-instrumentation fast path, so
+    "tracing disabled" costs at most one branch per quantum — the
+    disabled path the perf gate's [trace_off_overhead] row asserts is
+    within noise of the seed.
+
+    Timestamps are plain ints in the producer's clock: the monitor's
+    step clock for simulated executions (one step = one "microsecond" in
+    the exported trace), wall-clock microseconds for native runs. *)
+
+type t
+
+type arg = string * Era_metrics.Json.t
+(** Event payload entry, rendered into the trace event's ["args"]. *)
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] (default 65536, rounded up to a power of two) bounds the
+    number of buffered events; further events overwrite the oldest. *)
+
+val set_process_name : t -> string -> unit
+val set_thread_name : t -> tid:int -> string -> unit
+(** Track labels, exported as trace metadata events. *)
+
+val instant :
+  t -> ?scope:[ `Thread | `Global ] -> ?args:arg list -> ts:int ->
+  tid:int -> cat:string -> string -> unit
+(** A point-in-time marker (["ph":"i"]) on the thread's track
+    ([`Thread], the default) or across every track ([`Global]). *)
+
+val complete :
+  t -> ?args:arg list -> ts:int -> dur:int -> tid:int -> cat:string ->
+  string -> unit
+(** A span with a known duration (["ph":"X"]). *)
+
+val begin_span :
+  t -> ?args:arg list -> ts:int -> tid:int -> cat:string -> string -> unit
+
+val end_span : t -> ts:int -> tid:int -> unit
+(** Open / close a nested span (["ph":"B"]/["ph":"E"]); spans nest per
+    track in LIFO order. An unclosed span (a thread stalled inside an
+    operation forever) renders as running to the end of the trace —
+    exactly what it means. *)
+
+val counter : t -> ts:int -> string -> (string * int) list -> unit
+(** A sampled counter series (["ph":"C"]), e.g. active/retired node
+    counts; Perfetto renders each key as a stacked area track. *)
+
+val length : t -> int
+(** Events currently buffered. *)
+
+val dropped : t -> int
+(** Events overwritten after the ring filled; [0] means the trace is
+    complete. *)
+
+val to_json : t -> Era_metrics.Json.t
+(** The full trace document:
+    [{"traceEvents": [...], "displayTimeUnit": "ms"}], with metadata
+    events first and buffered events in chronological order. *)
+
+val to_string : t -> string
+
+val write : file:string -> t -> unit
+(** Serialize to [file], creating parent directories
+    ({!Era_metrics.Fsutil.write_file}). *)

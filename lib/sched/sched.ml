@@ -63,6 +63,10 @@ and t = {
   step_hook : int -> Event.t -> unit;  (* pushes into [step_events] *)
   mutable step_hook_on : bool;  (* hook currently subscribed? *)
   pick_buf : int array;  (* scratch for pick_random; length nthreads *)
+  mutable quantum_hook : (int -> int -> int -> unit) option;
+      (* observability: called after every quantum with
+         (tid, monitor time before, monitor time after); [None] (the
+         default) keeps the hot path to a single branch *)
 }
 
 and ctx = {
@@ -97,6 +101,7 @@ let create ?(max_steps = 20_000_000) ~nthreads strategy heap =
       step_hook;
       step_hook_on = false;
       pick_buf = Array.make (max nthreads 1) 0;
+      quantum_hook = None;
     }
   in
   (* [step_hook] is not subscribed here: only the [Run_until] /
@@ -121,6 +126,7 @@ let external_ctx t ~tid = { tid; heap = t.sim_heap; sched = t }
 let heap t = t.sim_heap
 let monitor t = t.mon
 let nthreads t = Array.length t.threads
+let set_quantum_hook t h = t.quantum_hook <- h
 
 let thread_outcome t tid =
   match t.threads.(tid) with
@@ -202,6 +208,7 @@ let yield ctx =
     && t.current = ctx.tid
     && (not t.stalled.(ctx.tid))
     && t.total < t.max_steps
+    && (match t.quantum_hook with None -> true | Some _ -> false)
     && (match t.strategy with
        | Script _ | Controlled _ -> false
        | Round_robin | Random _ -> true)
@@ -253,6 +260,9 @@ let step_thread t tid =
   (match t.strategy with
   | Script _ -> Era_sim.Vec.clear t.step_events
   | Round_robin | Random _ | Controlled _ -> ());
+  let q0 =
+    match t.quantum_hook with None -> 0 | Some _ -> Monitor.time t.mon
+  in
   t.current <- tid;
   let status =
     match t.threads.(tid) with
@@ -264,14 +274,17 @@ let step_thread t tid =
   t.current <- -1;
   t.steps.(tid) <- t.steps.(tid) + 1;
   t.total <- t.total + 1;
-  match status with
+  (match status with
   | Suspended k -> t.threads.(tid) <- Paused k
   | Done ->
     t.threads.(tid) <- Finished_s;
     if not t.stalled.(tid) then t.runnable_count <- t.runnable_count - 1
   | Failed e ->
     t.threads.(tid) <- Crashed_s e;
-    if not t.stalled.(tid) then t.runnable_count <- t.runnable_count - 1
+    if not t.stalled.(tid) then t.runnable_count <- t.runnable_count - 1);
+  match t.quantum_hook with
+  | None -> ()
+  | Some f -> f tid q0 (Monitor.time t.mon)
 
 (* ------------------------------------------------------------------ *)
 (* Strategies                                                          *)

@@ -82,6 +82,18 @@ val heap : t -> Era_sim.Heap.t
 val monitor : t -> Era_sim.Monitor.t
 val nthreads : t -> int
 
+val set_quantum_hook : t -> (int -> int -> int -> unit) option -> unit
+(** Observability tap for the tracer ([lib/obs]): when set, the hook is
+    called after every quantum with [(tid, time_before, time_after)]
+    where the times are the monitor's step clock around the quantum, so
+    a trace can render each quantum as a span on the thread's track.
+    While a hook is installed the solo inline-yield shortcut is disabled
+    so that {e every} quantum is reported, even in single-runnable-thread
+    phases; seeded [Random] schedules still make the identical RNG draws
+    ({!yield} draws in both paths). [None] (the default) costs one
+    branch per quantum — the disabled path the perf gate's
+    [trace_off_overhead] row asserts is free. *)
+
 val run : t -> outcome
 (** Drive the schedule to completion. May raise
     [Era_sim.Monitor.Violation] if the monitor is in [`Raise] mode. *)

@@ -101,7 +101,18 @@ let emit t ev =
   if tag = Event.tag_violation then Vec.push t.viols ev;
   (match t.kind_hooks.(tag) with
   | [] -> ()
-  | hooks -> List.iter (fun f -> f t.time ev) hooks);
+  | hooks ->
+    (* Dispatch over a stable snapshot. Reading the slot once (lists are
+       immutable) means a hook that subscribes or unsubscribes during
+       dispatch — auditors detaching on their last event — never
+       perturbs the current event's delivery; the mutation takes effect
+       from the next event. The timestamp is captured once too: a hook
+       that emits a {e nested} event (the explorer's robustness watcher
+       emits a [Violation] from inside a [Retire] hook) advances
+       [t.time], and re-reading it would hand later hooks of the same
+       outer event a shifted timestamp. *)
+    let now = t.time in
+    List.iter (fun f -> f now ev) hooks);
   match ev, t.mode with
   | Violation _, `Raise -> raise (Violation ev)
   | _ -> ()

@@ -34,7 +34,15 @@ val create : ?mode:mode -> ?trace:bool -> unit -> t
 val emit : t -> Event.t -> unit
 (** Feed one event. Updates counters; dispatches to hooks subscribed to
     the event's kind; in [`Raise] mode raises {!Violation} on violation
-    events. *)
+    events.
+
+    Dispatch contract: hooks run over a stable snapshot of the
+    subscription list and all receive the same timestamp. A hook may
+    safely {!subscribe} or {!unsubscribe} (itself or any other hook)
+    during dispatch — the change takes effect from the {e next} event —
+    and may emit nested events (the nested event dispatches immediately,
+    with its own later timestamp, without disturbing the outer
+    dispatch). *)
 
 val subscribe : t -> (int -> Event.t -> unit) -> unit
 (** [subscribe t f] calls [f time event] on every subsequent event. Used by

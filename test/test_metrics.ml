@@ -328,7 +328,7 @@ let test_throughput_row_invariants_2domain () =
   List.iter
     (fun scheme ->
       let r =
-        Throughput.stack_row ~scheme ~domains:2 ~ops_per_domain:20_000
+        Throughput.stack_row ~scheme ~domains:2 ~ops_per_domain:20_000 ()
       in
       let name = "stack/" ^ r.Throughput.scheme in
       Alcotest.(check bool) (name ^ ": retired > 0") true

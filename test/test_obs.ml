@@ -1,0 +1,425 @@
+(* Observability layer (lib/obs): tracer ring semantics, Chrome
+   trace-event JSON shape (golden-checked against a committed Perfetto
+   trace of the Figure 2 HP run), metrics-registry round-trips, the
+   hook-vs-trace event-count invariant, and explore heartbeat totals. *)
+
+module Tracer = Era_obs.Tracer
+module Registry = Era_obs.Registry
+module Sim_trace = Era_obs.Sim_trace
+module Json = Era_metrics.Json
+module Monitor = Era_sim.Monitor
+module Event = Era_sim.Event
+module Sched = Era_sched.Sched
+module Ex = Era_explore.Explore
+module App = Era.Applicability
+
+let scheme name =
+  match Era_smr.Registry.find name with
+  | Some s -> s
+  | None -> Alcotest.failf "unknown scheme %s" name
+
+let parse_json s =
+  match Json.of_string s with
+  | Ok j -> j
+  | Error e -> Alcotest.failf "invalid JSON: %s" e
+
+let trace_events j =
+  match Option.bind (Json.member "traceEvents" j) Json.to_list with
+  | Some evs -> evs
+  | None -> Alcotest.fail "missing traceEvents array"
+
+let ph e = Option.bind (Json.member "ph" e) Json.to_str
+let str_field k e = Option.bind (Json.member k e) Json.to_str
+let int_field k e = Option.bind (Json.member k e) Json.to_int
+
+(* ------------------------------------------------------------------ *)
+(* Tracer ring buffer                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_ring_overflow () =
+  let tr = Tracer.create ~capacity:4 () in
+  for i = 1 to 6 do
+    Tracer.instant tr ~ts:i ~tid:0 ~cat:"t" (Fmt.str "e%d" i)
+  done;
+  Alcotest.(check int) "length capped at capacity" 4 (Tracer.length tr);
+  Alcotest.(check int) "two oldest dropped" 2 (Tracer.dropped tr);
+  let j = Tracer.to_json tr in
+  let names =
+    List.filter_map
+      (fun e -> if ph e = Some "i" then str_field "name" e else None)
+      (trace_events j)
+  in
+  Alcotest.(check (list string))
+    "survivors are the newest, in order"
+    [ "e3"; "e4"; "e5"; "e6" ] names;
+  match Option.bind (Json.member "droppedEvents" j) Json.to_int with
+  | Some 2 -> ()
+  | other ->
+    Alcotest.failf "droppedEvents = %s"
+      (match other with Some n -> string_of_int n | None -> "absent")
+
+let test_ring_no_drop () =
+  let tr = Tracer.create ~capacity:8 () in
+  Tracer.begin_span tr ~ts:1 ~tid:3 ~cat:"op" "insert";
+  Tracer.end_span tr ~ts:5 ~tid:3;
+  Tracer.counter tr ~ts:2 "nodes" [ ("active", 7); ("retired", 1) ];
+  Alcotest.(check int) "length" 3 (Tracer.length tr);
+  Alcotest.(check int) "nothing dropped" 0 (Tracer.dropped tr);
+  let j = Tracer.to_json tr in
+  Alcotest.(check bool)
+    "complete traces omit droppedEvents" true
+    (Json.member "droppedEvents" j = None);
+  (* Export preserves insertion order (chronological for producers). *)
+  let phs = List.filter_map ph (trace_events j) in
+  Alcotest.(check (list string)) "phases in order" [ "B"; "E"; "C" ] phs
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_registry_round_trip () =
+  let r = Registry.create () in
+  let c = Registry.counter r "ops" ~labels:[ ("scheme", "hp") ] in
+  Registry.add c 41;
+  Registry.incr c;
+  Registry.set (Registry.gauge r "occupancy") 0.75;
+  let h = Registry.histogram r "backlog" in
+  List.iter (Registry.observe h) [ 0; 1; 2; 3; 900 ];
+  let snap = Registry.snapshot r in
+  let json = parse_json (Registry.to_string r) in
+  (match Registry.metrics_of_json json with
+  | Error e -> Alcotest.failf "decode failed: %s" e
+  | Ok decoded ->
+    Alcotest.(check bool) "snapshot round-trips" true (decoded = snap));
+  match Registry.find r "ops" ~labels:[ ("scheme", "hp") ] with
+  | Some { Registry.value = Registry.Counter 42; _ } -> ()
+  | _ -> Alcotest.fail "labelled counter lookup"
+
+let test_registry_dedup_and_kinds () =
+  let r = Registry.create () in
+  let a = Registry.counter r "n" in
+  let b = Registry.counter r "n" in
+  Registry.incr a;
+  Registry.incr b;
+  Alcotest.(check int) "same instrument" 2 (Registry.value a);
+  (* Same name under different labels is a distinct instrument... *)
+  let c = Registry.counter r "n" ~labels:[ ("d", "1") ] in
+  Alcotest.(check int) "distinct under labels" 0 (Registry.value c);
+  (* ...but re-registering under a different kind is a bug. *)
+  match Registry.gauge r "n" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "kind mismatch accepted"
+
+let test_histogram_buckets () =
+  let r = Registry.create () in
+  let h = Registry.histogram r "h" in
+  (* bucket b covers 2^(b-1) <= v < 2^b; v <= 0 lands in bucket 0 *)
+  List.iter (Registry.observe h) [ -5; 0; 1; 2; 3; 4; 7; 8 ];
+  match Registry.find r "h" with
+  | Some { Registry.value = Registry.Histogram { count; sum; buckets }; _ } ->
+    Alcotest.(check int) "count" 8 count;
+    Alcotest.(check int) "sum" 20 sum;
+    Alcotest.(check (list (pair int int)))
+      "log2 buckets"
+      [ (0, 2); (1, 1); (2, 2); (3, 2); (4, 1) ]
+      buckets
+  | _ -> Alcotest.fail "histogram lookup"
+
+(* ------------------------------------------------------------------ *)
+(* Figure 2 HP: golden Perfetto trace                                  *)
+(* ------------------------------------------------------------------ *)
+
+let figure2_hp_trace () =
+  let tr = Tracer.create () in
+  let r = Era.Figure2.run ~tracer:tr (scheme "hp") in
+  (match r.Era.Figure2.outcome with
+  | Era.Figure2.Unsafe _ -> ()
+  | _ -> Alcotest.fail "figure2 hp should be unsafe");
+  tr
+
+let test_figure2_hp_golden () =
+  let got = Tracer.to_string (figure2_hp_trace ()) in
+  let ic = open_in_bin "golden/figure2_hp_trace.json" in
+  let want = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  if got <> want then
+    Alcotest.failf
+      "trace differs from golden (got %d bytes, want %d) — if the change \
+       is intentional, regenerate with:\n\
+      \  dune exec bin/era_cli.exe -- trace figure2 --scheme hp \
+       --out test/golden/figure2_hp_trace.json"
+      (String.length got) (String.length want)
+
+let test_figure2_hp_schema () =
+  let tr = figure2_hp_trace () in
+  Alcotest.(check int) "nothing dropped" 0 (Tracer.dropped tr);
+  let j = Tracer.to_json tr in
+  let evs = trace_events j in
+  (* Metadata names the process and every track, and comes first. *)
+  (match evs with
+  | m :: _ when ph m = Some "M" -> ()
+  | _ -> Alcotest.fail "metadata events must lead");
+  let thread_names =
+    List.filter_map
+      (fun e ->
+        if ph e = Some "M" && str_field "name" e = Some "thread_name" then
+          Option.bind (Json.member "args" e) (str_field "name")
+        else None)
+      evs
+  in
+  Alcotest.(check bool)
+    "stalling inserter track is named" true
+    (List.mem "T1 insert(58) [stalls]" thread_names);
+  (* The paper's violation: a stale value used by the stalled inserter —
+     an instant on the faulting thread's track (tid 0). *)
+  let violations =
+    List.filter
+      (fun e ->
+        ph e = Some "i" && str_field "cat" e = Some "violation"
+        && str_field "name" e = Some "stale-value-used")
+      evs
+  in
+  Alcotest.(check bool) "violation instant present" true (violations <> []);
+  List.iter
+    (fun v ->
+      Alcotest.(check (option int)) "on the faulting track" (Some 0)
+        (int_field "tid" v))
+    violations;
+  (* Timestamps are the monitor step clock: monotone per track for the
+     event-stream phases. (Quantum "X" spans are excluded — they are
+     recorded when the quantum {e closes} but stamped with its start.) *)
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun e ->
+      match (ph e, int_field "tid" e, int_field "ts" e) with
+      | Some ("i" | "B" | "E"), Some tid, Some ts ->
+        let prev = Option.value (Hashtbl.find_opt tbl tid) ~default:(-1) in
+        Alcotest.(check bool) "per-track ts monotone" true (ts >= prev);
+        Hashtbl.replace tbl tid ts
+      | _ -> ())
+    evs
+
+let test_figure2_hp_deterministic () =
+  let a = Tracer.to_string (figure2_hp_trace ()) in
+  let b = Tracer.to_string (figure2_hp_trace ()) in
+  Alcotest.(check bool) "two runs, identical bytes" true (a = b)
+
+(* ------------------------------------------------------------------ *)
+(* Hook/trace equivalence                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Every monitor event renders as exactly one instant/begin/end trace
+   event (counter samples ride alongside), so the tracer's i/B/E count
+   must equal the number of hook dispatches — and the monitor's step
+   clock, since both subscriptions span the whole execution. *)
+let test_hook_vs_trace_counts () =
+  let mon = Monitor.create ~mode:`Record ~trace:false () in
+  let heap = Era_sim.Heap.create mon in
+  let sched = Sched.create ~nthreads:2 (Sched.Random (Era_sim.Rng.create 7)) heap in
+  let tr = Tracer.create ~capacity:(1 lsl 18) () in
+  let hook_calls = ref 0 in
+  Monitor.subscribe mon (fun _ _ -> incr hook_calls);
+  let detach = Sim_trace.attach tr mon in
+  Sim_trace.attach_sched tr sched;
+  let module L = Era_sets.Harris_list.Make (Era_smr.Ebr) in
+  let g = Era_smr.Ebr.create heap ~nthreads:2 in
+  let dl = L.create (Sched.external_ctx sched ~tid:0) g in
+  for tid = 0 to 1 do
+    Sched.spawn sched ~tid (fun ctx ->
+        let ops = L.ops (L.handle dl ctx) ~record:true in
+        Era_workload.Workload.run_set_ops ops
+          (Era_sim.Rng.create (tid + 11))
+          ~ops:40
+          ~keys:(Era_workload.Workload.Uniform 8)
+          ~mix:Era_workload.Workload.balanced)
+  done;
+  ignore (Sched.run sched);
+  detach ();
+  Alcotest.(check int) "nothing dropped" 0 (Tracer.dropped tr);
+  let evs = trace_events (Tracer.to_json tr) in
+  let dispatched =
+    List.length
+      (List.filter
+         (fun e -> match ph e with
+           | Some ("i" | "B" | "E") -> true
+           | _ -> false)
+         evs)
+  in
+  Alcotest.(check int) "hook count = traced event count" !hook_calls
+    dispatched;
+  Alcotest.(check int) "= monitor step clock" (Monitor.time mon) dispatched;
+  (* Quantum spans came from the scheduler hook, not the monitor. *)
+  let quanta =
+    List.length (List.filter (fun e -> ph e = Some "X") evs)
+  in
+  Alcotest.(check bool) "quantum spans present" true (quanta > 0)
+
+(* Attaching a tracer must not perturb the schedule: the step clock
+   advances identically whether events take the fast path or the
+   subscribed path. *)
+let test_trace_does_not_perturb () =
+  let run tracer =
+    let r = Era.Figure2.run ?tracer (scheme "hp") in
+    match r.Era.Figure2.outcome with
+    | Era.Figure2.Unsafe v -> Fmt.str "%a" Event.pp v
+    | Era.Figure2.Safe_completion _ -> "safe"
+  in
+  let traced = run (Some (Tracer.create ())) in
+  let untraced = run None in
+  Alcotest.(check string) "same violation either way" untraced traced
+
+(* ------------------------------------------------------------------ *)
+(* Native tracing                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* The native harness records one wall-clock work span per domain (after
+   the join — the tracer is single-domain) and coordinator-sampled
+   "nsmr" counter series. *)
+let test_native_trace () =
+  let tr = Tracer.create () in
+  let r =
+    Era_native.Throughput.stack_row ~tracer:tr ~scheme:`Ebr ~domains:2
+      ~ops_per_domain:5_000 ()
+  in
+  Alcotest.(check bool) "ops ran" true (r.Era_native.Throughput.total_ops > 0);
+  let evs = trace_events (Tracer.to_json tr) in
+  let work_spans =
+    List.filter
+      (fun e ->
+        ph e = Some "X" && str_field "cat" e = Some "native"
+        && str_field "name" e = Some "work")
+      evs
+  in
+  Alcotest.(check int) "one work span per domain" 2 (List.length work_spans);
+  List.iter
+    (fun e ->
+      match int_field "dur" e with
+      | Some d -> Alcotest.(check bool) "span has duration" true (d >= 0)
+      | None -> Alcotest.fail "work span missing dur")
+    work_spans;
+  let counters =
+    List.filter
+      (fun e -> ph e = Some "C" && str_field "name" e = Some "nsmr")
+      evs
+  in
+  Alcotest.(check bool) "coordinator sampled counters" true (counters <> [])
+
+(* ------------------------------------------------------------------ *)
+(* Explore heartbeat telemetry                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_explore_heartbeat_totals () =
+  let progresses = ref [] in
+  let config =
+    {
+      Ex.default_config with
+      Ex.max_runs = 300;
+      domains = 2;
+      progress_every = 50;
+      on_progress = Some (fun p -> progresses := p :: !progresses);
+    }
+  in
+  let r = App.explore ~config (scheme "ebr") App.Harris in
+  let s = r.Ex.res_stats in
+  Alcotest.(check bool) "heartbeats fired" true (!progresses <> []);
+  List.iter
+    (fun (p : Ex.progress) ->
+      Alcotest.(check int) "per-domain runs sum to runs" p.Ex.pg_runs
+        (Array.fold_left ( + ) 0 p.Ex.pg_per_domain_runs);
+      Alcotest.(check bool) "budget left consistent" true
+        (p.Ex.pg_budget_left = 300 - p.Ex.pg_runs))
+    !progresses;
+  Alcotest.(check int) "stats per-domain runs sum to runs" s.Ex.runs
+    (List.fold_left ( + ) 0 s.Ex.per_domain_runs);
+  Alcotest.(check int) "one slot per domain" 2
+    (List.length s.Ex.per_domain_runs);
+  (* The heartbeat sidecar is this registry, serialized: totals must
+     match the search stats after a JSON round-trip. *)
+  let reg = Ex.stats_registry s in
+  let json = parse_json (Registry.to_string reg) in
+  let decoded =
+    match Registry.metrics_of_json json with
+    | Ok m -> m
+    | Error e -> Alcotest.failf "sidecar decode: %s" e
+  in
+  let metric name =
+    match
+      List.find_opt
+        (fun (m : Registry.metric) -> m.Registry.name = name && m.labels = [])
+        decoded
+    with
+    | Some { Registry.value = Registry.Counter n; _ } -> n
+    | _ -> Alcotest.failf "missing sidecar metric %s" name
+  in
+  Alcotest.(check int) "sidecar runs" s.Ex.runs (metric "explore_runs");
+  Alcotest.(check int) "sidecar states" s.Ex.states (metric "explore_states");
+  let domain_runs =
+    List.filter_map
+      (fun (m : Registry.metric) ->
+        match (m.Registry.name, m.Registry.value) with
+        | "explore_domain_runs", Registry.Counter n -> Some n
+        | _ -> None)
+      decoded
+  in
+  Alcotest.(check int) "sidecar domain runs sum to runs" s.Ex.runs
+    (List.fold_left ( + ) 0 domain_runs)
+
+(* Sequential explore reports too (frontier from the DFS stack). *)
+let test_explore_heartbeat_sequential () =
+  let progresses = ref [] in
+  let config =
+    {
+      Ex.default_config with
+      Ex.max_runs = 120;
+      domains = 1;
+      progress_every = 40;
+      on_progress = Some (fun p -> progresses := p :: !progresses);
+    }
+  in
+  let r = App.explore ~config (scheme "ebr") App.Harris in
+  let s = r.Ex.res_stats in
+  Alcotest.(check bool) "heartbeats fired" true (!progresses <> []);
+  Alcotest.(check (list int)) "single-domain run total" [ s.Ex.runs ]
+    s.Ex.per_domain_runs
+
+let () =
+  Alcotest.run "era_obs"
+    [
+      ( "tracer",
+        [
+          Alcotest.test_case "ring overflow" `Quick test_ring_overflow;
+          Alcotest.test_case "spans and counters" `Quick test_ring_no_drop;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "JSON round-trip" `Quick test_registry_round_trip;
+          Alcotest.test_case "dedup and kind safety" `Quick
+            test_registry_dedup_and_kinds;
+          Alcotest.test_case "log2 buckets" `Quick test_histogram_buckets;
+        ] );
+      ( "figure2-trace",
+        [
+          Alcotest.test_case "golden Perfetto JSON" `Quick
+            test_figure2_hp_golden;
+          Alcotest.test_case "schema and violation instant" `Quick
+            test_figure2_hp_schema;
+          Alcotest.test_case "deterministic" `Quick
+            test_figure2_hp_deterministic;
+        ] );
+      ( "equivalence",
+        [
+          Alcotest.test_case "hook vs trace counts" `Quick
+            test_hook_vs_trace_counts;
+          Alcotest.test_case "tracing does not perturb" `Quick
+            test_trace_does_not_perturb;
+        ] );
+      ( "native",
+        [ Alcotest.test_case "work spans and counters" `Quick test_native_trace ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "parallel heartbeat totals" `Quick
+            test_explore_heartbeat_totals;
+          Alcotest.test_case "sequential heartbeat" `Quick
+            test_explore_heartbeat_sequential;
+        ] );
+    ]

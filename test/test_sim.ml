@@ -403,6 +403,32 @@ let test_monitor_subscribe () =
   Alcotest.(check int) "hook called" 2 !seen;
   Alcotest.(check int) "time advanced" 2 (Monitor.time m)
 
+(* Regression: a hook that unsubscribes (itself or a later hook) while a
+   dispatch is in flight must not disturb that dispatch — hooks run over
+   a stable snapshot, and the removal takes effect from the next
+   event. Previously this mutated the hook table mid-iteration. *)
+let test_monitor_unsubscribe_during_emit () =
+  let m = mon () in
+  let a_seen = ref 0 and b_seen = ref 0 in
+  let rec a _ _ =
+    incr a_seen;
+    (* During dispatch, remove both the later hook and ourselves. *)
+    Monitor.unsubscribe m b;
+    Monitor.unsubscribe m a
+  and b _ _ = incr b_seen in
+  Monitor.subscribe m a;
+  Monitor.subscribe m b;
+  Monitor.emit m (Event.Note "during");
+  Alcotest.(check int) "a ran" 1 !a_seen;
+  Alcotest.(check int) "b still ran (stable snapshot)" 1 !b_seen;
+  Monitor.emit m (Event.Note "after");
+  Alcotest.(check int) "a detached from next event" 1 !a_seen;
+  Alcotest.(check int) "b detached from next event" 1 !b_seen;
+  (* Resubscribing after a mid-dispatch unsubscribe works normally. *)
+  Monitor.subscribe m b;
+  Monitor.emit m (Event.Note "again");
+  Alcotest.(check int) "b resubscribed" 2 !b_seen
+
 let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
 
 let () =
@@ -451,5 +477,7 @@ let () =
           Alcotest.test_case "raise mode" `Quick test_monitor_raise_mode;
           Alcotest.test_case "samples" `Quick test_monitor_samples;
           Alcotest.test_case "subscribe" `Quick test_monitor_subscribe;
+          Alcotest.test_case "unsubscribe during emit" `Quick
+            test_monitor_unsubscribe_during_emit;
         ] );
     ]
