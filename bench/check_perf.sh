@@ -23,4 +23,5 @@ dune exec --no-build bin/bench_compare.exe -- bench/BENCH_quick.json "$out" \
   --backlog-factor 3 --backlog-slack 512 \
   --max-suite-regression 100 --suite-slack 0.25 \
   --require B6/trace_off_overhead \
+  --require E15/explore_states_per_sec \
   "$@"

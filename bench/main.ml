@@ -545,6 +545,132 @@ let e13 () =
     cells
 
 (* ------------------------------------------------------------------ *)
+(* E15: explorer inner-loop rewrite — throughput, DPOR, stealing       *)
+(* ------------------------------------------------------------------ *)
+
+let e15 () =
+  section "E15 | Explorer rewrite: states/sec, DPOR reduction, work stealing";
+  let module Ex = Era_explore.Explore in
+  let target () =
+    Era.Applicability.explore_target ~seed:2 (Era_smr.Registry.find_exn "hp")
+      Era.Applicability.Harris
+  in
+  (* (a) The headline single-domain throughput on the E13 hp/figure2
+     cell, same methodology (shrink off, repeats amortize setup) — the
+     row bench_compare gates against the committed baseline. The
+     rewrite's wins are structural: children share the parent's choices
+     array instead of materializing per-child prefixes (previously ~3/4
+     of search time), and decision records are packed ints. *)
+  let repeats = if quick then 6 else 12 in
+  let config = { Ex.default_config with Ex.max_runs = 2_000; shrink = false } in
+  let states = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to repeats do
+    let r = Ex.explore ~config (target ()) in
+    states := !states + r.Ex.res_stats.Ex.states
+  done;
+  let elapsed_s = Unix.gettimeofday () -. t0 in
+  let sps = float_of_int !states /. Float.max elapsed_s 1e-9 in
+  Fmt.pr "  classic d1    %9d states  %9.0f states/s@." !states sps;
+  emit
+    (M.row ~experiment:"E15" ~label:"explore_states_per_sec" ~scheme:"hp"
+       ~structure:"harris-list" ~domains:1 ~elapsed_s
+       ~extra:[ ("states_per_sec", sps); ("repeats", float_of_int repeats) ]
+       ());
+  (* (b) DPOR reduction on a violation-free cell (the search must
+     exhaust the space, not race to a counterexample): runs needed to
+     cover the bounded schedule space with and without sleep sets. The
+     bound must be >= 2 for sleep sets to cut {e runs} at all: with two
+     threads at bound 1 a deviation's sub-deviations are already
+     preemption-bounded away, so sleeping only shortens runs (fewer
+     states), never skips them. *)
+  let ebr_target () =
+    Era.Applicability.explore_target ~seed:2 ~ops_per_thread:5
+      (Era_smr.Registry.find_exn "ebr")
+      Era.Applicability.Harris
+  in
+  let cover dpor =
+    let config =
+      {
+        Ex.default_config with
+        Ex.max_preemptions = 2;
+        max_runs = 100_000;
+        shrink = false;
+        dpor;
+      }
+    in
+    let t0 = Unix.gettimeofday () in
+    let r = Ex.explore ~config (ebr_target ()) in
+    (r.Ex.res_stats, Unix.gettimeofday () -. t0)
+  in
+  let classic, classic_s = cover false in
+  let dpor, dpor_s = cover true in
+  let reduction =
+    float_of_int classic.Ex.runs /. float_of_int (max dpor.Ex.runs 1)
+  in
+  let exhausted = dpor.Ex.levels_completed >= 3 in
+  Fmt.pr
+    "  ebr coverage (bound 2): classic %d runs %.2fs | dpor %d runs %.2fs \
+     (%d sleep cuts) | reduction %.2fx%s@."
+    classic.Ex.runs classic_s dpor.Ex.runs dpor_s dpor.Ex.sleep_cuts reduction
+    (if exhausted then "" else "  [budget-truncated: not a coverage claim]");
+  emit
+    (M.row ~experiment:"E15" ~label:"dpor-reduction" ~scheme:"ebr"
+       ~structure:"harris-list" ~domains:1 ~elapsed_s:(classic_s +. dpor_s)
+       ~extra:
+         [
+           ("classic_runs", float_of_int classic.Ex.runs);
+           ("dpor_runs", float_of_int dpor.Ex.runs);
+           ("sleep_cuts", float_of_int dpor.Ex.sleep_cuts);
+           ("reduction", reduction);
+           ("exhausted", if exhausted then 1. else 0.);
+         ]
+       ());
+  (* (c) Work stealing vs the level-synchronous queue at 2 and 4
+     domains, on the same coverage cell (fixed budget so every engine
+     does the same amount of work). *)
+  let hw = Domain.recommended_domain_count () in
+  List.iter
+    (fun domains ->
+      let engine steal =
+        let config =
+          {
+            Ex.default_config with
+            Ex.max_runs = 2_000;
+            shrink = false;
+            domains;
+            steal;
+          }
+        in
+        let t0 = Unix.gettimeofday () in
+        let r = Ex.explore ~config (ebr_target ()) in
+        (r.Ex.res_stats.Ex.states, Unix.gettimeofday () -. t0)
+      in
+      let qs, qt = engine false in
+      let ss, st = engine true in
+      let q_sps = float_of_int qs /. Float.max qt 1e-9 in
+      let s_sps = float_of_int ss /. Float.max st 1e-9 in
+      Fmt.pr
+        "  d%d  queue %9.0f states/s | steal %9.0f states/s  (%.2fx, hw %d)@."
+        domains q_sps s_sps
+        (s_sps /. Float.max q_sps 1e-9)
+        hw;
+      emit
+        (M.row ~experiment:"E15"
+           ~label:(Fmt.str "steal-vs-queue/d%d" domains)
+           ~scheme:"ebr" ~structure:"harris-list" ~domains
+           ~elapsed_s:(qt +. st)
+           ~extra:
+             [
+               ("queue_states_per_sec", q_sps);
+               ("steal_states_per_sec", s_sps);
+               ("steal_speedup", s_sps /. Float.max q_sps 1e-9);
+               ("hw_domains", float_of_int hw);
+             ]
+           ()))
+    [ 2; 4 ]
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -765,7 +891,7 @@ let () =
     [
       ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5);
       ("E6", e6); ("E7", e7); ("E8", e8); ("E8b", e8b); ("E9", e9);
-      ("E10", e10); ("E11", e11); ("E12", e12); ("E13", e13);
+      ("E10", e10); ("E11", e11); ("E12", e12); ("E13", e13); ("E15", e15);
       ("B1", b1_sim_read_cost); ("B2", b2_sim_lifecycle_cost);
       ("B3", b3_native_read_cost); ("B4", b4_checker_scaling);
       ("B5", b5_scheduler_overhead); ("B6", b6_trace_overhead);

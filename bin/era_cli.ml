@@ -169,6 +169,8 @@ let explore_cmd () =
       max_runs = Rc.max_runs_or cfg d.Explore.max_runs;
       max_steps = Rc.steps_or cfg d.Explore.max_steps;
       domains = Rc.domains_or cfg d.Explore.domains;
+      dpor = cfg.Rc.dpor;
+      steal = cfg.Rc.steal;
       progress_every = Option.value cfg.Rc.heartbeat ~default:0;
       on_progress =
         (match cfg.Rc.heartbeat with
@@ -192,11 +194,15 @@ let explore_cmd () =
     }
   in
   let seed = Rc.seed_or cfg 2 in
-  Fmt.pr "exploring %s/%s (preemption bound %d, budget %d runs, %d domain%s)...@."
+  Fmt.pr
+    "exploring %s/%s (preemption bound %d, budget %d runs, %d domain%s%s%s)...@."
     S.name structure_n
     config.Explore.max_preemptions config.Explore.max_runs
     config.Explore.domains
-    (if config.Explore.domains = 1 then "" else "s");
+    (if config.Explore.domains = 1 then "" else "s")
+    (if config.Explore.dpor then ", dpor" else "")
+    (if config.Explore.steal && config.Explore.domains > 1 then ", stealing"
+     else "");
   let r =
     Era.Applicability.explore ~config ~seed ?ops_per_thread:cfg.Rc.ops
       ?robustness_bound:cfg.Rc.robust_bound scheme structure

@@ -1,6 +1,7 @@
 module Event = Era_sim.Event
 module Monitor = Era_sim.Monitor
 module Heap = Era_sim.Heap
+module Vec = Era_sim.Vec
 module Sched = Era_sched.Sched
 module Json = Era_metrics.Json
 
@@ -33,6 +34,7 @@ type stats = {
   runs : int;
   states : int;
   pruned : int;
+  sleep_cuts : int;
   shrink_runs : int;
   cex_preemptions : int option;
   levels_completed : int;
@@ -67,7 +69,9 @@ type config = {
   shrink_budget : int;
   domains : int;
   batch : int;
+  steal : bool;
   prune : bool;
+  dpor : bool;
   record_fps : bool;
   fault_hook : (int -> unit) option;
   progress_every : int;
@@ -83,7 +87,9 @@ let default_config =
     shrink_budget = 500;
     domains = 1;
     batch = 16;
+    steal = false;
     prune = true;
+    dpor = false;
     record_fps = false;
     fault_hook = None;
     progress_every = 0;
@@ -168,22 +174,112 @@ let install_watchers target sched =
   viol
 
 (* ------------------------------------------------------------------ *)
-(* One controlled run                                                 *)
+(* Run records, work items, per-worker scratch                        *)
 (* ------------------------------------------------------------------ *)
 
-type decision = {
-  de_chosen : int;
-  de_runnable : int list;  (* >= 2 entries: a real choice point *)
-  de_prev : int;  (* tid of the preceding quantum; -1 at the start *)
+(* Reusable int buffer: the per-quantum and per-choice-point recording
+   of a run goes through these, so a run's bookkeeping allocates only
+   the final copied-out arrays (and only for runs that can have
+   children). *)
+module Ibuf = struct
+  type t = { mutable a : int array; mutable len : int }
+
+  let create () = { a = Array.make 256 0; len = 0 }
+  let clear b = b.len <- 0
+
+  let push b v =
+    if b.len = Array.length b.a then begin
+      let na = Array.make (2 * b.len) 0 in
+      Array.blit b.a 0 na 0 b.len;
+      b.a <- na
+    end;
+    b.a.(b.len) <- v;
+    b.len <- b.len + 1
+
+  let to_array b = Array.sub b.a 0 b.len
+
+  let to_list b =
+    let rec go i acc = if i < 0 then acc else go (i - 1) (b.a.(i) :: acc) in
+    go (b.len - 1) []
+end
+
+(* Decision records are packed ints: the low [mask_bits] hold the
+   runnable-tid bitmask of the choice point, the high bits hold
+   [prev + 1] — the tid of the preceding quantum (0 encodes "none": the
+   run's first quantum). One int per choice point instead of a
+   3-field record holding a list. *)
+let mask_bits = 48
+let low_mask = (1 lsl mask_bits) - 1
+
+(* A unit of search work: "replay [it_choices.(0 .. it_dev - 1)], choose
+   [it_alt] at choice point [it_dev], then follow the deterministic
+   default". The choices array is the {e parent} run's record, shared by
+   reference among all its children — materializing per-child prefix
+   arrays was the dominant cost of the previous explorer (O(depth) per
+   child, ~3/4 of search time on the Figure 2 cell). *)
+type item = {
+  it_choices : int array;
+  it_dev : int;  (* -1 for the root item (empty prefix) *)
+  it_alt : int;
+  it_level : int;  (* preemption level; bookkeeping for steal mode *)
+  it_sleep : Sleep_set.entry array;  (* DPOR: entries asleep at it_dev *)
+  it_group : Sleep_set.group option;  (* DPOR: sibling group at it_dev *)
 }
 
+let root_item =
+  {
+    it_choices = [||];
+    it_dev = -1;
+    it_alt = -1;
+    it_level = 0;
+    it_sleep = [||];
+    it_group = None;
+  }
+
 type run_record = {
-  ru_steps : int list;  (* tids in execution order *)
-  ru_decisions : decision array;
+  ru_plen : int;  (* prefix length: it_dev + 1 *)
+  ru_choices : int array;  (* chosen tid per choice point *)
+  ru_info : int array;  (* packed runnable mask + prev tid *)
+  ru_awake : int array;  (* DPOR: non-sleeping runnable mask per point *)
+  ru_alive : int array;  (* DPOR: alive bitmask over [ru_entries] *)
+  ru_fps : Sleep_set.footprint array;  (* DPOR: chosen quantum footprints *)
+  ru_entries : Sleep_set.entry array;  (* DPOR: the run's sleep entries *)
   ru_violation : violation_info option;
-  ru_pruned : bool;
+  ru_steps : int list;  (* tids in execution order; only on violation *)
+  ru_pruned : bool;  (* cut by the visited-state table *)
+  ru_sleep_cut : bool;  (* cut with every runnable thread asleep *)
   ru_quanta : int;
 }
+
+(* Per-worker scratch. One per domain; a [Sched.t] and its heap are
+   single-domain objects, and so is this. *)
+type scratch = {
+  s_info : Ibuf.t;
+  s_choices : Ibuf.t;
+  s_awake : Ibuf.t;
+  s_alive : Ibuf.t;
+  s_steps : Ibuf.t;
+  s_fps : Sleep_set.footprint Vec.t;
+  s_builder : Sleep_set.builder;
+  mutable s_buf : int array;  (* runnable-tid scratch *)
+}
+
+let scratch () =
+  {
+    s_info = Ibuf.create ();
+    s_choices = Ibuf.create ();
+    s_awake = Ibuf.create ();
+    s_alive = Ibuf.create ();
+    s_steps = Ibuf.create ();
+    s_fps = Vec.create ();
+    s_builder = Sleep_set.builder ();
+    s_buf = [||];
+  }
+
+(* Sleep entries carried into one run are capped so the alive set fits
+   one immediate int bitmask. Dropping an entry is always sound — it
+   only costs reduction. *)
+let max_sleep_entries = 62
 
 let state_fp sched =
   let mix h v = (h lxor v) * 0x100000001b3 in
@@ -195,75 +291,264 @@ let state_fp sched =
   done;
   !h
 
-(* Execute one schedule: replay [prefix] (one entry per choice point — a
-   quantum with >= 2 runnable threads), then follow the deterministic
-   non-preemptive default (keep running the current thread; on its
-   completion, the lowest runnable tid). Right after the deviating
-   quantum — the last prefix entry — the global state's fingerprint is
-   offered to [fp_check]; when it reports a previous visit the run is cut
-   short: its continuation and all its extensions were already covered
-   from the first visit. [cancel] is polled once per quantum so a
-   first-violation latch can cut in-flight runs short across domain
-   workers. *)
-let run_one target ~max_steps ~fp_check ~cancel ~prefix =
-  let steps = ref [] in
+(* DPOR-mode state hash: the incremental XOR heap fingerprint (O(1) per
+   heap mutation, O(threads) to read — the classic [Heap.fingerprint]
+   full walk would dominate once checks happen at every quantum) plus
+   the tid of the quantum that produced the state. The previous-tid
+   component matters here because the run's continuation (the
+   keep-running-the-current-thread default) depends on it: two visits
+   disagreeing on it would explore different default tails, which the
+   covering argument must not conflate. The two hash families are never
+   mixed in one visited table — a search is either classic or DPOR. *)
+let state_fp_x sched ~last =
+  let mix h v = (h lxor v) * 0x100000001b3 in
+  let h = ref (Heap.xfingerprint (Sched.heap sched)) in
+  h := mix !h (Monitor.fingerprint (Sched.monitor sched));
+  h := mix !h (last + 1);
+  for tid = 0 to Sched.nthreads sched - 1 do
+    h := mix !h (Sched.steps_of sched tid);
+    h := mix !h (if Sched.is_live sched tid then 1 else 0)
+  done;
+  !h
+
+(* ------------------------------------------------------------------ *)
+(* One controlled run                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Execute one work item's schedule: replay the parent's choices up to
+   the deviation, take the deviating choice, then follow the
+   deterministic non-preemptive default (keep running the current
+   thread; on its completion, the lowest runnable tid — in DPOR mode,
+   the lowest {e awake} runnable tid).
+
+   Classic mode ([dpor = false]) reproduces the historical explorer
+   bit for bit: right after the deviating quantum the state fingerprint
+   is offered to [fp_check] (mask 0) and a previous visit cuts the run.
+
+   DPOR mode layers sleep sets on top, driven by the per-quantum
+   footprints observed through the monitor hooks:
+   - {e wake-ups}: every executed quantum past the deviation wakes the
+     sleep entries whose footprints it conflicts with;
+   - {e sleep cuts}: a configuration whose every runnable thread is
+     asleep is fully covered by already-explored siblings — end the run.
+   The deviation-point visited check additionally carries the sleep-tid
+   mask (a previous visit covers this one only if it slept a subset of
+   the current sleep set) and uses the incremental heap fingerprint
+   ([Heap.enable_xfingerprint]) — O(threads) to read, not O(heap).
+   The check stays at the deviation point only: the fingerprint is
+   blind to native scheme state (HP slots, era reservations, retired
+   bags live outside the simulated heap), a heuristic classic mode
+   tolerates at one check per run but which, applied per quantum,
+   measurably suppresses real violations (the he cell loses its
+   Figure 2 counterexample).
+
+   [mutate_groups] gates reporting the deviating quantum's footprint to
+   the item's sibling group: the sequential search accumulates explored
+   siblings there (later-popped siblings then start with them asleep);
+   parallel searches leave groups frozen at the parent-chosen edge,
+   because "explored earlier" is not well-defined across domains —
+   a sound, smaller sleep set.
+
+   [cancel] is polled once per quantum so a first-violation latch can
+   cut in-flight runs short across domain workers. *)
+let run_one target ~dpor ~mutate_groups ~max_steps ~fp_check ~cancel ~item sc
+    =
+  Ibuf.clear sc.s_info;
+  Ibuf.clear sc.s_choices;
+  Ibuf.clear sc.s_awake;
+  Ibuf.clear sc.s_alive;
+  Ibuf.clear sc.s_steps;
+  Vec.clear sc.s_fps;
+  Sleep_set.reset sc.s_builder;
+  let plen = item.it_dev + 1 in
+  let entries =
+    if not dpor then [||]
+    else begin
+      (* Inherited entries (alive at the deviation node, pre-compacted
+         by the enumerator) plus the sibling group's explored edges,
+         read once at run start. The deviating tid itself can never be
+         asleep — it was picked from the awake set and siblings have
+         distinct alts — but filtering is cheap insurance. *)
+      let group_edges =
+        match item.it_group with
+        | None -> []
+        | Some g -> Sleep_set.group_edges g
+      in
+      let all = Array.to_list item.it_sleep @ group_edges in
+      let all =
+        List.filter (fun (e : Sleep_set.entry) -> e.tid <> item.it_alt) all
+      in
+      let rec take n = function
+        | [] -> []
+        | _ when n = 0 -> []
+        | e :: tl -> e :: take (n - 1) tl
+      in
+      Array.of_list (take max_sleep_entries all)
+    end
+  in
+  let alive = ref ((1 lsl Array.length entries) - 1) in
   let nsteps = ref 0 in
-  let decisions = ref [] in
   let ndec = ref 0 in
-  let plen = Array.length prefix in
   let last = ref (-1) in
   let pruned = ref false in
-  let fp_pending = ref false in
-  let buf = ref [||] in  (* runnable-tid scratch, sized on first pick *)
+  let sleep_cut = ref false in
+  let fp_pending = ref false in  (* classic-mode deferred check *)
+  let after_dev = ref (plen = 0) in
+  let pending_fp_at = ref (-1) in
+  let group_reported = ref false in
   (* Re-bound after [make] installs the real cell; the controller only
      reads it once the run is underway. *)
   let viol = ref (ref None) in
   let push tid =
-    steps := tid :: !steps;
+    Ibuf.push sc.s_steps tid;
     incr nsteps;
     last := tid
   in
+  let store_fp f =
+    if !pending_fp_at >= 0 then begin
+      Vec.set sc.s_fps !pending_fp_at f;
+      if !pending_fp_at = plen - 1 && not !group_reported then begin
+        group_reported := true;
+        match item.it_group with
+        | Some g when mutate_groups ->
+          Sleep_set.group_add g { Sleep_set.tid = item.it_alt; fp = f }
+        | _ -> ()
+      end;
+      pending_fp_at := -1
+    end
+  in
   let pick sched =
+    (* Footprint epilogue of the quantum that just ran. Before the
+       deviation the builder is merely drained: those quanta replay the
+       parent's execution, whose wakes are already reflected in the
+       inherited alive mask — re-applying them here would wake entries
+       against quanta that precede their creation point. *)
+    if dpor && !nsteps > 0 then begin
+      if !after_dev || !pending_fp_at = plen - 1 then begin
+        let f = Sleep_set.finalize sc.s_builder in
+        store_fp f;
+        if !after_dev && !alive <> 0 then
+          alive := Sleep_set.wake entries !alive f
+      end
+      else begin
+        Sleep_set.reset sc.s_builder;
+        pending_fp_at := -1
+      end
+    end;
     if !fp_pending then begin
       fp_pending := false;
-      if fp_check (state_fp sched) then pruned := true
+      (* Deviation-point visited check. Classic: the full-walk hash,
+         mask 0 (set semantics). DPOR: the incremental hash, with the
+         current sleep-tid mask — wakes from the deviation quantum
+         itself have already been applied above, so the mask is the
+         sleep set this subtree will actually be explored under. *)
+      let covered =
+        if dpor then
+          fp_check
+            (state_fp_x sched ~last:!last)
+            (Sleep_set.tid_mask entries !alive)
+        else fp_check (state_fp sched) 0
+      in
+      if covered then pruned := true
     end;
-    if !pruned || !(!viol) <> None || !nsteps >= max_steps || cancel ()
+    if
+      !pruned || !sleep_cut
+      || !(!viol) <> None
+      || !nsteps >= max_steps || cancel ()
     then -1
     else begin
-      if Array.length !buf = 0 then
-        buf := Array.make (max (Sched.nthreads sched) 1) 0;
-      match Sched.runnable_into sched !buf with
-      | 0 -> -1
-      | 1 ->
-        let t = !buf.(0) in
-        push t;
-        t
-      | n ->
-        let ts = Array.to_list (Array.sub !buf 0 n) in
-        let chosen =
-          if !ndec < plen then prefix.(!ndec)
-          else if !last >= 0 && List.mem !last ts then !last
-          else List.hd ts
-        in
-        if not (List.mem chosen ts) then
-          invalid_arg
-            (Fmt.str
-               "Explore: target %S is not schedule-deterministic (prefix \
-                tid %d not runnable at choice point %d)"
-               target.name chosen !ndec);
-        decisions :=
-          { de_chosen = chosen; de_runnable = ts; de_prev = !last }
-          :: !decisions;
-        incr ndec;
-        if plen > 0 && !ndec = plen then fp_pending := true;
-        push chosen;
-        chosen
+      begin
+        if Array.length sc.s_buf = 0 then
+          sc.s_buf <- Array.make (max (Sched.nthreads sched) 1) 0;
+        let n = Sched.runnable_into sched sc.s_buf in
+        if n = 0 then -1
+        else begin
+          let rmask = ref 0 in
+          for k = 0 to n - 1 do
+            rmask := !rmask lor (1 lsl sc.s_buf.(k))
+          done;
+          let rmask = !rmask in
+          let awake =
+            if dpor && !after_dev then
+              rmask land lnot (Sleep_set.tid_mask entries !alive)
+            else rmask
+          in
+          if n = 1 then begin
+            if awake = 0 then begin
+              sleep_cut := true;
+              -1
+            end
+            else begin
+              let t = sc.s_buf.(0) in
+              push t;
+              t
+            end
+          end
+          else if awake = 0 then begin
+            sleep_cut := true;
+            -1
+          end
+          else begin
+            let chosen =
+              if !ndec < plen then
+                if !ndec = item.it_dev then item.it_alt
+                else item.it_choices.(!ndec)
+              else if !last >= 0 && (awake lsr !last) land 1 = 1 then !last
+              else begin
+                (* lowest awake runnable tid (= [List.hd] of the old
+                   ascending runnable list in classic mode) *)
+                let rec first k =
+                  let t = sc.s_buf.(k) in
+                  if (awake lsr t) land 1 = 1 then t else first (k + 1)
+                in
+                first 0
+              end
+            in
+            if chosen < 0 || chosen >= mask_bits
+               || (rmask lsr chosen) land 1 = 0
+            then
+              invalid_arg
+                (Fmt.str
+                   "Explore: target %S is not schedule-deterministic \
+                    (prefix tid %d not runnable at choice point %d)"
+                   target.name chosen !ndec);
+            Ibuf.push sc.s_info (rmask lor ((!last + 1) lsl mask_bits));
+            Ibuf.push sc.s_choices chosen;
+            if dpor then begin
+              Ibuf.push sc.s_awake awake;
+              Ibuf.push sc.s_alive !alive;
+              Vec.push sc.s_fps [||];
+              pending_fp_at := !ndec
+            end;
+            incr ndec;
+            if !ndec = plen then begin
+              after_dev := true;
+              fp_pending := true
+            end;
+            push chosen;
+            chosen
+          end
+        end
+      end
     end
   in
   let sched = target.make ~trace:false (Sched.Controlled pick) in
+  if Sched.nthreads sched > mask_bits then
+    invalid_arg
+      (Fmt.str "Explore: at most %d threads supported (target has %d)"
+         mask_bits (Sched.nthreads sched));
+  if dpor then begin
+    Heap.enable_xfingerprint (Sched.heap sched);
+    let mon = Sched.monitor sched in
+    Monitor.subscribe_tags mon Sleep_set.tags (fun _ ev ->
+        Sleep_set.record sc.s_builder ev)
+  end;
   viol := install_watchers target sched;
   ignore (Sched.run sched);
+  (* The last quantum's footprint may still be pending (the run ended
+     without another pick): the sibling-group report must not be lost. *)
+  if dpor && !pending_fp_at >= 0 then
+    store_fp (Sleep_set.finalize sc.s_builder);
   let v =
     match !(!viol) with
     | Some _ as v -> v
@@ -272,13 +557,112 @@ let run_one target ~max_steps ~fp_check ~cancel ~prefix =
       Option.bind (Monitor.first_violation (Sched.monitor sched))
         (violation_of_event ~step:0)
   in
+  let ndecs = !ndec in
+  (* Copy the packed records out only when the run can have children:
+     a run cut at its own deviation point (classic pruning) explored no
+     new choice points, and a violating run ends the search. *)
+  let has_children = v = None && ndecs > plen in
   {
-    ru_steps = List.rev !steps;
-    ru_decisions = Array.of_list (List.rev !decisions);
+    ru_plen = plen;
+    ru_choices = (if has_children then Ibuf.to_array sc.s_choices else [||]);
+    ru_info = (if has_children then Ibuf.to_array sc.s_info else [||]);
+    ru_awake =
+      (if has_children && dpor then Ibuf.to_array sc.s_awake else [||]);
+    ru_alive =
+      (if has_children && dpor then Ibuf.to_array sc.s_alive else [||]);
+    ru_fps =
+      (if has_children && dpor then Array.init ndecs (Vec.get sc.s_fps)
+       else [||]);
+    ru_entries = entries;
     ru_violation = v;
+    ru_steps = (if v = None then [] else Ibuf.to_list sc.s_steps);
     ru_pruned = !pruned;
+    ru_sleep_cut = !sleep_cut;
     ru_quanta = !nsteps;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Child enumeration                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let popcount m =
+  let c = ref 0 in
+  let m = ref m in
+  while !m <> 0 do
+    incr c;
+    m := !m land (!m - 1)
+  done;
+  !c
+
+let compact_entries (entries : Sleep_set.entry array) am =
+  let n = popcount am in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n entries.(0) in
+    let j = ref 0 in
+    Array.iteri
+      (fun k e ->
+        if (am lsr k) land 1 = 1 then begin
+          out.(!j) <- e;
+          incr j
+        end)
+      entries;
+    out
+  end
+
+(* Children of a completed run: deviations strictly after its prefix
+   (siblings at earlier points were enumerated by ancestors). Walked in
+   reverse so a LIFO consumer extends the earliest choice point first —
+   the DFS order of the sequential search. Free-switch siblings keep the
+   item's preemption level, preempting siblings get level + 1; [emit]
+   routes on [preempts]. In DPOR mode the alternatives come from the
+   awake mask (sleeping tids are covered by construction), each node's
+   children share one freshly compacted inherited-sleep array, and one
+   sibling group seeded with the parent-chosen edge. *)
+let iter_children r ~dpor ~level ~emit =
+  let len = Array.length r.ru_choices in
+  for i = len - 1 downto r.ru_plen do
+    let info = r.ru_info.(i) in
+    let rmask = info land low_mask in
+    let prev = (info lsr mask_bits) - 1 in
+    let chosen = r.ru_choices.(i) in
+    let cand =
+      (if dpor then r.ru_awake.(i) else rmask) land lnot (1 lsl chosen)
+    in
+    if cand <> 0 then begin
+      let sleep, group =
+        if not dpor then ([||], None)
+        else begin
+          let fp = r.ru_fps.(i) in
+          (* Every recorded choice point's quantum executed, so its
+             footprint was finalized; the guard is belt-and-braces. *)
+          let fp =
+            if Array.length fp = 0 then Sleep_set.empty_conservative else fp
+          in
+          ( compact_entries r.ru_entries r.ru_alive.(i),
+            Some (Sleep_set.group_create { Sleep_set.tid = chosen; fp }) )
+        end
+      in
+      let m = ref cand in
+      while !m <> 0 do
+        let alt = popcount ((!m land - !m) - 1) in
+        m := !m land (!m - 1);
+        let preempts =
+          prev >= 0 && alt <> prev && (rmask lsr prev) land 1 = 1
+        in
+        emit
+          {
+            it_choices = r.ru_choices;
+            it_dev = i;
+            it_alt = alt;
+            it_level = (if preempts then level + 1 else level);
+            it_sleep = sleep;
+            it_group = group;
+          }
+          ~preempts
+      done
+    end
+  done
 
 (* ------------------------------------------------------------------ *)
 (* Script replay                                                      *)
@@ -373,40 +757,13 @@ let shrink_steps target ~budget ~kind steps0 =
   (shrunk, !tests)
 
 (* ------------------------------------------------------------------ *)
-(* The bounded DFS                                                    *)
+(* Search bookkeeping shared by the three engines                     *)
 (* ------------------------------------------------------------------ *)
 
 let rec list_take n = function
   | [] -> []
   | _ when n <= 0 -> []
   | x :: tl -> x :: list_take (n - 1) tl
-
-(* Children of a completed, unpruned run: deviations strictly after its
-   prefix (siblings at earlier points were enumerated by ancestors).
-   Walked in reverse so a LIFO consumer extends the earliest choice
-   point first — the DFS order of the sequential search. Free-switch
-   siblings stay within the preemption level ([same]), preempting
-   siblings seed level k+1 ([next]). *)
-let children_of_run ~prefix r ~same ~next =
-  let dec = r.ru_decisions in
-  let plen = Array.length prefix in
-  for i = Array.length dec - 1 downto plen do
-    let d = dec.(i) in
-    List.iter
-      (fun alt ->
-        if alt <> d.de_chosen then begin
-          let child =
-            Array.init (i + 1) (fun j ->
-                if j = i then alt else dec.(j).de_chosen)
-          in
-          let preempts =
-            d.de_prev >= 0 && alt <> d.de_prev
-            && List.mem d.de_prev d.de_runnable
-          in
-          if preempts then next child else same child
-        end)
-      d.de_runnable
-  done
 
 (* Shrink a found violation and package the counterexample; shared by
    the sequential and parallel searches (shrinking is always sequential:
@@ -443,31 +800,41 @@ exception Search_over
 
 let no_cancel () = false
 
+(* ------------------------------------------------------------------ *)
+(* The bounded DFS                                                    *)
+(* ------------------------------------------------------------------ *)
+
 let explore_sequential config target =
-  let visited = Hashtbl.create 8192 in
+  let dpor = config.dpor in
+  let visited : (int, int) Hashtbl.t = Hashtbl.create 8192 in
   let fps = if config.record_fps then Some (Hashtbl.create 1024) else None in
-  let fp_check fp =
+  let fp_check fp mask =
     (match fps with Some t -> Hashtbl.replace t fp () | None -> ());
     if config.prune then
-      if Hashtbl.mem visited fp then true
-      else begin
-        Hashtbl.replace visited fp ();
+      match Hashtbl.find_opt visited fp with
+      | Some stored when stored land lnot mask = 0 -> true
+      | Some stored ->
+        Hashtbl.replace visited fp (stored land mask);
         false
-      end
+      | None ->
+        Hashtbl.replace visited fp mask;
+        false
     else false
   in
+  let sc = scratch () in
   let runs = ref 0 in
   let states = ref 0 in
   let pruned_n = ref 0 in
+  let sleep_cuts = ref 0 in
   let failed = ref 0 in
   let found = ref None in
   let found_level = ref None in
   let levels_completed = ref 0 in
   let level = ref 0 in
-  (* Iterative preemption bounding: the level-[k] stack holds prefixes
+  (* Iterative preemption bounding: the level-[k] stack holds items
      whose deviation needed its [k]-th preemption; free-switch siblings
      stay within the level, preempting siblings seed level [k+1]. *)
-  let stack = ref [ [||] ] in
+  let stack = ref [ root_item ] in
   let deferred = ref [] in
   (try
      while !level <= config.max_preemptions do
@@ -475,20 +842,22 @@ let explore_sequential config target =
          if !runs >= config.max_runs then raise Search_over;
          match !stack with
          | [] -> assert false
-         | prefix :: rest ->
+         | item :: rest ->
            stack := rest;
            let r =
              match config.fault_hook with
              | None ->
                Some
-                 (run_one target ~max_steps:config.max_steps ~fp_check
-                    ~cancel:no_cancel ~prefix)
+                 (run_one target ~dpor ~mutate_groups:true
+                    ~max_steps:config.max_steps ~fp_check ~cancel:no_cancel
+                    ~item sc)
              | Some h -> (
                try
                  h !runs;
                  Some
-                   (run_one target ~max_steps:config.max_steps ~fp_check
-                      ~cancel:no_cancel ~prefix)
+                   (run_one target ~dpor ~mutate_groups:true
+                      ~max_steps:config.max_steps ~fp_check
+                      ~cancel:no_cancel ~item sc)
                with _ -> None)
            in
            incr runs;
@@ -497,16 +866,16 @@ let explore_sequential config target =
            | Some r ->
              states := !states + r.ru_quanta;
              if r.ru_pruned then incr pruned_n;
+             if r.ru_sleep_cut then incr sleep_cuts;
              (match r.ru_violation with
              | Some v ->
                found := Some (v, r.ru_steps);
                found_level := Some !level;
                raise Search_over
              | None -> ());
-             if not r.ru_pruned then
-               children_of_run ~prefix r
-                 ~same:(fun child -> stack := child :: !stack)
-                 ~next:(fun child -> deferred := child :: !deferred));
+             iter_children r ~dpor ~level:!level ~emit:(fun child ~preempts ->
+                 if preempts then deferred := child :: !deferred
+                 else stack := child :: !stack));
            (match config.on_progress with
            | Some f
              when config.progress_every > 0
@@ -545,6 +914,7 @@ let explore_sequential config target =
         runs = !runs;
         states = !states;
         pruned = !pruned_n;
+        sleep_cuts = !sleep_cuts;
         shrink_runs;
         cex_preemptions = Option.map (fun _ -> Option.get !found_level) cex;
         levels_completed = !levels_completed;
@@ -561,20 +931,62 @@ let explore_sequential config target =
   }
 
 (* ------------------------------------------------------------------ *)
-(* Parallel search across OCaml 5 domains                             *)
+(* Shared pieces of the two parallel engines                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Reserve one run slot against the shared budget; the slot ordinal
+   doubles as the fault-hook's run index. A compare-and-set loop rather
+   than fetch-and-add-then-rollback: the optimistic increment could
+   transiently push the counter past [max_runs] (briefly visible to
+   heartbeat readers as an over-budget run count) and, with several
+   workers hitting the limit at once, the rollbacks raced each other —
+   each loser both decremented and set [budget_out], so the counter
+   could end below the number of runs actually performed. CAS reserves
+   exactly [max_runs] slots, no more, and the counter is monotone. *)
+let make_reserve ~runs ~max_runs ~budget_out =
+  let rec reserve () =
+    let r = Atomic.get runs in
+    if r >= max_runs then begin
+      Atomic.set budget_out true;
+      None
+    end
+    else if Atomic.compare_and_set runs r (r + 1) then Some r
+    else reserve ()
+  in
+  reserve
+
+(* Per-worker run counters. Slot [w] is written only by worker [w], but
+   the coordinator's heartbeat reads run concurrently: with a plain int
+   array those reads raced the writes (unsynchronized in the OCaml
+   memory model — the data race satellite this PR fixes), so each slot
+   is an [Atomic.t]. No padding: OCaml 5.1 has no [Atomic.make_contended],
+   and one write per {e run} (not per quantum) is far too cold for false
+   sharing to matter. *)
+let make_per_domain domains = Array.init domains (fun _ -> Atomic.make 0)
+
+let per_domain_snapshot a = Array.map Atomic.get a
+
+let parallel_fp_check ~fps ~prune visited =
+  fun fp mask ->
+    (match fps with Some t -> Fp_table.add t fp | None -> ());
+    if prune then Fp_table.check_covered visited fp ~mask
+    else false
+
+(* ------------------------------------------------------------------ *)
+(* Parallel search: level-synchronous shared queue                    *)
 (* ------------------------------------------------------------------ *)
 
 (* Same level-synchronous frontier as the sequential search — every
    schedule within preemption bound [k] is covered before any schedule
    needing [k+1], so a reported violation still carries the minimal
-   bound — but within a level the prefixes are sharded across [domains]
-   workers through a batched work queue. Each worker owns a private
-   re-execution loop (every run builds a fresh heap/monitor/scheduler, so
-   nothing of the simulation itself is shared); the only cross-domain
-   state is the work queue, the lock-striped visited table, the atomic
-   budget/stat counters, and the first-violation latch. On a violation
-   the latch cancels in-flight runs (polled once per quantum) and
-   shrinking proceeds sequentially on the winning schedule.
+   bound — but within a level the work items are sharded across
+   [domains] workers through a batched work queue. Each worker owns a
+   private re-execution loop (every run builds a fresh heap/monitor/
+   scheduler, so nothing of the simulation itself is shared); the only
+   cross-domain state is the work queue, the lock-striped visited table,
+   the atomic budget/stat counters, and the first-violation latch. On a
+   violation the latch cancels in-flight runs (polled once per quantum)
+   and shrinking proceeds sequentially on the winning schedule.
 
    Which violating schedule wins the latch depends on worker timing, so
    across domain counts the reported counterexample may differ — but
@@ -586,15 +998,14 @@ let explore_sequential config target =
    enters this code path and stays bit-identical to the sequential
    search. *)
 let explore_parallel config target ~domains =
+  let dpor = config.dpor in
   let visited = Fp_table.create () in
   let fps = if config.record_fps then Some (Fp_table.create ()) else None in
-  let fp_check fp =
-    (match fps with Some t -> Fp_table.add t fp | None -> ());
-    if config.prune then Fp_table.check_and_add visited fp else false
-  in
+  let fp_check = parallel_fp_check ~fps ~prune:config.prune visited in
   let runs = Atomic.make 0 in
   let states = Atomic.make 0 in
   let pruned_n = Atomic.make 0 in
+  let sleep_cuts = Atomic.make 0 in
   let failed = Atomic.make 0 in
   let budget_out = Atomic.make false in
   let cancel = Atomic.make false in
@@ -602,26 +1013,14 @@ let explore_parallel config target ~domains =
   let found_m = Mutex.create () in
   let found = ref None in
   let found_level = ref 0 in
-  (* Reserve one run slot against the shared budget; the slot ordinal
-     doubles as the fault-hook's run index. *)
-  let reserve () =
-    let slot = Atomic.fetch_and_add runs 1 in
-    if slot >= config.max_runs then begin
-      ignore (Atomic.fetch_and_add runs (-1));
-      Atomic.set budget_out true;
-      None
-    end
-    else Some slot
+  let reserve =
+    make_reserve ~runs ~max_runs:config.max_runs ~budget_out
   in
   let levels_completed = ref 0 in
   let level = ref 0 in
-  let frontier = ref [ [||] ] in
+  let frontier = ref [ root_item ] in
   let stop_all = ref false in
-  (* Per-worker run counts: slot [w] is written only by worker [w], so
-     plain array stores suffice; the coordinator's heartbeat reads are
-     racy snapshots (monotone counters, at worst one run stale) and the
-     final read happens after every join. *)
-  let per_domain = Array.make domains 0 in
+  let per_domain = make_per_domain domains in
   let last_report = ref 0 in
   while (not !stop_all) && !level <= config.max_preemptions do
     let q = Work_queue.create ~batch:config.batch () in
@@ -653,12 +1052,13 @@ let explore_parallel config target ~domains =
               pg_deferred = deferred_n;
               pg_fp_size = Fp_table.size visited;
               pg_budget_left = max 0 (config.max_runs - r);
-              pg_per_domain_runs = Array.copy per_domain;
+              pg_per_domain_runs = per_domain_snapshot per_domain;
             }
         end
       | _ -> ()
     in
     let worker wid =
+      let sc = scratch () in
       let rec loop () =
         match Work_queue.take q with
         | None -> ()
@@ -671,24 +1071,26 @@ let explore_parallel config target ~domains =
               let same = ref [] in
               let next = ref [] in
               List.iter
-                (fun prefix ->
+                (fun item ->
                   if not (Atomic.get cancel || Atomic.get budget_out) then
                     match reserve () with
                     | None -> Work_queue.stop q
                     | Some slot -> (
-                      per_domain.(wid) <- per_domain.(wid) + 1;
+                      Atomic.incr per_domain.(wid);
                       let r =
                         match config.fault_hook with
                         | None ->
                           Some
-                            (run_one target ~max_steps:config.max_steps
-                               ~fp_check ~cancel:cancelled ~prefix)
+                            (run_one target ~dpor ~mutate_groups:false
+                               ~max_steps:config.max_steps ~fp_check
+                               ~cancel:cancelled ~item sc)
                         | Some h -> (
                           try
                             h slot;
                             Some
-                              (run_one target ~max_steps:config.max_steps
-                                 ~fp_check ~cancel:cancelled ~prefix)
+                              (run_one target ~dpor ~mutate_groups:false
+                                 ~max_steps:config.max_steps ~fp_check
+                                 ~cancel:cancelled ~item sc)
                           with _ -> None)
                       in
                       match r with
@@ -696,6 +1098,7 @@ let explore_parallel config target ~domains =
                       | Some r ->
                         ignore (Atomic.fetch_and_add states r.ru_quanta);
                         if r.ru_pruned then Atomic.incr pruned_n;
+                        if r.ru_sleep_cut then Atomic.incr sleep_cuts;
                         (match r.ru_violation with
                         | Some v ->
                           Mutex.lock found_m;
@@ -707,10 +1110,10 @@ let explore_parallel config target ~domains =
                           Atomic.set cancel true;
                           Work_queue.stop q
                         | None ->
-                          if not r.ru_pruned then
-                            children_of_run ~prefix r
-                              ~same:(fun c -> same := c :: !same)
-                              ~next:(fun c -> next := c :: !next))))
+                          iter_children r ~dpor ~level:this_level
+                            ~emit:(fun c ~preempts ->
+                              if preempts then next := c :: !next
+                              else same := c :: !same))))
                 batch;
               Work_queue.push_batch q (List.rev !same);
               if !next <> [] then begin
@@ -749,12 +1152,202 @@ let explore_parallel config target ~domains =
         runs = Atomic.get runs;
         states = Atomic.get states;
         pruned = Atomic.get pruned_n;
+        sleep_cuts = Atomic.get sleep_cuts;
         shrink_runs;
         cex_preemptions = Option.map (fun _ -> !found_level) cex;
         levels_completed = !levels_completed;
         failed_runs = Atomic.get failed;
         domains_used = domains;
-        per_domain_runs = Array.to_list per_domain;
+        per_domain_runs = Array.to_list (per_domain_snapshot per_domain);
+      };
+    res_cex = cex;
+    res_fps =
+      (match fps with
+      | None -> []
+      | Some t -> List.sort compare (Fp_table.elements t));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Parallel search: randomized work stealing                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Decentralized alternative to the level-synchronous queue: each worker
+   owns a deque, pushes a run's children locally (LIFO — depth-first,
+   which keeps the frontier from ballooning), and steals half of a
+   random victim's items when its own deque drains. There are no level
+   barriers, so no worker ever idles at a level boundary — the trade-off
+   is that preemption levels interleave: a reported violation's level is
+   the level of the item that found it, NOT guaranteed minimal (the
+   sequential and queue engines do guarantee minimality). Preemption
+   bounding itself still holds — items beyond [max_preemptions] are
+   never created.
+
+   Termination is a single atomic count of live items (pushed and not
+   yet fully processed): a worker that cannot pop or steal exits once
+   the count hits zero — nobody holds an item, so nobody can produce
+   more. Stolen items move between deques without touching the count. *)
+let explore_steal config target ~domains =
+  let dpor = config.dpor in
+  let visited = Fp_table.create () in
+  let fps = if config.record_fps then Some (Fp_table.create ()) else None in
+  let fp_check = parallel_fp_check ~fps ~prune:config.prune visited in
+  let runs = Atomic.make 0 in
+  let states = Atomic.make 0 in
+  let pruned_n = Atomic.make 0 in
+  let sleep_cuts = Atomic.make 0 in
+  let failed = Atomic.make 0 in
+  let budget_out = Atomic.make false in
+  let cancel = Atomic.make false in
+  let cancelled () = Atomic.get cancel in
+  let found_m = Mutex.create () in
+  let found = ref None in
+  let found_level = ref 0 in
+  let reserve =
+    make_reserve ~runs ~max_runs:config.max_runs ~budget_out
+  in
+  let per_domain = make_per_domain domains in
+  let items = Atomic.make 1 in
+  let deques = Array.init domains (fun _ -> Steal_deque.create ()) in
+  Steal_deque.push deques.(0) root_item;
+  let last_report = ref 0 in
+  let maybe_report level =
+    match config.on_progress with
+    | Some f when config.progress_every > 0 ->
+      let r = Atomic.get runs in
+      if r - !last_report >= config.progress_every then begin
+        last_report := r;
+        f
+          {
+            pg_level = level;
+            pg_runs = r;
+            pg_states = Atomic.get states;
+            pg_pruned = Atomic.get pruned_n;
+            pg_frontier = Atomic.get items;
+            pg_deferred = 0;
+            pg_fp_size = Fp_table.size visited;
+            pg_budget_left = max 0 (config.max_runs - r);
+            pg_per_domain_runs = per_domain_snapshot per_domain;
+          }
+      end
+    | _ -> ()
+  in
+  let worker wid =
+    let sc = scratch () in
+    (* Cheap per-worker LCG for victim selection; distinct odd seeds per
+       worker. Randomized victim choice is what spreads steal pressure —
+       a fixed scan order would hammer worker 0's deque. *)
+    let rng = ref (((wid * 0x9E3779B9) + 0x6D2B79F5) lor 1) in
+    let next_victim () =
+      (* Java-style 48-bit LCG; victim index from the high bits. *)
+      rng := ((!rng * 25214903917) + 11) land 0xFFFFFFFFFFFF;
+      let v = (!rng lsr 17) mod domains in
+      if v = wid then (v + 1) mod domains else v
+    in
+    let stop () =
+      Atomic.get cancel || Atomic.get budget_out || Atomic.get items = 0
+    in
+    let process item =
+      Fun.protect
+        ~finally:(fun () -> ignore (Atomic.fetch_and_add items (-1)))
+        (fun () ->
+          match reserve () with
+          | None -> ()
+          | Some slot -> (
+            Atomic.incr per_domain.(wid);
+            let r =
+              match config.fault_hook with
+              | None ->
+                Some
+                  (run_one target ~dpor ~mutate_groups:false
+                     ~max_steps:config.max_steps ~fp_check ~cancel:cancelled
+                     ~item sc)
+              | Some h -> (
+                try
+                  h slot;
+                  Some
+                    (run_one target ~dpor ~mutate_groups:false
+                       ~max_steps:config.max_steps ~fp_check
+                       ~cancel:cancelled ~item sc)
+                with _ -> None)
+            in
+            match r with
+            | None -> Atomic.incr failed
+            | Some r ->
+              ignore (Atomic.fetch_and_add states r.ru_quanta);
+              if r.ru_pruned then Atomic.incr pruned_n;
+              if r.ru_sleep_cut then Atomic.incr sleep_cuts;
+              (match r.ru_violation with
+              | Some v ->
+                Mutex.lock found_m;
+                if !found = None then begin
+                  found := Some (v, r.ru_steps);
+                  found_level := item.it_level
+                end;
+                Mutex.unlock found_m;
+                Atomic.set cancel true
+              | None ->
+                iter_children r ~dpor ~level:item.it_level
+                  ~emit:(fun c ~preempts ->
+                    ignore preempts;
+                    if c.it_level <= config.max_preemptions then begin
+                      (* count before push: an item in a deque is always
+                         accounted for, so [items = 0] really means
+                         "no work anywhere" *)
+                      Atomic.incr items;
+                      Steal_deque.push deques.(wid) c
+                    end))));
+      if wid = 0 then maybe_report item.it_level
+    in
+    let rec loop () =
+      match Steal_deque.pop deques.(wid) with
+      | Some item ->
+        process item;
+        loop ()
+      | None ->
+        if stop () then ()
+        else begin
+          (match Steal_deque.steal_half deques.(next_victim ()) with
+          | [] -> Domain.cpu_relax ()
+          | stolen ->
+            (* Oldest first into our own deque: the LIFO pop then starts
+               from the newest stolen item, preserving victim order. *)
+            List.iter (Steal_deque.push deques.(wid)) stolen);
+          loop ()
+        end
+    in
+    loop ()
+  in
+  let spawned =
+    List.init (domains - 1) (fun i -> Domain.spawn (fun () -> worker (i + 1)))
+  in
+  worker 0;
+  List.iter Domain.join spawned;
+  let finished_naturally =
+    not (Atomic.get cancel || Atomic.get budget_out)
+  in
+  let cex, shrink_runs =
+    match !found with
+    | None -> (None, 0)
+    | Some witness ->
+      let c, n = build_cex config target witness in
+      (Some c, n)
+  in
+  {
+    res_stats =
+      {
+        runs = Atomic.get runs;
+        states = Atomic.get states;
+        pruned = Atomic.get pruned_n;
+        sleep_cuts = Atomic.get sleep_cuts;
+        shrink_runs;
+        cex_preemptions = Option.map (fun _ -> !found_level) cex;
+        (* no level barrier: either the whole bounded space was covered
+           (all levels), or the early stop makes the notion moot *)
+        levels_completed =
+          (if finished_naturally then config.max_preemptions + 1 else 0);
+        failed_runs = Atomic.get failed;
+        domains_used = domains;
+        per_domain_runs = Array.to_list (per_domain_snapshot per_domain);
       };
     res_cex = cex;
     res_fps =
@@ -765,6 +1358,7 @@ let explore_parallel config target ~domains =
 
 let explore ?(config = default_config) target =
   if config.domains <= 1 then explore_sequential config target
+  else if config.steal then explore_steal config target ~domains:config.domains
   else explore_parallel config target ~domains:config.domains
 
 (* ------------------------------------------------------------------ *)
@@ -890,6 +1484,7 @@ let stats_registry s =
   c "explore_runs" s.runs;
   c "explore_states" s.states;
   c "explore_pruned" s.pruned;
+  c "explore_sleep_cuts" s.sleep_cuts;
   c "explore_shrink_runs" s.shrink_runs;
   c "explore_levels_completed" s.levels_completed;
   c "explore_failed_runs" s.failed_runs;
@@ -923,8 +1518,10 @@ let pp_counterexample fmt c =
 
 let pp_stats fmt s =
   Fmt.pf fmt
-    "%d runs, %d states, %d pruned, %d shrink runs, %d level(s) completed%a%a%a"
+    "%d runs, %d states, %d pruned, %d shrink runs, %d level(s) completed%a%a%a%a"
     s.runs s.states s.pruned s.shrink_runs s.levels_completed
+    (fun fmt n -> if n > 0 then Fmt.pf fmt ", %d sleep cut(s)" n)
+    s.sleep_cuts
     (Fmt.option (fun fmt p -> Fmt.pf fmt ", found at preemption bound %d" p))
     s.cex_preemptions
     (fun fmt d -> if d > 1 then Fmt.pf fmt ", %d domains" d)

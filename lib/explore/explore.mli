@@ -16,7 +16,7 @@
     (5.1/5.2) as well as the preempt-and-churn safety executions of
     Figure 2.
 
-    Two reduction devices keep the space tractable:
+    Reduction devices keep the space tractable:
     - {e state pruning}: after a run's first deviating quantum the global
       state — heap content, SMR bookkeeping, per-thread positions — is
       fingerprinted; runs reaching an already-visited state are cut short.
@@ -25,6 +25,20 @@
       a reported violation, which is a concrete witnessed execution.
     - {e preemption bounding}: empirically (CHESS), real concurrency bugs
       need very few preemptions; both paper constructions need one.
+    - {e sleep sets} ([config.dpor]): dynamic partial-order reduction.
+      When a sibling schedule at a choice point has already been
+      explored, the deviating thread is put {e to sleep} in the subtree;
+      it wakes only when some executed quantum's memory footprint
+      (reads/writes per heap cell field, plus SMR-global effects,
+      observed through the monitor's event hooks) conflicts with the
+      footprint it was scheduled under. Scheduling a sleeping thread
+      commutes with the explored sibling, so those schedules are covered
+      by construction: configurations whose every runnable thread sleeps
+      are cut, and the visited table stores per-state sleep masks so a
+      state is only "visited" for the sleep sets it was covered under.
+      DPOR-mode pruning also checks {e every} quantum past the deviation
+      (not just the first), made affordable by an incremental
+      XOR heap fingerprint that is O(threads), not O(heap), to read.
 
     A found violation is shrunk by delta-debugging its quantum-by-quantum
     schedule to a minimal still-violating sequence, compressed into a
@@ -33,10 +47,14 @@
 
     The search is embarrassingly parallel — every run is a stateless
     re-execution of a choice-point prefix — so [config.domains > 1]
-    shards each preemption level's frontier across OCaml 5 domains: a
-    batched work queue of prefixes, a lock-striped visited-fingerprint
-    table, and a first-violation latch that cancels in-flight workers
-    before shrinking proceeds sequentially on the winning schedule (see
+    shards the frontier across OCaml 5 domains, in one of two shapes:
+    the default level-synchronous batched work queue (preserves minimal
+    preemption bounds), or randomized work-stealing deques
+    ([config.steal]) with no level barriers — each worker runs a private
+    depth-first loop and steals half a random victim's deque when it
+    drains. Both share a lock-striped visited-fingerprint table and a
+    first-violation latch that cancels in-flight workers before
+    shrinking proceeds sequentially on the winning schedule (see
     {!explore} for the exact determinism contract). *)
 
 type target = {
@@ -83,6 +101,9 @@ type stats = {
   runs : int;  (** executions performed during the search *)
   states : int;  (** quanta executed across all runs ("states visited") *)
   pruned : int;  (** runs cut short by the visited-fingerprint set *)
+  sleep_cuts : int;
+      (** runs cut with every runnable thread asleep (DPOR mode): the
+          remaining schedules commute with already-explored siblings *)
   shrink_runs : int;  (** extra executions spent delta-debugging *)
   cex_preemptions : int option;
       (** preemption bound at which the violation was found *)
@@ -135,10 +156,28 @@ type config = {
           [Domain.spawn] workers (see {!explore}) *)
   batch : int;
       (** schedule prefixes handed to a worker per queue interaction
-          (parallel mode only); amortizes queue contention *)
+          (level-synchronous parallel mode only); amortizes queue
+          contention *)
+  steal : bool;
+      (** with [domains > 1], use randomized work-stealing deques
+          instead of the level-synchronous queue: no level barriers, so
+          workers never idle at level boundaries, at the price of the
+          reported violation's preemption level not being guaranteed
+          minimal. Ignored when [domains <= 1]. *)
   prune : bool;
       (** visited-fingerprint pruning; disable only for coverage
           comparisons — the full tree is explored without it *)
+  dpor : bool;
+      (** sleep-set dynamic partial-order reduction (see the module
+          header). Changes which runs are executed — [domains = 1]
+          results remain deterministic but differ from classic-mode
+          stats. Sleep sets only cut schedules that commute with
+          explored ones, so every violation stays reachable; under
+          preemption bounding the commuted representative can cost one
+          more preemption, so in principle a violation can surface at a
+          higher level than classic mode finds it (the differential
+          tests check every built-in cell finds its violation at the
+          same level). *)
   record_fps : bool;  (** collect {!field:search_result.res_fps} *)
   fault_hook : (int -> unit) option;
       (** test-only: called with each run's index before it executes; an
@@ -156,27 +195,35 @@ type config = {
 
 val default_config : config
 (** 2 preemptions, 20_000 runs, 50_000 steps/run, shrinking on with a
-    budget of 500 runs; 1 domain, batch 16, pruning on, no fingerprint
-    recording, no fault hook. *)
+    budget of 500 runs; 1 domain, batch 16, level-synchronous (no
+    stealing), pruning on, DPOR off, no fingerprint recording, no fault
+    hook. *)
 
 val explore : ?config:config -> target -> search_result
 (** Search the target's schedule space. Stops at the first violation
     (shrunk if [config.shrink]), or when every schedule within
     [max_preemptions] has been covered, or when [max_runs] is spent.
 
-    With [config.domains = 1] the search is the sequential CHESS-style
-    DFS and is fully deterministic: identical target and config give
-    identical stats and counterexample. With [config.domains > 1] each
-    preemption level's frontier is sharded across that many OCaml 5
-    domains (level barriers preserve the iterative-bounding order, so a
-    found violation still carries the minimal preemption bound); a
-    first-violation latch cancels in-flight workers and shrinking runs
-    sequentially on the winning schedule. The determinism contract
-    weakens to: {e which} violating schedule is reported (and, with
-    pruning, the run/state counts) may vary across domain counts and
-    timings, but a reported violation is always a concretely witnessed
+    Determinism contract, by mode:
+    - [domains = 1], [dpor = false]: the sequential CHESS-style DFS,
+      fully deterministic — identical target and config give identical
+      stats and counterexample, bit for bit across releases (the golden
+      counts the test suite pins).
+    - [domains = 1], [dpor = true]: still fully deterministic, but the
+      sleep-set cuts change which runs execute, so stats differ from
+      classic mode (fewer runs/states, same violations found).
+    - [domains > 1], level-synchronous (default): level barriers
+      preserve the iterative-bounding order, so a found violation still
+      carries the minimal preemption bound; {e which} violating schedule
+      is reported (and, with pruning, the run/state counts) may vary
+      across domain counts and timings.
+    - [domains > 1], [steal = true]: additionally, the reported
+      violation's preemption level is the level of the schedule that
+      found it — not guaranteed minimal, because levels interleave
+      without barriers.
+    In every mode a reported violation is a concretely witnessed
     execution that replays sequentially to the same violation kind, and
-    a no-violation verdict covers the same bounded space. *)
+    a no-violation verdict covers the same bounded schedule space. *)
 
 type replay_result = {
   rp_violation : violation_info option;

@@ -1,14 +1,26 @@
-(* Lock-striped visited-state set over int fingerprints.
+(* Lock-striped visited-state table over int fingerprints, with a
+   sleep-set mask per entry.
 
-   The explorer consults the table exactly once per run (at the deviating
-   quantum), so contention is per-run, not per-quantum; a modest stripe
-   count keeps the common case — distinct fingerprints hitting distinct
-   stripes — entirely uncontended across domain workers. Keys are the
-   already well-mixed [Heap.fingerprint ⊕ Monitor.fingerprint ⊕ thread
-   positions] hashes, so stripe selection just folds the high bits in. *)
+   The classic search consults the table once per run (at the deviating
+   quantum); the DPOR search consults it at every quantum past the
+   deviation. Either way contention is low — distinct fingerprints hit
+   distinct stripes — and keys are the already well-mixed
+   [Heap.(x)fingerprint ⊕ Monitor.fingerprint ⊕ thread positions]
+   hashes, so stripe selection just folds the high bits in.
+
+   Each entry stores the tid bitmask of the sleep set the state was
+   visited with. A visit explores every successor NOT in its sleep set,
+   so a state is covered for a new visitor iff the stored mask is a
+   subset of the new visitor's mask (everything the new visitor would
+   explore was already explored). On a non-covered revisit the stored
+   mask shrinks to the intersection: after the new visit completes, the
+   jointly-unexplored successors are exactly the intersection. A search
+   without sleep sets passes [mask = 0], which degenerates to exact
+   set-membership semantics: the first visit stores 0, and 0 ⊆ 0 makes
+   every revisit covered. *)
 
 type t = {
-  stripes : (int, unit) Hashtbl.t array;
+  stripes : (int, int) Hashtbl.t array;
   locks : Mutex.t array;
   mask : int;
 }
@@ -25,17 +37,28 @@ let create ?(stripes = 64) () =
 
 let stripe_of t fp = (fp lxor (fp lsr 17) lxor (fp lsr 31)) land t.mask
 
-(* [true] iff [fp] was already present; otherwise inserts it. The
-   check-and-insert is atomic per stripe, so two workers reaching the
-   same state concurrently agree on exactly one first visitor. *)
-let check_and_add t fp =
+(* [true] iff [fp] is covered for a visitor carrying sleep-tid-mask
+   [mask]; otherwise records the visit (insert, or intersect the stored
+   mask) and returns [false]. Atomic per stripe, so two workers reaching
+   the same state concurrently agree on exactly one first visitor. *)
+let check_covered t fp ~mask =
   let i = stripe_of t fp in
   let l = t.locks.(i) in
   Mutex.lock l;
-  let seen = Hashtbl.mem t.stripes.(i) fp in
-  if not seen then Hashtbl.replace t.stripes.(i) fp ();
+  let covered =
+    match Hashtbl.find_opt t.stripes.(i) fp with
+    | Some stored when stored land lnot mask = 0 -> true
+    | Some stored ->
+      Hashtbl.replace t.stripes.(i) fp (stored land mask);
+      false
+    | None ->
+      Hashtbl.replace t.stripes.(i) fp mask;
+      false
+  in
   Mutex.unlock l;
-  seen
+  covered
+
+let check_and_add t fp = check_covered t fp ~mask:0
 
 let mem t fp =
   let i = stripe_of t fp in
@@ -57,7 +80,7 @@ let elements t =
   Array.iteri
     (fun i h ->
       Mutex.lock t.locks.(i);
-      Hashtbl.iter (fun fp () -> acc := fp :: !acc) h;
+      Hashtbl.iter (fun fp _ -> acc := fp :: !acc) h;
       Mutex.unlock t.locks.(i))
     t.stripes;
   !acc

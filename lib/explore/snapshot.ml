@@ -1,0 +1,40 @@
+(* Prefix snapshot-restore for the explorer.
+
+   A captured snapshot bundles everything a fresh run would rebuild by
+   replaying a schedule prefix from scratch: the heap image, the
+   monitor's counters and log positions, and the scheduler's progress
+   counters. What it deliberately does NOT capture is fiber state —
+   OCaml 5 effect continuations are one-shot, so a suspended thread
+   cannot be resumed twice. A snapshot is therefore only honest at
+   points where no fiber holds progress beyond the capture: the explorer
+   takes exactly one, of the base configuration before the first
+   quantum, and uses it to avoid re-running target setup (allocation,
+   pre-filling, scheme init) on every run. Thread bodies are re-spawned
+   per run regardless (they are closures, not continuations).
+
+   Restoring the base state this way is what makes the incremental XOR
+   heap fingerprint usable across runs: [Heap.restore] puts back the
+   captured [xfp] accumulator, so per-choice-point fingerprints stay
+   O(live threads) instead of O(heap) for the entire search. *)
+
+module Heap = Era_sim.Heap
+module Monitor = Era_sim.Monitor
+module Sched = Era_sched.Sched
+
+type t = {
+  heap : Heap.snapshot;
+  mon : Monitor.state;
+  sched : Sched.counters;
+}
+
+let capture (s : Sched.t) : t =
+  {
+    heap = Heap.snapshot (Sched.heap s);
+    mon = Monitor.snapshot (Sched.monitor s);
+    sched = Sched.snapshot_counters s;
+  }
+
+let restore (s : Sched.t) (t : t) =
+  Heap.restore (Sched.heap s) t.heap;
+  Monitor.restore (Sched.monitor s) t.mon;
+  Sched.restore_counters s t.sched

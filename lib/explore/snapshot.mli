@@ -1,0 +1,22 @@
+(** Base-state snapshot-restore for the explorer.
+
+    Captures the heap image, monitor counters/log positions, and
+    scheduler progress counters in one value, so a search can rewind to
+    its base configuration between runs instead of rebuilding the target
+    (setup allocation, pre-fill, scheme init) from scratch every time.
+
+    Fiber continuations are one-shot in OCaml 5 and are {e not}
+    captured: a snapshot is only honest at points where no fiber holds
+    progress beyond it — in the explorer, the configuration before the
+    first quantum. Thread bodies are re-spawned per run. *)
+
+type t
+
+val capture : Era_sched.Sched.t -> t
+(** Snapshot the scheduler's heap, monitor, and counters. *)
+
+val restore : Era_sched.Sched.t -> t -> unit
+(** Rewind all three. The scheduler must structurally match the one the
+    snapshot was captured from (same heap layout prefix, same thread
+    count) — the explorer guarantees this by capturing and restoring the
+    same scheduler-per-worker. *)

@@ -69,10 +69,22 @@ let take t =
   Mutex.unlock t.m;
   r
 
+(* Liveness invariant, checked here and relied on by [take]: [active] is
+   the number of [take]s not yet matched by a [batch_done], every check
+   and every wait happens under [t.m], and a waiter only blocks when the
+   queue is empty and [active > 0] — so the matching [batch_done] (whose
+   existence the take/batch_done contract guarantees) is still to come
+   and will run this broadcast. A waiter can therefore never sleep
+   through the last producer retiring. The broadcast is deliberately NOT
+   conditioned on queue emptiness: [push_batch] already signals its own
+   pushes, but making the wake-up here unconditional keeps [take]'s
+   progress argument local — every event a waiter waits for (new items,
+   or quiescence) broadcasts, full stop. *)
 let batch_done t =
   Mutex.lock t.m;
+  assert (t.active > 0);
   t.active <- t.active - 1;
-  if t.active = 0 && Queue.is_empty t.q then Condition.broadcast t.cond;
+  if t.active = 0 then Condition.broadcast t.cond;
   Mutex.unlock t.m
 
 let stop t =

@@ -14,6 +14,8 @@ type t = {
   max_runs : int option;
   steps : int option;
   robust_bound : int option;
+  dpor : bool;
+  steal : bool;
   out : string option;
   heartbeat : int option;
   trace : bool;
@@ -42,6 +44,8 @@ let parse_result ~argv ~prog ?(commands = []) ?(file_arg = false) () =
   let max_runs = ref None in
   let steps = ref None in
   let robust_bound = ref None in
+  let dpor = ref false in
+  let steal = ref false in
   let out = ref None in
   let heartbeat = ref None in
   let trace = ref false in
@@ -94,6 +98,13 @@ let parse_result ~argv ~prog ?(commands = []) ?(file_arg = false) () =
         ( "--robust-bound",
           Arg.Int (set_opt robust_bound),
           "N Also hunt retired-backlog robustness violations beyond N" );
+        ( "--dpor",
+          Arg.Set dpor,
+          " Sleep-set partial-order reduction for systematic exploration" );
+        ( "--steal",
+          Arg.Set steal,
+          " Randomized work stealing for parallel exploration (with \
+           --domains > 1)" );
         ( "--out",
           Arg.String (set_opt out),
           "FILE Output path (explore counterexample, trace JSON)" );
@@ -149,6 +160,8 @@ let parse_result ~argv ~prog ?(commands = []) ?(file_arg = false) () =
         max_runs = !max_runs;
         steps = !steps;
         robust_bound = !robust_bound;
+        dpor = !dpor;
+        steal = !steal;
         out = !out;
         heartbeat = !heartbeat;
         trace = !trace;

@@ -25,6 +25,12 @@ type t = {
   steps : int option;  (** [--steps N] per-run quantum budget *)
   robust_bound : int option;
       (** [--robust-bound N] — explore also flags retired backlogs > N *)
+  dpor : bool;
+      (** [--dpor] — sleep-set partial-order reduction for systematic
+          exploration *)
+  steal : bool;
+      (** [--steal] — randomized work stealing across explore workers
+          instead of the level-synchronous queue (with [--domains] > 1) *)
   out : string option;
       (** [--out FILE] output path (explore counterexample, trace JSON) *)
   heartbeat : int option;

@@ -155,6 +155,34 @@ val fingerprint : t -> int
     only cost exploration coverage, never soundness of a reported
     violation. *)
 
+val enable_xfingerprint : t -> unit
+(** Switch on the incremental fingerprint: from this call on the heap
+    maintains an XOR-of-per-cell-hashes digest at every mutation, making
+    {!xfingerprint} O(1). Costs two per-cell hashes per mutation while
+    enabled and a single branch per mutation for heaps that never enable
+    it. Used by the schedule explorer's DPOR mode, which fingerprints
+    the state at every branch point. *)
+
+val xfingerprint : t -> int
+(** O(1) digest of the same per-cell content as {!fingerprint} but with
+    XOR combining — a {e different} hash function, so values from the
+    two must never share a visited set. Raises [Invalid_argument] unless
+    {!enable_xfingerprint} was called. *)
+
+(** {2 Snapshot / restore} *)
+
+type snapshot
+(** A deep copy of the heap: every cell's content plus the allocator
+    bookkeeping (free list, counters, incremental-fingerprint state). *)
+
+val snapshot : t -> snapshot
+
+val restore : t -> snapshot -> unit
+(** Rewrite the heap in place to the captured state; cells allocated
+    after the capture are forgotten. Only meaningful on the heap the
+    snapshot was taken from (checked by address layout; raises
+    [Invalid_argument] otherwise). *)
+
 val cell_state : t -> addr:int -> Lifecycle.t
 val node_at : t -> addr:int -> int
 val key_of_cell : t -> addr:int -> int

@@ -148,7 +148,21 @@ let test_save_load_replay () =
 (* ------------------------------------------------------------------ *)
 
 let with_domains d config = { config with Ex.domains = d }
+let with_steal d config = { config with Ex.domains = d; Ex.steal = true }
+let with_dpor config = { config with Ex.dpor = true }
 let kind_of_cex c = c.Ex.c_violation.Ex.v_kind
+
+(* CI runs the suite twice: with the default domain sweep and with
+   ERA_TEST_DOMAINS=2, which pins every multi-domain test to exactly
+   that count — 2-domain interleavings get a dedicated pass instead of
+   sharing wall clock with the 4-domain sweep. *)
+let diff_domain_counts =
+  match Sys.getenv_opt "ERA_TEST_DOMAINS" with
+  | Some s -> (
+    match int_of_string_opt s with
+    | Some n when n >= 2 -> [ n ]
+    | _ -> [ 2; 4 ])
+  | None -> [ 2; 4 ]
 
 (* The built-in targets: the Figure 2 safety cells for each unsafe
    scheme, the Figure 1 robustness-dichotomy pair, and the stall-fuzz
@@ -203,8 +217,87 @@ let test_differential () =
                 (v.Ex.v_kind = kind_of_cex c)
             | None ->
               Alcotest.failf "%s d=%d: shrunk script does not replay" label d))
-        [ 2; 4 ])
+        diff_domain_counts)
     diff_cells
+
+(* DPOR (sequential) must agree with the classic search on every
+   built-in cell: same violation kind, same (minimal) preemption level —
+   sleep sets only cut schedules that commute with explored ones, so a
+   violation findable without them stays findable — and the shrunk
+   script must replay. Fewer or equal runs is the whole point. *)
+let test_dpor_differential () =
+  List.iter
+    (fun ((label, _, _, _) as cell) ->
+      let target = target_of_cell cell in
+      let seq = Ex.explore ~config:small target in
+      let dpor = Ex.explore ~config:(with_dpor small) target in
+      Alcotest.(check bool)
+        (label ^ " dpor same violation kind")
+        true
+        (Option.map kind_of_cex dpor.Ex.res_cex
+        = Option.map kind_of_cex seq.Ex.res_cex);
+      Alcotest.(check (option int))
+        (label ^ " dpor same found preemption level")
+        seq.Ex.res_stats.Ex.cex_preemptions
+        dpor.Ex.res_stats.Ex.cex_preemptions;
+      Alcotest.(check bool)
+        (label ^ " dpor does not run more")
+        true
+        (dpor.Ex.res_stats.Ex.runs <= seq.Ex.res_stats.Ex.runs);
+      match dpor.Ex.res_cex with
+      | None -> ()
+      | Some c -> (
+        match (Ex.replay target c).Ex.rp_violation with
+        | Some v ->
+          Alcotest.(check bool)
+            (label ^ " dpor shrunk script replays")
+            true
+            (v.Ex.v_kind = kind_of_cex c)
+        | None -> Alcotest.failf "%s: dpor script does not replay" label))
+    diff_cells
+
+(* Work stealing has no level barriers, so the found preemption level is
+   not compared (not guaranteed minimal) — violation kind and sequential
+   replayability still must agree with the sequential search. *)
+let test_steal_differential () =
+  List.iter
+    (fun ((label, _, _, _) as cell) ->
+      let target = target_of_cell cell in
+      let seq = Ex.explore ~config:small target in
+      let seq_kind = Option.map kind_of_cex seq.Ex.res_cex in
+      List.iter
+        (fun d ->
+          let st = Ex.explore ~config:(with_steal d small) target in
+          Alcotest.(check bool)
+            (Fmt.str "%s steal d=%d same violation kind" label d)
+            true
+            (Option.map kind_of_cex st.Ex.res_cex = seq_kind);
+          match st.Ex.res_cex with
+          | None -> ()
+          | Some c -> (
+            match (Ex.replay target c).Ex.rp_violation with
+            | Some v ->
+              Alcotest.(check bool)
+                (Fmt.str "%s steal d=%d script replays" label d)
+                true
+                (v.Ex.v_kind = kind_of_cex c)
+            | None ->
+              Alcotest.failf "%s steal d=%d: script does not replay" label d))
+        diff_domain_counts)
+    diff_cells
+
+let test_dpor_deterministic () =
+  let target = App.explore_target (scheme "hp") App.Harris in
+  let a = Ex.explore ~config:(with_dpor small) target in
+  let b = Ex.explore ~config:(with_dpor small) target in
+  Alcotest.(check int) "runs" a.Ex.res_stats.Ex.runs b.Ex.res_stats.Ex.runs;
+  Alcotest.(check int) "states" a.Ex.res_stats.Ex.states
+    b.Ex.res_stats.Ex.states;
+  Alcotest.(check int) "sleep cuts" a.Ex.res_stats.Ex.sleep_cuts
+    b.Ex.res_stats.Ex.sleep_cuts;
+  let steps r = Option.map (fun c -> c.Ex.c_steps) r.Ex.res_cex in
+  Alcotest.(check bool) "identical shrunk schedule" true
+    (steps a = steps b && steps a <> None)
 
 (* [domains = 1] is the pre-PR sequential DFS, bit for bit. The hp cell's
    run/state counts are pinned as goldens — the simulation is
@@ -337,14 +430,20 @@ let prop_fp_equivalence =
       QCheck.assume (seq.Ex.res_cex = None);
       (* the space must have been exhausted, not budget-truncated *)
       QCheck.assume (seq.Ex.res_stats.Ex.levels_completed = 2);
+      let same par =
+        par.Ex.res_fps = seq.Ex.res_fps
+        && par.Ex.res_stats.Ex.runs = seq.Ex.res_stats.Ex.runs
+        && par.Ex.res_stats.Ex.states = seq.Ex.res_stats.Ex.states
+        && par.Ex.res_cex = None
+      in
       List.for_all
         (fun d ->
-          let par = Ex.explore ~config:(with_domains d config) target in
-          par.Ex.res_fps = seq.Ex.res_fps
-          && par.Ex.res_stats.Ex.runs = seq.Ex.res_stats.Ex.runs
-          && par.Ex.res_stats.Ex.states = seq.Ex.res_stats.Ex.states
-          && par.Ex.res_cex = None)
-        [ 2; 4 ])
+          (* With pruning off, the work-stealing engine enumerates the
+             same full tree as the level-synchronous one — only in a
+             different order. *)
+          same (Ex.explore ~config:(with_domains d config) target)
+          && same (Ex.explore ~config:(with_steal d config) target))
+        diff_domain_counts)
 
 (* Soundness: whatever schedule a parallel search reports, the sequential
    replayer must reproduce the violation — a parallel-only artifact would
@@ -372,7 +471,38 @@ let prop_parallel_sound =
             match (Ex.run_steps target c.Ex.c_steps).Ex.rp_violation with
             | Some v -> v.Ex.v_kind = kind_of_cex c
             | None -> false))
-        [ 2; 4 ])
+        diff_domain_counts)
+
+(* The DPOR soundness property: sleep-set reduction never suppresses a
+   violating schedule. On each random target the classic sequential
+   search and the DPOR sequential search must agree on {e whether} a
+   violation exists within the bound (sleep sets only cut schedules
+   that commute with explored ones), and a DPOR-found violation must
+   replay sequentially with classic semantics. *)
+let prop_dpor_sound =
+  QCheck.Test.make
+    ~name:"sleep sets never suppress a violating schedule" ~count:12 arb_case
+    (fun (structure, ops0, ops1) ->
+      let target = op_target ~structure ~scheme_name:"hp" [| ops0; ops1 |] in
+      let config =
+        {
+          Ex.default_config with
+          Ex.max_preemptions = 1;
+          max_runs = 30_000;
+          shrink = false;
+        }
+      in
+      let classic = Ex.explore ~config target in
+      let dpor = Ex.explore ~config:(with_dpor config) target in
+      (classic.Ex.res_cex = None) = (dpor.Ex.res_cex = None)
+      && dpor.Ex.res_stats.Ex.runs <= classic.Ex.res_stats.Ex.runs
+      &&
+      match dpor.Ex.res_cex with
+      | None -> true
+      | Some c -> (
+        match (Ex.run_steps target c.Ex.c_steps).Ex.rp_violation with
+        | Some v -> v.Ex.v_kind = kind_of_cex c
+        | None -> false))
 
 (* ------------------------------------------------------------------ *)
 (* Crash safety: injected worker faults                                *)
@@ -426,6 +556,122 @@ let test_sequential_fault_partial_report () =
   let r = Ex.explore ~config target in
   Alcotest.(check int) "one failed run" 1 r.Ex.res_stats.Ex.failed_runs;
   Alcotest.(check int) "budget still fully used" 50 r.Ex.res_stats.Ex.runs
+
+(* ------------------------------------------------------------------ *)
+(* Heartbeat under parallel load; budget boundary                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Heartbeat stress (the per-domain-counter data-race regression): with
+   a 2-domain search reporting after every run, the coordinator reads
+   the per-domain run counters while the other worker is writing its
+   own — previously through a plain int array (an unsynchronized race in
+   the OCaml memory model), now through per-slot atomics. The test
+   asserts every snapshot is well-formed and the final per-domain
+   breakdown exactly accounts for the budget. *)
+let heartbeat_stress config =
+  let target = App.explore_target (scheme "ebr") App.Harris in
+  let beats = ref 0 in
+  let bad = ref [] in
+  let config =
+    {
+      config with
+      Ex.max_runs = 150;
+      shrink = false;
+      progress_every = 1;
+      on_progress =
+        Some
+          (fun p ->
+            incr beats;
+            if Array.length p.Ex.pg_per_domain_runs <> config.Ex.domains then
+              bad := "per-domain array length" :: !bad;
+            if Array.exists (fun n -> n < 0) p.Ex.pg_per_domain_runs then
+              bad := "negative per-domain count" :: !bad;
+            (* the CAS budget reserve: the run counter may never
+               overshoot the budget, even transiently *)
+            if p.Ex.pg_runs > 150 then bad := "runs above budget" :: !bad;
+            if p.Ex.pg_budget_left < 0 then bad := "negative budget" :: !bad);
+    }
+  in
+  let r = Ex.explore ~config target in
+  let s = r.Ex.res_stats in
+  Alcotest.(check (list string)) "all snapshots well-formed" [] !bad;
+  Alcotest.(check bool) "heartbeats fired" true (!beats > 0);
+  Alcotest.(check int) "per-domain breakdown sums to runs" s.Ex.runs
+    (List.fold_left ( + ) 0 s.Ex.per_domain_runs);
+  Alcotest.(check bool) "budget respected in final stats" true
+    (s.Ex.runs <= 150)
+
+let test_heartbeat_stress_queue () =
+  heartbeat_stress (with_domains 2 Ex.default_config)
+
+let test_heartbeat_stress_steal () =
+  heartbeat_stress (with_steal 2 Ex.default_config)
+
+(* Budget boundary regression: with several workers racing the last few
+   run slots, the old fetch-and-add-then-rollback reservation could
+   both overshoot [max_runs] transiently and under-count after the
+   racing rollbacks; the CAS reserve hands out exactly [max_runs]
+   slots. An awkward budget (not divisible by the domain count) on a
+   violation-free target exercises the contention at the boundary. *)
+let budget_boundary config =
+  let target = App.explore_target (scheme "ebr") App.Harris in
+  let config = { config with Ex.max_runs = 7; shrink = false } in
+  let r = Ex.explore ~config target in
+  let s = r.Ex.res_stats in
+  Alcotest.(check int) "exactly max_runs runs" 7 s.Ex.runs;
+  Alcotest.(check int) "per-domain breakdown accounts for every run" 7
+    (List.fold_left ( + ) 0 s.Ex.per_domain_runs)
+
+let test_budget_boundary_queue () =
+  budget_boundary (with_domains 4 Ex.default_config)
+
+let test_budget_boundary_steal () =
+  budget_boundary (with_steal 4 Ex.default_config)
+
+(* ------------------------------------------------------------------ *)
+(* Work queue: quiescence wake-up                                      *)
+(* ------------------------------------------------------------------ *)
+
+module Wq = Era_explore.Work_queue
+
+(* Single-threaded semantics: batched handoff, quiescence only when
+   drained AND no batch outstanding. *)
+let test_work_queue_semantics () =
+  let q = Wq.create ~batch:2 () in
+  Wq.push_batch q [ 1; 2; 3 ];
+  (match Wq.take q with
+  | Some [ 1; 2 ] -> ()
+  | _ -> Alcotest.fail "first take should hand out [1; 2]");
+  (* queue still holds 3 and the caller is active: more work can come *)
+  Wq.push_batch q [ 4 ];
+  Wq.batch_done q;
+  (match Wq.take q with
+  | Some [ 3; 4 ] -> ()
+  | _ -> Alcotest.fail "second take should hand out [3; 4]");
+  Wq.batch_done q;
+  Alcotest.(check bool) "drained queue with no active worker quiesces" true
+    (Wq.take q = None);
+  Alcotest.(check bool) "take after quiescence stays None" true
+    (Wq.take q = None)
+
+(* The lost-wakeup scenario the audit covered: a worker blocks in [take]
+   on an empty queue while the last active worker finishes a batch that
+   produced no children. [batch_done] must wake the waiter (it
+   broadcasts whenever the active count hits zero); if that wake-up were
+   conditioned away, the waiter would sleep forever and this test would
+   hang rather than fail. *)
+let test_work_queue_last_worker_wakeup () =
+  let q = Wq.create ~batch:1 () in
+  Wq.push_batch q [ 42 ];
+  (match Wq.take q with
+  | Some [ 42 ] -> ()
+  | _ -> Alcotest.fail "setup take");
+  (* this domain now blocks: queue empty, one active worker remains *)
+  let waiter = Domain.spawn (fun () -> Wq.take q) in
+  Unix.sleepf 0.05;
+  Wq.batch_done q;
+  Alcotest.(check bool) "blocked waiter woken into quiescence" true
+    (Domain.join waiter = None)
 
 (* ------------------------------------------------------------------ *)
 (* Save: parent-directory handling                                     *)
@@ -521,11 +767,18 @@ let () =
             test_differential;
           Alcotest.test_case "domains=1 bit-identical to sequential" `Quick
             test_domains1_bit_identical;
+          Alcotest.test_case "dpor agrees with classic on built-ins" `Quick
+            test_dpor_differential;
+          Alcotest.test_case "work stealing agrees on built-ins" `Quick
+            test_steal_differential;
+          Alcotest.test_case "dpor search is deterministic" `Quick
+            test_dpor_deterministic;
         ] );
       ( "parallel-qcheck",
         [
           QCheck_alcotest.to_alcotest prop_fp_equivalence;
           QCheck_alcotest.to_alcotest prop_parallel_sound;
+          QCheck_alcotest.to_alcotest prop_dpor_sound;
         ] );
       ( "crash-safety",
         [
@@ -533,6 +786,24 @@ let () =
             `Quick test_worker_crash_queue_integrity;
           Alcotest.test_case "sequential fault gives a partial report" `Quick
             test_sequential_fault_partial_report;
+        ] );
+      ( "heartbeat-budget",
+        [
+          Alcotest.test_case "heartbeat stress, queue engine" `Quick
+            test_heartbeat_stress_queue;
+          Alcotest.test_case "heartbeat stress, steal engine" `Quick
+            test_heartbeat_stress_steal;
+          Alcotest.test_case "budget boundary, queue engine" `Quick
+            test_budget_boundary_queue;
+          Alcotest.test_case "budget boundary, steal engine" `Quick
+            test_budget_boundary_steal;
+        ] );
+      ( "work-queue",
+        [
+          Alcotest.test_case "batched handoff and quiescence" `Quick
+            test_work_queue_semantics;
+          Alcotest.test_case "last worker wakes blocked taker" `Quick
+            test_work_queue_last_worker_wakeup;
         ] );
       ( "save-dirs",
         [
