@@ -320,11 +320,104 @@ let e9 () =
     (fun scheme ->
       if want_scheme (scheme_name (scheme :> [ `Ebr | `Hp | `Ibr | `None ]))
       then begin
-        let r = e9_row ~scheme ~churn_ops:ops in
+        let r = e9_row ~scheme ~churn_ops:ops () in
         Fmt.pr "  %a@." pp_result r;
         emit_native "E9" "native-backlog" r
       end)
     [ `Ebr; `Hp; `Ibr ]
+
+(* ------------------------------------------------------------------ *)
+(* E16: native throughput at million-key Zipf traffic                  *)
+(* ------------------------------------------------------------------ *)
+
+let e16 () =
+  section "E16 | Native at scale: million-key Zipf vs uniform-small";
+  let open Era_native.Throughput in
+  let ops = Rc.ops_or cfg (if quick then 50_000 else 200_000) in
+  match Era_metrics.Run_config.(cfg.keys, cfg.zipf, cfg.mix) with
+  | (Some _, _, _) | (_, Some _, _) | (_, _, Some _) ->
+    (* CLI-specified workload: one row per scheme, no grid. *)
+    let contains_pct =
+      match cfg.Era_metrics.Run_config.mix with
+      | None -> 90
+      | Some m -> (
+        match contains_pct_of_mix m with
+        | Ok p -> p
+        | Error e -> invalid_arg ("--mix: " ^ e))
+    in
+    let workload =
+      custom_workload ?zipf:cfg.Era_metrics.Run_config.zipf
+        ~keys:(Option.value cfg.Era_metrics.Run_config.keys ~default:1024)
+        ~contains_pct ()
+    in
+    let domains = Rc.domains_or cfg 2 in
+    List.iter
+      (fun scheme ->
+        if want_scheme (scheme_name scheme) then begin
+          let r =
+            e16_row Michael ~scheme ~workload ~domains ~ops_per_domain:ops
+          in
+          Fmt.pr "  %a@." pp_result r;
+          emit_native "E16" "native-throughput" r
+        end)
+      [ `None; `Ebr; `Hp; `Ibr ]
+  | None, None, None ->
+    (* The standard grid. zipf-1m (s=0.99) cells are walk-bound — the
+       median key rank is in the thousands, so each op traverses
+       hundreds of nodes; they run at ops/4 and their signal is
+       backlog, not mops. zipf-1m-hot (s=1.5) concentrates on the list
+       head, walks are short, and per-op SMR overhead dominates — that
+       is the cell the perf gate watches. *)
+    let grid =
+      [
+        (Michael, `Ebr, uniform_small, 1, ops);
+        (Michael, `Hp, uniform_small, 1, ops);
+        (Michael, `Ibr, uniform_small, 1, ops);
+        (Harris, `Ebr, uniform_small, 1, ops);
+        (Michael, `Ebr, zipf_1m_hot, 1, ops);
+        (Michael, `Hp, zipf_1m_hot, 1, ops);
+        (Michael, `Ibr, zipf_1m_hot, 1, ops);
+        (Harris, `Ebr, zipf_1m_hot, 1, ops);
+        (Michael, `Ebr, zipf_1m, 1, ops / 4);
+        (Michael, `Hp, zipf_1m, 1, ops / 4);
+        (Michael, `Ebr, uniform_small, 2, ops);
+        (Michael, `Hp, uniform_small, 2, ops);
+        (Michael, `Ebr, zipf_1m_hot, 2, ops);
+        (Michael, `Hp, zipf_1m_hot, 2, ops);
+        (Michael, `Ebr, zipf_1m, 2, ops / 4);
+        (Michael, `Hp, zipf_1m, 2, ops / 4);
+      ]
+    in
+    let grid =
+      match cfg.Rc.domains with
+      | None -> grid
+      | Some n ->
+        List.sort_uniq compare
+          (List.map (fun (k, s, w, _, o) -> (k, s, w, n, o)) grid)
+    in
+    List.iter
+      (fun (kind, scheme, workload, domains, ops) ->
+        if want_scheme (scheme_name scheme) then begin
+          let r = e16_row kind ~scheme ~workload ~domains ~ops_per_domain:ops in
+          Fmt.pr "  %a@." pp_result r;
+          emit_native "E16" "native-throughput" r
+        end)
+      grid;
+    (* E9 at scale: the stall row under the hot-Zipf traffic — the
+       robustness/space trade-off does not soften when the key space
+       grows, because EBR's backlog tracks churn volume, not key count. *)
+    List.iter
+      (fun scheme ->
+        if
+          want_scheme (scheme_name (scheme :> [ `Ebr | `Hp | `Ibr | `None ]))
+        then begin
+          let r =
+            e9_row ~workload:zipf_1m_hot ~scheme ~churn_ops:(ops / 2) ()
+          in
+          Fmt.pr "  %a@." pp_result r;
+          emit_native "E16" "native-backlog" r
+        end)
+      [ `Ebr; `Hp; `Ibr ]
 
 (* ------------------------------------------------------------------ *)
 (* E10/E11: ablations                                                  *)
@@ -892,6 +985,7 @@ let () =
       ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5);
       ("E6", e6); ("E7", e7); ("E8", e8); ("E8b", e8b); ("E9", e9);
       ("E10", e10); ("E11", e11); ("E12", e12); ("E13", e13); ("E15", e15);
+      ("E16", e16);
       ("B1", b1_sim_read_cost); ("B2", b2_sim_lifecycle_cost);
       ("B3", b3_native_read_cost); ("B4", b4_checker_scaling);
       ("B5", b5_scheduler_overhead); ("B6", b6_trace_overhead);

@@ -352,26 +352,56 @@ let native () =
   let domains = Rc.domains_or cfg 2 in
   let sink = M.sink () in
   let native_scheme s = Rc.selects_scheme cfg (scheme_name s) in
-  List.iter
-    (fun (kind, scheme, mix) ->
-      if native_scheme scheme then begin
-        let r = e8_row kind ~scheme mix ~domains ~ops_per_domain:ops in
-        Fmt.pr "%a@." pp_result r;
-        M.add sink (to_row ~experiment:"E8" ~category:"native-throughput" r)
-      end)
-    [
-      (Harris, `Ebr, Churn); (Michael, `Ebr, Churn); (Michael, `Hp, Churn);
-      (Harris, `Ebr, Read_heavy); (Michael, `Ebr, Read_heavy);
-      (Michael, `Hp, Read_heavy);
-    ];
-  List.iter
-    (fun s ->
-      if native_scheme (s :> [ `Ebr | `Hp | `Ibr | `None ]) then begin
-        let r = e9_row ~scheme:s ~churn_ops:ops in
-        Fmt.pr "%a@." pp_result r;
-        M.add sink (to_row ~experiment:"E9" ~category:"native-backlog" r)
-      end)
-    [ `Ebr; `Hp; `Ibr ];
+  (match Rc.(cfg.keys, cfg.zipf, cfg.mix) with
+  | (Some _, _, _) | (_, Some _, _) | (_, _, Some _) ->
+    (* --keys/--zipf/--mix: one E16-style row per scheme on the
+       requested workload instead of the standard E8 grid. *)
+    let contains_pct =
+      match cfg.Rc.mix with
+      | None -> 90
+      | Some m -> (
+        match contains_pct_of_mix m with
+        | Ok p -> p
+        | Error e ->
+          Fmt.epr "era_cli native: --mix: %s@." e;
+          exit 2)
+    in
+    let workload =
+      custom_workload ?zipf:cfg.Rc.zipf
+        ~keys:(Option.value cfg.Rc.keys ~default:1024)
+        ~contains_pct ()
+    in
+    List.iter
+      (fun scheme ->
+        if native_scheme scheme then begin
+          let r =
+            e16_row Michael ~scheme ~workload ~domains ~ops_per_domain:ops
+          in
+          Fmt.pr "%a@." pp_result r;
+          M.add sink (to_row ~experiment:"E16" ~category:"native-throughput" r)
+        end)
+      [ `None; `Ebr; `Hp; `Ibr ]
+  | None, None, None ->
+    List.iter
+      (fun (kind, scheme, mix) ->
+        if native_scheme scheme then begin
+          let r = e8_row kind ~scheme mix ~domains ~ops_per_domain:ops in
+          Fmt.pr "%a@." pp_result r;
+          M.add sink (to_row ~experiment:"E8" ~category:"native-throughput" r)
+        end)
+      [
+        (Harris, `Ebr, Churn); (Michael, `Ebr, Churn); (Michael, `Hp, Churn);
+        (Harris, `Ebr, Read_heavy); (Michael, `Ebr, Read_heavy);
+        (Michael, `Hp, Read_heavy);
+      ];
+    List.iter
+      (fun s ->
+        if native_scheme (s :> [ `Ebr | `Hp | `Ibr | `None ]) then begin
+          let r = e9_row ~scheme:s ~churn_ops:ops () in
+          Fmt.pr "%a@." pp_result r;
+          M.add sink (to_row ~experiment:"E9" ~category:"native-backlog" r)
+        end)
+      [ `Ebr; `Hp; `Ibr ]);
   match cfg.Rc.json with
   | None -> ()
   | Some path ->

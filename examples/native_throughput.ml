@@ -33,7 +33,7 @@ let () =
   Fmt.pr "@.E9 — retired backlog with one stalled domain@.@.";
   List.iter
     (fun s ->
-      let r = e9_row ~scheme:s ~churn_ops:ops in
+      let r = e9_row ~scheme:s ~churn_ops:ops () in
       Fmt.pr "  %a@." pp_result r)
     [ `Ebr; `Hp; `Ibr ];
   Fmt.pr

@@ -16,6 +16,9 @@ type t = {
   robust_bound : int option;
   dpor : bool;
   steal : bool;
+  keys : int option;
+  zipf : float option;
+  mix : string option;
   out : string option;
   heartbeat : int option;
   trace : bool;
@@ -46,6 +49,9 @@ let parse_result ~argv ~prog ?(commands = []) ?(file_arg = false) () =
   let robust_bound = ref None in
   let dpor = ref false in
   let steal = ref false in
+  let keys = ref None in
+  let zipf = ref None in
+  let mix = ref None in
   let out = ref None in
   let heartbeat = ref None in
   let trace = ref false in
@@ -105,6 +111,16 @@ let parse_result ~argv ~prog ?(commands = []) ?(file_arg = false) () =
           Arg.Set steal,
           " Randomized work stealing for parallel exploration (with \
            --domains > 1)" );
+        ( "--keys",
+          Arg.Int (set_opt keys),
+          "N Key-space size for native list workloads (e.g. 1000000)" );
+        ( "--zipf",
+          Arg.Float (set_opt zipf),
+          "S Zipf skew for native key draws (omit for uniform)" );
+        ( "--mix",
+          Arg.String (set_opt mix),
+          "NAME Operation mix: churn, read-heavy, balanced, or a contains \
+           percentage 0-100" );
         ( "--out",
           Arg.String (set_opt out),
           "FILE Output path (explore counterexample, trace JSON)" );
@@ -162,6 +178,9 @@ let parse_result ~argv ~prog ?(commands = []) ?(file_arg = false) () =
         robust_bound = !robust_bound;
         dpor = !dpor;
         steal = !steal;
+        keys = !keys;
+        zipf = !zipf;
+        mix = !mix;
         out = !out;
         heartbeat = !heartbeat;
         trace = !trace;

@@ -31,6 +31,13 @@ type t = {
   steal : bool;
       (** [--steal] — randomized work stealing across explore workers
           instead of the level-synchronous queue (with [--domains] > 1) *)
+  keys : int option;
+      (** [--keys N] — key-space size for native list workloads *)
+  zipf : float option;
+      (** [--zipf S] — Zipf skew for native key draws (absent = uniform) *)
+  mix : string option;
+      (** [--mix NAME] — churn | read-heavy | balanced | a contains
+          percentage 0–100 (native list workloads) *)
   out : string option;
       (** [--out FILE] output path (explore counterexample, trace JSON) *)
   heartbeat : int option;

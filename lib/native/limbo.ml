@@ -1,0 +1,188 @@
+(* Fixed-capacity limbo bags (the DEBRA shape): retired nodes go into
+   node arrays chained oldest→newest, each bag stamped with a tag (the
+   retire epoch for EBR/IBR, unused for HP). Reclamation either drops
+   whole bags from the oldest end ([free_le]) or compacts every bag in
+   place ([sweep]). Emptied bags are recycled through a per-limbo free
+   list and pooled nodes through a growable array stack, so steady-state
+   retire/reclaim traffic allocates nothing. *)
+
+let bag_capacity = 64
+
+module Pool = struct
+  type t = {
+    mutable arr : Nnode.node array;
+    mutable len : int;
+  }
+
+  let create () = { arr = Array.make 64 Nnode.nil; len = 0 }
+  let size p = p.len
+  let is_empty p = p.len = 0
+
+  let put p n =
+    if p.len = Array.length p.arr then begin
+      let bigger = Array.make (2 * p.len) Nnode.nil in
+      Array.blit p.arr 0 bigger 0 p.len;
+      p.arr <- bigger
+    end;
+    p.arr.(p.len) <- n;
+    p.len <- p.len + 1
+
+  (* [nil] when empty — the caller's cue to allocate fresh. The vacated
+     slot is cleared so the pool never pins a node it handed out. *)
+  let take p =
+    if p.len = 0 then Nnode.nil
+    else begin
+      let len = p.len - 1 in
+      p.len <- len;
+      let n = p.arr.(len) in
+      p.arr.(len) <- Nnode.nil;
+      n
+    end
+
+  let mem p n =
+    let rec go i = i < p.len && (p.arr.(i) == n || go (i + 1)) in
+    go 0
+end
+
+type bag = {
+  mutable tag : int;
+  mutable count : int;
+  nodes : Nnode.node array;
+  mutable next : bag;
+}
+
+(* Chain terminator: a self-linked empty bag (cf. [Nnode.nil]); legal as
+   a [let rec] because only constructors appear on the right-hand
+   side. *)
+let rec nil_bag = { tag = 0; count = 0; nodes = [||]; next = nil_bag }
+
+type t = {
+  mutable oldest : bag;
+  mutable newest : bag;
+  mutable free : bag;  (* recycled bags, chained via [next] *)
+  mutable total : int;
+}
+
+let fresh_bag ~tag =
+  { tag; count = 0; nodes = Array.make bag_capacity Nnode.nil; next = nil_bag }
+
+let create () =
+  let b = fresh_bag ~tag:min_int in
+  { oldest = b; newest = b; free = nil_bag; total = 0 }
+
+let size t = t.total
+
+let recycle t b =
+  b.count <- 0;
+  b.tag <- min_int;
+  b.next <- t.free;
+  t.free <- b
+
+let take_bag t ~tag =
+  if t.free == nil_bag then fresh_bag ~tag
+  else begin
+    let b = t.free in
+    t.free <- b.next;
+    b.next <- nil_bag;
+    b.tag <- tag;
+    b
+  end
+
+(* Append [n] under [tag]. The newest bag is sealed (a fresh one opened)
+   when full or when the tag changes, so a bag's nodes all share one tag
+   and tags are non-decreasing along the chain. *)
+let push t ~tag n =
+  let nb = t.newest in
+  if nb.count = 0 then nb.tag <- tag
+  else if nb.count = bag_capacity || nb.tag <> tag then begin
+    let b = take_bag t ~tag in
+    nb.next <- b;
+    t.newest <- b
+  end;
+  let b = t.newest in
+  b.nodes.(b.count) <- n;
+  b.count <- b.count + 1;
+  t.total <- t.total + 1
+
+(* Drop whole bags from the oldest end while their tag is [<= horizon];
+   stops at the first ineligible bag (tags are non-decreasing, so
+   everything behind it is ineligible too). Returns the number freed. *)
+let free_le t ~horizon ~free =
+  let freed = ref 0 in
+  let rec drop b =
+    if b.tag <= horizon && b.count > 0 then begin
+      for i = 0 to b.count - 1 do
+        free b.nodes.(i);
+        b.nodes.(i) <- Nnode.nil
+      done;
+      freed := !freed + b.count;
+      let nxt = b.next in
+      recycle t b;
+      if nxt == nil_bag then begin
+        (* Chain emptied: reopen with one blank bag. *)
+        let nb = take_bag t ~tag:min_int in
+        nb.tag <- min_int;
+        t.oldest <- nb;
+        t.newest <- nb
+      end
+      else begin
+        t.oldest <- nxt;
+        drop nxt
+      end
+    end
+  in
+  drop t.oldest;
+  t.total <- t.total - !freed;
+  !freed
+
+(* Compact every bag in place: nodes failing [keep] are freed, the rest
+   slide down within their bag. Emptied bags are unlinked and recycled
+   (the last bag always stays so the chain is never empty). Returns the
+   number freed. *)
+let sweep t ~keep ~free =
+  let freed = ref 0 in
+  let compact b =
+    let w = ref 0 in
+    for i = 0 to b.count - 1 do
+      let n = b.nodes.(i) in
+      if keep b.tag n then begin
+        b.nodes.(!w) <- n;
+        incr w
+      end
+      else begin
+        free n;
+        incr freed
+      end
+    done;
+    for i = !w to b.count - 1 do
+      b.nodes.(i) <- Nnode.nil
+    done;
+    b.count <- !w
+  in
+  (* Walk with an explicit predecessor so empty bags can be unlinked. *)
+  let rec walk prev b =
+    let nxt = b.next in
+    compact b;
+    if b.count = 0 && nxt != nil_bag then begin
+      (* unlink b *)
+      (if prev == nil_bag then t.oldest <- nxt else prev.next <- nxt);
+      recycle t b;
+      walk prev nxt
+    end
+    else if nxt == nil_bag then t.newest <- b
+    else walk b nxt
+  in
+  walk nil_bag t.oldest;
+  t.total <- t.total - !freed;
+  !freed
+
+let iter t ~f =
+  let rec go b =
+    if b != nil_bag then begin
+      for i = 0 to b.count - 1 do
+        f b.tag b.nodes.(i)
+      done;
+      go b.next
+    end
+  in
+  go t.oldest

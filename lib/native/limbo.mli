@@ -1,0 +1,65 @@
+(** Fixed-capacity limbo bags and typed node pools for the native
+    reclamation schemes (the DEBRA shape, cf. SNIPPETS.md Snippet 3).
+
+    Retired nodes are appended to node arrays ("bags") chained
+    oldest→newest; each bag carries a tag (the retire epoch for EBR/IBR,
+    unused for HP) and all nodes in a bag share it, so tags are
+    non-decreasing along the chain. Reclamation either drops whole
+    eligible bags from the oldest end ({!free_le} — EBR's batch free) or
+    compacts bags in place under a per-node predicate ({!sweep} — HP/IBR
+    scans). Emptied bags are recycled through an internal free list and
+    nodes through {!Pool}, so steady-state retire/reclaim traffic
+    performs no allocation. Everything here is domain-private: one [t]
+    per domain, no synchronisation. *)
+
+val bag_capacity : int
+(** Nodes per bag (64). *)
+
+module Pool : sig
+  type t
+  (** Growable array stack of recycled nodes (per-domain, type-preserving
+      — the "pool" of the scheme interface). *)
+
+  val create : unit -> t
+
+  val put : t -> Nnode.node -> unit
+
+  val take : t -> Nnode.node
+  (** Pops a node, or returns {!Nnode.nil} when empty (the caller's cue
+      to allocate fresh). The vacated slot is cleared, so the pool never
+      pins a node it handed out. *)
+
+  val is_empty : t -> bool
+  val size : t -> int
+
+  val mem : t -> Nnode.node -> bool
+  (** Physical-equality membership scan (tests: a protected node must
+      never sit in a pool). *)
+end
+
+type t
+
+val create : unit -> t
+(** An empty chain holding one blank bag. *)
+
+val push : t -> tag:int -> Nnode.node -> unit
+(** Append a node under [tag]. Seals the newest bag (and opens a fresh
+    or recycled one) when it is full or the tag changes. Tags passed to
+    successive [push]es must be non-decreasing for {!free_le}'s
+    early-stop to be sound. *)
+
+val free_le : t -> horizon:int -> free:(Nnode.node -> unit) -> int
+(** Free every node in bags tagged [<= horizon], walking oldest→newest
+    and stopping at the first ineligible bag. Whole-bag batch free: no
+    per-node predicate. Returns the number freed. *)
+
+val sweep : t -> keep:(int -> Nnode.node -> bool) -> free:(Nnode.node -> unit) -> int
+(** Compact every bag in place, freeing nodes for which
+    [keep tag node] is false and recycling emptied bags. Returns the
+    number freed. *)
+
+val size : t -> int
+(** Nodes currently held across all bags. *)
+
+val iter : t -> f:(int -> Nnode.node -> unit) -> unit
+(** Visit every held node with its bag tag, oldest bag first (tests). *)

@@ -1,110 +1,133 @@
-(** Native epoch-based reclamation: global epoch [Atomic], per-domain
-    announcements, three retire buckets. One stalled domain stops the
-    epoch — experiment E9's backlog blow-up. *)
+(** Native epoch-based reclamation, DEBRA-style amortized hot path.
+
+    The global epoch is an [Atomic]; each domain publishes one packed
+    announcement word [(epoch lsl 1) lor active_bit]. [begin_op] is two
+    stores and a counter test: it re-announces the {e cached} epoch and
+    only every [amortize]-th operation takes the slow path (fresh epoch
+    read, re-announce, [try_advance], batch reclaim of eligible limbo
+    bags). Announcing a stale cached epoch is safe — it is {e more}
+    conservative, blocking the epoch advance exactly as a reader at that
+    epoch would. Retire tags, by contrast, MUST come from a fresh read
+    of the global epoch: tagging with a stale cached value could date an
+    unlink before a reader that still holds the unlinked pointer, and
+    the bag would free under that reader's feet.
+
+    Retired nodes go into per-domain {!Limbo} bags keyed by retire
+    epoch; the bucket of epoch [e] recycles (whole-bag, allocation-free)
+    once the global epoch reaches [e + 2]. Cheap reads (no per-access
+    protocol) but not robust: a stalled domain pins the epoch and the
+    backlog grows with the churn volume (experiment E9). *)
 
 let name = "ebr"
-
-let quiescent = max_int
+let default_amortize = 32
 
 type dstate = {
-  mutable buckets : (int * Nnode.node list * int) list;
-      (* (epoch, nodes, count), newest first *)
-  mutable pool : Nnode.node list;
-  mutable backlog : int;
+  limbo : Limbo.t;
+  pool : Limbo.Pool.t;
+  mutable ops : int;  (* per-domain op counter for the amortized path *)
+  mutable ann_active : int;  (* (cached epoch lsl 1) lor 1 *)
+  mutable ann_idle : int;  (* cached epoch lsl 1 *)
   mutable max_backlog : int;
   mutable reclaimed : int;
   mutable retired : int;
-  mutable scans : int;  (* epoch-bucket frees (passes that reclaimed) *)
+  mutable scans : int;  (* slow paths that freed at least one bag *)
 }
 
 type t = {
   ndomains : int;
+  amortize_mask : int;  (* amortize - 1; amortize is a power of two *)
   epoch : int Atomic.t;
-  announce : int Atomic.t array;  (* padded *)
+  announce : int Atomic.t array;  (* packed; padded *)
   domains : dstate array;
 }
 
 type tctx = {
   g : t;
   d : int;
+  ds : dstate;
 }
 
-let create ~ndomains =
+let create_with ?(amortize = default_amortize) ~ndomains () =
+  if amortize < 1 || amortize land (amortize - 1) <> 0 then
+    invalid_arg "N_ebr.create_with: amortize must be a power of two";
   {
     ndomains;
+    amortize_mask = amortize - 1;
     epoch = Atomic.make 0;
-    announce =
-      Array.init (ndomains * Nsmr.pad) (fun _ -> Atomic.make quiescent);
+    announce = Array.init (ndomains * Nsmr.pad) (fun _ -> Atomic.make 0);
     domains =
       Array.init ndomains (fun _ ->
-          { buckets = []; pool = []; backlog = 0; max_backlog = 0;
-            reclaimed = 0; retired = 0; scans = 0 });
+          { limbo = Limbo.create (); pool = Limbo.Pool.create (); ops = 0;
+            ann_active = 1; ann_idle = 0; max_backlog = 0; reclaimed = 0;
+            retired = 0; scans = 0 });
   }
 
-let thread g d = { g; d }
-
+let create ~ndomains = create_with ~ndomains ()
+let thread g d = { g; d; ds = g.domains.(d) }
 let announce_slot t = t.g.announce.(Nsmr.padded_index t.d)
 
-let reclaim_eligible t =
-  let ds = t.g.domains.(t.d) in
-  let horizon = Atomic.get t.g.epoch - 2 in
-  let eligible, kept =
-    List.partition (fun (e, _, _) -> e <= horizon) ds.buckets
-  in
-  ds.buckets <- kept;
-  if eligible <> [] then ds.scans <- ds.scans + 1;
-  List.iter
-    (fun (_, nodes, count) ->
-      ds.pool <- List.rev_append nodes ds.pool;
-      ds.backlog <- ds.backlog - count;
-      ds.reclaimed <- ds.reclaimed + count)
-    eligible
-
-let try_advance t =
-  let g = t.g in
+(* A slot blocks the advance from [e] iff its active bit is set and its
+   announced epoch is behind [e]. Idle domains never block. *)
+let try_advance g =
   let e = Atomic.get g.epoch in
-  let all_caught_up =
-    let ok = ref true in
-    for d = 0 to g.ndomains - 1 do
-      let a = Atomic.get g.announce.(Nsmr.padded_index d) in
-      if a <> quiescent && a < e then ok := false
-    done;
-    !ok
+  let ok = ref true in
+  for d = 0 to g.ndomains - 1 do
+    let a = Atomic.get g.announce.(Nsmr.padded_index d) in
+    if a land 1 = 1 && a asr 1 < e then ok := false
+  done;
+  if !ok then ignore (Atomic.compare_and_set g.epoch e (e + 1))
+
+let slow_path t =
+  let g = t.g and ds = t.ds in
+  let e = Atomic.get g.epoch in
+  if e lsl 1 <> ds.ann_idle then begin
+    (* The epoch moved since we cached it: re-announce fresh so we stop
+       blocking the next advance, and update both cached words. *)
+    ds.ann_idle <- e lsl 1;
+    ds.ann_active <- (e lsl 1) lor 1;
+    Atomic.set (announce_slot t) ds.ann_active
+  end;
+  try_advance g;
+  let horizon = Atomic.get g.epoch - 2 in
+  let freed =
+    Limbo.free_le ds.limbo ~horizon ~free:(fun n -> Limbo.Pool.put ds.pool n)
   in
-  if all_caught_up then ignore (Atomic.compare_and_set g.epoch e (e + 1))
+  if freed > 0 then begin
+    ds.reclaimed <- ds.reclaimed + freed;
+    ds.scans <- ds.scans + 1
+  end
 
 let begin_op t =
-  Atomic.set (announce_slot t) (Atomic.get t.g.epoch);
-  try_advance t;
-  reclaim_eligible t
+  let ds = t.ds in
+  Atomic.set (announce_slot t) ds.ann_active;
+  let ops = ds.ops + 1 in
+  ds.ops <- ops;
+  if ops land t.g.amortize_mask = 0 then slow_path t
 
-let end_op t = Atomic.set (announce_slot t) quiescent
+let end_op t = Atomic.set (announce_slot t) t.ds.ann_idle
 
 let alloc t key =
-  let ds = t.g.domains.(t.d) in
-  match ds.pool with
-  | n :: rest ->
-    ds.pool <- rest;
-    Atomic.set n.Nnode.next (Nnode.link None);
+  let n = Limbo.Pool.take t.ds.pool in
+  if n == Nnode.nil then Nnode.make ~key
+  else begin
+    Atomic.set n.Nnode.next (Nnode.link Nnode.nil);
     n.Nnode.key <- key;
     n
-  | [] -> Nnode.make ~key
+  end
 
 let retire t n =
-  let ds = t.g.domains.(t.d) in
-  let e = Atomic.get t.g.epoch in
-  (ds.buckets <-
-    (match ds.buckets with
-    | (e', nodes, c) :: rest when e' = e -> (e, n :: nodes, c + 1) :: rest
-    | l -> (e, [ n ], 1) :: l));
+  let ds = t.ds in
+  (* Fresh epoch read — see the safety note above; the cached epoch is
+     NOT safe to use as a retire tag. *)
+  Limbo.push ds.limbo ~tag:(Atomic.get t.g.epoch) n;
   ds.retired <- ds.retired + 1;
-  ds.backlog <- ds.backlog + 1;
-  if ds.backlog > ds.max_backlog then ds.max_backlog <- ds.backlog;
-  reclaim_eligible t
+  let backlog = Limbo.size ds.limbo in
+  if backlog > ds.max_backlog then ds.max_backlog <- backlog
 
 let read_link _ n = Nnode.get n
 
-let backlog g = Array.fold_left (fun a d -> a + d.backlog) 0 g.domains
+let backlog g =
+  Array.fold_left (fun a d -> a + Limbo.size d.limbo) 0 g.domains
 
 let max_backlog g =
   Array.fold_left (fun a d -> max a d.max_backlog) 0 g.domains
@@ -117,7 +140,7 @@ let stats g =
       {
         Nsmr.retired = s.retired + d.retired;
         reclaimed = s.reclaimed + d.reclaimed;
-        backlog = s.backlog + d.backlog;
+        backlog = s.backlog + Limbo.size d.limbo;
         max_backlog = max s.max_backlog d.max_backlog;
         scans = s.scans + d.scans;
       })

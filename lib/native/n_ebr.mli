@@ -1,7 +1,22 @@
 (** Native epoch-based reclamation: a global epoch [Atomic], per-domain
-    announcements, and three per-domain retire buckets; the bucket of
-    epoch [e] recycles once the global epoch reaches [e + 2]. Cheap reads
-    (no per-access protocol) but not robust: a stalled domain pins the
-    epoch and the backlog grows with the churn volume (experiment E9). *)
+    packed announcements, per-domain limbo bags keyed by retire epoch;
+    the bag of epoch [e] recycles (whole-bag, allocation-free) once the
+    global epoch reaches [e + 2]. The hot path is DEBRA-style amortized:
+    [begin_op] re-announces the cached epoch and only every
+    [amortize]-th operation reads the global epoch, tries to advance it
+    and batch-frees eligible bags. Cheap reads (no per-access protocol)
+    but not robust: a stalled domain pins the epoch and the backlog
+    grows with the churn volume (experiment E9). *)
 
 include Nsmr.S
+
+val default_amortize : int
+(** Slow-path period of {!create} (32). *)
+
+val create_with : ?amortize:int -> ndomains:int -> unit -> t
+(** [create_with ~amortize:k] takes the epoch-advance/reclaim slow path
+    every [k]-th operation per domain ([k] a power of two, else
+    [Invalid_argument]). [k = 1] recovers the per-op epoch checks of the
+    unamortized scheme; the steady-state backlog scales with
+    [3 * k * retire-rate] per domain. [create] uses
+    {!default_amortize}. *)

@@ -21,7 +21,7 @@ module Make (S : Nsmr.S) = struct
   let create () =
     let tail = make ~key:max_int in
     let head = make ~key:min_int in
-    Atomic.set head.next (link (Some tail));
+    Atomic.set head.next (link tail);
     { head; tail }
 
   let head t = t.head
@@ -35,7 +35,7 @@ module Make (S : Nsmr.S) = struct
       let acc =
         if not n_link.marked then (n, n_link) else (left, left_link)
       in
-      let n' = target_exn n_link in
+      let n' = n_link.target in
       if n' == t.tail then (fst acc, snd acc, n')
       else
         let n'_link = S.read_link s n' in
@@ -43,14 +43,11 @@ module Make (S : Nsmr.S) = struct
         else (fst acc, snd acc, n')
     in
     let left, left_link, right = find t.head first (t.head, first) in
-    let adjacent =
-      match left_link.target with Some n -> n == right | None -> false
-    in
-    if adjacent then
+    if left_link.target == right then
       if right != t.tail && (S.read_link s right).marked then search t s key
       else (left, left_link, right)
     else begin
-      let fresh = link (Some right) in
+      let fresh = link right in
       if Atomic.compare_and_set left.next left_link fresh then
         if right != t.tail && (S.read_link s right).marked then search t s key
         else (left, fresh, right)
@@ -67,9 +64,8 @@ module Make (S : Nsmr.S) = struct
         false
       end
       else begin
-        Atomic.set node.next (link (Some curr));
-        if Atomic.compare_and_set pred.next pred_link (link (Some node)) then
-          true
+        Atomic.set node.next (link curr);
+        if Atomic.compare_and_set pred.next pred_link (link node) then true
         else loop ()
       end
     in
@@ -115,13 +111,11 @@ module Make (S : Nsmr.S) = struct
   let to_list t s =
     S.begin_op s;
     let rec walk l acc =
-      match l.target with
-      | None -> List.rev acc
-      | Some n ->
-        if n == t.tail then List.rev acc
-        else
-          let nl = S.read_link s n in
-          walk nl (if nl.marked then acc else n.key :: acc)
+      let n = l.target in
+      if n == nil || n == t.tail then List.rev acc
+      else
+        let nl = S.read_link s n in
+        walk nl (if nl.marked then acc else n.key :: acc)
     in
     let r = walk (S.read_link s t.head) [] in
     S.end_op s;

@@ -1,34 +1,40 @@
 (** Native hazard pointers: per-domain atomic slots, protect-validate
     loads, scan-on-threshold reclamation into a type-preserving pool.
-    Backlog bounded by [ndomains * (threshold + slots)]. *)
+    Backlog bounded by [ndomains * (threshold + slots)].
+
+    Retired nodes sit in per-domain {!Limbo} bags (tag unused); a scan
+    snapshots the hazard slots into domain-private scratch and compacts
+    the bags in place, so retire and scan are allocation-free. Slots
+    hold {!Nnode.nil} when empty rather than [None] — no [Some] box on
+    the protect path. *)
 
 let name = "hp"
 let slots_per_domain = 3
 let scan_threshold = 64
 
 type dstate = {
-  mutable retired : Nnode.node list;
-  mutable retired_count : int;
-  mutable pool : Nnode.node list;
+  limbo : Limbo.t;
+  pool : Limbo.Pool.t;
   mutable max_backlog : int;
   mutable reclaimed : int;
   mutable retired_total : int;
   mutable scans : int;
   mutable rot : int;
-  hz_buf : Nnode.node option array;
+  hz_buf : Nnode.node array;
       (* per-domain scan scratch: the hazard snapshot; private to the
          owning domain, so scans stay allocation-free and race-free *)
 }
 
 type t = {
   ndomains : int;
-  hp : Nnode.node option Atomic.t array;  (* ndomains * slots, padded *)
+  hp : Nnode.node Atomic.t array;  (* ndomains * slots, padded; nil = empty *)
   domains : dstate array;
 }
 
 type tctx = {
   g : t;
   d : int;
+  ds : dstate;
 }
 
 let create ~ndomains =
@@ -37,113 +43,101 @@ let create ~ndomains =
     hp =
       Array.init
         (ndomains * slots_per_domain * Nsmr.pad)
-        (fun _ -> Atomic.make None);
+        (fun _ -> Atomic.make Nnode.nil);
     domains =
       Array.init ndomains (fun _ ->
-          { retired = []; retired_count = 0; pool = []; max_backlog = 0;
-            reclaimed = 0; retired_total = 0; scans = 0; rot = 0;
-            hz_buf = Array.make (ndomains * slots_per_domain) None });
+          { limbo = Limbo.create (); pool = Limbo.Pool.create ();
+            max_backlog = 0; reclaimed = 0; retired_total = 0; scans = 0;
+            rot = 0;
+            hz_buf = Array.make (ndomains * slots_per_domain) Nnode.nil });
   }
 
-let thread g d = { g; d }
+let thread g d = { g; d; ds = g.domains.(d) }
 
 let slot g d s = g.hp.(((d * slots_per_domain) + s) * Nsmr.pad)
 
 let clear_slots t =
   for s = 0 to slots_per_domain - 1 do
-    Atomic.set (slot t.g t.d s) None
+    Atomic.set (slot t.g t.d s) Nnode.nil
   done
 
 let begin_op t =
-  t.g.domains.(t.d).rot <- 0;
+  t.ds.rot <- 0;
   clear_slots t
 
 let end_op t = clear_slots t
 
 let alloc t key =
-  let ds = t.g.domains.(t.d) in
-  match ds.pool with
-  | n :: rest ->
-    ds.pool <- rest;
-    Atomic.set n.Nnode.next (Nnode.link None);
+  let n = Limbo.Pool.take t.ds.pool in
+  if n == Nnode.nil then Nnode.make ~key
+  else begin
+    Atomic.set n.Nnode.next (Nnode.link Nnode.nil);
     n.Nnode.key <- key;
     n
-  | [] -> Nnode.make ~key
+  end
 
-(* Snapshot the slots into the domain's scratch array, then walk the
-   retired list once: keep protected nodes (counted as we go), move the
-   rest straight to the pool. Pushing frees one by one while iterating
-   in list order leaves the pool in the same order as the old
-   [List.rev_append free] — and no intermediate lists are built. *)
+(* Snapshot the slots into the domain's scratch array, then compact the
+   limbo bags in place: protected nodes stay, the rest go straight to
+   the pool. No intermediate lists. *)
 let scan t =
   let g = t.g in
-  let ds = g.domains.(t.d) in
+  let ds = t.ds in
   ds.scans <- ds.scans + 1;
   let hz = ds.hz_buf in
   let nhz = ref 0 in
   for d = 0 to g.ndomains - 1 do
     for s = 0 to slots_per_domain - 1 do
-      match Atomic.get (slot g d s) with
-      | Some _ as o ->
-        hz.(!nhz) <- o;
+      let n = Atomic.get (slot g d s) in
+      if n != Nnode.nil then begin
+        hz.(!nhz) <- n;
         incr nhz
-      | None -> ()
+      end
     done
   done;
   let protected_ n =
-    let rec probe i =
-      i < !nhz
-      && ((match hz.(i) with Some m -> m == n | None -> false)
-          || probe (i + 1))
-    in
+    let rec probe i = i < !nhz && (hz.(i) == n || probe (i + 1)) in
     probe 0
   in
-  let keep = ref [] in
-  let kept = ref 0 in
-  List.iter
-    (fun n ->
-      if protected_ n then begin
-        keep := n :: !keep;
-        incr kept
-      end
-      else begin
-        ds.reclaimed <- ds.reclaimed + 1;
-        ds.pool <- n :: ds.pool
-      end)
-    ds.retired;
-  ds.retired <- List.rev !keep;
-  ds.retired_count <- !kept;
-  Array.fill hz 0 !nhz None
+  let freed =
+    Limbo.sweep t.ds.limbo
+      ~keep:(fun _tag n -> protected_ n)
+      ~free:(fun n -> Limbo.Pool.put ds.pool n)
+  in
+  ds.reclaimed <- ds.reclaimed + freed;
+  Array.fill hz 0 !nhz Nnode.nil
 
 let retire t n =
-  let ds = t.g.domains.(t.d) in
-  ds.retired <- n :: ds.retired;
-  ds.retired_count <- ds.retired_count + 1;
+  let ds = t.ds in
+  Limbo.push ds.limbo ~tag:0 n;
   ds.retired_total <- ds.retired_total + 1;
-  if ds.retired_count > ds.max_backlog then ds.max_backlog <- ds.retired_count;
-  if ds.retired_count >= scan_threshold then scan t
+  let backlog = Limbo.size ds.limbo in
+  if backlog > ds.max_backlog then ds.max_backlog <- backlog;
+  if backlog >= scan_threshold then scan t
 
 (* Protect-validate: load the link, publish its target in a rotating
    slot, re-load; retry until stable. *)
 let read_link t n =
-  let ds = t.g.domains.(t.d) in
+  let ds = t.ds in
   let rec loop () =
     let l = Nnode.get n in
-    match l.Nnode.target with
-    | None -> l
-    | Some tgt ->
+    if l.Nnode.target == Nnode.nil then l
+    else begin
       let s = ds.rot mod slots_per_domain in
-      Atomic.set (slot t.g t.d s) (Some tgt);
+      Atomic.set (slot t.g t.d s) l.Nnode.target;
       let l' = Nnode.get n in
       if Nnode.same_target l l' then begin
         ds.rot <- ds.rot + 1;
         l'
       end
       else loop ()
+    end
   in
   loop ()
 
-let backlog g = Array.fold_left (fun a d -> a + d.retired_count) 0 g.domains
+let in_pool t n = Limbo.Pool.mem t.ds.pool n
+
+let backlog g =
+  Array.fold_left (fun a d -> a + Limbo.size d.limbo) 0 g.domains
 
 let max_backlog g =
   Array.fold_left (fun a d -> max a d.max_backlog) 0 g.domains
@@ -156,7 +150,7 @@ let stats g =
       {
         Nsmr.retired = s.retired + d.retired_total;
         reclaimed = s.reclaimed + d.reclaimed;
-        backlog = s.backlog + d.retired_count;
+        backlog = s.backlog + Limbo.size d.limbo;
         max_backlog = max s.max_backlog d.max_backlog;
         scans = s.scans + d.scans;
       })

@@ -10,3 +10,7 @@ include Nsmr.S
 
 val slots_per_domain : int
 val scan_threshold : int
+
+val in_pool : tctx -> Nnode.node -> bool
+(** Is [n] sitting in this domain's recycle pool? (Tests: the
+    protected-never-pooled property.) *)

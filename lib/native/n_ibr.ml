@@ -1,15 +1,21 @@
 (** Native interval-based reclamation (2GE): birth epochs stamped at
     allocation, per-domain [lo, hi] reservations, interval-disjointness
-    scans. *)
+    scans.
+
+    Retired nodes sit in per-domain {!Limbo} bags tagged with their
+    retire epoch (pushes seal a bag whenever the tag changes, so a bag
+    groups exactly one retire epoch); the birth epoch travels on the
+    node itself. A scan compacts the bags in place under the
+    interval-disjointness predicate — retire and scan are
+    allocation-free. *)
 
 let name = "ibr"
 let allocs_per_epoch = 64
 let scan_threshold = 64
 
 type dstate = {
-  mutable retired : (Nnode.node * int * int) list;  (* node, birth, retire *)
-  mutable retired_count : int;
-  mutable pool : Nnode.node list;
+  limbo : Limbo.t;
+  pool : Limbo.Pool.t;
   mutable max_backlog : int;
   mutable reclaimed : int;
   mutable retired_total : int;
@@ -28,6 +34,7 @@ type t = {
 type tctx = {
   g : t;
   d : int;
+  ds : dstate;
 }
 
 let create ~ndomains =
@@ -39,13 +46,15 @@ let create ~ndomains =
     resv_hi = Array.init (ndomains * Nsmr.pad) (fun _ -> Atomic.make min_int);
     domains =
       Array.init ndomains (fun _ ->
-          { retired = []; retired_count = 0; pool = []; max_backlog = 0;
-            reclaimed = 0; retired_total = 0; scans = 0 });
+          { limbo = Limbo.create (); pool = Limbo.Pool.create ();
+            max_backlog = 0; reclaimed = 0; retired_total = 0; scans = 0 });
   }
 
-let thread g d = { g; d }
+let thread g d = { g; d; ds = g.domains.(d) }
 let lo t = t.g.resv_lo.(Nsmr.padded_index t.d)
 let hi t = t.g.resv_hi.(Nsmr.padded_index t.d)
+
+let current_epoch g = Atomic.get g.epoch
 
 let begin_op t =
   let e = Atomic.get t.g.epoch in
@@ -60,15 +69,14 @@ let alloc t key =
   let g = t.g in
   let a = Atomic.fetch_and_add g.allocs 1 in
   if a mod allocs_per_epoch = 0 then ignore (Atomic.fetch_and_add g.epoch 1);
-  let ds = g.domains.(t.d) in
+  let n = Limbo.Pool.take t.ds.pool in
   let n =
-    match ds.pool with
-    | n :: rest ->
-      ds.pool <- rest;
-      Atomic.set n.Nnode.next (Nnode.link None);
+    if n == Nnode.nil then Nnode.make ~key
+    else begin
+      Atomic.set n.Nnode.next (Nnode.link Nnode.nil);
       n.Nnode.key <- key;
       n
-    | [] -> Nnode.make ~key
+    end
   in
   n.Nnode.birth <- Atomic.get g.epoch;
   n
@@ -82,43 +90,37 @@ let intersects g ~birth ~retire_epoch =
   done;
   !conflict
 
-(* One pass over the retired list: keep intersecting nodes (counted as
-   we go), push the rest straight onto the pool — same pool order as the
-   old [rev_append (map fst free)], without building either list. *)
+(* Compact the limbo bags in place: nodes whose [birth, retire] interval
+   intersects some reservation stay; the rest go straight to the pool.
+   The retire epoch is the bag tag, the birth rides on the node. *)
 let scan t =
   let g = t.g in
-  let ds = g.domains.(t.d) in
+  let ds = t.ds in
   ds.scans <- ds.scans + 1;
-  let keep = ref [] in
-  let kept = ref 0 in
-  List.iter
-    (fun ((n, birth, retire_epoch) as r) ->
-      if intersects g ~birth ~retire_epoch then begin
-        keep := r :: !keep;
-        incr kept
-      end
-      else begin
-        ds.reclaimed <- ds.reclaimed + 1;
-        ds.pool <- n :: ds.pool
-      end)
-    ds.retired;
-  ds.retired <- List.rev !keep;
-  ds.retired_count <- !kept
+  let freed =
+    Limbo.sweep ds.limbo
+      ~keep:(fun retire_epoch n ->
+        intersects g ~birth:n.Nnode.birth ~retire_epoch)
+      ~free:(fun n -> Limbo.Pool.put ds.pool n)
+  in
+  ds.reclaimed <- ds.reclaimed + freed
 
 let retire t n =
-  let ds = t.g.domains.(t.d) in
-  ds.retired <-
-    (n, n.Nnode.birth, Atomic.get t.g.epoch) :: ds.retired;
-  ds.retired_count <- ds.retired_count + 1;
+  let ds = t.ds in
+  Limbo.push ds.limbo ~tag:(Atomic.get t.g.epoch) n;
   ds.retired_total <- ds.retired_total + 1;
-  if ds.retired_count > ds.max_backlog then ds.max_backlog <- ds.retired_count;
-  if ds.retired_count >= scan_threshold then scan t
+  let backlog = Limbo.size ds.limbo in
+  if backlog > ds.max_backlog then ds.max_backlog <- backlog;
+  if backlog >= scan_threshold then scan t
 
 let read_link t n =
   Atomic.set (hi t) (Atomic.get t.g.epoch);
   Nnode.get n
 
-let backlog g = Array.fold_left (fun a d -> a + d.retired_count) 0 g.domains
+let in_pool t n = Limbo.Pool.mem t.ds.pool n
+
+let backlog g =
+  Array.fold_left (fun a d -> a + Limbo.size d.limbo) 0 g.domains
 
 let max_backlog g =
   Array.fold_left (fun a d -> max a d.max_backlog) 0 g.domains
@@ -131,7 +133,7 @@ let stats g =
       {
         Nsmr.retired = s.retired + d.retired_total;
         reclaimed = s.reclaimed + d.reclaimed;
-        backlog = s.backlog + d.retired_count;
+        backlog = s.backlog + Limbo.size d.limbo;
         max_backlog = max s.max_backlog d.max_backlog;
         scans = s.scans + d.scans;
       })

@@ -7,3 +7,10 @@ include Nsmr.S
 
 val allocs_per_epoch : int
 val scan_threshold : int
+
+val current_epoch : t -> int
+(** The global epoch right now (tests: retire-epoch bag tagging). *)
+
+val in_pool : tctx -> Nnode.node -> bool
+(** Is [n] sitting in this domain's recycle pool? (Tests: the
+    reserved-interval-never-pooled property.) *)

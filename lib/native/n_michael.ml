@@ -16,7 +16,7 @@ module Make (S : Nsmr.S) = struct
   let create () =
     let tail = make ~key:max_int in
     let head = make ~key:min_int in
-    Atomic.set head.next (link (Some tail));
+    Atomic.set head.next (link tail);
     { head; tail }
 
   let head t = t.head
@@ -26,7 +26,7 @@ module Make (S : Nsmr.S) = struct
      (and retired by the unlink winner) before stepping over it. *)
   let rec search t s key =
     let rec walk pred pred_link =
-      let curr = target_exn pred_link in
+      let curr = pred_link.target in
       if curr == t.tail then (pred, pred_link, curr)
       else
         let curr_link = S.read_link s curr in
@@ -53,9 +53,8 @@ module Make (S : Nsmr.S) = struct
         false
       end
       else begin
-        Atomic.set node.next (link (Some curr));
-        if Atomic.compare_and_set pred.next pred_link (link (Some node)) then
-          true
+        Atomic.set node.next (link curr);
+        if Atomic.compare_and_set pred.next pred_link (link node) then true
         else loop ()
       end
     in
@@ -98,13 +97,11 @@ module Make (S : Nsmr.S) = struct
   let to_list t s =
     S.begin_op s;
     let rec walk l acc =
-      match l.target with
-      | None -> List.rev acc
-      | Some n ->
-        if n == t.tail then List.rev acc
-        else
-          let nl = S.read_link s n in
-          walk nl (if nl.marked then acc else n.key :: acc)
+      let n = l.target in
+      if n == nil || n == t.tail then List.rev acc
+      else
+        let nl = S.read_link s n in
+        walk nl (if nl.marked then acc else n.key :: acc)
     in
     let r = walk (S.read_link s t.head) [] in
     S.end_op s;

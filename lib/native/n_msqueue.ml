@@ -10,24 +10,24 @@ module Make (S : Nsmr.S) = struct
 
   let create () =
     let dummy = make ~key:0 in
-    { head = Atomic.make (link (Some dummy));
-      tail = Atomic.make (link (Some dummy)) }
+    { head = Atomic.make (link dummy); tail = Atomic.make (link dummy) }
 
   let enqueue t s v =
     S.begin_op s;
     let node = S.alloc s v in
     let rec loop () =
       let last_l = Atomic.get t.tail in
-      let last = target_exn last_l in
+      let last = last_l.target in
       let nxt = S.read_link s last in
-      match nxt.target with
-      | None ->
-        if Atomic.compare_and_set last.next nxt (link (Some node)) then
-          ignore (Atomic.compare_and_set t.tail last_l (link (Some node)))
+      if nxt.target == nil then begin
+        if Atomic.compare_and_set last.next nxt (link node) then
+          ignore (Atomic.compare_and_set t.tail last_l (link node))
         else loop ()
-      | Some _ ->
+      end
+      else begin
         ignore (Atomic.compare_and_set t.tail last_l (link nxt.target));
         loop ()
+      end
     in
     loop ();
     S.end_op s
@@ -37,20 +37,21 @@ module Make (S : Nsmr.S) = struct
     let rec loop () =
       let first_l = Atomic.get t.head in
       let last_l = Atomic.get t.tail in
-      let first = target_exn first_l in
+      let first = first_l.target in
       let nxt = S.read_link s first in
-      if target_exn first_l == target_exn last_l then
-        match nxt.target with
-        | None -> None
-        | Some _ ->
+      if first == last_l.target then begin
+        if nxt.target == nil then None
+        else begin
           ignore (Atomic.compare_and_set t.tail last_l (link nxt.target));
           loop ()
+        end
+      end
       else
-        match nxt.target with
-        | None -> loop ()
-        | Some second ->
+        let second = nxt.target in
+        if second == nil then loop ()
+        else
           let v = second.key in
-          if Atomic.compare_and_set t.head first_l (link (Some second)) then begin
+          if Atomic.compare_and_set t.head first_l (link second) then begin
             S.retire s first;
             Some v
           end

@@ -5,7 +5,7 @@ open Nnode
 module Make (S : Nsmr.S) = struct
   type t = { top : link Atomic.t }
 
-  let create () = { top = Atomic.make (link None) }
+  let create () = { top = Atomic.make (link nil) }
 
   let push t s v =
     S.begin_op s;
@@ -13,7 +13,7 @@ module Make (S : Nsmr.S) = struct
     let rec loop () =
       let old_top = Atomic.get t.top in
       Atomic.set node.next old_top;
-      if Atomic.compare_and_set t.top old_top (link (Some node)) then ()
+      if Atomic.compare_and_set t.top old_top (link node) then ()
       else begin
         Domain.cpu_relax ();
         loop ()
@@ -26,9 +26,9 @@ module Make (S : Nsmr.S) = struct
     S.begin_op s;
     let rec loop () =
       let old_top = Atomic.get t.top in
-      match old_top.target with
-      | None -> None
-      | Some n ->
+      let n = old_top.target in
+      if n == nil then None
+      else
         let nxt = S.read_link s n in
         if Atomic.compare_and_set t.top old_top (link nxt.target) then begin
           let v = n.key in

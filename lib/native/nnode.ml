@@ -6,22 +6,24 @@ type node = {
 
 and link = {
   marked : bool;
-  target : node option;
+  target : node;
 }
 
+(* The null sentinel. [target == nil] is the null test; [nil.next] is a
+   self-link so the record is well-formed, but dereferencing it is a
+   protocol violation — every traversal checks for [nil] (or a
+   structure's own tail sentinel) first. Bootstrapping the cycle needs
+   one [Obj.magic]: the placeholder is an immediate (GC-safe) and is
+   overwritten before [nil] escapes this definition. *)
+let nil =
+  let n =
+    { key = max_int; next = Atomic.make (Obj.magic 0 : link); birth = 0 }
+  in
+  Atomic.set n.next { marked = false; target = n };
+  n
+
 let link ?(marked = false) target = { marked; target }
-let make ~key = { key; next = Atomic.make (link None); birth = 0 }
+let make ~key = { key; next = Atomic.make (link nil); birth = 0 }
 let get n = Atomic.get n.next
 
-let target_exn l =
-  match l.target with
-  | Some n -> n
-  | None -> invalid_arg "Nnode.target_exn: null link"
-
-let same_target a b =
-  a.marked = b.marked
-  &&
-  match a.target, b.target with
-  | None, None -> true
-  | Some x, Some y -> x == y
-  | (None | Some _), _ -> false
+let same_target a b = a.marked = b.marked && a.target == b.target

@@ -3,7 +3,12 @@
     A link packs a Harris-style mark bit with the successor pointer in
     one immutable record, so a single [Atomic.compare_and_set] updates
     both — the OCaml idiom for tagged pointers. CAS relies on physical
-    equality: always CAS with the exact link value previously read. *)
+    equality: always CAS with the exact link value previously read.
+
+    Null successors are the [nil] sentinel rather than an [option]: a
+    hot-path traversal dereferences [link.target] without unwrapping a
+    [Some] box, which removes one dependent load (and 2 words per link)
+    from every hop. *)
 
 type node = {
   mutable key : int;
@@ -13,15 +18,20 @@ type node = {
 
 and link = {
   marked : bool;
-  target : node option;
+  target : node;  (** [== nil] means null; test physically *)
 }
 
-val make : key:int -> node
-(** Fresh node with an unmarked null link and birth 0. *)
+val nil : node
+(** The shared null sentinel. [l.target == nil] replaces the old
+    [l.target = None] test. Its [key] is [max_int] and its link is a
+    self-link; reading {e through} [nil] is a protocol violation. *)
 
-val link : ?marked:bool -> node option -> link
+val make : key:int -> node
+(** Fresh node with an unmarked [nil] link and birth 0. *)
+
+val link : ?marked:bool -> node -> link
 val get : node -> link
-val target_exn : link -> node
+
 val same_target : link -> link -> bool
 (** Do two links denote the same (mark, target) value? (Physical node
     equality plus mark comparison — the bit-pattern test.) *)

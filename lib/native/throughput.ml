@@ -22,8 +22,11 @@ type mix =
   | Churn
   | Read_heavy
 
-let run_workers ?tracer ~label ~scheme ~structure ~domains ~ops_per_domain
-    ~make_worker ~stats () =
+let run_workers ?tracer ?ops_for ~label ~scheme ~structure ~domains
+    ~ops_per_domain ~make_worker ~stats () =
+  let ops_of =
+    match ops_for with None -> fun _ -> ops_per_domain | Some f -> f
+  in
   (* Two-phase start barrier: every domain (including this one) builds
      its worker, then signals [ready] and spins on [go]; only once all
      of them are parked does the coordinator release them, and the start
@@ -46,7 +49,7 @@ let run_workers ?tracer ~label ~scheme ~structure ~domains ~ops_per_domain
       Domain.cpu_relax ()
     done;
     t_start.(d) <- Unix.gettimeofday ();
-    for _ = 1 to ops_per_domain do
+    for _ = 1 to ops_of d do
       worker ()
     done;
     t_end.(d) <- Unix.gettimeofday ()
@@ -65,7 +68,7 @@ let run_workers ?tracer ~label ~scheme ~structure ~domains ~ops_per_domain
   let us t = int_of_float ((t -. t0) *. 1e6) in
   (match tracer with
   | None ->
-    for _ = 1 to ops_per_domain do
+    for _ = 1 to ops_of 0 do
       worker0 ()
     done
   | Some tr ->
@@ -73,8 +76,8 @@ let run_workers ?tracer ~label ~scheme ~structure ~domains ~ops_per_domain
        it samples the scheme counters — which are cross-domain-readable
        by design — at a fixed stride so the trace shows the backlog
        evolving mid-run. *)
-    let stride = max 1 (ops_per_domain / 64) in
-    for i = 1 to ops_per_domain do
+    let stride = max 1 (ops_of 0 / 64) in
+    for i = 1 to ops_of 0 do
       worker0 ();
       if i mod stride = 0 then begin
         let s : Nsmr.stats = stats () in
@@ -86,7 +89,11 @@ let run_workers ?tracer ~label ~scheme ~structure ~domains ~ops_per_domain
   t_end.(0) <- Unix.gettimeofday ();
   List.iter Domain.join spawned;
   let elapsed = Unix.gettimeofday () -. t0 in
-  let total = domains * ops_per_domain in
+  let total = ref 0 in
+  for d = 0 to domains - 1 do
+    total := !total + ops_of d
+  done;
+  let total = !total in
   let s : Nsmr.stats = stats () in
   (match tracer with
   | None -> ()
@@ -97,7 +104,7 @@ let run_workers ?tracer ~label ~scheme ~structure ~domains ~ops_per_domain
       Era_obs.Tracer.complete tr ~ts:(us t_start.(d))
         ~dur:(us t_end.(d) - us t_start.(d))
         ~tid:d ~cat:"native" "work"
-        ~args:[ ("ops", Era_metrics.Json.Int ops_per_domain) ]
+        ~args:[ ("ops", Era_metrics.Json.Int (ops_of d)) ]
     done);
   {
     label;
@@ -123,30 +130,119 @@ let scheme_name = function
   | `Ibr -> "ibr"
   | `None -> "none"
 
+(* ------------------------------------------------------------------ *)
+(* Workload specs                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type workload = {
+  wl_label : string;
+  wl_keys : Era_workload.Workload.key_dist;
+  wl_contains_pct : int;
+  wl_prefill : int;
+}
+
+let uniform_churn =
+  { wl_label = "churn-64"; wl_keys = Era_workload.Workload.Uniform 64;
+    wl_contains_pct = 0; wl_prefill = 32 }
+
+let uniform_small =
+  { wl_label = "uniform-1k"; wl_keys = Era_workload.Workload.Uniform 1024;
+    wl_contains_pct = 90; wl_prefill = 512 }
+
+let zipf_1m =
+  { wl_label = "zipf-1m"; wl_keys = Era_workload.Workload.Zipf (1_000_000, 0.99);
+    wl_contains_pct = 90; wl_prefill = 1024 }
+
+let zipf_1m_hot =
+  { wl_label = "zipf-1m-hot"; wl_keys = Era_workload.Workload.Zipf (1_000_000, 1.5);
+    wl_contains_pct = 90; wl_prefill = 1024 }
+
+let workload_of_mix = function
+  | Churn -> uniform_churn
+  | Read_heavy -> uniform_small
+
+let human_keys n =
+  if n >= 1_000_000 && n mod 1_000_000 = 0 then Fmt.str "%dm" (n / 1_000_000)
+  else if n >= 1_000 && n mod 1_000 = 0 then Fmt.str "%dk" (n / 1_000)
+  else string_of_int n
+
+let custom_workload ?zipf ~keys ~contains_pct () =
+  if keys < 2 then invalid_arg "Throughput.custom_workload: keys < 2";
+  if contains_pct < 0 || contains_pct > 100 then
+    invalid_arg "Throughput.custom_workload: contains_pct outside [0, 100]";
+  let wl_keys, tag =
+    match zipf with
+    | None -> (Era_workload.Workload.Uniform keys, Fmt.str "u%s" (human_keys keys))
+    | Some s ->
+      (Era_workload.Workload.Zipf (keys, s), Fmt.str "z%g-%s" s (human_keys keys))
+  in
+  {
+    wl_label = Fmt.str "%s-c%d" tag contains_pct;
+    wl_keys;
+    wl_contains_pct = contains_pct;
+    wl_prefill = min 1024 (keys / 2);
+  }
+
+let contains_pct_of_mix = function
+  | "churn" | "update-heavy" -> Ok 0
+  | "read-heavy" -> Ok 90
+  | "balanced" -> Ok 50
+  | s -> (
+    match int_of_string_opt s with
+    | Some p when p >= 0 && p <= 100 -> Ok p
+    | Some _ | None ->
+      Error
+        (Fmt.str
+           "unknown mix %S (expected churn, read-heavy, balanced, or a \
+            contains percentage 0-100)"
+           s))
+
+(* The per-worker key samples: long enough that the cyclic reuse is
+   invisible against multi-hundred-thousand-op runs, a power of two so
+   the wrap is a mask, and drawn {e before} the start barrier so the
+   Zipf bisect never executes inside the timed region. *)
+let sample_len = 1 lsl 16
+
 (* Shared per-operation body for the list mixes. The key and the
    operation roll are {e independent} draws — deriving both from one
    splitmix64 output (key from the low bits, roll from the quotient)
    correlated the read/write decision with the key, biasing the mix per
-   key. *)
-let list_worker ~mix ~seed ~insert ~delete ~contains =
+   key. Both are drawn {e before} the start barrier into one tagged
+   array ([key lsl 2 lor op]), so the timed loop does a single array
+   read per op: no Zipf bisect, no rng call, no branch on a fresh
+   roll. The cycle length (65536) is long enough that reuse is
+   invisible against multi-hundred-thousand-op runs. *)
+let list_worker ~workload ~seed ~insert ~delete ~contains =
   let rng = Rng.create seed in
-  let key_range, contains_pct =
-    match mix with Churn -> (64, 0) | Read_heavy -> (1024, 90)
+  let keys =
+    Era_workload.Workload.sample_keys rng workload.wl_keys ~n:sample_len
   in
-  fun () ->
-    let k = 1 + Rng.int rng key_range in
+  let contains_pct = workload.wl_contains_pct in
+  let tagged = Array.make sample_len 0 in
+  for i = 0 to sample_len - 1 do
     let roll = Rng.int rng 100 in
-    if roll < contains_pct then ignore (contains k)
-    else if roll land 1 = 0 then ignore (insert k)
-    else ignore (delete k)
+    let op = if roll < contains_pct then 0 else (roll land 1) + 1 in
+    tagged.(i) <- (keys.(i) lsl 2) lor op
+  done;
+  let idx = ref 0 in
+  fun () ->
+    let v = Array.unsafe_get tagged (!idx land (sample_len - 1)) in
+    incr idx;
+    let k = v lsr 2 in
+    match v land 3 with
+    | 0 -> ignore (contains k)
+    | 1 -> ignore (insert k)
+    | _ -> ignore (delete k)
 
 let worker_seed d = (d * 77) + 13
+let prefill_keys workload = List.init workload.wl_prefill (fun i -> (i * 2) + 1)
 
-(* Build (worker factory, stats) for a (list, scheme, mix) choice. The
-   functor application must happen per concrete scheme module, hence the
-   repetition-by-dispatch. *)
-let build_list (type a) (module S : Nsmr.S with type t = a) kind mix ~domains
-    ~prefill =
+(* Build (worker factory, stats) for a (list, scheme, workload) choice.
+   The functor application must happen per concrete scheme module, hence
+   the repetition-by-dispatch. *)
+let build_list (type a) (module S : Nsmr.S with type t = a) kind ~workload
+    ~domains =
+  let prefill = prefill_keys workload in
   match kind with
   | Harris ->
     let module L = N_harris.Make (S) in
@@ -156,7 +252,7 @@ let build_list (type a) (module S : Nsmr.S with type t = a) kind mix ~domains
     List.iter (fun k -> ignore (L.insert l s0 k)) prefill;
     let make_worker d =
       let s = S.thread g d in
-      list_worker ~mix ~seed:(worker_seed d)
+      list_worker ~workload ~seed:(worker_seed d)
         ~insert:(fun k -> L.insert l s k)
         ~delete:(fun k -> L.delete l s k)
         ~contains:(fun k -> L.contains l s k)
@@ -170,7 +266,7 @@ let build_list (type a) (module S : Nsmr.S with type t = a) kind mix ~domains
     List.iter (fun k -> ignore (L.insert l s0 k)) prefill;
     let make_worker d =
       let s = S.thread g d in
-      list_worker ~mix ~seed:(worker_seed d)
+      list_worker ~workload ~seed:(worker_seed d)
         ~insert:(fun k -> L.insert l s k)
         ~delete:(fun k -> L.delete l s k)
         ~contains:(fun k -> L.contains l s k)
@@ -183,72 +279,88 @@ let scheme_module = function
   | `Ibr -> (module N_ibr)
   | `None -> (module N_none)
 
-let e8_row ?tracer kind ~scheme mix ~domains ~ops_per_domain =
-  (match kind, scheme with
+let refuse_hp_harris ~who kind scheme =
+  match kind, scheme with
   | Harris, `Hp ->
     invalid_arg
-      "Throughput.e8_row: HP is not applicable to Harris's list (that is \
-       the theorem)"
-  | _ -> ());
-  let prefill =
-    match mix with
-    | Churn -> List.init 32 (fun i -> (i * 2) + 1)
-    | Read_heavy -> List.init 512 (fun i -> (i * 2) + 1)
-  in
+      (Fmt.str
+         "Throughput.%s: HP is not applicable to Harris's list (that is the \
+          theorem)"
+         who)
+  | _ -> ()
+
+let list_row ?tracer ~who ~label kind ~scheme ~workload ~domains
+    ~ops_per_domain =
+  refuse_hp_harris ~who kind scheme;
   let (module S) = scheme_module scheme in
-  let make_worker, stats = build_list (module S) kind mix ~domains ~prefill in
-  run_workers ?tracer
+  let make_worker, stats = build_list (module S) kind ~workload ~domains in
+  run_workers ?tracer ~label ~scheme:(scheme_name scheme)
+    ~structure:(structure_name kind) ~domains ~ops_per_domain ~make_worker
+    ~stats ()
+
+let e8_row ?tracer kind ~scheme mix ~domains ~ops_per_domain =
+  list_row ?tracer ~who:"e8_row"
     ~label:
       (Fmt.str "%s+%s/%s" (kind_name kind) (scheme_name scheme)
          (mix_name mix))
-    ~scheme:(scheme_name scheme) ~structure:(structure_name kind) ~domains
-    ~ops_per_domain ~make_worker ~stats ()
+    kind ~scheme ~workload:(workload_of_mix mix) ~domains ~ops_per_domain
+
+let e16_row ?tracer kind ~scheme ~workload ~domains ~ops_per_domain =
+  list_row ?tracer ~who:"e16_row"
+    ~label:
+      (Fmt.str "%s+%s/%s" (kind_name kind) (scheme_name scheme)
+         workload.wl_label)
+    kind ~scheme ~workload ~domains ~ops_per_domain
 
 (* E9: domain 0 opens an operation (announcing its epoch / publishing its
-   reservation) and parks until the churn domains are done. *)
-let e9_row ~scheme ~churn_ops =
+   reservation) and parks until the churn domains are done. The stalled
+   domain is a genuine one-shot: its per-domain op count is 1, so the
+   reported totals are computed by [run_workers], not patched. *)
+let e9_row ?(workload = uniform_churn) ~scheme ~churn_ops () =
   let domains = 3 in
+  let churn = { workload with wl_contains_pct = 0 } in
   let done_flag = Atomic.make 0 in
   let (module S) = scheme_module (scheme :> [ `Ebr | `Hp | `Ibr | `None ]) in
   let module L = N_michael.Make (S) in
   let g = S.create ~ndomains:domains in
   let l = L.create () in
   let s0 = S.thread g 0 in
-  List.iter (fun k -> ignore (L.insert l s0 ((k * 2) + 1))) (List.init 32 Fun.id);
+  List.iter (fun k -> ignore (L.insert l s0 k)) (prefill_keys churn);
   let make_worker d =
     let s = S.thread g d in
-    if d = 0 then (
-      let started = ref false in
+    if d = 0 then
       fun () ->
-        if not !started then begin
-          started := true;
-          (* Open an operation and stall inside it. *)
-          S.begin_op s;
-          ignore (S.read_link s (L.head l));
-          while Atomic.get done_flag < 2 do
-            Domain.cpu_relax ()
-          done;
-          S.end_op s
-        end)
+        (* Called exactly once: open an operation and stall inside it. *)
+        S.begin_op s;
+        ignore (S.read_link s (L.head l));
+        while Atomic.get done_flag < 2 do
+          Domain.cpu_relax ()
+        done;
+        S.end_op s
     else
-      let rng = Rng.create ((d * 91) + 7) in
+      let churn_op =
+        list_worker ~workload:churn ~seed:((d * 91) + 7)
+          ~insert:(fun k -> L.insert l s k)
+          ~delete:(fun k -> L.delete l s k)
+          ~contains:(fun k -> L.contains l s k)
+      in
       let count = ref 0 in
       fun () ->
-        let k = 1 + Rng.int rng 64 in
-        if Rng.bool rng then ignore (L.insert l s k)
-        else ignore (L.delete l s k);
+        churn_op ();
         incr count;
         if !count = churn_ops then ignore (Atomic.fetch_and_add done_flag 1)
   in
-  let res =
-    run_workers
-      ~label:(Fmt.str "stall/%s" (scheme_name scheme))
-      ~scheme:(scheme_name scheme) ~structure:"michael-list" ~domains
-      ~ops_per_domain:churn_ops ~make_worker
-      ~stats:(fun () -> S.stats g)
-      ()
+  let label =
+    if workload.wl_label = uniform_churn.wl_label then
+      Fmt.str "stall/%s" (scheme_name scheme)
+    else Fmt.str "stall/%s/%s" (scheme_name scheme) workload.wl_label
   in
-  { res with total_ops = 2 * churn_ops }
+  run_workers ~label
+    ~ops_for:(fun d -> if d = 0 then 1 else churn_ops)
+    ~scheme:(scheme_name scheme) ~structure:"michael-list" ~domains
+    ~ops_per_domain:churn_ops ~make_worker
+    ~stats:(fun () -> S.stats g)
+    ()
 
 (* Stack and queue throughput rows: 50/50 producer/consumer mixes. *)
 let stack_row ?tracer ~scheme ~domains ~ops_per_domain () =

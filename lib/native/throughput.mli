@@ -29,6 +29,7 @@ type result = {
 
 val run_workers :
   ?tracer:Era_obs.Tracer.t ->
+  ?ops_for:(int -> int) ->
   label:string -> scheme:string -> structure:string -> domains:int ->
   ops_per_domain:int ->
   make_worker:(int -> unit -> unit) ->
@@ -39,6 +40,10 @@ val run_workers :
     signal ready → spin) and the clock starts only after the release
     store, so no domain's work predates [t0] and none is still spawning
     when the timed region begins.
+
+    [ops_for d] overrides the per-domain op count (default: the constant
+    [ops_per_domain]); [total_ops] is the computed sum, so asymmetric
+    rows (e.g. a one-shot stalled domain) report honest totals.
 
     [tracer] adds a wall-clock timeline (timestamps in microseconds
     since the barrier release): one ["work"] span per domain plus a
@@ -56,6 +61,44 @@ type mix =
   | Churn  (** 50/50 insert/delete over a small key range *)
   | Read_heavy  (** 90% contains over a prefilled larger range *)
 
+type workload = {
+  wl_label : string;  (** short tag used in row labels, e.g. ["zipf-1m"] *)
+  wl_keys : Era_workload.Workload.key_dist;
+  wl_contains_pct : int;  (** contains share; the rest splits 50/50 ins/del *)
+  wl_prefill : int;  (** odd keys 1, 3, … inserted before the barrier *)
+}
+(** A list workload: key distribution, operation mix, prefill size. Keys
+    are sampled into per-worker arrays before the start barrier, so the
+    Zipf inverse-CDF bisect never runs inside the timed region. *)
+
+val uniform_churn : workload
+(** 64 uniform keys, 0% contains, 32 prefilled — E8's [Churn]. *)
+
+val uniform_small : workload
+(** 1024 uniform keys, 90% contains, 512 prefilled — E8's [Read_heavy]. *)
+
+val zipf_1m : workload
+(** 1M keys, Zipf s=0.99, 90% contains. Median key rank is in the
+    thousands, so list walks dominate: the scheme-cost signal is in
+    backlog, not mops. *)
+
+val zipf_1m_hot : workload
+(** 1M keys, Zipf s=1.5, 90% contains. ~98% of draws land in the top
+    couple thousand ranks (= smallest keys = near the list head), so
+    walks are short and the per-operation sampling + SMR overhead
+    dominates — the cell where the fast path shows. The remaining tail
+    draws keep the full million-key space live. *)
+
+val custom_workload :
+  ?zipf:float -> keys:int -> contains_pct:int -> unit -> workload
+(** Workload from CLI-style parameters: [keys] uniform, or Zipf with
+    skew [zipf]. Prefill is [min 1024 (keys / 2)]. Raises
+    [Invalid_argument] on [keys < 2] or a percentage outside [0, 100]. *)
+
+val contains_pct_of_mix : string -> (int, string) Stdlib.result
+(** ["churn"]/["update-heavy"] → 0, ["read-heavy"] → 90, ["balanced"] →
+    50, or a literal percentage ["0"]–["100"]. *)
+
 val e8_row :
   ?tracer:Era_obs.Tracer.t ->
   list_kind -> scheme:[ `Ebr | `Hp | `Ibr | `None ] -> mix ->
@@ -64,10 +107,23 @@ val e8_row :
     ([Invalid_argument]) — that is the unsafe combination the theorem
     rules out. *)
 
+val e16_row :
+  ?tracer:Era_obs.Tracer.t ->
+  list_kind -> scheme:[ `Ebr | `Hp | `Ibr | `None ] -> workload:workload ->
+  domains:int -> ops_per_domain:int -> result
+(** E8 generalized to arbitrary workloads (the E16 grid). Row label is
+    [<kind>+<scheme>/<wl_label>]. HP × [Harris] is refused as in
+    {!e8_row}. *)
+
 val e9_row :
-  scheme:[ `Ebr | `Hp | `Ibr ] -> churn_ops:int -> result
-(** Backlog with a stalled domain: domain 0 opens an operation and parks;
-    two churn domains push [churn_ops] each through a Michael list. *)
+  ?workload:workload -> scheme:[ `Ebr | `Hp | `Ibr ] -> churn_ops:int ->
+  unit -> result
+(** Backlog with a stalled domain: domain 0 opens an operation and parks
+    (a genuine one-shot — its per-domain op count is 1); two churn
+    domains push [churn_ops] each through a Michael list. [workload]
+    (default {!uniform_churn}) sets the churners' key distribution; its
+    contains share is forced to 0 so every op is an update. Non-default
+    workloads get label [stall/<scheme>/<wl_label>]. *)
 
 val stack_row :
   ?tracer:Era_obs.Tracer.t ->

@@ -57,6 +57,17 @@ let draw_key rng = function
     in
     bisect 0 (n - 1)
 
+(* Hot loops must not pay the Zipf bisect (20 float compares over a
+   cache-hostile table) per operation: draw the keys up front into a flat
+   array and let the loop index it. The explicit loop pins the draw order
+   (Array.init's evaluation order is unspecified). *)
+let sample_keys rng dist ~n =
+  let a = Array.make n 0 in
+  for i = 0 to n - 1 do
+    a.(i) <- draw_key rng dist
+  done;
+  a
+
 let run_set_ops (ops : Era_sets.Set_intf.ops) rng ~ops:n ~keys ~mix =
   for _ = 1 to n do
     let k = draw_key rng keys in

@@ -22,6 +22,12 @@ type key_dist =
 
 val draw_key : Era_sim.Rng.t -> key_dist -> int
 
+val sample_keys : Era_sim.Rng.t -> key_dist -> n:int -> int array
+(** [n] keys drawn up front, for hot loops that must not pay the
+    per-draw cost (the Zipf inverse-CDF bisect) inside the measured
+    region. Deterministic in the rng state: element [i] is the [i]-th
+    draw. *)
+
 val run_set_ops :
   Era_sets.Set_intf.ops -> Era_sim.Rng.t -> ops:int -> keys:key_dist ->
   mix:mix -> unit
