@@ -764,6 +764,124 @@ let e15 () =
     [ 2; 4 ]
 
 (* ------------------------------------------------------------------ *)
+(* E17: era_serve under load — admission, shedding, saturation         *)
+(* ------------------------------------------------------------------ *)
+
+(* Boots a real daemon (socket, accept thread, executor domains) in this
+   process and drives it with the non-blocking load generator, exactly
+   the way bin/era_load.exe does from outside. Two operating points:
+
+   - under-capacity: the queue never fills, so shed MUST be 0 and every
+     job must be served — an absolute correctness row, not a tuning one;
+   - saturation: far more offered load than 2 workers can serve, small
+     admission caps. The interesting numbers are admit throughput
+     (responses/s — the daemon keeps answering even while saturated),
+     shed counts, in-flight peak, and admit latency percentiles. The
+     E17/saturation row is --require'd by check_perf.sh: lost must be 0
+     at full saturation or the run fails.
+
+   Probe service time is deterministic spin, so the rows are stable
+   enough to gate on their invariants (lost = 0, shed = 0 under
+   capacity) while throughput remains machine-dependent telemetry. *)
+let e17 () =
+  section "E17 | era_serve: load, shedding, saturation";
+  let module Daemon = Era_serve.Daemon in
+  let module Load = Era_serve.Load in
+  let module Job = Era_serve.Job in
+  let dir = Filename.temp_file "era_e17" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let rec rm_rf p =
+    if Sys.is_directory p then begin
+      Array.iter (fun e -> rm_rf (Filename.concat p e)) (Sys.readdir p);
+      Sys.rmdir p
+    end
+    else Sys.remove p
+  in
+  let point ~label ~global_cap ~tenant_cap ~conns ~pipeline ~requests ~spin =
+    let socket = Filename.concat dir (label ^ ".sock") in
+    let d =
+      Daemon.start
+        {
+          Daemon.socket_path = socket; workers = 2; global_cap; tenant_cap;
+          store_dir = Filename.concat dir (label ^ "_store");
+        }
+    in
+    let r =
+      match
+        Load.run
+          {
+            Load.socket; conns; pipeline; requests; tenants = 4;
+            kind = Job.Probe { spin }; drain_timeout_s = 120.;
+          }
+      with
+      | Ok r -> r
+      | Error e -> failwith ("E17 " ^ label ^ ": " ^ e)
+    in
+    Daemon.stop d;
+    (* the shutdown job-table dump is a runtime dropping, not a result *)
+    let dump =
+      Fmt.str "jobs_%s.json"
+        (Filename.remove_extension (Filename.basename socket))
+    in
+    if Sys.file_exists dump then Sys.remove dump;
+    let rps =
+      float_of_int r.Load.responded /. Float.max r.Load.submit_elapsed_s 1e-9
+    in
+    Fmt.pr
+      "  %-14s %5d reqs  admitted %5d  shed %5d  lost %d  peak %4d \
+       in-flight  %6.0f admit/s  p50 %.1f ms  p99 %.1f ms@."
+      label r.Load.submitted r.Load.admitted r.Load.shed r.Load.lost
+      r.Load.inflight_peak rps
+      (r.Load.admit_p50_us /. 1e3)
+      (r.Load.admit_p99_us /. 1e3);
+    emit
+      (M.row ~experiment:"E17" ~label ~category:"serve" ~domains:conns
+         ~total_ops:r.Load.submitted ~elapsed_s:r.Load.submit_elapsed_s
+         ~note:(if r.Load.lost = 0 && r.Load.errors = 0 then "clean"
+                else "LOST JOBS")
+         ~extra:
+           [
+             ("admitted", float_of_int r.Load.admitted);
+             ("shed", float_of_int r.Load.shed);
+             ("errors", float_of_int r.Load.errors);
+             ("lost", float_of_int r.Load.lost);
+             ("served", float_of_int r.Load.served);
+             ("inflight_peak", float_of_int r.Load.inflight_peak);
+             ("inflight_mean", r.Load.inflight_mean);
+             ("admit_rps", rps);
+             ("admit_p50_us", r.Load.admit_p50_us);
+             ("admit_p99_us", r.Load.admit_p99_us);
+             ("drain_s", r.Load.drain_s);
+           ]
+         ());
+    r
+  in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let under =
+        point ~label:"under-capacity" ~global_cap:4096 ~tenant_cap:2048
+          ~conns:16 ~pipeline:4
+          ~requests:(if quick then 400 else 1200)
+          ~spin:100
+      in
+      if under.Load.shed <> 0 then
+        failwith "E17: shed under capacity must be 0";
+      if under.Load.lost <> 0 || under.Load.errors <> 0 then
+        failwith "E17: lost jobs under capacity";
+      let sat =
+        point ~label:"saturation" ~global_cap:256 ~tenant_cap:64 ~conns:128
+          ~pipeline:16
+          ~requests:(if quick then 4_000 else 8_000)
+          ~spin:2_000
+      in
+      if sat.Load.lost <> 0 || sat.Load.errors <> 0 then
+        failwith "E17: lost jobs at saturation";
+      if sat.Load.inflight_peak < 1_000 then
+        failwith "E17: saturation never reached 1000 concurrent requests")
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -985,7 +1103,7 @@ let () =
       ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5);
       ("E6", e6); ("E7", e7); ("E8", e8); ("E8b", e8b); ("E9", e9);
       ("E10", e10); ("E11", e11); ("E12", e12); ("E13", e13); ("E15", e15);
-      ("E16", e16);
+      ("E16", e16); ("E17", e17);
       ("B1", b1_sim_read_cost); ("B2", b2_sim_lifecycle_cost);
       ("B3", b3_native_read_cost); ("B4", b4_checker_scaling);
       ("B5", b5_scheduler_overhead); ("B6", b6_trace_overhead);
@@ -1002,9 +1120,14 @@ let () =
         let t0 = Unix.gettimeofday () in
         run ();
         let elapsed_s = Unix.gettimeofday () -. t0 in
-        emit
-          (M.row ~experiment:id ~label:"suite" ~category:"suite-timing"
-             ~elapsed_s ())
+        (* E17's wall clock is dominated by deliberate queueing delay
+           (saturation latency) and OS thread scheduling, so it flaps
+           far beyond the suite tolerance; its correctness invariants
+           are enforced in-process (lost = 0, shed = 0 under capacity)
+           and its rows are --require'd, so the timing row is
+           informational only. *)
+        let category = if id = "E17" then "serve" else "suite-timing" in
+        emit (M.row ~experiment:id ~label:"suite" ~category ~elapsed_s ())
       end)
     experiments;
   let total_s = Unix.gettimeofday () -. suite_t0 in

@@ -3,7 +3,8 @@
      dune exec bin/era_cli.exe -- <command> [options]
 
    Commands: figure1, figure2, robustness, applicability, access-aware,
-   matrix, native, ablation, stall-fuzz, explore, replay, trace, all.
+   matrix, native, ablation, stall-fuzz, explore, replay, trace, serve,
+   submit, jobs, all.
 
    Parsing goes through Era_metrics.Run_config — the same Arg-based flag
    surface as bench/main.exe — so --schemes/--json/--domains/... behave
@@ -24,11 +25,11 @@ let commands =
   [
     "figure1"; "figure2"; "robustness"; "applicability"; "access-aware";
     "matrix"; "native"; "ablation"; "stall-fuzz"; "explore"; "replay";
-    "trace"; "all";
+    "trace"; "serve"; "submit"; "jobs"; "all";
   ]
 
-(* [file_arg] admits the positionals of [replay <counterexample.json>]
-   and [trace <scenario>]. *)
+(* [file_arg] admits the positionals of [replay <counterexample.json>],
+   [trace <scenario>] and [submit <job-kind>]. *)
 let cfg = Rc.parse ~prog:"era_cli" ~commands ~file_arg:true ()
 
 let schemes () =
@@ -408,6 +409,143 @@ let native () =
     let n = M.flush sink ~mode:(Rc.mode cfg) ~path in
     Fmt.pr "wrote %d metric rows to %s@." n path
 
+(* ---------------------------------------------------------------- *)
+(* Serving: era_serve daemon + client commands                       *)
+(* ---------------------------------------------------------------- *)
+
+module Daemon = Era_serve.Daemon
+module Client = Era_serve.Client
+module Job = Era_serve.Job
+
+let daemon_config () =
+  let d = Daemon.default_config in
+  {
+    Daemon.socket_path =
+      Option.value cfg.Rc.socket ~default:d.Daemon.socket_path;
+    workers = Option.value cfg.Rc.workers ~default:d.Daemon.workers;
+    global_cap = Option.value cfg.Rc.queue_cap ~default:d.Daemon.global_cap;
+    tenant_cap = Option.value cfg.Rc.tenant_cap ~default:d.Daemon.tenant_cap;
+    store_dir = Option.value cfg.Rc.store ~default:d.Daemon.store_dir;
+  }
+
+let serve_cmd () =
+  let dc = daemon_config () in
+  let t = Daemon.start dc in
+  Fmt.pr
+    "era_serve listening on %s (%d worker%s, queue cap %d global / %d per \
+     tenant, store %s)@.stop with: era_cli jobs --shutdown --socket %s@."
+    dc.Daemon.socket_path dc.Daemon.workers
+    (if dc.Daemon.workers = 1 then "" else "s")
+    dc.Daemon.global_cap dc.Daemon.tenant_cap dc.Daemon.store_dir
+    dc.Daemon.socket_path;
+  Daemon.wait t;
+  Fmt.pr "era_serve stopped@."
+
+let with_client k =
+  let socket =
+    Option.value cfg.Rc.socket ~default:Daemon.default_config.Daemon.socket_path
+  in
+  (* A few connect retries cover the daemon-still-booting race when
+     scripts background [serve] and immediately submit. *)
+  match Client.connect ~retries:20 ~retry_delay_s:0.25 ~socket () with
+  | Error e ->
+    Fmt.epr "era_cli: %s@." e;
+    exit 1
+  | Ok cl ->
+    let r = k cl in
+    Client.close cl;
+    r
+
+let submit_kind () =
+  let scheme_or d =
+    match cfg.Rc.schemes with
+    | [] -> d
+    | [ s ] -> s
+    | _ :: _ :: _ ->
+      Fmt.epr "era_cli submit: pick at most one scheme with --scheme@.";
+      exit 2
+  in
+  match cfg.Rc.file with
+  | None | Some "explore" ->
+    let d = Explore.default_config in
+    Job.Explore
+      {
+        scheme = scheme_or "hp";
+        structure = Option.value cfg.Rc.structure ~default:"harris-list";
+        preemptions =
+          Rc.preemptions_or cfg d.Explore.max_preemptions;
+        max_runs = Rc.max_runs_or cfg 20_000;
+        steps = Rc.steps_or cfg d.Explore.max_steps;
+        seed = Rc.seed_or cfg 2;
+        ops = cfg.Rc.ops;
+        robust_bound = cfg.Rc.robust_bound;
+      }
+  | Some "figure1" ->
+    Job.Figure1 { scheme = scheme_or "ebr"; rounds = Rc.rounds_or cfg 256 }
+  | Some "figure2" -> Job.Figure2 { scheme = scheme_or "ebr" }
+  | Some "probe" ->
+    Job.Probe { spin = Rc.ops_or cfg 1000 }
+  | Some other ->
+    Fmt.epr
+      "era_cli submit: unknown job kind %S (expected explore, figure1, \
+       figure2 or probe)@."
+      other;
+    exit 2
+
+let print_job j =
+  Fmt.pr "%s@." (Era_metrics.Json.to_string ~minify:false j)
+
+let submit_cmd () =
+  let kind = submit_kind () in
+  let tenant = Option.value cfg.Rc.tenant ~default:"default" in
+  with_client (fun cl ->
+      match Client.submit cl ~tenant kind with
+      | Error e ->
+        Fmt.epr "era_cli submit: %s@." e;
+        exit 1
+      | Ok (Client.Shed reason) ->
+        Fmt.pr "shed (%s): the daemon is at capacity — retry later@." reason;
+        exit 1
+      | Ok (Client.Admitted id) ->
+        Fmt.pr "admitted as job %d (%s, tenant %s)@." id (Job.kind_label kind)
+          tenant;
+        if cfg.Rc.wait then begin
+          match Client.wait_job cl id with
+          | Error e ->
+            Fmt.epr "era_cli submit: %s@." e;
+            exit 1
+          | Ok j ->
+            print_job j;
+            let status =
+              Option.value
+                Era_metrics.Json.(Option.bind (member "status" j) to_str)
+                ~default:""
+            in
+            if status <> "done" then exit 1
+        end)
+
+let jobs_cmd () =
+  with_client (fun cl ->
+      if cfg.Rc.shutdown then begin
+        match Client.shutdown cl ~drain:(not cfg.Rc.now) with
+        | Error e ->
+          Fmt.epr "era_cli jobs: %s@." e;
+          exit 1
+        | Ok () ->
+          Fmt.pr "shutdown requested (%s)@."
+            (if cfg.Rc.now then "abandoning the backlog"
+             else "draining the backlog")
+      end
+      else
+        match (Client.stats cl, Client.jobs cl) with
+        | Error e, _ | _, Error e ->
+          Fmt.epr "era_cli jobs: %s@." e;
+          exit 1
+        | Ok stats, Ok jobs ->
+          Fmt.pr "stats: %s@."
+            (Era_metrics.Json.to_string ~minify:true stats);
+          List.iter print_job jobs)
+
 let all () =
   Fmt.pr "== Figure 1 ==@.";
   figure1 ();
@@ -438,6 +576,9 @@ let () =
   | Some "explore" -> explore_cmd ()
   | Some "replay" -> replay_cmd ()
   | Some "trace" -> trace_cmd ()
+  | Some "serve" -> serve_cmd ()
+  | Some "submit" -> submit_cmd ()
+  | Some "jobs" -> jobs_cmd ()
   | Some "all" -> all ()
   | Some other ->
     (* unreachable: Run_config validated the command list *)

@@ -1,0 +1,121 @@
+(* Load generator for the era_serve daemon.
+
+     dune exec bin/era_load.exe -- --socket era_serve.sock \
+       --conns 128 --pipeline 16 --requests 4000
+
+   Opens --conns connections, pipelines up to --pipeline unanswered
+   submits on each (so in-flight approaches conns * pipeline), sends
+   --requests probe jobs total, then waits for the daemon to drain and
+   accounts for every job. Exit 0 iff nothing was lost and no protocol
+   errors occurred — sheds are an expected, *reported* outcome, not a
+   failure. --json FILE additionally writes E17-style metric rows.
+
+   Exit codes: 0 clean (lost = 0, errors = 0), 1 lost jobs / errors /
+   unreachable daemon, 2 usage error. *)
+
+module M = Era_metrics.Metrics
+module Load = Era_serve.Load
+module Job = Era_serve.Job
+
+let () =
+  let d = Load.default_config in
+  let socket = ref d.Load.socket in
+  let conns = ref d.Load.conns in
+  let pipeline = ref d.Load.pipeline in
+  let requests = ref d.Load.requests in
+  let tenants = ref d.Load.tenants in
+  let spin = ref 500 in
+  let kind = ref "probe" in
+  let json = ref None in
+  let label = ref "load" in
+  let spec =
+    Arg.align
+      [
+        ("--socket", Arg.Set_string socket, "PATH Daemon Unix socket");
+        ("--conns", Arg.Set_int conns, "N Concurrent connections");
+        ( "--pipeline",
+          Arg.Set_int pipeline,
+          "N Max unanswered submits per connection" );
+        ("--requests", Arg.Set_int requests, "N Total submits");
+        ("--tenants", Arg.Set_int tenants, "N Round-robin tenant count");
+        ("--spin", Arg.Set_int spin, "N Probe service time (spin units)");
+        ( "--kind",
+          Arg.Set_string kind,
+          "K Job kind: probe (default) or explore" );
+        ( "--json",
+          Arg.String (fun f -> json := Some f),
+          "FILE Also write E17 metric rows to FILE" );
+        ("--label", Arg.Set_string label, "S Row label for --json output");
+      ]
+  in
+  let usage = "usage: era_load [options]" in
+  (match
+     Arg.parse_argv ~current:(ref 0) Sys.argv spec
+       (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" a)))
+       usage
+   with
+  | () -> ()
+  | exception Arg.Help msg ->
+    print_string msg;
+    exit 0
+  | exception Arg.Bad msg ->
+    let first_line =
+      match String.index_opt msg '\n' with
+      | Some i -> String.sub msg 0 i
+      | None -> msg
+    in
+    Printf.eprintf "%s\nrun 'era_load --help' for usage\n" first_line;
+    exit 2);
+  let kind =
+    match !kind with
+    | "probe" -> Job.Probe { spin = !spin }
+    | "explore" -> Job.default_explore ()
+    | other ->
+      Printf.eprintf
+        "era_load: unknown --kind %S (expected probe or explore)\n" other;
+      exit 2
+  in
+  let cfg =
+    {
+      Load.socket = !socket; conns = !conns; pipeline = !pipeline;
+      requests = !requests; tenants = !tenants; kind;
+      drain_timeout_s = d.Load.drain_timeout_s;
+    }
+  in
+  match Load.run cfg with
+  | Error e ->
+    Fmt.epr "era_load: %s@." e;
+    exit 1
+  | Ok r ->
+    Fmt.pr "%a@." Load.pp_result r;
+    (match !json with
+    | None -> ()
+    | Some path ->
+      let sink = M.sink () in
+      M.add sink
+        (M.row ~experiment:"E17" ~label:!label ~category:"serve"
+           ~domains:!conns ~total_ops:r.Load.submitted
+           ~elapsed_s:r.Load.submit_elapsed_s
+           ~note:
+             (if r.Load.lost = 0 && r.Load.errors = 0 then "clean"
+              else "LOST JOBS")
+           ~extra:
+             [
+               ("admitted", float_of_int r.Load.admitted);
+               ("shed", float_of_int r.Load.shed);
+               ("errors", float_of_int r.Load.errors);
+               ("lost", float_of_int r.Load.lost);
+               ("served", float_of_int r.Load.served);
+               ("inflight_peak", float_of_int r.Load.inflight_peak);
+               ("inflight_mean", r.Load.inflight_mean);
+               ( "admit_rps",
+                 float_of_int r.Load.responded
+                 /. Float.max r.Load.submit_elapsed_s 1e-9 );
+               ("admit_p50_us", r.Load.admit_p50_us);
+               ("admit_p99_us", r.Load.admit_p99_us);
+               ("drain_s", r.Load.drain_s);
+             ]
+           ());
+      let n = M.flush sink ~mode:"full" ~path in
+      Fmt.pr "wrote %d metric rows to %s@." n path);
+    if r.Load.lost > 0 || r.Load.errors > 0 then exit 1

@@ -22,6 +22,15 @@ type t = {
   out : string option;
   heartbeat : int option;
   trace : bool;
+  socket : string option;
+  tenant : string option;
+  workers : int option;
+  queue_cap : int option;
+  tenant_cap : int option;
+  store : string option;
+  wait : bool;
+  shutdown : bool;
+  now : bool;
   command : string option;
   file : string option;
 }
@@ -55,6 +64,15 @@ let parse_result ~argv ~prog ?(commands = []) ?(file_arg = false) () =
   let out = ref None in
   let heartbeat = ref None in
   let trace = ref false in
+  let socket = ref None in
+  let tenant = ref None in
+  let workers = ref None in
+  let queue_cap = ref None in
+  let tenant_cap = ref None in
+  let store = ref None in
+  let wait = ref false in
+  let shutdown = ref false in
+  let now = ref false in
   let command = ref None in
   let file = ref None in
   let set_opt r v = r := Some v in
@@ -132,6 +150,34 @@ let parse_result ~argv ~prog ?(commands = []) ?(file_arg = false) () =
           Arg.Set trace,
           " Capture a Perfetto trace (explore: of the shrunk \
            counterexample replay)" );
+        ( "--socket",
+          Arg.String (set_opt socket),
+          "PATH Daemon Unix socket (serve/submit/jobs)" );
+        ( "--tenant",
+          Arg.String (set_opt tenant),
+          "NAME Tenant for submitted jobs (default \"default\")" );
+        ( "--workers",
+          Arg.Int (set_opt workers),
+          "N Executor domains for the serve daemon" );
+        ( "--queue-cap",
+          Arg.Int (set_opt queue_cap),
+          "N Global admission-queue capacity (serve)" );
+        ( "--tenant-cap",
+          Arg.Int (set_opt tenant_cap),
+          "N Per-tenant admission-queue capacity (serve)" );
+        ( "--store",
+          Arg.String (set_opt store),
+          "DIR Artifact store directory (serve)" );
+        ( "--wait",
+          Arg.Set wait,
+          " Block until the submitted job is terminal and print its \
+           artifacts" );
+        ( "--shutdown",
+          Arg.Set shutdown,
+          " Ask the daemon to shut down (jobs command)" );
+        ( "--now",
+          Arg.Set now,
+          " With --shutdown: abandon the backlog instead of draining it" );
       ]
   in
   let usage =
@@ -184,6 +230,15 @@ let parse_result ~argv ~prog ?(commands = []) ?(file_arg = false) () =
         out = !out;
         heartbeat = !heartbeat;
         trace = !trace;
+        socket = !socket;
+        tenant = !tenant;
+        workers = !workers;
+        queue_cap = !queue_cap;
+        tenant_cap = !tenant_cap;
+        store = !store;
+        wait = !wait;
+        shutdown = !shutdown;
+        now = !now;
         command = !command;
         file = !file;
       }

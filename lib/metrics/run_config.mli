@@ -46,6 +46,16 @@ type t = {
   trace : bool;
       (** [--trace] — capture a Perfetto trace of the relevant
           execution (explore: the shrunk counterexample replay) *)
+  socket : string option;
+      (** [--socket PATH] — daemon Unix socket (serve/submit/jobs) *)
+  tenant : string option;  (** [--tenant NAME] for submitted jobs *)
+  workers : int option;  (** [--workers N] serve executor domains *)
+  queue_cap : int option;  (** [--queue-cap N] global admission cap *)
+  tenant_cap : int option;  (** [--tenant-cap N] per-tenant cap *)
+  store : string option;  (** [--store DIR] artifact store directory *)
+  wait : bool;  (** [--wait] — block until the submitted job finishes *)
+  shutdown : bool;  (** [--shutdown] — stop the daemon (jobs command) *)
+  now : bool;  (** [--now] — with [--shutdown], abandon the backlog *)
   command : string option;  (** first non-flag word (era_cli commands) *)
   file : string option;
       (** second positional (e.g. [replay <counterexample.json>]); only

@@ -1,0 +1,169 @@
+(* Two-lock bounded queue (the saturn bounded_queue shape, reimplemented
+   natively — see DESIGN.md §7).
+
+   Invariants:
+   - [head] is a dummy: the first real item is [head.next]; poppers only
+     touch [head] (under [head_m]), pushers only touch [tail] (under
+     [tail_m]). With >= 1 item the two ends are distinct nodes, so push
+     and pop never contend.
+   - When the queue is empty, [tail == head]: the pusher's link store
+     and the popper's emptiness check race on the same [next] field, so
+     [next] is an [Atomic.t]. The SC fence protocol for the sleep path
+     (no lost wakeups, relied on by the shutdown tests):
+       pusher: Atomic.set next (Some n); then Atomic.get waiters
+       popper (under head_m): sees next = None; Atomic.incr waiters;
+               re-reads next; only then Condition.wait
+     If the pusher read waiters = 0, its link store is SC-ordered before
+     the popper's increment, so the popper's re-read sees the node and
+     never sleeps. If the pusher read waiters > 0, it signals under
+     [head_m] — and since the popper holds [head_m] from the re-read
+     until the wait releases it, the signal cannot fire in the window
+     before the popper is actually waiting.
+   - [size] is a reservation counter: pushers CAS it up before linking
+     (shedding on capacity without taking any lock), poppers decrement
+     after unlinking. So [try_push] is exact: the queue never holds more
+     than [capacity] items. *)
+
+type 'a node = {
+  mutable value : 'a option;  (* cleared on pop so the queue doesn't pin *)
+  next : 'a node option Atomic.t;
+}
+
+type 'a t = {
+  cap : int;
+  size : int Atomic.t;
+  waiters : int Atomic.t;
+  closed : bool Atomic.t;
+  now_closed : bool Atomic.t;
+  head_m : Mutex.t;
+  nonempty : Condition.t;  (* associated with head_m *)
+  tail_m : Mutex.t;
+  mutable head : 'a node;  (* under head_m *)
+  mutable tail : 'a node;  (* under tail_m *)
+}
+
+let create ~capacity () =
+  let dummy = { value = None; next = Atomic.make None } in
+  {
+    cap = max 1 capacity;
+    size = Atomic.make 0;
+    waiters = Atomic.make 0;
+    closed = Atomic.make false;
+    now_closed = Atomic.make false;
+    head_m = Mutex.create ();
+    nonempty = Condition.create ();
+    tail_m = Mutex.create ();
+    head = dummy;
+    tail = dummy;
+  }
+
+let capacity t = t.cap
+let length t = Atomic.get t.size
+let closed t = Atomic.get t.closed
+
+(* Reserve a slot: false = full. *)
+let rec reserve t =
+  let s = Atomic.get t.size in
+  if s >= t.cap then false
+  else if Atomic.compare_and_set t.size s (s + 1) then true
+  else reserve t
+
+let try_push t x =
+  if Atomic.get t.closed then false
+  else if not (reserve t) then false
+  else begin
+    Mutex.lock t.tail_m;
+    (* Re-check under the pusher lock: [close] flips the flag while
+       holding both locks, so a push that got here before the flag is
+       fully admitted and a push after it is fully refused — no item
+       can slip in behind a completed close. *)
+    if Atomic.get t.closed then begin
+      Mutex.unlock t.tail_m;
+      Atomic.decr t.size;
+      false
+    end
+    else begin
+      let n = { value = Some x; next = Atomic.make None } in
+      Atomic.set t.tail.next (Some n);
+      t.tail <- n;
+      Mutex.unlock t.tail_m;
+      if Atomic.get t.waiters > 0 then begin
+        Mutex.lock t.head_m;
+        Condition.signal t.nonempty;
+        Mutex.unlock t.head_m
+      end;
+      true
+    end
+  end
+
+(* Unlink the first item; caller holds head_m. *)
+let pop_locked t =
+  match Atomic.get t.head.next with
+  | None -> None
+  | Some n ->
+    let v = n.value in
+    n.value <- None;
+    t.head <- n;  (* n becomes the new dummy *)
+    Atomic.decr t.size;
+    v
+
+let try_pop t =
+  if Atomic.get t.now_closed then None
+  else begin
+    Mutex.lock t.head_m;
+    let r = pop_locked t in
+    Mutex.unlock t.head_m;
+    r
+  end
+
+let pop t =
+  Mutex.lock t.head_m;
+  let rec loop () =
+    if Atomic.get t.now_closed then None
+    else
+      match pop_locked t with
+      | Some _ as r -> r
+      | None ->
+        if Atomic.get t.closed then None  (* drained after close *)
+        else begin
+          Atomic.incr t.waiters;
+          (* Re-check after publishing the waiter count — the fence
+             against the pusher's waiters read (see header). *)
+          let again = Atomic.get t.head.next in
+          if again = None && not (Atomic.get t.closed) then
+            Condition.wait t.nonempty t.head_m;
+          Atomic.decr t.waiters;
+          loop ()
+        end
+  in
+  let r = loop () in
+  Mutex.unlock t.head_m;
+  r
+
+let close t =
+  (* Both locks: see the pusher-side re-check in [try_push]. *)
+  Mutex.lock t.tail_m;
+  Atomic.set t.closed true;
+  Mutex.unlock t.tail_m;
+  Mutex.lock t.head_m;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.head_m
+
+let close_now t =
+  Mutex.lock t.tail_m;
+  Atomic.set t.closed true;
+  Mutex.unlock t.tail_m;
+  Mutex.lock t.head_m;
+  Atomic.set t.now_closed true;
+  let acc = ref [] in
+  let rec drain () =
+    match pop_locked t with
+    | Some v ->
+      acc := v :: !acc;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.head_m;
+  List.rev !acc

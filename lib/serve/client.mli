@@ -1,0 +1,45 @@
+(** Blocking client for the `era_serve` wire protocol — the CLI's
+    [submit]/[jobs] subcommands and the test suite speak through this;
+    the load generator ({!Load}) keeps its own non-blocking event loop
+    and shares only the {!Wire} codecs. *)
+
+type t
+
+val connect :
+  ?retries:int -> ?retry_delay_s:float -> socket:string -> unit ->
+  (t, string) result
+(** Connect to the daemon's Unix domain socket. [retries] (default 0)
+    extra attempts spaced [retry_delay_s] (default 0.2 s) apart cover
+    the daemon-still-booting race in scripts. *)
+
+val close : t -> unit
+
+val rpc : t -> Wire.request -> (Era_metrics.Json.t, string) result
+(** One request/response round trip. [Error] on a dead daemon, a
+    malformed response, or a response with [ok:false] (carrying its
+    ["error"] message). *)
+
+type submit_outcome =
+  | Admitted of int  (** job id *)
+  | Shed of string  (** wire reason: "tenant-cap" | "global-cap" | "closed" *)
+
+val ping : t -> (unit, string) result
+val submit : t -> tenant:string -> Job.kind -> (submit_outcome, string) result
+
+val job_status : t -> int -> (Era_metrics.Json.t, string) result
+(** The job summary object ({!Job.summary_to_json} shape). *)
+
+val wait_job :
+  ?poll_s:float -> ?timeout_s:float -> t -> int ->
+  (Era_metrics.Json.t, string) result
+(** Poll until the job's status is terminal (done/failed/aborted);
+    default poll interval 0.05 s, timeout 120 s. *)
+
+val jobs : t -> (Era_metrics.Json.t list, string) result
+val stats : t -> (Era_metrics.Json.t, string) result
+(** The plain-int stats object (submitted/admitted/shed/served/...). *)
+
+val registry : t -> (Era_metrics.Json.t, string) result
+val manifest : t -> (Era_metrics.Json.t, string) result
+val artifact : t -> string -> (string, string) result
+val shutdown : t -> drain:bool -> (unit, string) result

@@ -1,0 +1,158 @@
+(* Per-tenant bounded queues + a round-robin dispatch cursor.
+
+   The scheduler mutex [m] protects the tenant registry, the cursor, and
+   the dispatchers' condvar; the per-tenant queues synchronize
+   themselves (they are two-lock {!Bounded_queue}s). The hand-off
+   protocol that makes the composition lose no wakeups: a submitter
+   first pushes into the tenant queue, {e then} takes [m] and broadcasts.
+   A dispatcher scans every tenant queue while holding [m]; if the scan
+   finds nothing, the item it missed was pushed before its scan ended —
+   but then the submitter's broadcast is still pending behind [m], so
+   the dispatcher's wait is woken and it rescans. Dispatchers therefore
+   sleep only when every queue really was empty at scan time, and every
+   push is followed by a wakeup that triggers a full rescan. *)
+
+type shed = [ `Tenant_cap | `Global_cap | `Closed ]
+
+let shed_reason = function
+  | `Tenant_cap -> "tenant-cap"
+  | `Global_cap -> "global-cap"
+  | `Closed -> "closed"
+
+type 'a t = {
+  tenant_cap : int;
+  global_cap : int;
+  in_queue : int Atomic.t;  (* admitted - dispatched: the global bound *)
+  m : Mutex.t;
+  work : Condition.t;
+  tbl : (string, 'a Bounded_queue.t) Hashtbl.t;  (* under m *)
+  mutable order : (string * 'a Bounded_queue.t) array;  (* under m *)
+  mutable cursor : int;  (* under m *)
+  closed : bool Atomic.t;
+  now_closed : bool Atomic.t;
+}
+
+let create ?(tenant_cap = 64) ?(global_cap = 256) () =
+  {
+    tenant_cap = max 1 tenant_cap;
+    global_cap = max 1 global_cap;
+    in_queue = Atomic.make 0;
+    m = Mutex.create ();
+    work = Condition.create ();
+    tbl = Hashtbl.create 8;
+    order = [||];
+    cursor = 0;
+    closed = Atomic.make false;
+    now_closed = Atomic.make false;
+  }
+
+let tenant_queue t name =
+  Mutex.lock t.m;
+  let q =
+    match Hashtbl.find_opt t.tbl name with
+    | Some q -> q
+    | None ->
+      let q = Bounded_queue.create ~capacity:t.tenant_cap () in
+      (* [close] closes every queue in [order] under [m]; a queue born
+         after that must arrive already closed or it could admit a job
+         no dispatcher will ever serve. *)
+      if Atomic.get t.closed then Bounded_queue.close q;
+      Hashtbl.add t.tbl name q;
+      t.order <- Array.append t.order [| (name, q) |];
+      q
+  in
+  Mutex.unlock t.m;
+  q
+
+(* Reserve one unit of the global cap. *)
+let rec reserve t =
+  let s = Atomic.get t.in_queue in
+  if s >= t.global_cap then false
+  else if Atomic.compare_and_set t.in_queue s (s + 1) then true
+  else reserve t
+
+let submit t ~tenant x =
+  if Atomic.get t.closed then Error `Closed
+  else if not (reserve t) then Error `Global_cap
+  else begin
+    let q = tenant_queue t tenant in
+    if Bounded_queue.try_push q x then begin
+      Mutex.lock t.m;
+      Condition.broadcast t.work;
+      Mutex.unlock t.m;
+      Ok ()
+    end
+    else begin
+      Atomic.decr t.in_queue;
+      (* try_push also fails once the queues are closed; report that as
+         [`Closed], not as a full tenant. *)
+      if Atomic.get t.closed then Error `Closed else Error `Tenant_cap
+    end
+  end
+
+(* One round-robin sweep over the tenant queues, starting at the cursor;
+   caller holds [m]. *)
+let scan t =
+  let n = Array.length t.order in
+  let rec go i =
+    if i >= n then None
+    else
+      let idx = (t.cursor + i) mod n in
+      let _, q = t.order.(idx) in
+      match Bounded_queue.try_pop q with
+      | Some v ->
+        t.cursor <- (idx + 1) mod n;
+        Atomic.decr t.in_queue;
+        Some v
+      | None -> go (i + 1)
+  in
+  if n = 0 then None else go 0
+
+let next t =
+  Mutex.lock t.m;
+  let rec loop () =
+    if Atomic.get t.now_closed then None
+    else
+      match scan t with
+      | Some _ as r -> r
+      | None ->
+        if Atomic.get t.closed then None  (* drained *)
+        else begin
+          Condition.wait t.work t.m;
+          loop ()
+        end
+  in
+  let r = loop () in
+  Mutex.unlock t.m;
+  r
+
+let close t =
+  Atomic.set t.closed true;
+  Mutex.lock t.m;
+  Array.iter (fun (_, q) -> Bounded_queue.close q) t.order;
+  Condition.broadcast t.work;
+  Mutex.unlock t.m
+
+let close_now t =
+  Atomic.set t.closed true;
+  Mutex.lock t.m;
+  Atomic.set t.now_closed true;
+  let left =
+    Array.to_list t.order
+    |> List.concat_map (fun (_, q) -> Bounded_queue.close_now q)
+  in
+  List.iter (fun _ -> Atomic.decr t.in_queue) left;
+  Condition.broadcast t.work;
+  Mutex.unlock t.m;
+  left
+
+let depth t = max 0 (Atomic.get t.in_queue)
+
+let tenants t =
+  Mutex.lock t.m;
+  let r =
+    Array.to_list t.order
+    |> List.map (fun (name, q) -> (name, Bounded_queue.length q))
+  in
+  Mutex.unlock t.m;
+  r

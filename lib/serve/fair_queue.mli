@@ -1,0 +1,48 @@
+(** Round-robin fairness across named tenants, composed from one
+    {!Bounded_queue} per tenant plus a global admission cap.
+
+    Admission ({!submit}) is non-blocking and sheds explicitly, with the
+    reason: the tenant's own queue is full ([`Tenant_cap] — one noisy
+    tenant cannot displace the others), the global cap is reached
+    ([`Global_cap] — the whole daemon is saturated), or the scheduler is
+    closed ([`Closed]). Dispatch ({!next}) blocks until work is
+    available and serves tenants round-robin from a rotating cursor, so
+    a tenant with a deep backlog gets at most one job per full turn of
+    the wheel.
+
+    Tenants are registered implicitly on first submit and never removed
+    (the expected population is small and named).
+
+    Shutdown mirrors {!Bounded_queue}: {!close} drains, {!close_now}
+    returns the abandoned items. Safe for any number of submitting and
+    dispatching domains/threads. *)
+
+type 'a t
+
+type shed = [ `Tenant_cap | `Global_cap | `Closed ]
+
+val shed_reason : shed -> string
+(** ["tenant-cap"] | ["global-cap"] | ["closed"] — the wire spelling. *)
+
+val create : ?tenant_cap:int -> ?global_cap:int -> unit -> 'a t
+(** Defaults: tenant cap 64, global cap 256. Both clamp to >= 1. *)
+
+val submit : 'a t -> tenant:string -> 'a -> (unit, shed) result
+
+val next : 'a t -> 'a option
+(** Block for the next item, round-robin across tenants. [None] once the
+    scheduler is closed and (in drain mode) empty — the worker-exit
+    signal. *)
+
+val close : 'a t -> unit
+(** Refuse further submits; {!next} drains the remaining items. *)
+
+val close_now : 'a t -> 'a list
+(** Refuse further submits and abandon the backlog, returning it
+    (tenant-grouped FIFO order). Blocked {!next} calls return [None]. *)
+
+val depth : 'a t -> int
+(** Total queued items across tenants — telemetry snapshot. *)
+
+val tenants : 'a t -> (string * int) list
+(** (tenant, queued items), in first-submit order — telemetry. *)

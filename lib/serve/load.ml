@@ -1,0 +1,346 @@
+module J = Era_metrics.Json
+
+type config = {
+  socket : string;
+  conns : int;
+  pipeline : int;
+  requests : int;
+  tenants : int;
+  kind : Job.kind;
+  drain_timeout_s : float;
+}
+
+let default_config =
+  {
+    socket = "era_serve.sock";
+    conns = 64;
+    pipeline = 16;
+    requests = 2000;
+    tenants = 4;
+    kind = Job.Probe { spin = 500 };
+    drain_timeout_s = 120.;
+  }
+
+type result_ = {
+  submitted : int;
+  responded : int;
+  admitted : int;
+  shed : int;
+  errors : int;
+  lost : int;
+  served : int;
+  failed : int;
+  aborted : int;
+  inflight_peak : int;
+  inflight_mean : float;
+  submit_elapsed_s : float;
+  drain_s : float;
+  admit_p50_us : float;
+  admit_p99_us : float;
+}
+
+(* One multiplexed connection. [sent]/[acked] count submits enqueued and
+   responses parsed; their difference is this connection's contribution
+   to the in-flight total. [ts] holds the enqueue timestamp of every
+   unanswered submit, oldest first — responses on a connection come back
+   in order, so front-of-queue pairing gives per-request latency. *)
+type conn = {
+  fd : Unix.file_descr;
+  target : int;
+  mutable sent : int;
+  mutable acked : int;
+  mutable dead : bool;
+  pending : string Queue.t;  (* request lines not yet handed to write *)
+  mutable cur : bytes;  (* partially written chunk *)
+  mutable cur_off : int;
+  inbuf : Buffer.t;  (* trailing partial response line *)
+  ts : float Queue.t;
+}
+
+let outstanding c = c.sent - c.acked
+let wants_read c = (not c.dead) && outstanding c > 0
+
+let wants_write c =
+  (not c.dead)
+  && (c.cur_off < Bytes.length c.cur || not (Queue.is_empty c.pending))
+
+(* ---------------------------------------------------------------- *)
+(* Daemon-side accounting via the blocking client                    *)
+(* ---------------------------------------------------------------- *)
+
+type counts = { c_served : int; c_failed : int; c_aborted : int }
+
+let read_counts stats =
+  let int k =
+    Option.value (Option.bind (J.member k stats) J.to_int) ~default:0
+  in
+  { c_served = int "served"; c_failed = int "failed"; c_aborted = int "aborted" }
+
+let fetch_counts ?(retries = 0) socket =
+  match Client.connect ~retries ~retry_delay_s:0.25 ~socket () with
+  | Error _ as e -> e
+  | Ok cl ->
+    let r = Client.stats cl in
+    Client.close cl;
+    Result.map read_counts r
+
+(* ---------------------------------------------------------------- *)
+(* Percentiles                                                       *)
+(* ---------------------------------------------------------------- *)
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else
+    let i = int_of_float (ceil (p /. 100. *. float_of_int n)) - 1 in
+    sorted.(max 0 (min (n - 1) i))
+
+(* ---------------------------------------------------------------- *)
+(* The event loop                                                    *)
+(* ---------------------------------------------------------------- *)
+
+let run cfg =
+  let cfg =
+    { cfg with conns = max 1 cfg.conns; pipeline = max 1 cfg.pipeline;
+      tenants = max 1 cfg.tenants; requests = max 0 cfg.requests }
+  in
+  (* Request lines are identical per tenant: precompute them. *)
+  let lines =
+    Array.init cfg.tenants (fun i ->
+        J.to_string ~minify:true
+          (Wire.request_to_json
+             (Wire.Submit { tenant = Fmt.str "t%d" i; kind = cfg.kind }))
+        ^ "\n")
+  in
+  (* The baseline fetch retries so scripts can background the daemon
+     and start the load generator immediately (same boot-race contract
+     as era_cli's client). *)
+  match fetch_counts ~retries:20 cfg.socket with
+  | Error e -> Error e
+  | Ok base -> (
+    let conns =
+      List.init cfg.conns (fun i ->
+          let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+          match Unix.connect fd (Unix.ADDR_UNIX cfg.socket) with
+          | exception Unix.Unix_error (e, _, _) ->
+            (try Unix.close fd with _ -> ());
+            Error (Fmt.str "connect %d/%d: %s" i cfg.conns
+                     (Unix.error_message e))
+          | () ->
+            Unix.set_nonblock fd;
+            let target =
+              (cfg.requests / cfg.conns)
+              + (if i < cfg.requests mod cfg.conns then 1 else 0)
+            in
+            Ok
+              {
+                fd; target; sent = 0; acked = 0; dead = false;
+                pending = Queue.create (); cur = Bytes.create 0; cur_off = 0;
+                inbuf = Buffer.create 512; ts = Queue.create ();
+              })
+    in
+    let close_all cs =
+      List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) cs
+    in
+    match
+      List.partition_map
+        (function Ok c -> Left c | Error e -> Right e)
+        conns
+    with
+    | cs, e :: _ ->
+      close_all cs;
+      Error e
+    | cs, [] ->
+      let submitted = ref 0 and responded = ref 0 in
+      let admitted = ref 0 and shed = ref 0 and errors = ref 0 in
+      let lat = Array.make (max 1 cfg.requests) 0.0 in
+      let nlat = ref 0 in
+      let peak = ref 0 and infl_sum = ref 0.0 and infl_n = ref 0 in
+      let tenant_ix = ref 0 in
+      let scratch = Bytes.create 65536 in
+      let handle_line c line now =
+        c.acked <- c.acked + 1;
+        incr responded;
+        (if not (Queue.is_empty c.ts) then begin
+           let t0 = Queue.pop c.ts in
+           if !nlat < Array.length lat then begin
+             lat.(!nlat) <- (now -. t0) *. 1e6;
+             incr nlat
+           end
+         end);
+        match J.of_string line with
+        | Error _ -> incr errors
+        | Ok j -> (
+          match Option.bind (J.member "status" j) J.to_str with
+          | Some "queued" -> incr admitted
+          | Some "shed" -> incr shed
+          | _ -> incr errors)
+      in
+      let kill c =
+        if not c.dead then begin
+          c.dead <- true;
+          (* Unanswered submits on a dead connection never get a
+             response; count them as protocol errors, not lost jobs. *)
+          errors := !errors + outstanding c;
+          c.acked <- c.sent;
+          Queue.clear c.ts;
+          try Unix.close c.fd with Unix.Unix_error _ -> ()
+        end
+      in
+      let top_up c now =
+        while
+          c.sent < c.target && outstanding c < cfg.pipeline
+          && not c.dead
+        do
+          let line = lines.(!tenant_ix mod cfg.tenants) in
+          incr tenant_ix;
+          Queue.add line c.pending;
+          Queue.add now c.ts;
+          c.sent <- c.sent + 1;
+          incr submitted
+        done
+      in
+      let flush c =
+        try
+          let continue = ref true in
+          while !continue do
+            if c.cur_off >= Bytes.length c.cur then
+              if Queue.is_empty c.pending then continue := false
+              else begin
+                (* Coalesce everything pending into one write chunk. *)
+                let b = Buffer.create 1024 in
+                Queue.iter (Buffer.add_string b) c.pending;
+                Queue.clear c.pending;
+                c.cur <- Buffer.to_bytes b;
+                c.cur_off <- 0
+              end
+            else
+              let n =
+                Unix.write c.fd c.cur c.cur_off (Bytes.length c.cur - c.cur_off)
+              in
+              c.cur_off <- c.cur_off + n
+          done
+        with
+        | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+        | Unix.Unix_error (_, _, _) -> kill c
+      in
+      let drain_inbuf c now =
+        let s = Buffer.contents c.inbuf in
+        match String.rindex_opt s '\n' with
+        | None -> ()
+        | Some last ->
+          Buffer.clear c.inbuf;
+          Buffer.add_substring c.inbuf s (last + 1)
+            (String.length s - last - 1);
+          String.split_on_char '\n' (String.sub s 0 last)
+          |> List.iter (fun line -> handle_line c line now)
+      in
+      let read_some c =
+        match Unix.read c.fd scratch 0 (Bytes.length scratch) with
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+          -> ()
+        | exception Unix.Unix_error (_, _, _) -> kill c
+        | 0 -> kill c
+        | n ->
+          Buffer.add_subbytes c.inbuf scratch 0 n;
+          drain_inbuf c (Unix.gettimeofday ())
+      in
+      let t_start = Unix.gettimeofday () in
+      let finished () =
+        List.for_all (fun c -> c.dead || c.acked >= c.target) cs
+      in
+      while not (finished ()) do
+        let now = Unix.gettimeofday () in
+        List.iter (fun c -> top_up c now) cs;
+        let wset =
+          List.filter_map (fun c -> if wants_write c then Some c.fd else None)
+            cs
+        and rset =
+          List.filter_map (fun c -> if wants_read c then Some c.fd else None)
+            cs
+        in
+        if wset = [] && rset = [] then
+          (* Nothing in flight and nothing to send on any live conn:
+             every live conn is done — [finished] will stop the loop. *)
+          List.iter kill (List.filter (fun c -> c.acked < c.target) cs)
+        else begin
+          let rready, wready, _ =
+            try Unix.select rset wset [] 1.0
+            with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+          in
+          List.iter
+            (fun c -> if List.memq c.fd wready then flush c)
+            cs;
+          List.iter
+            (fun c -> if List.memq c.fd rready then read_some c)
+            cs;
+          let infl =
+            List.fold_left (fun a c -> a + outstanding c) 0 cs
+          in
+          if infl > !peak then peak := infl;
+          infl_sum := !infl_sum +. float_of_int infl;
+          incr infl_n
+        end
+      done;
+      let submit_elapsed_s = Unix.gettimeofday () -. t_start in
+      close_all (List.filter (fun c -> not c.dead) cs);
+      (* Drain: poll daemon stats until every admitted job is terminal. *)
+      let t_drain = Unix.gettimeofday () in
+      let deadline = t_drain +. cfg.drain_timeout_s in
+      let rec drain () =
+        match fetch_counts cfg.socket with
+        | Error e -> Error e
+        | Ok now_ ->
+          let terminal =
+            now_.c_served - base.c_served
+            + (now_.c_failed - base.c_failed)
+            + (now_.c_aborted - base.c_aborted)
+          in
+          if terminal >= !admitted || Unix.gettimeofday () > deadline then
+            Ok now_
+          else begin
+            Unix.sleepf 0.02;
+            drain ()
+          end
+      in
+      match drain () with
+      | Error e -> Error e
+      | Ok final ->
+        let drain_s = Unix.gettimeofday () -. t_drain in
+        let served = final.c_served - base.c_served
+        and failed = final.c_failed - base.c_failed
+        and aborted = final.c_aborted - base.c_aborted in
+        let sorted = Array.sub lat 0 !nlat in
+        Array.sort compare sorted;
+        Ok
+          {
+            submitted = !submitted;
+            responded = !responded;
+            admitted = !admitted;
+            shed = !shed;
+            errors = !errors;
+            lost = max 0 (!admitted - (served + failed + aborted));
+            served;
+            failed;
+            aborted;
+            inflight_peak = !peak;
+            inflight_mean =
+              (if !infl_n = 0 then 0.0
+               else !infl_sum /. float_of_int !infl_n);
+            submit_elapsed_s;
+            drain_s;
+            admit_p50_us = percentile sorted 50.;
+            admit_p99_us = percentile sorted 99.;
+          })
+
+let pp_result ppf r =
+  Fmt.pf ppf
+    "@[<v>submitted  %d (responded %d, errors %d)@,\
+     admitted   %d  shed %d  lost %d@,\
+     terminal   served %d  failed %d  aborted %d@,\
+     in-flight  peak %d  mean %.1f@,\
+     latency    p50 %.0f us  p99 %.0f us@,\
+     elapsed    submit %.3f s  drain %.3f s@]"
+    r.submitted r.responded r.errors r.admitted r.shed r.lost r.served
+    r.failed r.aborted r.inflight_peak r.inflight_mean r.admit_p50_us
+    r.admit_p99_us r.submit_elapsed_s r.drain_s

@@ -1,0 +1,53 @@
+(** Load generator: hammer an `era_serve` daemon with thousands of
+    concurrent in-flight submit requests over a local socket, then wait
+    for the daemon to drain and account for every job.
+
+    Mechanics: [conns] client connections multiplexed in one
+    non-blocking [select] loop, each pipelining up to [pipeline]
+    unanswered submits — so the sustained in-flight total approaches
+    [conns * pipeline] without needing thousands of file descriptors or
+    threads. Every submit is accounted: the response says admitted or
+    shed (with the reason); after the submit phase the generator polls
+    daemon stats until every admitted job reached a terminal state.
+    {e Lost} jobs — admitted but never terminal, or submits that never
+    got a response — are the failure signal the E17 acceptance bar pins
+    at zero. *)
+
+type config = {
+  socket : string;
+  conns : int;  (** concurrent connections (one fd each) *)
+  pipeline : int;  (** max unanswered submits per connection *)
+  requests : int;  (** total submits across all connections *)
+  tenants : int;  (** submits round-robin over ["t0".."tN-1"] *)
+  kind : Job.kind;  (** the job every request submits *)
+  drain_timeout_s : float;  (** wait budget for the backlog to finish *)
+}
+
+val default_config : config
+(** socket ["era_serve.sock"], 64 conns x pipeline 16, 2000 requests,
+    4 tenants, [Probe {spin = 500}], 120 s drain budget. *)
+
+type result_ = {
+  submitted : int;  (** requests written *)
+  responded : int;  (** responses received *)
+  admitted : int;
+  shed : int;
+  errors : int;  (** protocol-level failures (ok:false, dead conns) *)
+  lost : int;  (** admitted jobs not terminal after the drain wait *)
+  served : int;  (** daemon-side jobs Done during the run *)
+  failed : int;
+  aborted : int;
+  inflight_peak : int;  (** max unanswered submits at any sample *)
+  inflight_mean : float;
+  submit_elapsed_s : float;  (** first write to last response *)
+  drain_s : float;  (** extra time until the backlog finished *)
+  admit_p50_us : float;  (** submit -> response latency percentiles *)
+  admit_p99_us : float;
+}
+
+val run : config -> (result_, string) result
+(** [Error] on connect failure or a wedged daemon (drain timeout with
+    jobs missing counts as [Ok] with [lost > 0] — the caller decides how
+    loud to be). *)
+
+val pp_result : Format.formatter -> result_ -> unit

@@ -1,0 +1,149 @@
+(* Content-addressed store: objects/<md5-hex> + manifest.json. MD5 is
+   content-addressing here, not integrity against an adversary — it is
+   in the stdlib and 32 hex chars keep keys short on the wire. *)
+
+module J = Era_metrics.Json
+module Fs = Era_metrics.Fsutil
+
+type entry = {
+  key : string;
+  akind : string;
+  job_id : int;
+  label : string;
+  size : int;
+  created_s : float;
+}
+
+type t = {
+  dir : string;
+  m : Mutex.t;
+  mutable items : entry list;  (* newest first; exported oldest first *)
+}
+
+let manifest_path t = Filename.concat t.dir "manifest.json"
+let dir t = t.dir
+let object_path t key = Filename.concat (Filename.concat t.dir "objects") key
+
+let entry_to_json e =
+  J.Obj
+    [
+      ("key", J.String e.key);
+      ("kind", J.String e.akind);
+      ("job_id", J.Int e.job_id);
+      ("label", J.String e.label);
+      ("size", J.Int e.size);
+      ("created_s", J.Float e.created_s);
+    ]
+
+let entry_of_json j =
+  let str k = Option.bind (J.member k j) J.to_str in
+  let int k = Option.bind (J.member k j) J.to_int in
+  let flt k = Option.bind (J.member k j) J.to_float in
+  match (str "key", str "kind") with
+  | Some key, Some akind ->
+    Some
+      {
+        key;
+        akind;
+        job_id = Option.value (int "job_id") ~default:(-1);
+        label = Option.value (str "label") ~default:"";
+        size = Option.value (int "size") ~default:0;
+        created_s = Option.value (flt "created_s") ~default:0.;
+      }
+  | _ -> None
+
+let load_manifest path =
+  if not (Sys.file_exists path) then []
+  else
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let s = really_input_string ic len in
+    close_in ic;
+    match J.of_string s with
+    | Error _ -> []
+    | Ok j -> (
+      match Option.bind (J.member "entries" j) J.to_list with
+      | None -> []
+      | Some l -> List.rev (List.filter_map entry_of_json l))
+
+let open_ ~dir =
+  Fs.mkdir_p (Filename.concat dir "objects");
+  let t = { dir; m = Mutex.create (); items = [] } in
+  t.items <- load_manifest (manifest_path t);
+  t
+
+let manifest_json_locked t =
+  J.Obj
+    [
+      ("schema_version", J.Int 1);
+      ("entries", J.List (List.rev_map entry_to_json t.items));
+    ]
+
+let write_manifest_locked t =
+  Fs.write_file ~file:(manifest_path t) (J.to_string (manifest_json_locked t))
+
+let put t ~akind ?(job_id = -1) ?(label = "") content =
+  let key = Digest.to_hex (Digest.string content) in
+  Mutex.lock t.m;
+  let dup =
+    List.exists
+      (fun e ->
+        e.key = key && e.akind = akind && e.job_id = job_id
+        && e.label = label)
+      t.items
+  in
+  if not dup then begin
+    let path = object_path t key in
+    if not (Sys.file_exists path) then Fs.write_file ~file:path content;
+    t.items <-
+      {
+        key;
+        akind;
+        job_id;
+        label;
+        size = String.length content;
+        created_s = Unix.gettimeofday ();
+      }
+      :: t.items;
+    write_manifest_locked t
+  end;
+  Mutex.unlock t.m;
+  key
+
+let get t key =
+  (* Keys are hex digests; refuse anything path-like. *)
+  let safe =
+    String.length key > 0
+    && String.for_all
+         (function 'a' .. 'f' | '0' .. '9' -> true | _ -> false)
+         key
+  in
+  if not safe then None
+  else
+    let path = object_path t key in
+    if not (Sys.file_exists path) then None
+    else begin
+      let ic = open_in_bin path in
+      let len = in_channel_length ic in
+      let s = really_input_string ic len in
+      close_in ic;
+      Some s
+    end
+
+let entries t =
+  Mutex.lock t.m;
+  let r = List.rev t.items in
+  Mutex.unlock t.m;
+  r
+
+let find ?akind t ~job_id =
+  entries t
+  |> List.filter (fun e ->
+         e.job_id = job_id
+         && match akind with None -> true | Some k -> e.akind = k)
+
+let manifest_to_json t =
+  Mutex.lock t.m;
+  let r = manifest_json_locked t in
+  Mutex.unlock t.m;
+  r

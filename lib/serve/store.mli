@@ -1,0 +1,48 @@
+(** Content-addressed artifact store for job outputs — counterexample
+    JSON, registry snapshots, Perfetto traces, verdicts.
+
+    Objects live under [<dir>/objects/<key>] where [key] is the hex
+    digest of the content, so identical artifacts (the same shrunk
+    counterexample found by a thousand load-generator jobs) are stored
+    once; an index manifest at [<dir>/manifest.json] records one entry
+    per (job, artifact kind) pointing at its key. The manifest is
+    rewritten on every {!put} — artifact traffic is per-job, not
+    per-operation, so durability wins over write amortization.
+
+    Thread-safe (one internal mutex); a fresh {!open_} re-reads an
+    existing manifest, so the store survives daemon restarts. *)
+
+type t
+
+type entry = {
+  key : string;  (** content digest, hex *)
+  akind : string;  (** "counterexample" | "registry" | "trace" | ... *)
+  job_id : int;  (** -1 when not job-bound (e.g. a server trace) *)
+  label : string;
+  size : int;  (** content bytes *)
+  created_s : float;
+}
+
+val open_ : dir:string -> t
+(** Create [dir] (and [dir/objects]) if needed; load [manifest.json] if
+    present (a corrupt manifest is treated as empty rather than fatal —
+    the objects themselves are still content-addressed and readable). *)
+
+val dir : t -> string
+val manifest_path : t -> string
+
+val put :
+  t -> akind:string -> ?job_id:int -> ?label:string -> string -> string
+(** Store the content, record a manifest entry, return the key. An
+    entry identical in (key, kind, job, label) is not duplicated. *)
+
+val get : t -> string -> string option
+(** Content by key. *)
+
+val entries : t -> entry list
+(** Manifest entries, oldest first. *)
+
+val find : ?akind:string -> t -> job_id:int -> entry list
+(** Entries for one job, optionally filtered by artifact kind. *)
+
+val manifest_to_json : t -> Era_metrics.Json.t

@@ -1,0 +1,129 @@
+module J = Era_metrics.Json
+
+type request =
+  | Ping
+  | Submit of { tenant : string; kind : Job.kind }
+  | Job_status of int
+  | Jobs
+  | Stats
+  | Artifact of string
+  | Manifest
+  | Shutdown of { drain : bool }
+
+let request_to_json = function
+  | Ping -> J.Obj [ ("op", J.String "ping") ]
+  | Submit { tenant; kind } ->
+    J.Obj
+      [
+        ("op", J.String "submit");
+        ("tenant", J.String tenant);
+        ("job", Job.kind_to_json kind);
+      ]
+  | Job_status id -> J.Obj [ ("op", J.String "job"); ("id", J.Int id) ]
+  | Jobs -> J.Obj [ ("op", J.String "jobs") ]
+  | Stats -> J.Obj [ ("op", J.String "stats") ]
+  | Artifact key ->
+    J.Obj [ ("op", J.String "artifact"); ("key", J.String key) ]
+  | Manifest -> J.Obj [ ("op", J.String "manifest") ]
+  | Shutdown { drain } ->
+    J.Obj [ ("op", J.String "shutdown"); ("drain", J.Bool drain) ]
+
+let request_of_json j =
+  match Option.bind (J.member "op" j) J.to_str with
+  | None -> Error "request: missing \"op\""
+  | Some "ping" -> Ok Ping
+  | Some "jobs" -> Ok Jobs
+  | Some "stats" -> Ok Stats
+  | Some "manifest" -> Ok Manifest
+  | Some "shutdown" ->
+    let drain =
+      Option.value (Option.bind (J.member "drain" j) J.to_bool) ~default:true
+    in
+    Ok (Shutdown { drain })
+  | Some "job" -> (
+    match Option.bind (J.member "id" j) J.to_int with
+    | Some id -> Ok (Job_status id)
+    | None -> Error "job: missing \"id\"")
+  | Some "artifact" -> (
+    match Option.bind (J.member "key" j) J.to_str with
+    | Some key -> Ok (Artifact key)
+    | None -> Error "artifact: missing \"key\"")
+  | Some "submit" -> (
+    let tenant =
+      Option.value
+        (Option.bind (J.member "tenant" j) J.to_str)
+        ~default:"default"
+    in
+    match J.member "job" j with
+    | None -> Error "submit: missing \"job\""
+    | Some jj -> (
+      match Job.kind_of_json jj with
+      | Ok kind -> Ok (Submit { tenant; kind })
+      | Error e -> Error e))
+  | Some other -> Error (Fmt.str "unknown op %S" other)
+
+let ok fields = J.Obj (("ok", J.Bool true) :: fields)
+let err msg = J.Obj [ ("ok", J.Bool false); ("error", J.String msg) ]
+
+(* ---------------------------------------------------------------- *)
+(* Framing                                                           *)
+(* ---------------------------------------------------------------- *)
+
+type conn = {
+  fd : Unix.file_descr;
+  buf : Buffer.t;  (* bytes received, no complete line yet *)
+  chunk : bytes;
+  mutable pending : string list;  (* complete lines, oldest first *)
+}
+
+let conn_of_fd fd = { fd; buf = Buffer.create 512; chunk = Bytes.create 8192;
+                      pending = [] }
+
+let fd c = c.fd
+
+let send_line c s =
+  let data = Bytes.of_string (s ^ "\n") in
+  let len = Bytes.length data in
+  let off = ref 0 in
+  while !off < len do
+    let n = Unix.write c.fd data !off (len - !off) in
+    off := !off + n
+  done
+
+(* Split [buf] into complete lines, keeping the trailing partial. *)
+let harvest c =
+  let s = Buffer.contents c.buf in
+  match String.rindex_opt s '\n' with
+  | None -> ()
+  | Some last ->
+    let complete = String.sub s 0 last in
+    Buffer.clear c.buf;
+    Buffer.add_substring c.buf s (last + 1) (String.length s - last - 1);
+    c.pending <- c.pending @ String.split_on_char '\n' complete
+
+let rec recv_line c =
+  match c.pending with
+  | line :: rest ->
+    c.pending <- rest;
+    Some line
+  | [] -> (
+    let n =
+      try Unix.read c.fd c.chunk 0 (Bytes.length c.chunk)
+      with Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> 0
+    in
+    if n = 0 then None
+    else begin
+      Buffer.add_subbytes c.buf c.chunk 0 n;
+      harvest c;
+      recv_line c
+    end)
+
+let has_buffered c =
+  c.pending <> [] || String.contains (Buffer.contents c.buf) '\n'
+
+let send_json c j = send_line c (J.to_string ~minify:true j)
+
+let recv_json c =
+  match recv_line c with
+  | None -> None
+  | Some line -> Some (J.of_string line)

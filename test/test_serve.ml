@@ -1,0 +1,611 @@
+(* Serving layer (lib/serve): bounded-queue capacity and shutdown
+   liveness (close-while-poppers-blocked, drain-then-stop, close_now
+   accounting — the Work_queue lost-wakeup discipline applied to the
+   admission path), tenant-fair scheduling, the content-addressed store,
+   executor lifecycle, and a daemon/client/load end-to-end pass over a
+   real Unix socket. *)
+
+module Bq = Era_serve.Bounded_queue
+module Fq = Era_serve.Fair_queue
+module Store = Era_serve.Store
+module Job = Era_serve.Job
+module Executor = Era_serve.Executor
+module Daemon = Era_serve.Daemon
+module Client = Era_serve.Client
+module Wire = Era_serve.Wire
+module Load = Era_serve.Load
+module Ex = Era_explore.Explore
+module Json = Era_metrics.Json
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let temp_dir prefix =
+  let d = Filename.temp_file prefix "" in
+  Sys.remove d;
+  Unix.mkdir d 0o755;
+  d
+
+(* ------------------------------------------------------------------ *)
+(* Bounded queue                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_bq_fifo () =
+  let q = Bq.create ~capacity:8 () in
+  List.iter (fun i -> Alcotest.(check bool) "push" true (Bq.try_push q i))
+    [ 1; 2; 3 ];
+  Alcotest.(check int) "length" 3 (Bq.length q);
+  Alcotest.(check (option int)) "pop 1" (Some 1) (Bq.try_pop q);
+  Alcotest.(check (option int)) "pop 2" (Some 2) (Bq.try_pop q);
+  Alcotest.(check bool) "interleaved push" true (Bq.try_push q 4);
+  Alcotest.(check (option int)) "pop 3" (Some 3) (Bq.try_pop q);
+  Alcotest.(check (option int)) "pop 4" (Some 4) (Bq.try_pop q);
+  Alcotest.(check (option int)) "empty try_pop" None (Bq.try_pop q)
+
+let test_bq_shed_on_full () =
+  let q = Bq.create ~capacity:3 () in
+  List.iter (fun i -> ignore (Bq.try_push q i)) [ 1; 2; 3 ];
+  Alcotest.(check bool) "4th push shed" false (Bq.try_push q 4);
+  Alcotest.(check bool) "5th push shed" false (Bq.try_push q 5);
+  ignore (Bq.pop q);
+  Alcotest.(check bool) "slot freed, push admitted" true (Bq.try_push q 6);
+  Alcotest.(check bool) "full again" false (Bq.try_push q 7);
+  Alcotest.(check int) "exactly capacity queued" 3 (Bq.length q)
+
+let test_bq_push_after_close () =
+  let q = Bq.create ~capacity:4 () in
+  ignore (Bq.try_push q 1);
+  Bq.close q;
+  Alcotest.(check bool) "closed" true (Bq.closed q);
+  Alcotest.(check bool) "push refused" false (Bq.try_push q 2);
+  Alcotest.(check (option int)) "drain serves backlog" (Some 1) (Bq.pop q);
+  Alcotest.(check (option int)) "then None" None (Bq.pop q)
+
+(* Drain-then-stop with poppers BLOCKED on the empty queue in other
+   domains: close must wake them into None — a conditioned-away
+   broadcast would hang this test rather than fail it. *)
+let test_bq_close_wakes_blocked_poppers () =
+  let q : int Bq.t = Bq.create ~capacity:4 () in
+  let poppers = List.init 3 (fun _ -> Domain.spawn (fun () -> Bq.pop q)) in
+  Unix.sleepf 0.05;
+  Bq.close q;
+  List.iter
+    (fun d ->
+      Alcotest.(check (option int)) "woken into None" None (Domain.join d))
+    poppers;
+  Bq.close q (* idempotent *)
+
+let test_bq_close_now_leftovers () =
+  let q = Bq.create ~capacity:8 () in
+  List.iter (fun i -> ignore (Bq.try_push q i)) [ 1; 2; 3; 4 ];
+  Alcotest.(check (option int)) "one served" (Some 1) (Bq.pop q);
+  Alcotest.(check (list int)) "abandoned items, FIFO" [ 2; 3; 4 ]
+    (Bq.close_now q);
+  Alcotest.(check (list int)) "second close_now empty" [] (Bq.close_now q);
+  Alcotest.(check (option int)) "pop after close_now" None (Bq.pop q)
+
+(* MPMC stress: every pushed item is popped exactly once across domains,
+   and pushes beyond capacity shed rather than block. *)
+let test_bq_stress () =
+  let q = Bq.create ~capacity:64 () in
+  let n_producers = 3 and n_consumers = 3 and per = 2_000 in
+  let accepted = Atomic.make 0 in
+  let producers =
+    List.init n_producers (fun p ->
+        Domain.spawn (fun () ->
+            for i = 0 to per - 1 do
+              let v = (p * per) + i in
+              let rec go tries =
+                if Bq.try_push q v then Atomic.incr accepted
+                else if tries > 0 then begin
+                  Domain.cpu_relax ();
+                  go (tries - 1)
+                end
+                (* full after retries: shed — that's the contract *)
+              in
+              go 1_000
+            done))
+  in
+  let popped = Atomic.make 0 in
+  let consumers =
+    List.init n_consumers (fun _ ->
+        Domain.spawn (fun () ->
+            let rec loop acc =
+              match Bq.pop q with
+              | None -> acc
+              | Some _ ->
+                Atomic.incr popped;
+                loop (acc + 1)
+            in
+            loop 0))
+  in
+  List.iter Domain.join producers;
+  Bq.close q;
+  let per_consumer = List.map Domain.join consumers in
+  Alcotest.(check int) "every accepted item popped exactly once"
+    (Atomic.get accepted) (Atomic.get popped);
+  Alcotest.(check int) "consumer sums agree" (Atomic.get popped)
+    (List.fold_left ( + ) 0 per_consumer);
+  Alcotest.(check bool) "stress actually admitted work" true
+    (Atomic.get accepted > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Fair queue                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let ok_submit q ~tenant v =
+  match Fq.submit q ~tenant v with
+  | Ok () -> ()
+  | Error s -> Alcotest.failf "unexpected shed: %s" (Fq.shed_reason s)
+
+let test_fq_round_robin () =
+  let q = Fq.create ~tenant_cap:8 ~global_cap:64 () in
+  (* a deep in front of b: round-robin must interleave, not FIFO-drain a *)
+  List.iter (fun v -> ok_submit q ~tenant:"a" v) [ 1; 2; 3 ];
+  List.iter (fun v -> ok_submit q ~tenant:"b" v) [ 10; 20 ];
+  ok_submit q ~tenant:"c" 100;
+  let order = List.init 6 (fun _ -> Option.get (Fq.next q)) in
+  Alcotest.(check (list int)) "one job per tenant per turn"
+    [ 1; 10; 100; 2; 20; 3 ] order;
+  Alcotest.(check int) "drained" 0 (Fq.depth q)
+
+let test_fq_tenant_cap () =
+  let q = Fq.create ~tenant_cap:2 ~global_cap:64 () in
+  ok_submit q ~tenant:"noisy" 1;
+  ok_submit q ~tenant:"noisy" 2;
+  (match Fq.submit q ~tenant:"noisy" 3 with
+  | Error (`Tenant_cap as s) ->
+    Alcotest.(check string) "wire reason" "tenant-cap" (Fq.shed_reason s)
+  | Ok () -> Alcotest.fail "tenant cap not enforced"
+  | Error s -> Alcotest.failf "wrong reason: %s" (Fq.shed_reason s));
+  (* the noisy tenant's saturation does not displace others *)
+  ok_submit q ~tenant:"quiet" 10;
+  Alcotest.(check (list (pair string int)))
+    "per-tenant depths"
+    [ ("noisy", 2); ("quiet", 1) ]
+    (Fq.tenants q)
+
+let test_fq_global_cap () =
+  let q = Fq.create ~tenant_cap:8 ~global_cap:3 () in
+  ok_submit q ~tenant:"a" 1;
+  ok_submit q ~tenant:"b" 2;
+  ok_submit q ~tenant:"c" 3;
+  match Fq.submit q ~tenant:"d" 4 with
+  | Error (`Global_cap as s) ->
+    Alcotest.(check string) "wire reason" "global-cap" (Fq.shed_reason s)
+  | Ok () -> Alcotest.fail "global cap not enforced"
+  | Error s -> Alcotest.failf "wrong reason: %s" (Fq.shed_reason s)
+
+let test_fq_close_wakes_blocked_next () =
+  let q : int Fq.t = Fq.create () in
+  let waiters = List.init 2 (fun _ -> Domain.spawn (fun () -> Fq.next q)) in
+  Unix.sleepf 0.05;
+  Fq.close q;
+  List.iter
+    (fun d ->
+      Alcotest.(check (option int)) "woken into None" None (Domain.join d))
+    waiters;
+  match Fq.submit q ~tenant:"late" 1 with
+  | Error `Closed -> ()
+  | _ -> Alcotest.fail "submit after close must shed `Closed"
+
+let test_fq_close_now () =
+  let q = Fq.create () in
+  List.iter (fun v -> ok_submit q ~tenant:"a" v) [ 1; 2 ];
+  ok_submit q ~tenant:"b" 3;
+  let abandoned = List.sort compare (Fq.close_now q) in
+  Alcotest.(check (list int)) "backlog returned" [ 1; 2; 3 ] abandoned;
+  Alcotest.(check (option int)) "next after close_now" None (Fq.next q)
+
+(* ------------------------------------------------------------------ *)
+(* Store                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_store_roundtrip_dedup () =
+  let dir = temp_dir "era_store" in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let s = Store.open_ ~dir in
+      let k1 = Store.put s ~akind:"counterexample" ~job_id:1 "payload" in
+      let k2 = Store.put s ~akind:"counterexample" ~job_id:2 "payload" in
+      Alcotest.(check string) "identical content, one object" k1 k2;
+      Alcotest.(check (option string)) "content back" (Some "payload")
+        (Store.get s k1);
+      Alcotest.(check (option string)) "unknown key" None
+        (Store.get s (String.make 32 'f'));
+      Alcotest.(check (option string)) "traversal rejected" None
+        (Store.get s "../../etc/passwd");
+      Alcotest.(check int) "one entry per (job, kind)" 2
+        (List.length (Store.entries s));
+      Alcotest.(check int) "find by job" 1
+        (List.length (Store.find s ~job_id:2));
+      (* a fresh open_ reads the manifest back *)
+      let s' = Store.open_ ~dir in
+      Alcotest.(check int) "manifest survives reopen" 2
+        (List.length (Store.entries s'));
+      Alcotest.(check (option string)) "objects survive reopen"
+        (Some "payload") (Store.get s' k1))
+
+(* ------------------------------------------------------------------ *)
+(* Job codec                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let roundtrip kind =
+  match Job.kind_of_json (Job.kind_to_json kind) with
+  | Ok k -> k
+  | Error e -> Alcotest.failf "kind codec: %s" e
+
+let test_job_kind_roundtrip () =
+  let explore =
+    Job.Explore
+      {
+        scheme = "ibr"; structure = "ms-queue"; preemptions = 3;
+        max_runs = 123; steps = 456; seed = 7; ops = Some 9;
+        robust_bound = Some 2;
+      }
+  in
+  List.iter
+    (fun k -> Alcotest.(check bool) (Job.kind_label k) true (roundtrip k = k))
+    [
+      explore; Job.default_explore ();
+      Job.Figure1 { scheme = "ebr"; rounds = 64 };
+      Job.Figure2 { scheme = "hp" }; Job.Probe { spin = 42 };
+    ];
+  match Job.kind_of_json (Json.Obj [ ("kind", Json.String "nope") ]) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown kind must not decode"
+
+(* ------------------------------------------------------------------ *)
+(* Executor                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let with_store k =
+  let dir = temp_dir "era_exec" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> k (Store.open_ ~dir))
+
+let small_explore =
+  Job.Explore
+    {
+      scheme = "hp"; structure = "harris-list"; preemptions = 2;
+      max_runs = 2_000; steps = 50_000; seed = 2; ops = None;
+      robust_bound = None;
+    }
+
+let test_run_job_probe () =
+  with_store (fun store ->
+      let j = Job.make ~id:1 ~tenant:"t" (Job.Probe { spin = 100 }) in
+      Executor.run_job ~store j;
+      Alcotest.(check string) "done" "done" (Job.status_name j.Job.status);
+      Alcotest.(check bool) "timestamps set" true
+        (j.Job.finished_s >= j.Job.started_s && j.Job.started_s > 0.))
+
+let test_run_job_explore_artifacts () =
+  with_store (fun store ->
+      let j = Job.make ~id:7 ~tenant:"t" small_explore in
+      Executor.run_job ~store j;
+      Alcotest.(check string) "done" "done" (Job.status_name j.Job.status);
+      let r = Option.get j.Job.result in
+      Alcotest.(check bool) "violation reported" true
+        (String.length r.Job.note > 0);
+      let cex_key =
+        match List.assoc_opt "counterexample" r.Job.artifacts with
+        | Some k -> k
+        | None -> Alcotest.fail "hp/harris explore must store a counterexample"
+      in
+      (* the stored artifact is a loadable counterexample *)
+      (match Store.get store cex_key with
+      | None -> Alcotest.fail "counterexample key dangling"
+      | Some content -> (
+        match
+          Result.bind (Json.of_string content) Ex.counterexample_of_json
+        with
+        | Ok cex ->
+          Alcotest.(check bool) "non-trivial schedule" true
+            (List.length cex.Ex.c_steps > 0)
+        | Error e -> Alcotest.failf "stored counterexample invalid: %s" e));
+      match List.assoc_opt "registry" r.Job.artifacts with
+      | Some _ -> ()
+      | None -> Alcotest.fail "explore job must store a registry snapshot")
+
+let test_run_job_unknown_scheme () =
+  with_store (fun store ->
+      let j =
+        Job.make ~id:2 ~tenant:"t" (Job.Figure2 { scheme = "no-such" })
+      in
+      Executor.run_job ~store j;
+      Alcotest.(check string) "failed" "failed"
+        (Job.status_name j.Job.status);
+      let r = Option.get j.Job.result in
+      Alcotest.(check bool) "note names the problem" true
+        (String.length r.Job.note > 0))
+
+let test_executor_drain_then_stop () =
+  with_store (fun store ->
+      let queue = Fq.create () in
+      let jobs =
+        List.init 8 (fun i ->
+            Job.make ~id:i
+              ~tenant:(Fmt.str "t%d" (i mod 3))
+              (Job.Probe { spin = 50 }))
+      in
+      List.iter
+        (fun j ->
+          match Fq.submit queue ~tenant:j.Job.tenant j with
+          | Ok () -> ()
+          | Error _ -> Alcotest.fail "under capacity, nothing sheds")
+        jobs;
+      let ex = Executor.start ~workers:2 ~queue ~store () in
+      Executor.stop ~drain:true ex;
+      List.iter
+        (fun j ->
+          Alcotest.(check string) "drained to Done" "done"
+            (Job.status_name j.Job.status))
+        jobs;
+      Alcotest.(check int) "served counter" 8
+        (Atomic.get (Executor.stats ex).Executor.served))
+
+let test_executor_stop_now_aborts_backlog () =
+  with_store (fun store ->
+      let queue = Fq.create () in
+      (* a slow head job keeps both workers busy while the backlog waits *)
+      let jobs =
+        List.init 10 (fun i ->
+            Job.make ~id:i ~tenant:"t" (Job.Probe { spin = 200_000 }))
+      in
+      List.iter (fun j -> ignore (Fq.submit queue ~tenant:"t" j)) jobs;
+      let ex = Executor.start ~workers:2 ~queue ~store () in
+      Executor.stop ~drain:false ex;
+      let st = Executor.stats ex in
+      let served = Atomic.get st.Executor.served
+      and aborted = Atomic.get st.Executor.aborted in
+      Alcotest.(check int) "every job accounted" 10 (served + aborted);
+      List.iter
+        (fun j ->
+          Alcotest.(check bool) "terminal" true (Job.terminal j.Job.status);
+          if j.Job.status = Job.Aborted then
+            Alcotest.(check bool) "abort note" true
+              (match j.Job.result with
+              | Some r -> String.length r.Job.note > 0
+              | None -> false))
+        jobs)
+
+(* Workers blocked on an EMPTY queue: stop must wake and join them — the
+   executor-level lost-wakeup test (hangs on regression). *)
+let test_executor_stop_while_blocked () =
+  with_store (fun store ->
+      let queue : Job.t Fq.t = Fq.create () in
+      let ex = Executor.start ~workers:3 ~queue ~store () in
+      Unix.sleepf 0.05;
+      Executor.stop ~drain:true ex;
+      Executor.stop ~drain:true ex (* idempotent *))
+
+(* ------------------------------------------------------------------ *)
+(* Daemon + client end-to-end                                          *)
+(* ------------------------------------------------------------------ *)
+
+let with_daemon ?(workers = 2) ?(global_cap = 64) ?(tenant_cap = 32) k =
+  let dir = temp_dir "era_daemon" in
+  let socket = Filename.concat dir "serve.sock" in
+  let cfg =
+    {
+      Daemon.socket_path = socket; workers; global_cap; tenant_cap;
+      store_dir = Filename.concat dir "artifacts";
+    }
+  in
+  let d = Daemon.start cfg in
+  Fun.protect
+    ~finally:(fun () ->
+      Daemon.stop d;
+      (* the shutdown job-table dump lands in cwd: clean it up *)
+      let dump = Fmt.str "jobs_%s.json" (Filename.remove_extension
+                                           (Filename.basename socket)) in
+      if Sys.file_exists dump then Sys.remove dump;
+      rm_rf dir)
+    (fun () -> k d socket)
+
+let connect socket =
+  match Client.connect ~retries:20 ~retry_delay_s:0.05 ~socket () with
+  | Ok c -> c
+  | Error e -> Alcotest.failf "connect: %s" e
+
+let get_exn = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "rpc: %s" e
+
+let test_daemon_submit_wait () =
+  with_daemon (fun d socket ->
+      let cl = connect socket in
+      get_exn (Client.ping cl);
+      let id =
+        match get_exn (Client.submit cl ~tenant:"alice" small_explore) with
+        | Client.Admitted id -> id
+        | Client.Shed r -> Alcotest.failf "shed under capacity: %s" r
+      in
+      let j = get_exn (Client.wait_job cl id) in
+      let field k =
+        Option.value (Option.bind (Json.member k j) Json.to_str) ~default:""
+      in
+      Alcotest.(check string) "done over the wire" "done" (field "status");
+      (* the manifest indexes the counterexample; fetch it back by key *)
+      let arts =
+        match Option.bind (Json.member "artifacts" j) Json.to_list with
+        | Some l -> l
+        | None -> Alcotest.fail "job summary without artifacts"
+      in
+      let cex_key =
+        List.find_map
+          (fun a ->
+            match Option.bind (Json.member "kind" a) Json.to_str with
+            | Some "counterexample" ->
+              Option.bind (Json.member "key" a) Json.to_str
+            | _ -> None)
+          arts
+        |> function
+        | Some k -> k
+        | None -> Alcotest.fail "no counterexample artifact key"
+      in
+      let content = get_exn (Client.artifact cl cex_key) in
+      (match
+         Result.bind (Json.of_string content) Ex.counterexample_of_json
+       with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "artifact not a counterexample: %s" e);
+      (* jobs + stats agree *)
+      let jobs = get_exn (Client.jobs cl) in
+      Alcotest.(check int) "one job listed" 1 (List.length jobs);
+      let stats = get_exn (Client.stats cl) in
+      let int k =
+        Option.value (Option.bind (Json.member k stats) Json.to_int)
+          ~default:(-1)
+      in
+      Alcotest.(check int) "admitted" 1 (int "admitted");
+      Alcotest.(check int) "served" 1 (int "served");
+      Alcotest.(check int) "shed" 0 (int "shed");
+      Alcotest.(check int) "daemon job table" 1 (List.length (Daemon.jobs d));
+      Client.close cl)
+
+let test_daemon_shed_and_registry () =
+  (* 1 worker busy on a long probe; tiny caps force shed on the wire *)
+  with_daemon ~workers:1 ~global_cap:2 ~tenant_cap:1 (fun d socket ->
+      let cl = connect socket in
+      let submit tenant =
+        get_exn (Client.submit cl ~tenant (Job.Probe { spin = 2_000_000 }))
+      in
+      ignore (submit "a" : Client.submit_outcome) (* likely running *);
+      let rec fill n =
+        (* keep submitting until the tenant's slot is provably full *)
+        match submit "a" with
+        | Client.Shed reason -> reason
+        | Client.Admitted _ when n > 0 -> fill (n - 1)
+        | Client.Admitted _ -> Alcotest.fail "tenant cap never enforced"
+      in
+      let reason = fill 4 in
+      Alcotest.(check string) "shed reason on the wire" "tenant-cap" reason;
+      (* a different tenant still gets in (fairness of caps) *)
+      (match submit "b" with
+      | Client.Admitted _ -> ()
+      | Client.Shed r -> Alcotest.failf "other tenant displaced: %s" r);
+      let reg = Daemon.stats_registry d in
+      let reg_json = Era_obs.Registry.to_string reg in
+      Alcotest.(check bool) "registry exports shed counters" true
+        (let has s =
+           let n = String.length s and m = String.length reg_json in
+           let rec go i =
+             i + n <= m && (String.sub reg_json i n = s || go (i + 1))
+           in
+           go 0
+         in
+         has "serve_shed" && has "serve_admitted");
+      Client.close cl)
+
+let test_daemon_client_shutdown () =
+  with_daemon (fun d socket ->
+      let cl = connect socket in
+      let id =
+        match get_exn (Client.submit cl ~tenant:"t" (Job.Probe { spin = 10 }))
+        with
+        | Client.Admitted id -> id
+        | Client.Shed r -> Alcotest.failf "shed: %s" r
+      in
+      get_exn (Client.shutdown cl ~drain:true);
+      Client.close cl;
+      (* wait completes the shutdown: socket gone, backlog drained *)
+      Daemon.wait d;
+      Alcotest.(check bool) "socket unlinked" false (Sys.file_exists socket);
+      match Daemon.find_job d id with
+      | Some j ->
+        Alcotest.(check string) "drained before stopping" "done"
+          (Job.status_name j.Job.status)
+      | None -> Alcotest.fail "job table lost the job")
+
+(* ------------------------------------------------------------------ *)
+(* Load generator (small): zero lost, zero shed under capacity         *)
+(* ------------------------------------------------------------------ *)
+
+let test_load_under_capacity () =
+  with_daemon ~workers:2 ~global_cap:512 ~tenant_cap:256 (fun _ socket ->
+      let cfg =
+        {
+          Load.socket; conns = 8; pipeline = 4; requests = 200; tenants = 3;
+          kind = Job.Probe { spin = 20 }; drain_timeout_s = 60.;
+        }
+      in
+      match Load.run cfg with
+      | Error e -> Alcotest.failf "load: %s" e
+      | Ok r ->
+        Alcotest.(check int) "every request answered" 200 r.Load.responded;
+        Alcotest.(check int) "no protocol errors" 0 r.Load.errors;
+        Alcotest.(check int) "zero lost" 0 r.Load.lost;
+        Alcotest.(check int) "under capacity nothing sheds" 0 r.Load.shed;
+        Alcotest.(check int) "all admitted" 200 r.Load.admitted;
+        Alcotest.(check int) "all served" 200
+          (r.Load.served + r.Load.failed);
+        Alcotest.(check bool) "pipelining overlapped requests" true
+          (r.Load.inflight_peak > 1))
+
+let () =
+  Alcotest.run "era_serve"
+    [
+      ( "bounded_queue",
+        [
+          Alcotest.test_case "fifo" `Quick test_bq_fifo;
+          Alcotest.test_case "shed on full" `Quick test_bq_shed_on_full;
+          Alcotest.test_case "push after close" `Quick
+            test_bq_push_after_close;
+          Alcotest.test_case "close wakes blocked poppers" `Quick
+            test_bq_close_wakes_blocked_poppers;
+          Alcotest.test_case "close_now returns leftovers" `Quick
+            test_bq_close_now_leftovers;
+          Alcotest.test_case "mpmc stress" `Quick test_bq_stress;
+        ] );
+      ( "fair_queue",
+        [
+          Alcotest.test_case "round robin" `Quick test_fq_round_robin;
+          Alcotest.test_case "tenant cap" `Quick test_fq_tenant_cap;
+          Alcotest.test_case "global cap" `Quick test_fq_global_cap;
+          Alcotest.test_case "close wakes blocked next" `Quick
+            test_fq_close_wakes_blocked_next;
+          Alcotest.test_case "close_now" `Quick test_fq_close_now;
+        ] );
+      ( "store",
+        [
+          Alcotest.test_case "round-trip, dedup, reopen" `Quick
+            test_store_roundtrip_dedup;
+        ] );
+      ( "job",
+        [ Alcotest.test_case "kind codec" `Quick test_job_kind_roundtrip ] );
+      ( "executor",
+        [
+          Alcotest.test_case "probe runs" `Quick test_run_job_probe;
+          Alcotest.test_case "explore artifacts" `Quick
+            test_run_job_explore_artifacts;
+          Alcotest.test_case "unknown scheme fails cleanly" `Quick
+            test_run_job_unknown_scheme;
+          Alcotest.test_case "drain then stop" `Quick
+            test_executor_drain_then_stop;
+          Alcotest.test_case "stop now aborts backlog" `Quick
+            test_executor_stop_now_aborts_backlog;
+          Alcotest.test_case "stop while workers blocked" `Quick
+            test_executor_stop_while_blocked;
+        ] );
+      ( "daemon",
+        [
+          Alcotest.test_case "submit, wait, artifacts" `Quick
+            test_daemon_submit_wait;
+          Alcotest.test_case "shed + registry" `Quick
+            test_daemon_shed_and_registry;
+          Alcotest.test_case "client-driven shutdown" `Quick
+            test_daemon_client_shutdown;
+        ] );
+      ( "load",
+        [
+          Alcotest.test_case "under capacity: no shed, no loss" `Quick
+            test_load_under_capacity;
+        ] );
+    ]
