@@ -26,4 +26,5 @@ dune exec --no-build bin/bench_compare.exe -- bench/BENCH_quick.json "$out" \
   --require E15/explore_states_per_sec \
   --require E16/michael+ebr/zipf-1m-hot@1d \
   --require E17/saturation \
+  --require E18/michael+debra/zipf-1m-hot@1d \
   "$@"

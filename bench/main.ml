@@ -301,8 +301,11 @@ let e8b () =
   let ops = Rc.ops_or cfg (if quick then 50_000 else 200_000) in
   let domains = Rc.domains_or cfg 2 in
   List.iter
-    (fun scheme ->
-      if want_scheme (scheme_name scheme) then begin
+    (fun (scheme : [ `Ebr | `Hp | `Ibr | `None ]) ->
+      if
+        want_scheme
+          (scheme_name (scheme :> [ `Debra | `Ebr | `Hp | `Ibr | `None ]))
+      then begin
         let s = stack_row ~scheme ~domains ~ops_per_domain:ops () in
         Fmt.pr "  %a@." pp_result s;
         emit_native "E8b" "native-throughput" s;
@@ -318,13 +321,15 @@ let e9 () =
   let ops = Rc.ops_or cfg (if quick then 50_000 else 200_000) in
   List.iter
     (fun scheme ->
-      if want_scheme (scheme_name (scheme :> [ `Ebr | `Hp | `Ibr | `None ]))
+      if
+        want_scheme
+          (scheme_name (scheme :> [ `Debra | `Ebr | `Hp | `Ibr | `None ]))
       then begin
         let r = e9_row ~scheme ~churn_ops:ops () in
         Fmt.pr "  %a@." pp_result r;
         emit_native "E9" "native-backlog" r
       end)
-    [ `Ebr; `Hp; `Ibr ]
+    [ `Ebr; `Hp; `Ibr; `Debra ]
 
 (* ------------------------------------------------------------------ *)
 (* E16: native throughput at million-key Zipf traffic                  *)
@@ -409,7 +414,8 @@ let e16 () =
     List.iter
       (fun scheme ->
         if
-          want_scheme (scheme_name (scheme :> [ `Ebr | `Hp | `Ibr | `None ]))
+          want_scheme
+            (scheme_name (scheme :> [ `Debra | `Ebr | `Hp | `Ibr | `None ]))
         then begin
           let r =
             e9_row ~workload:zipf_1m_hot ~scheme ~churn_ops:(ops / 2) ()
@@ -417,7 +423,7 @@ let e16 () =
           Fmt.pr "  %a@." pp_result r;
           emit_native "E16" "native-backlog" r
         end)
-      [ `Ebr; `Hp; `Ibr ]
+      [ `Ebr; `Hp; `Ibr; `Debra ]
 
 (* ------------------------------------------------------------------ *)
 (* E10/E11: ablations                                                  *)
@@ -764,6 +770,54 @@ let e15 () =
     [ 2; 4 ]
 
 (* ------------------------------------------------------------------ *)
+(* E18: DEBRA+ native cost — neutralizable epochs vs plain EBR         *)
+(* ------------------------------------------------------------------ *)
+
+let e18 () =
+  section "E18 | Native DEBRA+: neutralizable epochs vs plain EBR";
+  let open Era_native.Throughput in
+  let ops = Rc.ops_or cfg (if quick then 50_000 else 200_000) in
+  (* DEBRA+'s fast path is N_ebr's plus two flag loads per protected
+     read and a per-observer lag sweep on the amortized slow path. The
+     EBR rows here are same-run baselines: the honest comparison is
+     within one process on one host, not against the committed
+     baseline's machine. zipf-1m-hot (short walks, per-op overhead
+     dominated) is where the cost must show — the perf gate watches the
+     michael+debra cell and bench_compare's relative tolerance covers
+     host-to-host drift. *)
+  let grid =
+    [
+      (`Ebr, uniform_small, 1, ops);
+      (`Debra, uniform_small, 1, ops);
+      (`Ebr, zipf_1m_hot, 1, ops);
+      (`Debra, zipf_1m_hot, 1, ops);
+      (`Ebr, zipf_1m_hot, 2, ops);
+      (`Debra, zipf_1m_hot, 2, ops);
+    ]
+  in
+  let grid =
+    match cfg.Rc.domains with
+    | None -> grid
+    | Some n ->
+      List.sort_uniq compare
+        (List.map (fun (s, w, _, o) -> (s, w, n, o)) grid)
+  in
+  List.iter
+    (fun (scheme, workload, domains, ops) ->
+      if want_scheme (scheme_name scheme) then begin
+        let r = e16_row Michael ~scheme ~workload ~domains ~ops_per_domain:ops in
+        Fmt.pr "  %a@." pp_result r;
+        emit_native "E18" "native-throughput" r
+      end)
+    grid;
+  (* The robustness counterpart, uniform churn: the same stall that
+     blows EBR's backlog up in E9 gets neutralized here, so the backlog
+     row is bounded and reclamation keeps pace. *)
+  let r = e9_row ~scheme:`Debra ~churn_ops:(ops / 2) () in
+  Fmt.pr "  %a@." pp_result r;
+  emit_native "E18" "native-backlog" r
+
+(* ------------------------------------------------------------------ *)
 (* E17: era_serve under load — admission, shedding, saturation         *)
 (* ------------------------------------------------------------------ *)
 
@@ -1103,7 +1157,7 @@ let () =
       ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5);
       ("E6", e6); ("E7", e7); ("E8", e8); ("E8b", e8b); ("E9", e9);
       ("E10", e10); ("E11", e11); ("E12", e12); ("E13", e13); ("E15", e15);
-      ("E16", e16); ("E17", e17);
+      ("E16", e16); ("E17", e17); ("E18", e18);
       ("B1", b1_sim_read_cost); ("B2", b2_sim_lifecycle_cost);
       ("B3", b3_native_read_cost); ("B4", b4_checker_scaling);
       ("B5", b5_scheduler_overhead); ("B6", b6_trace_overhead);

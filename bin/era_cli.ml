@@ -206,7 +206,8 @@ let explore_cmd () =
      else "");
   let r =
     Era.Applicability.explore ~config ~seed ?ops_per_thread:cfg.Rc.ops
-      ?robustness_bound:cfg.Rc.robust_bound scheme structure
+      ~lincheck:cfg.Rc.lincheck ?robustness_bound:cfg.Rc.robust_bound scheme
+      structure
   in
   let elapsed_s = Unix.gettimeofday () -. t0 in
   let stats = r.Explore.res_stats in
@@ -381,7 +382,7 @@ let native () =
           Fmt.pr "%a@." pp_result r;
           M.add sink (to_row ~experiment:"E16" ~category:"native-throughput" r)
         end)
-      [ `None; `Ebr; `Hp; `Ibr ]
+      [ `None; `Ebr; `Hp; `Ibr; `Debra ]
   | None, None, None ->
     List.iter
       (fun (kind, scheme, mix) ->
@@ -397,12 +398,12 @@ let native () =
       ];
     List.iter
       (fun s ->
-        if native_scheme (s :> [ `Ebr | `Hp | `Ibr | `None ]) then begin
+        if native_scheme (s :> [ `Debra | `Ebr | `Hp | `Ibr | `None ]) then begin
           let r = e9_row ~scheme:s ~churn_ops:ops () in
           Fmt.pr "%a@." pp_result r;
           M.add sink (to_row ~experiment:"E9" ~category:"native-backlog" r)
         end)
-      [ `Ebr; `Hp; `Ibr ]);
+      [ `Ebr; `Hp; `Ibr; `Debra ]);
   match cfg.Rc.json with
   | None -> ()
   | Some path ->

@@ -41,12 +41,14 @@ type verdict = {
   non_linearizable : int;
   progress_failures : int;
   adversarial_unsafe : bool;
+  neutralize_unsafe : bool;
   crashed : int;
 }
 
 let applicable v =
   v.violations = 0 && v.non_linearizable = 0 && v.progress_failures = 0
   && (not v.adversarial_unsafe)
+  && (not v.neutralize_unsafe)
   && v.crashed = 0
 
 let spec_of = function
@@ -202,6 +204,103 @@ let one_run (module S : Era_smr.Smr_intf.S) structure ~threads ~ops_per_thread
     r_crashed = !crashed;
   }
 
+(* Deterministic neutralization scenario (the DEBRA+ counterpart of the
+   Figure 1/2 refutations). T1 runs a recorded insert(k); delete(k) on an
+   otherwise-empty structure and is suspended immediately after its
+   second successful CAS — the delete's marking CAS, i.e. right after the
+   operation's linearization point. T0 then churns on disjoint keys,
+   which drives any reclamation pass that signals laggards (DEBRA+'s
+   patience-triggered neutralization, NBR's reclaim_pass). When T1
+   resumes solo, a scheme whose restarts can fire past a linearization
+   point re-runs the delete from the top and returns [false] for a key
+   it already deleted: a deterministically non-linearizable history. NBR
+   survives because the marking CAS sits inside a write phase (the signal
+   stays pending); every non-neutralizing scheme trivially survives. *)
+let neutralize_check (module S : Era_smr.Smr_intf.S) structure =
+  match structure with
+  | Stack | Queue -> false
+  | Harris | Michael | Hash | Hash_michael ->
+    let mon = Monitor.create ~mode:`Record ~trace:false () in
+    let ops_log = Vec.create () in
+    Monitor.subscribe_tags mon
+      [ Event.tag_invoke; Event.tag_response ]
+      (fun _time ev -> Vec.push ops_log ev);
+    let heap = Heap.create mon in
+    let cas_seen = ref 0 in
+    let after_second_cas = function
+      | Event.Access { tid = 1; kind = Event.Cas true; _ } ->
+        incr cas_seen;
+        !cas_seen = 2
+      | _ -> false
+    in
+    let sched =
+      Sched.create ~nthreads:2
+        (Sched.Script
+           [
+             Sched.Run_until (1, after_second_cas);
+             Sched.Finish 0;
+             Sched.Finish_bounded (1, 200_000);
+           ])
+        heap
+    in
+    let ext = Sched.external_ctx sched ~tid:0 in
+    let g = S.create heap ~nthreads:2 in
+    let set_ops =
+      match structure with
+      | Harris ->
+        let module L = Era_sets.Harris_list.Make (S) in
+        let dl = L.create ext g in
+        fun ctx -> L.ops (L.handle dl ctx) ~record:true
+      | Michael ->
+        let module L = Era_sets.Michael_list.Make (S) in
+        let dl = L.create ext g in
+        fun ctx -> L.ops (L.handle dl ctx) ~record:true
+      | Hash ->
+        let module H = Era_sets.Hash_set.Make (S) in
+        let hs = H.create ~nbuckets:4 ext g in
+        fun ctx -> H.ops (H.handle hs ctx) ~record:true
+      | Hash_michael ->
+        let module H = Era_sets.Hash_set.Make_michael (S) in
+        let hs = H.create ~nbuckets:4 ext g in
+        fun ctx -> H.ops (H.handle hs ctx) ~record:true
+      | Stack | Queue -> assert false
+    in
+    Sched.spawn sched ~tid:1 (fun ctx ->
+        let ops = set_ops ctx in
+        ignore (ops.Era_sets.Set_intf.insert 100);
+        ignore (ops.Era_sets.Set_intf.delete 100);
+        ops.Era_sets.Set_intf.quiesce ());
+    Sched.spawn sched ~tid:0 (fun ctx ->
+        let ops = set_ops ctx in
+        for i = 1 to 16 do
+          let k = 1 + (i mod 8) in
+          ignore (ops.Era_sets.Set_intf.insert k);
+          ignore (ops.Era_sets.Set_intf.delete k)
+        done;
+        ops.Era_sets.Set_intf.quiesce ());
+    ignore (Sched.run sched);
+    let crashed =
+      List.exists
+        (fun tid ->
+          match Sched.thread_outcome sched tid with
+          | Sched.Crashed _ -> true
+          | _ -> false)
+        [ 0; 1 ]
+    in
+    let poisoned =
+      List.exists
+        (function
+          | Event.Violation { kind = Event.Progress_failure; _ } -> false
+          | _ -> true)
+        (Monitor.violations mon)
+    in
+    crashed
+    || (not poisoned)
+       && not
+            (Era_history.Linearize.check (spec_of structure)
+               (Era_history.History.of_trace (Vec.to_list ops_log)))
+              .Era_history.Linearize.ok
+
 let adversarial_check scheme structure =
   match structure with
   | Harris | Hash -> (
@@ -248,6 +347,7 @@ let run ?(fuzz_runs = 20) ?(threads = 3) ?(ops_per_thread = 30) ?(seed = 7)
     non_linearizable = !non_lin;
     progress_failures = !progress;
     adversarial_unsafe = adversarial_check scheme structure;
+    neutralize_unsafe = neutralize_check scheme structure;
     crashed = !crashed;
   }
 
@@ -338,9 +438,12 @@ let widely_applicable verdicts =
    and hence the choice-point structure — are schedule-independent, which
    is what makes prefix replay deterministic. *)
 let explore_target ?(threads = 2) ?(ops_per_thread = 14) ?(keys = 4)
-    ?(seed = 2) ?(prefill = 2) ?robustness_bound
+    ?(seed = 2) ?(prefill = 2) ?(lincheck = false) ?robustness_bound
     ((module S : Era_smr.Smr_intf.S) as scheme) structure =
   ignore scheme;
+  (* The linearizability checker assumes an empty initial structure; a
+     prefill would be invisible to it (prefill ops are not recorded). *)
+  let prefill = if lincheck then 0 else prefill in
   let params =
     [
       ("threads", threads);
@@ -348,6 +451,7 @@ let explore_target ?(threads = 2) ?(ops_per_thread = 14) ?(keys = 4)
       ("keys", keys);
       ("seed", seed);
       ("prefill", prefill);
+      ("lincheck", if lincheck then 1 else 0);
       ("bound", Option.value robustness_bound ~default:(-1));
     ]
   in
@@ -363,8 +467,43 @@ let explore_target ?(threads = 2) ?(ops_per_thread = 14) ?(keys = 4)
         ~prefill:(List.init prefill (fun i -> i + 1))
         ext
     in
+    (* Linearizability as an explorable violation: record the op stream
+       and have the last thread to finish run the checker, emitting a
+       [Linearizability_failure] into the monitor — still inside the
+       schedule, so the explorer's violation latch, shrinker and replay
+       treat it exactly like a safety violation. Runs that already hit a
+       safety violation skip the check (poisoned heap). *)
+    let epilogue =
+      if not lincheck then fun _tid -> ()
+      else begin
+        let ops_log = Vec.create () in
+        Monitor.subscribe_tags mon
+          [ Event.tag_invoke; Event.tag_response ]
+          (fun _time ev -> Vec.push ops_log ev);
+        let remaining = ref threads in
+        fun tid ->
+          decr remaining;
+          if
+            !remaining = 0
+            && Monitor.violation_count mon = 0
+            && not
+                 (Era_history.Linearize.check (spec_of structure)
+                    (Era_history.History.of_trace (Vec.to_list ops_log)))
+                   .Era_history.Linearize.ok
+          then
+            Monitor.emit mon
+              (Event.Violation
+                 {
+                   tid;
+                   kind = Event.Linearizability_failure;
+                   detail = "recorded history failed to linearize";
+                 })
+      end
+    in
     for tid = 0 to threads - 1 do
-      Sched.spawn sched ~tid (fun ctx -> worker tid ctx)
+      Sched.spawn sched ~tid (fun ctx ->
+          worker tid ctx;
+          epilogue tid)
     done;
     sched
   in
@@ -376,10 +515,10 @@ let explore_target ?(threads = 2) ?(ops_per_thread = 14) ?(keys = 4)
     make;
   }
 
-let explore ?config ?threads ?ops_per_thread ?keys ?seed ?prefill
+let explore ?config ?threads ?ops_per_thread ?keys ?seed ?prefill ?lincheck
     ?robustness_bound scheme structure =
   Era_explore.Explore.explore ?config
-    (explore_target ?threads ?ops_per_thread ?keys ?seed ?prefill
+    (explore_target ?threads ?ops_per_thread ?keys ?seed ?prefill ?lincheck
        ?robustness_bound scheme structure)
 
 (* Rebuild the target a saved counterexample was found on, from its
@@ -398,6 +537,7 @@ let target_of_counterexample (cex : Era_explore.Explore.counterexample) =
       Ok
         (explore_target ~threads:(p "threads" 2) ~ops_per_thread:(p "ops" 14)
            ~keys:(p "keys" 4) ~seed:(p "seed" 2) ~prefill:(p "prefill" 2)
+           ~lincheck:(p "lincheck" 0 = 1)
            ?robustness_bound:(if bound < 0 then None else Some bound)
            scheme structure)
     | None, _ -> Error (Fmt.str "unknown scheme %S" scheme_name)
@@ -415,8 +555,8 @@ let pp_verdict fmt v =
   else
     Fmt.pf fmt
       "%-6s %-13s NOT applicable (violations=%d nonlin=%d progress=%d \
-       adversarial=%b crashed=%d)"
+       adversarial=%b neutralize=%b crashed=%d)"
       v.scheme
       (structure_name v.structure)
       v.violations v.non_linearizable v.progress_failures v.adversarial_unsafe
-      v.crashed
+      v.neutralize_unsafe v.crashed

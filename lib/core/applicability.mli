@@ -43,10 +43,26 @@ type verdict = {
   progress_failures : int;
   adversarial_unsafe : bool;
       (** Harris only: did Figure 1 or Figure 2 produce a violation *)
+  neutralize_unsafe : bool;
+      (** set structures only: did the deterministic neutralization
+          scenario ({!neutralize_check}) yield a non-linearizable
+          history or a crash *)
   crashed : int;  (** threads that died on an exception *)
 }
 
 val applicable : verdict -> bool
+
+val neutralize_check : Era_smr.Registry.scheme -> structure -> bool
+(** Deterministic refutation for schemes whose restarts can fire past an
+    operation's linearization point (DEBRA+): a recorded
+    [insert k; delete k] is suspended right after the delete's marking
+    CAS while the other thread churns enough to trigger a
+    neutralization; on solo resume, a from-the-top restart re-runs the
+    delete and answers [false] for a key it already deleted. Returns
+    [true] iff the recorded history fails to linearize (or a thread
+    crashed). [false] for stack/queue structures (set scenario only) and
+    for every scheme that either never neutralizes or — like NBR —
+    shields its write phases from the signal. *)
 
 val run :
   ?fuzz_runs:int -> ?threads:int -> ?ops_per_thread:int -> ?seed:int ->
@@ -74,19 +90,24 @@ val stall_fuzz :
 
 val explore_target :
   ?threads:int -> ?ops_per_thread:int -> ?keys:int -> ?seed:int ->
-  ?prefill:int -> ?robustness_bound:int ->
+  ?prefill:int -> ?lincheck:bool -> ?robustness_bound:int ->
   Era_smr.Registry.scheme -> structure -> Era_explore.Explore.target
 (** Defaults: 2 threads, 14 ops each, keys uniform in [1, 4], seed 2,
     prefill of 2 keys, update-heavy mix, no robustness bound. Pass
     [robustness_bound] to also hunt non-robustness (Definition 5.1): a
     retired backlog beyond the bound becomes a [Robustness_exceeded]
-    violation. *)
+    violation. Pass [lincheck:true] to also hunt non-linearizability
+    (DEBRA+'s failure mode): each run's recorded history is checked when
+    the last thread finishes and a failure is emitted into the monitor
+    as a [Linearizability_failure] violation, so counterexamples shrink
+    and replay like safety findings; lincheck targets force
+    [prefill = 0] (the checker assumes an empty initial structure). *)
 
 val explore :
   ?config:Era_explore.Explore.config -> ?threads:int ->
   ?ops_per_thread:int -> ?keys:int -> ?seed:int -> ?prefill:int ->
-  ?robustness_bound:int -> Era_smr.Registry.scheme -> structure ->
-  Era_explore.Explore.search_result
+  ?lincheck:bool -> ?robustness_bound:int ->
+  Era_smr.Registry.scheme -> structure -> Era_explore.Explore.search_result
 (** [Era_explore.Explore.explore] on {!explore_target}. *)
 
 val target_of_counterexample :

@@ -16,6 +16,7 @@ type t = {
   robust_bound : int option;
   dpor : bool;
   steal : bool;
+  lincheck : bool;
   keys : int option;
   zipf : float option;
   mix : string option;
@@ -58,6 +59,7 @@ let parse_result ~argv ~prog ?(commands = []) ?(file_arg = false) () =
   let robust_bound = ref None in
   let dpor = ref false in
   let steal = ref false in
+  let lincheck = ref false in
   let keys = ref None in
   let zipf = ref None in
   let mix = ref None in
@@ -129,6 +131,10 @@ let parse_result ~argv ~prog ?(commands = []) ?(file_arg = false) () =
           Arg.Set steal,
           " Randomized work stealing for parallel exploration (with \
            --domains > 1)" );
+        ( "--lincheck",
+          Arg.Set lincheck,
+          " Also hunt non-linearizable histories during systematic \
+           exploration (forces an empty prefill)" );
         ( "--keys",
           Arg.Int (set_opt keys),
           "N Key-space size for native list workloads (e.g. 1000000)" );
@@ -224,6 +230,7 @@ let parse_result ~argv ~prog ?(commands = []) ?(file_arg = false) () =
         robust_bound = !robust_bound;
         dpor = !dpor;
         steal = !steal;
+        lincheck = !lincheck;
         keys = !keys;
         zipf = !zipf;
         mix = !mix;

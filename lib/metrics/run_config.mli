@@ -31,6 +31,10 @@ type t = {
   steal : bool;
       (** [--steal] — randomized work stealing across explore workers
           instead of the level-synchronous queue (with [--domains] > 1) *)
+  lincheck : bool;
+      (** [--lincheck] — explore also hunts non-linearizable histories
+          (forces an empty prefill; see
+          [Era.Applicability.explore_target]) *)
   keys : int option;
       (** [--keys N] — key-space size for native list workloads *)
   zipf : float option;

@@ -1,0 +1,34 @@
+(** Native DEBRA+: {!N_ebr}'s amortized epoch protocol plus cooperative
+    neutralization. A domain observed lagging past [patience]
+    consecutive advance attempts is flagged and stops blocking the epoch
+    (robustness under stalls); the flagged domain's next {!read_link}
+    consumes the flag, re-announces the current epoch, repools its
+    not-yet-linked allocations and raises {!Nsmr.Neutralized} so the
+    structure's restart wrapper re-runs the operation. Only structures
+    wired for whole-operation restarts may use it (the Michael list is;
+    {!Throughput} refuses the others) — the native face of the scheme's
+    applicability loss. *)
+
+include Nsmr.S
+
+val default_amortize : int
+(** Slow-path period of {!create} (32). *)
+
+val create_with : ?amortize:int -> ndomains:int -> unit -> t
+(** As {!N_ebr.create_with}: [amortize] must be a power of two (else
+    [Invalid_argument]); [k = 1] recovers per-op epoch checks. *)
+
+val patience : int
+(** Consecutive blocked advance attempts (per observing context) before
+    a laggard is flagged (3). *)
+
+val neutralizations : t -> int
+(** Flags raised by observers since [create]. *)
+
+val restarts : t -> int
+(** Flags consumed by victims (operations restarted via
+    {!Nsmr.Neutralized}). At a quiescent point,
+    [restarts + stale-consumed = neutralizations]. *)
+
+val in_pool : tctx -> Nnode.node -> bool
+(** Is this node currently recycled into the context's pool (tests)? *)

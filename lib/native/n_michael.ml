@@ -13,6 +13,15 @@ module Make (S : Nsmr.S) = struct
     tail : node;
   }
 
+  (* Whole-operation restart wrapper: a neutralizing scheme (N_debra)
+     abandons an in-progress operation by raising [Nsmr.Neutralized]
+     from [read_link]. Every pointer the attempt held is dead at that
+     point, so the only sound resumption is the top of the operation —
+     which is also why only this list supports such schemes. For
+     non-neutralizing schemes the wrapper is one exception handler per
+     operation and never fires. *)
+  let rec restartable f = try f () with Nsmr.Neutralized -> restartable f
+
   let create () =
     let tail = make ~key:max_int in
     let head = make ~key:min_int in
@@ -44,6 +53,7 @@ module Make (S : Nsmr.S) = struct
     walk t.head (S.read_link s t.head)
 
   let insert t s key =
+    restartable @@ fun () ->
     S.begin_op s;
     let node = S.alloc s key in
     let rec loop () =
@@ -63,6 +73,7 @@ module Make (S : Nsmr.S) = struct
     r
 
   let delete t s key =
+    restartable @@ fun () ->
     S.begin_op s;
     let rec loop () =
       let pred, pred_link, curr = search t s key in
@@ -88,6 +99,7 @@ module Make (S : Nsmr.S) = struct
     r
 
   let contains t s key =
+    restartable @@ fun () ->
     S.begin_op s;
     let _, _, curr = search t s key in
     let r = curr != t.tail && curr.key = key in
@@ -95,6 +107,7 @@ module Make (S : Nsmr.S) = struct
     r
 
   let to_list t s =
+    restartable @@ fun () ->
     S.begin_op s;
     let rec walk l acc =
       let n = l.target in

@@ -52,6 +52,14 @@ module type S = sig
       from this rather than the individual accessors). *)
 end
 
+exception Neutralized
+(** Raised by a scheme's [read_link] when another domain has requested
+    this domain's neutralization (native DEBRA+, {!N_debra}): the
+    in-progress operation must abandon every pointer it holds and
+    restart from its beginning. Data structures that integrate with
+    neutralizing schemes catch it in a whole-operation restart wrapper
+    (the Michael list does); it never crosses an operation boundary. *)
+
 (* Per-domain padded slot helper: OCaml records/arrays give no real
    cache-line padding control; we approximate by spacing entries. *)
 let pad = 8

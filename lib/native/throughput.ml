@@ -125,6 +125,7 @@ let structure_name = function Harris -> "harris-list" | Michael -> "michael-list
 let mix_name = function Churn -> "churn" | Read_heavy -> "read-heavy"
 
 let scheme_name = function
+  | `Debra -> "debra"
   | `Ebr -> "ebr"
   | `Hp -> "hp"
   | `Ibr -> "ibr"
@@ -274,12 +275,13 @@ let build_list (type a) (module S : Nsmr.S with type t = a) kind ~workload
     (make_worker, fun () -> S.stats g)
 
 let scheme_module = function
-  | `Ebr -> (module N_ebr : Nsmr.S)
+  | `Debra -> (module N_debra : Nsmr.S)
+  | `Ebr -> (module N_ebr)
   | `Hp -> (module N_hp)
   | `Ibr -> (module N_ibr)
   | `None -> (module N_none)
 
-let refuse_hp_harris ~who kind scheme =
+let refuse_unsupported ~who kind scheme =
   match kind, scheme with
   | Harris, `Hp ->
     invalid_arg
@@ -287,11 +289,18 @@ let refuse_hp_harris ~who kind scheme =
          "Throughput.%s: HP is not applicable to Harris's list (that is the \
           theorem)"
          who)
+  | Harris, `Debra ->
+    invalid_arg
+      (Fmt.str
+         "Throughput.%s: DEBRA+ neutralization restarts are only wired into \
+          the Michael list (Harris's delete is not whole-op restartable \
+          after its marking CAS)"
+         who)
   | _ -> ()
 
 let list_row ?tracer ~who ~label kind ~scheme ~workload ~domains
     ~ops_per_domain =
-  refuse_hp_harris ~who kind scheme;
+  refuse_unsupported ~who kind scheme;
   let (module S) = scheme_module scheme in
   let make_worker, stats = build_list (module S) kind ~workload ~domains in
   run_workers ?tracer ~label ~scheme:(scheme_name scheme)
@@ -316,11 +325,15 @@ let e16_row ?tracer kind ~scheme ~workload ~domains ~ops_per_domain =
    reservation) and parks until the churn domains are done. The stalled
    domain is a genuine one-shot: its per-domain op count is 1, so the
    reported totals are computed by [run_workers], not patched. *)
-let e9_row ?(workload = uniform_churn) ~scheme ~churn_ops () =
+let e9_row ?(workload = uniform_churn)
+    ~(scheme : [ `Debra | `Ebr | `Hp | `Ibr ]) ~churn_ops () =
+  let sname = scheme_name (scheme :> [ `Debra | `Ebr | `Hp | `Ibr | `None ]) in
   let domains = 3 in
   let churn = { workload with wl_contains_pct = 0 } in
   let done_flag = Atomic.make 0 in
-  let (module S) = scheme_module (scheme :> [ `Ebr | `Hp | `Ibr | `None ]) in
+  let (module S) =
+    scheme_module (scheme :> [ `Debra | `Ebr | `Hp | `Ibr | `None ])
+  in
   let module L = N_michael.Make (S) in
   let g = S.create ~ndomains:domains in
   let l = L.create () in
@@ -330,9 +343,14 @@ let e9_row ?(workload = uniform_churn) ~scheme ~churn_ops () =
     let s = S.thread g d in
     if d = 0 then
       fun () ->
-        (* Called exactly once: open an operation and stall inside it. *)
+        (* Called exactly once: open an operation and stall inside it.
+           A neutralizing scheme may flag this domain before its first
+           protected load completes — the stall must survive that, so
+           the early Neutralized is swallowed (there is no operation
+           left to restart). *)
         S.begin_op s;
-        ignore (S.read_link s (L.head l));
+        (try ignore (S.read_link s (L.head l))
+         with Nsmr.Neutralized -> ());
         while Atomic.get done_flag < 2 do
           Domain.cpu_relax ()
         done;
@@ -352,19 +370,25 @@ let e9_row ?(workload = uniform_churn) ~scheme ~churn_ops () =
   in
   let label =
     if workload.wl_label = uniform_churn.wl_label then
-      Fmt.str "stall/%s" (scheme_name scheme)
-    else Fmt.str "stall/%s/%s" (scheme_name scheme) workload.wl_label
+      Fmt.str "stall/%s" sname
+    else Fmt.str "stall/%s/%s" sname workload.wl_label
   in
   run_workers ~label
     ~ops_for:(fun d -> if d = 0 then 1 else churn_ops)
-    ~scheme:(scheme_name scheme) ~structure:"michael-list" ~domains
+    ~scheme:sname ~structure:"michael-list" ~domains
     ~ops_per_domain:churn_ops ~make_worker
     ~stats:(fun () -> S.stats g)
     ()
 
 (* Stack and queue throughput rows: 50/50 producer/consumer mixes. *)
-let stack_row ?tracer ~scheme ~domains ~ops_per_domain () =
-  let (module S) = scheme_module scheme in
+let stack_row ?tracer ~(scheme : [ `Ebr | `Hp | `Ibr | `None ]) ~domains
+    ~ops_per_domain () =
+  (* The narrow type is the refusal: no neutralization restarts are
+     wired into the stack (pop reads the popped key after its CAS). *)
+  let sname = scheme_name (scheme :> [ `Debra | `Ebr | `Hp | `Ibr | `None ]) in
+  let (module S) =
+    scheme_module (scheme :> [ `Debra | `Ebr | `Hp | `Ibr | `None ])
+  in
   let module T = N_treiber.Make (S) in
   let g = S.create ~ndomains:domains in
   let st = T.create () in
@@ -376,14 +400,18 @@ let stack_row ?tracer ~scheme ~domains ~ops_per_domain () =
       else ignore (T.pop st s)
   in
   run_workers ?tracer
-    ~label:(Fmt.str "treiber+%s" (scheme_name scheme))
-    ~scheme:(scheme_name scheme) ~structure:"treiber-stack" ~domains
+    ~label:(Fmt.str "treiber+%s" sname)
+    ~scheme:sname ~structure:"treiber-stack" ~domains
     ~ops_per_domain ~make_worker
     ~stats:(fun () -> S.stats g)
     ()
 
-let queue_row ?tracer ~scheme ~domains ~ops_per_domain () =
-  let (module S) = scheme_module scheme in
+let queue_row ?tracer ~(scheme : [ `Ebr | `Hp | `Ibr | `None ]) ~domains
+    ~ops_per_domain () =
+  let sname = scheme_name (scheme :> [ `Debra | `Ebr | `Hp | `Ibr | `None ]) in
+  let (module S) =
+    scheme_module (scheme :> [ `Debra | `Ebr | `Hp | `Ibr | `None ])
+  in
   let module Q = N_msqueue.Make (S) in
   let g = S.create ~ndomains:domains in
   let q = Q.create () in
@@ -395,8 +423,8 @@ let queue_row ?tracer ~scheme ~domains ~ops_per_domain () =
       else ignore (Q.dequeue q s)
   in
   run_workers ?tracer
-    ~label:(Fmt.str "msqueue+%s" (scheme_name scheme))
-    ~scheme:(scheme_name scheme) ~structure:"ms-queue" ~domains
+    ~label:(Fmt.str "msqueue+%s" sname)
+    ~scheme:sname ~structure:"ms-queue" ~domains
     ~ops_per_domain ~make_worker
     ~stats:(fun () -> S.stats g)
     ()

@@ -101,43 +101,51 @@ val contains_pct_of_mix : string -> (int, string) Stdlib.result
 
 val e8_row :
   ?tracer:Era_obs.Tracer.t ->
-  list_kind -> scheme:[ `Ebr | `Hp | `Ibr | `None ] -> mix ->
+  list_kind -> scheme:[ `Debra | `Ebr | `Hp | `Ibr | `None ] -> mix ->
   domains:int -> ops_per_domain:int -> result
 (** One throughput row. Pairings of HP with [Harris] are refused
     ([Invalid_argument]) — that is the unsafe combination the theorem
-    rules out. *)
+    rules out. DEBRA+ × [Harris] is likewise refused: Harris's delete is
+    not whole-operation restartable after its marking CAS, so the
+    neutralization wrapper is only wired into the Michael list. *)
 
 val e16_row :
   ?tracer:Era_obs.Tracer.t ->
-  list_kind -> scheme:[ `Ebr | `Hp | `Ibr | `None ] -> workload:workload ->
-  domains:int -> ops_per_domain:int -> result
-(** E8 generalized to arbitrary workloads (the E16 grid). Row label is
-    [<kind>+<scheme>/<wl_label>]. HP × [Harris] is refused as in
-    {!e8_row}. *)
+  list_kind -> scheme:[ `Debra | `Ebr | `Hp | `Ibr | `None ] ->
+  workload:workload -> domains:int -> ops_per_domain:int -> result
+(** E8 generalized to arbitrary workloads (the E16/E18 grids). Row label
+    is [<kind>+<scheme>/<wl_label>]. HP × [Harris] and DEBRA+ ×
+    [Harris] are refused as in {!e8_row}. *)
 
 val e9_row :
-  ?workload:workload -> scheme:[ `Ebr | `Hp | `Ibr ] -> churn_ops:int ->
-  unit -> result
+  ?workload:workload -> scheme:[ `Debra | `Ebr | `Hp | `Ibr ] ->
+  churn_ops:int -> unit -> result
 (** Backlog with a stalled domain: domain 0 opens an operation and parks
     (a genuine one-shot — its per-domain op count is 1); two churn
     domains push [churn_ops] each through a Michael list. [workload]
     (default {!uniform_churn}) sets the churners' key distribution; its
     contains share is forced to 0 so every op is an update. Non-default
-    workloads get label [stall/<scheme>/<wl_label>]. *)
+    workloads get label [stall/<scheme>/<wl_label>]. With [`Debra] the
+    stalled domain is neutralized after {!N_debra.patience} blocked
+    advance attempts and the backlog stays bounded — the native face of
+    the sim's Figure 1 survival. *)
 
 val stack_row :
   ?tracer:Era_obs.Tracer.t ->
   scheme:[ `Ebr | `Hp | `Ibr | `None ] -> domains:int ->
   ops_per_domain:int -> unit -> result
-(** Treiber stack, 50/50 push/pop. *)
+(** Treiber stack, 50/50 push/pop. The scheme type excludes [`Debra]:
+    pop reads the popped node's key after its head CAS, so the stack is
+    not whole-operation restartable — the refusal is the type. *)
 
 val queue_row :
   ?tracer:Era_obs.Tracer.t ->
   scheme:[ `Ebr | `Hp | `Ibr | `None ] -> domains:int ->
   ops_per_domain:int -> unit -> result
-(** Michael–Scott queue, 50/50 enqueue/dequeue. *)
+(** Michael–Scott queue, 50/50 enqueue/dequeue. [`Debra] excluded as in
+    {!stack_row}. *)
 
-val scheme_name : [ `Ebr | `Hp | `Ibr | `None ] -> string
+val scheme_name : [ `Debra | `Ebr | `Hp | `Ibr | `None ] -> string
 
 val to_row :
   experiment:string -> category:string -> result -> Era_metrics.Metrics.row

@@ -3,6 +3,13 @@ module Sched = Era_sched.Sched
 module Mem = Era_sched.Mem
 
 module Make (S : Era_smr.Smr_intf.S) = struct
+  (* The typestate view of the scheme (Smr_intf.GUARD): every memory
+     access below takes a [`Pinned] guard, so an access outside an
+     operation boundary — or a retire outside the pinned region that
+     unlinked the node — does not typecheck. The guard delegates 1:1 to
+     [S], so the simulated quanta are identical to the raw interface. *)
+  module G = Era_smr.Smr_intf.Guard (S)
+
   let next = 0
 
   type t = {
@@ -33,50 +40,50 @@ module Make (S : Era_smr.Smr_intf.S) = struct
      encountered before stepping over it. The unlink winner retires the
      node (it is the only thread that can have unlinked it). Restarts
      from the head when a CAS loses. *)
-  let rec search h key =
-    S.read_phase h.s (fun () -> search_body h key)
+  let rec search g h key =
+    G.read_phase g (fun () -> search_body g h key)
 
-  and search_body h key =
+  and search_body g h key =
     let rec walk pred curr =
       if is_tail h curr then (pred, curr)
       else
-        let curr_next = S.read h.s ~via:curr ~field:next in
+        let curr_next = G.read g ~via:curr ~field:next in
         if Word.is_marked curr_next then begin
           let succ = Word.unmark curr_next in
-          S.enter_write_phase h.s ~reserve:[ pred; curr; succ ];
-          if S.cas h.s ~via:pred ~field:next ~expected:curr ~desired:succ
+          G.enter_write_phase g ~reserve:[ pred; curr; succ ];
+          if G.cas g ~via:pred ~field:next ~expected:curr ~desired:succ
           then begin
-            S.retire h.s curr;
+            let (_ : _ G.t) = G.retire (G.stage_retire g curr) in
             (* Restart from the head: keeps the traversal cleanly divided
                into read phases that only dereference pointers obtained in
                the same phase (a conservative variant of Michael's
                continue-from-pred step; the native implementation keeps
                the original). *)
-            search h key
+            search g h key
           end
-          else search h key  (* contention: restart from the head *)
+          else search g h key  (* contention: restart from the head *)
         end
-        else if S.read_key h.s ~via:curr < key then walk curr curr_next
+        else if G.read_key g ~via:curr < key then walk curr curr_next
         else (pred, curr)
     in
-    let first = S.read h.s ~via:h.dl.head ~field:next in
+    let first = G.read g ~via:h.dl.head ~field:next in
     walk h.dl.head first
 
   let insert h key =
     if key = min_int || key = max_int then
       invalid_arg "Michael_list: sentinel key";
-    S.with_op h.s (fun () ->
-        let new_node = S.alloc h.s ~key in
+    G.with_pin (G.make h.s) (fun g ->
+        let new_node = G.alloc g ~key in
         let rec loop () =
-          let pred, curr = search h key in
-          if (not (is_tail h curr)) && S.read_key h.s ~via:curr = key then begin
-            S.retire h.s new_node;
+          let pred, curr = search g h key in
+          if (not (is_tail h curr)) && G.read_key g ~via:curr = key then begin
+            let (_ : _ G.t) = G.retire (G.stage_retire g new_node) in
             false
           end
           else begin
-            S.write h.s ~via:new_node ~field:next (Word.unmark curr);
-            S.enter_write_phase h.s ~reserve:[ pred; curr ];
-            if S.cas h.s ~via:pred ~field:next ~expected:curr ~desired:new_node
+            G.write g ~via:new_node ~field:next (Word.unmark curr);
+            G.enter_write_phase g ~reserve:[ pred; curr ];
+            if G.cas g ~via:pred ~field:next ~expected:curr ~desired:new_node
             then true
             else loop ()
           end
@@ -84,26 +91,29 @@ module Make (S : Era_smr.Smr_intf.S) = struct
         loop ())
 
   let delete h key =
-    S.with_op h.s (fun () ->
+    G.with_pin (G.make h.s) (fun g ->
         let rec loop () =
-          let pred, curr = search h key in
-          if is_tail h curr || S.read_key h.s ~via:curr <> key then false
+          let pred, curr = search g h key in
+          if is_tail h curr || G.read_key g ~via:curr <> key then false
           else begin
-            let succ = S.read h.s ~via:curr ~field:next in
+            let succ = G.read g ~via:curr ~field:next in
             if Word.is_marked succ then loop ()
             else begin
-              S.enter_write_phase h.s ~reserve:[ pred; curr ];
+              G.enter_write_phase g ~reserve:[ pred; curr ];
               if
                 not
-                  (S.cas h.s ~via:curr ~field:next ~expected:succ
+                  (G.cas g ~via:curr ~field:next ~expected:succ
                      ~desired:(Word.mark succ))
               then loop ()
               else begin
                 (* Unlink winner retires; on failure the node stays
                    linked-but-marked and some traversal's unlink CAS will
                    win and retire it. *)
-                if S.cas h.s ~via:pred ~field:next ~expected:curr ~desired:succ
-                then S.retire h.s curr;
+                if G.cas g ~via:pred ~field:next ~expected:curr ~desired:succ
+                then begin
+                  let (_ : _ G.t) = G.retire (G.stage_retire g curr) in
+                  ()
+                end;
                 true
               end
             end
@@ -112,9 +122,9 @@ module Make (S : Era_smr.Smr_intf.S) = struct
         loop ())
 
   let contains h key =
-    S.with_op h.s (fun () ->
-        let _, curr = search h key in
-        (not (is_tail h curr)) && S.read_key h.s ~via:curr = key)
+    G.with_pin (G.make h.s) (fun g ->
+        let _, curr = search g h key in
+        (not (is_tail h curr)) && G.read_key g ~via:curr = key)
 
   let ops h ~record : Set_intf.ops =
     if record then
@@ -129,28 +139,28 @@ module Make (S : Era_smr.Smr_intf.S) = struct
           (fun k ->
             Set_intf.record h.ctx ~name:"contains" [ k ] (fun () ->
                 contains h k));
-        quiesce = (fun () -> S.quiesce h.s);
+        quiesce = (fun () -> G.quiesce (G.make h.s));
       }
     else
       {
         insert = (fun k -> insert h k);
         delete = (fun k -> delete h k);
         contains = (fun k -> contains h k);
-        quiesce = (fun () -> S.quiesce h.s);
+        quiesce = (fun () -> G.quiesce (G.make h.s));
       }
 
   let to_list h =
-    S.with_op h.s @@ fun () ->
-    S.read_phase h.s (fun () ->
+    G.with_pin (G.make h.s) @@ fun g ->
+    G.read_phase g (fun () ->
         let rec walk w acc =
           if is_tail h w then List.rev acc
           else
             let w = Word.unmark w in
-            let nxt = S.read h.s ~via:w ~field:next in
+            let nxt = G.read g ~via:w ~field:next in
             let acc =
-              if Word.is_marked nxt then acc else S.read_key h.s ~via:w :: acc
+              if Word.is_marked nxt then acc else G.read_key g ~via:w :: acc
             in
             walk nxt acc
         in
-        walk (S.read h.s ~via:h.dl.head ~field:next) [])
+        walk (G.read g ~via:h.dl.head ~field:next) [])
 end

@@ -1,0 +1,269 @@
+(* DEBRA+ (Brown, PODC 2015): distributed epoch-based reclamation with
+   signal-driven neutralization. The epoch side is EBR's protocol
+   (per-thread announcements, advance when everybody caught up, per-epoch
+   limbo bags freed two epochs behind); the twist is that an advance
+   attempt which finds a thread lagging for [patience] consecutive
+   attempts neutralizes it instead of waiting: the laggard's announcement
+   is force-cleared so the epoch can move, and a pending signal makes the
+   laggard's very next shared-memory access abort its operation and
+   restart it from the top ([with_op] is the sigsetjmp point).
+
+   Integration surface: identical to EBR's (operation boundaries plus
+   alloc/retire/primitive replacement). Unlike NBR there are no phase
+   annotations and no reservations — the data-structure author writes
+   nothing scheme-specific, which is what keeps DEBRA+ on the "easy" side
+   of Definition 5.3. The price is applicability: because a restart can
+   fire *after* an operation's linearization point (e.g. between a
+   delete's marking CAS and its return), operations that are not
+   restart-idempotent come back with wrong return values — the explorer
+   and the deterministic neutralization scenario in [Applicability] find
+   exactly this. *)
+
+open Era_sim
+module Mem = Era_sched.Mem
+module Sched = Era_sched.Sched
+
+module Impl = struct
+
+let name = "debra"
+
+let describe =
+  "DEBRA+ (distributed epochs + neutralization, Brown); easy + robust, \
+   restarts break non-idempotent operations"
+
+(* How many failed advance attempts tolerate the same laggard before it
+   is neutralized. Small, so Figure-1-style stalls are cut short within a
+   couple of churn rounds. *)
+let patience = 3
+
+let integration : Integration.spec =
+  {
+    scheme_name = name;
+    provided_as_object = true;
+    insertion_points =
+      [
+        Integration.Op_boundaries;
+        Integration.Alloc_retire_replacement;
+        Integration.Primitive_replacement;
+      ];
+    primitives_linearizable = true;
+    (* Restarts are encapsulated in [with_op] (the runtime's siglongjmp),
+       not written by the data-structure author — the integration surface
+       is EBR's. Operations must nonetheless *tolerate* a restart from
+       the top, and the ones that don't are an applicability loss, not an
+       integration burden; the audit judges the author-facing surface. *)
+    uses_rollback = false;
+    modifies_ds_fields = false;
+    added_fields = 0;
+    requires_type_preservation = false;
+    special_support = [ "lock-free OS signals (simulated by the scheduler)" ];
+  }
+
+let quiescent = -1
+
+type t = {
+  nthreads : int;
+  mutable epoch : int;
+  announce : int array;
+  flag : bool array;  (* pending neutralization signal *)
+  lag : int array;  (* consecutive advance attempts blocked on thread i *)
+  (* per-thread limbo bags: (retire epoch, nodes) newest first; freed
+     oldest bag first once the epoch is two behind. *)
+  buckets : (int * Word.t list) list array;
+  mutable neutralize_count : int;
+  mutable restart_count : int;
+}
+
+type tctx = {
+  g : t;
+  ctx : Sched.ctx;
+  mutable fresh : Word.t list;  (* allocations of the in-progress op *)
+}
+
+let create _heap ~nthreads =
+  {
+    nthreads;
+    epoch = 0;
+    announce = Array.make nthreads quiescent;
+    flag = Array.make nthreads false;
+    lag = Array.make nthreads 0;
+    buckets = Array.make nthreads [];
+    neutralize_count = 0;
+    restart_count = 0;
+  }
+
+let thread g ctx = { g; ctx; fresh = [] }
+let global t = t.g
+let current_epoch g = g.epoch
+let announced g tid = g.announce.(tid)
+let neutralizations g = g.neutralize_count
+let restarts g = g.restart_count
+
+(* Signal semantics, as in NBR: the flag test and the subsequent memory
+   access share a scheduling quantum, so a pending "signal" is always
+   observed before the next instruction touches shared memory — POSIX
+   synchronous delivery. DEBRA+ has no uninterruptible write phase: any
+   access point may abort. *)
+let check_signal t =
+  let g = t.g in
+  let tid = t.ctx.Sched.tid in
+  if g.flag.(tid) then begin
+    g.flag.(tid) <- false;
+    raise Smr_intf.Neutralized
+  end
+
+(* Free this thread's bags whose epoch is at most [global - 2], oldest
+   bag first (nim-debra's limbo walk). *)
+let reclaim_eligible t =
+  let g = t.g in
+  let tid = t.ctx.Sched.tid in
+  let horizon = g.epoch - 2 in
+  let eligible, kept =
+    List.partition (fun (e, _) -> e <= horizon) g.buckets.(tid)
+  in
+  g.buckets.(tid) <- kept;
+  List.iter
+    (fun (_, nodes) -> List.iter (fun w -> Mem.reclaim t.ctx w) nodes)
+    (List.rev eligible)
+
+(* Advance the global epoch. A thread that blocks the advance accrues
+   lag; past [patience] it is neutralized — its announcement is cleared
+   on its behalf and a signal is left pending, so its next access
+   restarts the operation (it can never act on the stale epoch: the
+   flag test precedes every access in the same quantum). *)
+let try_advance t =
+  let g = t.g in
+  let e = g.epoch in
+  let tid = t.ctx.Sched.tid in
+  Mem.fence t.ctx ();
+  let all_caught_up = ref true in
+  for i = 0 to g.nthreads - 1 do
+    let a = g.announce.(i) in
+    if a <> quiescent && a < e then
+      if i = tid then g.announce.(i) <- e (* self-lag: just re-announce *)
+      else begin
+        g.lag.(i) <- g.lag.(i) + 1;
+        if g.lag.(i) >= patience then begin
+          (* Neutralize: pend the signal, then clear the laggard's
+             announcement so this advance (and later ones) proceed. *)
+          g.flag.(i) <- true;
+          g.neutralize_count <- g.neutralize_count + 1;
+          Mem.fence t.ctx ~event:(Event.Neutralize { by = tid; target = i }) ();
+          g.announce.(i) <- quiescent;
+          g.lag.(i) <- 0
+        end
+        else all_caught_up := false
+      end
+    else g.lag.(i) <- 0
+  done;
+  if !all_caught_up then begin
+    g.epoch <- e + 1;
+    Mem.fence t.ctx ~event:(Event.Epoch { value = e + 1 }) ()
+  end
+
+let begin_op t =
+  let g = t.g in
+  let tid = t.ctx.Sched.tid in
+  Mem.fence t.ctx ();
+  g.announce.(tid) <- g.epoch;
+  g.lag.(tid) <- 0;
+  try_advance t;
+  reclaim_eligible t
+
+let end_op t =
+  let g = t.g in
+  let tid = t.ctx.Sched.tid in
+  Mem.fence t.ctx ();
+  g.announce.(tid) <- quiescent;
+  (* A signal that arrived after the operation's last access is consumed
+     now, when it is harmless: the op made no further use of the heap. *)
+  if g.flag.(tid) then g.flag.(tid) <- false
+
+(* Return allocations of an aborted operation to the system. They are
+   provably unreachable: an allocation becomes shared only through a
+   successful CAS, after which the node is no longer [Local]. *)
+let drop_fresh t =
+  List.iter
+    (fun w ->
+      match Heap.validity t.ctx.Sched.heap w with
+      | Heap.Valid -> (
+        match Heap.cell_state t.ctx.Sched.heap ~addr:(Word.addr_exn w) with
+        | Lifecycle.Local _ ->
+          Mem.retire t.ctx w;
+          Mem.reclaim t.ctx w
+        | Lifecycle.Unallocated | Shared | Retired -> ())
+      | Heap.Invalid_unallocated | Invalid_reused | Invalid_system -> ())
+    t.fresh;
+  t.fresh <- []
+
+let with_op t f =
+  let rec attempt () =
+    begin_op t;
+    t.fresh <- [];
+    match f () with
+    | r ->
+      end_op t;
+      r
+    | exception Smr_intf.Neutralized ->
+      t.g.restart_count <- t.g.restart_count + 1;
+      drop_fresh t;
+      attempt ()
+  in
+  attempt ()
+
+let alloc t ~key =
+  Sched.yield t.ctx;
+  check_signal t;
+  let w = Heap.alloc t.ctx.Sched.heap ~tid:t.ctx.Sched.tid ~key in
+  t.fresh <- w :: t.fresh;
+  w
+
+let retire t w =
+  let g = t.g in
+  let tid = t.ctx.Sched.tid in
+  Mem.retire t.ctx w;
+  let e = g.epoch in
+  (g.buckets.(tid) <-
+    (match g.buckets.(tid) with
+    | (e', nodes) :: rest when e' = e -> (e, w :: nodes) :: rest
+    | l -> (e, [ w ]) :: l));
+  reclaim_eligible t
+
+(* Signal-interruptible accesses: yield, then flag-test + access in one
+   atomic quantum. *)
+let read t ~via ~field =
+  Sched.yield t.ctx;
+  check_signal t;
+  Heap.read_checked t.ctx.Sched.heap ~tid:t.ctx.Sched.tid ~via ~field
+
+let read_key t ~via =
+  Sched.yield t.ctx;
+  check_signal t;
+  Heap.read_key_checked t.ctx.Sched.heap ~tid:t.ctx.Sched.tid ~via
+
+let write t ~via ~field value =
+  Sched.yield t.ctx;
+  check_signal t;
+  Heap.write_checked t.ctx.Sched.heap ~tid:t.ctx.Sched.tid ~via ~field value
+
+let cas t ~via ~field ~expected ~desired =
+  Sched.yield t.ctx;
+  check_signal t;
+  Heap.cas_checked t.ctx.Sched.heap ~tid:t.ctx.Sched.tid ~via ~field ~expected
+    ~desired
+
+(* No phase structure: a neutralization always restarts the whole
+   operation (propagates to [with_op]) — the contrast with NBR, whose
+   write phases delay the signal and whose read phases restart locally. *)
+let enter_read_phase _ = ()
+let read_phase _t f = f ()
+let enter_write_phase _ ~reserve:_ = ()
+
+let quiesce t =
+  try_advance t;
+  reclaim_eligible t
+
+end
+
+include Impl
+module Guard = Smr_intf.Guard (Impl)

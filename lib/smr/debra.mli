@@ -1,0 +1,43 @@
+(** DEBRA+ (Brown [PODC 2015]): distributed epochs + neutralization.
+
+    The epoch protocol is EBR's (announcements, advance when everybody is
+    caught up, per-epoch limbo bags freed two epochs behind, oldest bag
+    first), but an advance attempt does not wait forever: a thread that
+    blocks the advance for {!patience} consecutive attempts is
+    {e neutralized} — its announcement is cleared on its behalf and a
+    pending signal (scheduler-mediated, as in {!Nbr}) aborts its
+    in-progress operation at the next shared-memory access. [with_op]
+    plays the role of DEBRA+'s sigsetjmp: the aborted operation restarts
+    from the top, with the aborted attempt's fresh allocations returned
+    to the system.
+
+    ERA profile: {b E} (the author-facing surface is exactly EBR's — no
+    phases, no reservations, restarts live in the runtime) and {b R}
+    (a stalled thread is neutralized, so the epoch keeps advancing and
+    the backlog stays bounded), but {b not} widely applicable: a restart
+    can fire after an operation's linearization point, so operations
+    that are not restart-idempotent (a list delete past its marking CAS,
+    a queue enqueue past its link CAS) return wrong results — the
+    deterministic neutralization scenario in {!Era.Applicability} and
+    the explorer both exhibit this. *)
+
+include Smr_intf.S
+
+val patience : int
+(** Failed advance attempts tolerated per laggard before neutralizing. *)
+
+val current_epoch : t -> int
+
+val announced : t -> int -> int
+(** [-1] means quiescent. *)
+
+val neutralizations : t -> int
+(** Total neutralization signals sent (tests / benchmarks). *)
+
+val restarts : t -> int
+(** Operations restarted after observing a neutralization. *)
+
+module Guard : Smr_intf.GUARD with type tctx = tctx
+(** Typestate view of the integration API: phantom lifecycle states make
+    retire-while-unpinned and use-after-unpin type errors (see
+    {!Smr_intf.GUARD}). *)

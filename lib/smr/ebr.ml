@@ -2,6 +2,8 @@ open Era_sim
 module Mem = Era_sched.Mem
 module Sched = Era_sched.Sched
 
+module Impl = struct
+
 let name = "ebr"
 let describe = "epoch-based reclamation (Fraser); easy + strongly applicable"
 
@@ -123,3 +125,8 @@ let enter_write_phase _ ~reserve:_ = ()
 let quiesce t =
   try_advance t;
   reclaim_eligible t
+
+end
+
+include Impl
+module Guard = Smr_intf.Guard (Impl)

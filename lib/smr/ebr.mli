@@ -16,3 +16,8 @@ include Smr_intf.S
 val current_epoch : t -> int
 val announced : t -> int -> int
 (** [-1] means quiescent. *)
+
+module Guard : Smr_intf.GUARD with type tctx = tctx
+(** Typestate view of the integration API: phantom lifecycle states make
+    retire-while-unpinned and use-after-unpin type errors (see
+    {!Smr_intf.GUARD}). *)

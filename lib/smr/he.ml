@@ -2,6 +2,8 @@ open Era_sim
 module Mem = Era_sched.Mem
 module Sched = Era_sched.Sched
 
+module Impl = struct
+
 let name = "he"
 let describe = "hazard eras; easy + robust (liberal bound), not widely applicable"
 
@@ -179,3 +181,8 @@ let enter_read_phase _ = ()
 let read_phase t f = enter_read_phase t; f ()
 let enter_write_phase _ ~reserve:_ = ()
 let quiesce t = scan t
+
+end
+
+include Impl
+module Guard = Smr_intf.Guard (Impl)

@@ -21,3 +21,8 @@ val scan_threshold : int
 val current_era : t -> int
 val published_eras : t -> int list
 val retired_backlog : t -> int
+
+module Guard : Smr_intf.GUARD with type tctx = tctx
+(** Typestate view of the integration API: phantom lifecycle states make
+    retire-while-unpinned and use-after-unpin type errors (see
+    {!Smr_intf.GUARD}). *)

@@ -183,4 +183,6 @@ module Make (C : CONFIG) : S_EXT = struct
 
 end
 
-include Make (Default_config)
+module Impl = Make (Default_config)
+include Impl
+module Guard = Smr_intf.Guard (Impl)

@@ -42,3 +42,8 @@ end
 module Make (_ : CONFIG) : S_EXT
 
 include S_EXT
+
+module Guard : Smr_intf.GUARD with type tctx = tctx
+(** Typestate view of the integration API: phantom lifecycle states make
+    retire-while-unpinned and use-after-unpin type errors (see
+    {!Smr_intf.GUARD}). *)

@@ -2,6 +2,8 @@ open Era_sim
 module Sched = Era_sched.Sched
 module Mem = Era_sched.Mem
 
+module Impl = struct
+
 let name = "nbr"
 let describe =
   "neutralization-based reclamation; robust + widely applicable, hard \
@@ -232,3 +234,8 @@ let cas t ~via ~field ~expected ~desired =
     ~desired
 
 let quiesce t = if t.g.retired_count.(t.ctx.Sched.tid) > 0 then reclaim_pass t
+
+end
+
+include Impl
+module Guard = Smr_intf.Guard (Impl)

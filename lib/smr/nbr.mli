@@ -27,3 +27,8 @@ val neutralizations : t -> int
 
 val restarts : t -> int
 (** Operations restarted after observing a neutralization. *)
+
+module Guard : Smr_intf.GUARD with type tctx = tctx
+(** Typestate view of the integration API: phantom lifecycle states make
+    retire-while-unpinned and use-after-unpin type errors (see
+    {!Smr_intf.GUARD}). *)

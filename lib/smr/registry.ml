@@ -10,6 +10,7 @@ let all : scheme list =
     (module Rc);
     (module Vbr);
     (module Nbr);
+    (module Debra);
   ]
 
 let name_of (module S : Smr_intf.S) = S.name

@@ -6,7 +6,7 @@
 type scheme = (module Smr_intf.S)
 
 val all : scheme list
-(** none, ebr, hp, ibr, he, rc, vbr, nbr — in that order. *)
+(** none, ebr, hp, ibr, he, rc, vbr, nbr, debra — in that order. *)
 
 val find : string -> scheme option
 val find_exn : string -> scheme

@@ -94,3 +94,115 @@ end
     they never escape {!S.with_op}. *)
 exception Rollback
 exception Neutralized
+
+(** {1 Typestate integration guards}
+
+    A phantom-typed view of {!S} that turns Definition 5.3's integration
+    lifecycle into types (the nim-debra shape, DESIGN.md §7.2): a guard
+    is [`Unpinned] until an operation boundary opens, [`Pinned] inside
+    one, and [`Retire_ready] once a node has been staged for retirement.
+    Memory accesses and allocation demand a [`Pinned] guard and
+    retirement a [`Retire_ready] one, so "retire while unpinned",
+    "dereference after unpin" and "retire without staging" are rejected
+    by the type checker — no runtime state machine, no checks on the hot
+    path (see [test/typestate_rejects/]). The guard is a zero-cost
+    delegation layer: every operation forwards 1:1 to the underlying
+    scheme, so simulated quanta are unchanged and explorer goldens do
+    not drift. *)
+
+module type GUARD = sig
+  type tctx
+  (** The underlying scheme's per-thread state ({!S.tctx}). *)
+
+  type 's t
+  (** A guard whose phantom parameter ['s] is its lifecycle state:
+      [[`Unpinned]], [[`Pinned]] or [[`Retire_ready]]. The state is
+      advanced by returning a {e new} guard; stale aliases of consumed
+      guards are not detected (OCaml has no linearity) — the typestate
+      stops wrong-state calls, which is what Definition 5.3 needs. *)
+
+  val make : tctx -> [ `Unpinned ] t
+  (** Entry point: a quiescent guard for this thread. *)
+
+  val with_pin : [ `Unpinned ] t -> ([ `Pinned ] t -> 'a) -> 'a
+  (** The operation bracket, via {!S.with_op}: opens an operation
+      boundary, runs the body with a pinned guard, closes the boundary —
+      and re-invokes the body with a {e fresh} pinned guard whenever the
+      scheme restarts the operation (VBR roll-back, NBR/DEBRA+
+      neutralization), so partially-advanced guards from an aborted
+      attempt cannot leak into the retry. *)
+
+  val pin : [ `Unpinned ] t -> [ `Pinned ] t
+  (** Bare {!S.begin_op}, for code that manages its own boundary (e.g.
+      stall injection in tests). Restart-driven schemes need
+      {!with_pin}: a restart raised outside {!S.with_op} escapes. *)
+
+  val unpin : [ `Pinned ] t -> [ `Unpinned ] t
+  (** Bare {!S.end_op}. The returned guard no longer reads or writes. *)
+
+  (** {2 Pinned-only operations} *)
+
+  val read : [ `Pinned ] t -> via:Word.t -> field:int -> Word.t
+  val read_key : [ `Pinned ] t -> via:Word.t -> int
+  val write : [ `Pinned ] t -> via:Word.t -> field:int -> Word.t -> unit
+
+  val cas :
+    [ `Pinned ] t -> via:Word.t -> field:int ->
+    expected:Word.t -> desired:Word.t -> bool
+
+  val alloc : [ `Pinned ] t -> key:int -> Word.t
+  val read_phase : [ `Pinned ] t -> (unit -> 'a) -> 'a
+  val enter_write_phase : [ `Pinned ] t -> reserve:Word.t list -> unit
+
+  (** {2 Retirement: stage, then commit} *)
+
+  val stage_retire : [ `Pinned ] t -> Word.t -> [ `Retire_ready ] t
+  (** Record an unlinked node for retirement. Staging requires a pinned
+      guard, so a node can only ever be retired from inside the
+      operation that unlinked it. *)
+
+  val retire : [ `Retire_ready ] t -> [ `Pinned ] t
+  (** Commit the staged retirement ({!S.retire}) and drop back to
+      [`Pinned]. *)
+
+  (** {2 Unpinned-only maintenance} *)
+
+  val quiesce : [ `Unpinned ] t -> unit
+  (** {!S.quiesce}; demanding [`Unpinned] makes "flush my limbo bags
+      while I still hold an operation open" unrepresentable. *)
+end
+
+module Guard (S : S) : GUARD with type tctx = S.tctx = struct
+  type tctx = S.tctx
+
+  (* One record for every state; the phantom index alone moves. [staged]
+     is only meaningful at [`Retire_ready] and holds [Word.null]
+     otherwise. *)
+  type 's t = { s : S.tctx; staged : Word.t }
+
+  let make s = { s; staged = Word.null }
+  let with_pin g f = S.with_op g.s (fun () -> f { g with staged = Word.null })
+
+  let pin g =
+    S.begin_op g.s;
+    { g with staged = Word.null }
+
+  let unpin g =
+    S.end_op g.s;
+    { g with staged = Word.null }
+
+  let read g = S.read g.s
+  let read_key g = S.read_key g.s
+  let write g = S.write g.s
+  let cas g = S.cas g.s
+  let alloc g = S.alloc g.s
+  let read_phase g f = S.read_phase g.s f
+  let enter_write_phase g = S.enter_write_phase g.s
+  let stage_retire g w = { g with staged = w }
+
+  let retire g =
+    S.retire g.s g.staged;
+    { g with staged = Word.null }
+
+  let quiesce g = S.quiesce g.s
+end

@@ -2,6 +2,8 @@ open Era_sim
 module Mem = Era_sched.Mem
 module Sched = Era_sched.Sched
 
+module Impl = struct
+
 let name = "vbr"
 let describe =
   "version-based reclamation; robust (constant bound) + widely applicable, \
@@ -152,3 +154,8 @@ let read_phase t f =
 
 let enter_write_phase _ ~reserve:_ = ()
 let quiesce _ = ()
+
+end
+
+include Impl
+module Guard = Smr_intf.Guard (Impl)

@@ -28,3 +28,8 @@ val retire_cap : int
 val current_epoch : t -> int
 val rollbacks : t -> int
 (** Total roll-backs taken so far (tests / benchmarks). *)
+
+module Guard : Smr_intf.GUARD with type tctx = tctx
+(** Typestate view of the integration API: phantom lifecycle states make
+    retire-while-unpinned and use-after-unpin type errors (see
+    {!Smr_intf.GUARD}). *)

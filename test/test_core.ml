@@ -60,6 +60,20 @@ let test_fig1_hard name =
         Alcotest.(check bool) "bounded peak" true (retired_peak <= 32)
       | _ -> ())
 
+(* DEBRA+ is the fourth Figure 1 outcome: it survives (the stalled
+   thread is neutralized, so the epoch keeps moving and the backlog
+   stays bounded) *while* passing the Definition 5.3 audit — the
+   easy+robust corner EBR and NBR each miss one half of. *)
+let test_fig1_debra =
+  fig1_expect "debra" (fun r ->
+      Alcotest.(check bool) "debra survives" true (is_survival r);
+      Alcotest.(check bool) "easy" true r.Era.Figure1.easily_integrated;
+      Alcotest.(check string) "T1 finished" "finished" r.Era.Figure1.t1_outcome;
+      match r.Era.Figure1.outcome with
+      | Era.Figure1.Survived { retired_peak } ->
+        Alcotest.(check bool) "bounded peak" true (retired_peak <= 32)
+      | _ -> ())
+
 let test_fig1_series_monotone () =
   (* For EBR the series is (essentially) monotonically increasing. *)
   let r = Era.Figure1.run ~rounds:64 (scheme "ebr") in
@@ -128,7 +142,8 @@ let test_robustness_classes () =
   check "he" Era.Robustness.Weakly_robust;
   check "vbr" Era.Robustness.Robust;
   check "rc" Era.Robustness.Not_robust;
-  check "nbr" Era.Robustness.Robust
+  check "nbr" Era.Robustness.Robust;
+  check "debra" Era.Robustness.Robust
 
 let test_size_sweep_scaling () =
   (* IBR's pinned backlog scales with the structure size; VBR's does
@@ -164,7 +179,43 @@ let test_applicability_claims () =
   Alcotest.(check bool) "vbr on harris" true
     (applicable "vbr" Era.Applicability.Harris);
   Alcotest.(check bool) "nbr on harris" true
-    (applicable "nbr" Era.Applicability.Harris)
+    (applicable "nbr" Era.Applicability.Harris);
+  Alcotest.(check bool) "debra NOT on michael (restarts)" false
+    (applicable "debra" Era.Applicability.Michael);
+  Alcotest.(check bool) "debra NOT on harris (restarts)" false
+    (applicable "debra" Era.Applicability.Harris)
+
+(* The deterministic version of DEBRA+'s applicability loss: suspend a
+   delete right after its marking CAS, neutralize it, and watch the
+   restarted operation answer [false] for the key it already deleted.
+   NBR faces the identical schedule and survives (write phases shield
+   the signal); EBR never neutralizes at all. *)
+let test_neutralize_scenario () =
+  let chk name structure =
+    Era.Applicability.neutralize_check
+      (Era_smr.Registry.find_exn name)
+      structure
+  in
+  List.iter
+    (fun st ->
+      Alcotest.(check bool)
+        (Fmt.str "debra non-linearizable on %s"
+           (Era.Applicability.structure_name st))
+        true (chk "debra" st))
+    [
+      Era.Applicability.Michael;
+      Era.Applicability.Harris;
+      Era.Applicability.Hash;
+      Era.Applicability.Hash_michael;
+    ];
+  Alcotest.(check bool) "ebr survives the schedule" false
+    (chk "ebr" Era.Applicability.Michael);
+  Alcotest.(check bool) "nbr survives the schedule" false
+    (chk "nbr" Era.Applicability.Michael);
+  Alcotest.(check bool) "hp survives the schedule" false
+    (chk "hp" Era.Applicability.Michael);
+  Alcotest.(check bool) "vbr survives the schedule" false
+    (chk "vbr" Era.Applicability.Michael)
 
 (* Black-box confirmation: a stall-augmented fuzzer with no knowledge of
    the Figure 1 construction still finds the HP/HE/IBR violations on
@@ -181,7 +232,9 @@ let test_stall_fuzz_discovers () =
   Alcotest.(check int) "ebr clean" 0 (found "ebr");
   Alcotest.(check int) "vbr clean" 0 (found "vbr");
   Alcotest.(check int) "nbr clean" 0 (found "nbr");
-  Alcotest.(check int) "rc clean" 0 (found "rc")
+  Alcotest.(check int) "rc clean" 0 (found "rc");
+  (* debra restarts break return values, not memory safety *)
+  Alcotest.(check int) "debra clean" 0 (found "debra")
 
 (* ------------------------------------------------------------------ *)
 (* Access-aware audits                                                 *)
@@ -209,7 +262,7 @@ let test_theorem () =
     Era.Era_matrix.compute ~fuzz_runs:3 ~churn_points:[ 64; 256 ]
       ~size_points:[ 32; 96 ] ()
   in
-  Alcotest.(check int) "eight rows" 8 (List.length rows);
+  Alcotest.(check int) "nine rows" 9 (List.length rows);
   Alcotest.(check bool) "Theorem 6.1 holds" true
     (Era.Era_matrix.theorem_holds rows);
   (* Every scheme in the library provides exactly two properties. *)
@@ -244,6 +297,8 @@ let () =
             (test_fig1_hard "vbr");
           Alcotest.test_case "nbr: survives, hard integration" `Slow
             (test_fig1_hard "nbr");
+          Alcotest.test_case "debra: survives, easy integration" `Slow
+            test_fig1_debra;
           Alcotest.test_case "series shape" `Slow test_fig1_series_monotone;
         ] );
       ( "figure2",
@@ -256,6 +311,7 @@ let () =
           Alcotest.test_case "vbr safe" `Quick (fig2_safe "vbr");
           Alcotest.test_case "nbr safe" `Quick (fig2_safe "nbr");
           Alcotest.test_case "rc safe" `Quick (fig2_safe "rc");
+          Alcotest.test_case "debra safe" `Quick (fig2_safe "debra");
           Alcotest.test_case "appendix E footnote variant" `Quick
             test_fig2_footnote;
         ] );
@@ -268,6 +324,8 @@ let () =
       ( "applicability",
         [
           Alcotest.test_case "paper claims" `Slow test_applicability_claims;
+          Alcotest.test_case "deterministic neutralization scenario" `Quick
+            test_neutralize_scenario;
           Alcotest.test_case "stall fuzzer discovers violations" `Slow
             test_stall_fuzz_discovers;
         ] );

@@ -67,6 +67,38 @@ let test_ebr_safe () =
   Alcotest.(check bool) "ebr: no safety counterexample" true
     (r.Ex.res_cex = None)
 
+(* DEBRA+'s failure mode is correctness, not memory safety. With
+   [lincheck] on, the explorer finds a non-linearizable history within
+   one preemption: a neutralization restart fires past a delete's
+   marking CAS, so the re-run delete answers [false] for a key the
+   operation already removed. With [lincheck] off the very same search
+   finds nothing and completes preemption levels — a bounded
+   "no safety violation within k preemptions" certificate, the other
+   half of the scheme's ERA profile (safe and robust, not widely
+   applicable). *)
+let test_debra_lincheck_finds_failure () =
+  let r =
+    Ex.explore ~config:small
+      (App.explore_target ~lincheck:true (scheme "debra") App.Michael)
+  in
+  match r.Ex.res_cex with
+  | None -> Alcotest.fail "debra: no lincheck counterexample"
+  | Some c ->
+    Alcotest.(check bool) "linearizability failure" true
+      (c.Ex.c_violation.Ex.v_kind = Era_sim.Event.Linearizability_failure);
+    Alcotest.(check bool) "found within one preemption" true
+      (c.Ex.c_preemptions <= 1)
+
+let test_debra_safety_certificate () =
+  let r =
+    Ex.explore ~config:small (App.explore_target (scheme "debra") App.Michael)
+  in
+  Alcotest.(check bool) "debra: no safety counterexample" true
+    (r.Ex.res_cex = None);
+  Alcotest.(check bool) "certificate covers at least one preemption level"
+    true
+    (r.Ex.res_stats.Ex.levels_completed >= 1)
+
 (* ------------------------------------------------------------------ *)
 (* E1 rediscovery: the Figure 1 dichotomy                              *)
 (* ------------------------------------------------------------------ *)
@@ -165,21 +197,28 @@ let diff_domain_counts =
   | None -> [ 2; 4 ]
 
 (* The built-in targets: the Figure 2 safety cells for each unsafe
-   scheme, the Figure 1 robustness-dichotomy pair, and the stall-fuzz
-   workload setting (60 ops/thread, no bound) explored systematically. *)
+   scheme, the Figure 1 robustness-dichotomy pair, the stall-fuzz
+   workload setting (60 ops/thread, no bound) explored systematically,
+   and the DEBRA+ neutralization cells — lincheck targets whose
+   violation is a [Linearizability_failure] (a neutralization restart
+   firing past a delete's linearization point), found, shrunk and
+   replayed through exactly the same machinery as the safety cells. *)
 let diff_cells =
   [
-    ("figure2/hp", "hp", None, None);
-    ("figure2/he", "he", None, None);
-    ("figure2/ibr", "ibr", None, None);
-    ("figure1/ebr", "ebr", Some 60, Some 24);
-    ("figure1/hp", "hp", Some 60, Some 24);
-    ("stall-fuzz/hp", "hp", Some 60, None);
+    ("figure2/hp", "hp", App.Harris, None, None, false);
+    ("figure2/he", "he", App.Harris, None, None, false);
+    ("figure2/ibr", "ibr", App.Harris, None, None, false);
+    ("figure1/ebr", "ebr", App.Harris, Some 60, Some 24, false);
+    ("figure1/hp", "hp", App.Harris, Some 60, Some 24, false);
+    ("stall-fuzz/hp", "hp", App.Harris, Some 60, None, false);
+    ("neutralize/debra-michael", "debra", App.Michael, None, None, true);
+    ("neutralize/debra-hash", "debra", App.Hash_michael, None, None, true);
   ]
 
-let target_of_cell (_, name, ops_per_thread, robustness_bound) =
-  App.explore_target ?ops_per_thread ?robustness_bound (scheme name)
-    App.Harris
+let target_of_cell (_, name, structure, ops_per_thread, robustness_bound,
+                    lincheck) =
+  App.explore_target ?ops_per_thread ?robustness_bound ~lincheck
+    (scheme name) structure
 
 (* Parallel explore at 2 and 4 domains must agree with the sequential
    search on the violation kind and the preemption level it is found at
@@ -188,7 +227,7 @@ let target_of_cell (_, name, ops_per_thread, robustness_bound) =
    the race may differ — validity never. *)
 let test_differential () =
   List.iter
-    (fun ((label, _, _, _) as cell) ->
+    (fun ((label, _, _, _, _, _) as cell) ->
       let target = target_of_cell cell in
       let seq = Ex.explore ~config:small target in
       let seq_kind = Option.map kind_of_cex seq.Ex.res_cex in
@@ -227,7 +266,7 @@ let test_differential () =
    script must replay. Fewer or equal runs is the whole point. *)
 let test_dpor_differential () =
   List.iter
-    (fun ((label, _, _, _) as cell) ->
+    (fun ((label, _, _, _, _, _) as cell) ->
       let target = target_of_cell cell in
       let seq = Ex.explore ~config:small target in
       let dpor = Ex.explore ~config:(with_dpor small) target in
@@ -261,7 +300,7 @@ let test_dpor_differential () =
    replayability still must agree with the sequential search. *)
 let test_steal_differential () =
   List.iter
-    (fun ((label, _, _, _) as cell) ->
+    (fun ((label, _, _, _, _, _) as cell) ->
       let target = target_of_cell cell in
       let seq = Ex.explore ~config:small target in
       let seq_kind = Option.map kind_of_cex seq.Ex.res_cex in
@@ -746,6 +785,10 @@ let () =
           Alcotest.test_case "rediscovers Figure 2 (hp/he/ibr)" `Quick
             test_rediscovers_figure2;
           Alcotest.test_case "ebr safe under same search" `Quick test_ebr_safe;
+          Alcotest.test_case "debra: lincheck finds non-linearizability"
+            `Quick test_debra_lincheck_finds_failure;
+          Alcotest.test_case "debra: bounded safety certificate" `Quick
+            test_debra_safety_certificate;
           Alcotest.test_case "rediscovers Figure 1 dichotomy" `Quick
             test_rediscovers_figure1_dichotomy;
         ] );

@@ -88,6 +88,38 @@ let test_native_msqueue_sequential () =
   Alcotest.(check (option int)) "fifo3" (Some 3) (Q.dequeue q s);
   Alcotest.(check (option int)) "empty again" None (Q.dequeue q s)
 
+let test_native_debra_sequential () =
+  (* Michael + DEBRA+ under the same 2000-op model as michael+hp. A
+     single domain never lags behind its own advances, so no
+     neutralization fires — this pins the scheme's plain-EBR face. *)
+  let module L = N_michael.Make (N_debra) in
+  let g = N_debra.create ~ndomains:1 in
+  let s = N_debra.thread g 0 in
+  let l = L.create () in
+  let model = ref Int_set.empty in
+  let st = ref 515151L in
+  let next () =
+    st := Int64.add !st 0x9E3779B97F4A7C15L;
+    Int64.to_int (Int64.shift_right_logical !st 3)
+  in
+  for _ = 1 to 2000 do
+    let k = 1 + (next () mod 20) in
+    match next () mod 3 with
+    | 0 ->
+      let e = not (Int_set.mem k !model) in
+      model := Int_set.add k !model;
+      Alcotest.(check bool) "insert" e (L.insert l s k)
+    | 1 ->
+      let e = Int_set.mem k !model in
+      model := Int_set.remove k !model;
+      Alcotest.(check bool) "delete" e (L.delete l s k)
+    | _ -> Alcotest.(check bool) "contains" (Int_set.mem k !model)
+             (L.contains l s k)
+  done;
+  Alcotest.(check (list int)) "final" (Int_set.elements !model) (L.to_list l s);
+  Alcotest.(check int) "no neutralization single-domain" 0
+    (N_debra.neutralizations g)
+
 (* ------------------------------------------------------------------ *)
 (* Multi-domain stress with verifiable outcomes                        *)
 (* ------------------------------------------------------------------ *)
@@ -111,6 +143,31 @@ let test_native_parallel_disjoint_inserts () =
   Alcotest.(check (list int)) "all 200 keys present"
     (List.init 200 (fun i -> i + 1))
     (L.to_list l s)
+
+let test_native_debra_parallel_restarts () =
+  (* Two domains insert disjoint ranges into one Michael+DEBRA+ list
+     with a tiny amortize period, so advance attempts (and hence
+     neutralizations of whichever domain is between announcements) are
+     frequent. A neutralized insert restarts from the top; every key
+     must still land exactly once. *)
+  let module L = N_michael.Make (N_debra) in
+  let g = N_debra.create_with ~amortize:1 ~ndomains:2 () in
+  let l = L.create () in
+  let worker lo hi d () =
+    let s = N_debra.thread g d in
+    for k = lo to hi do
+      ignore (L.insert l s k)
+    done
+  in
+  let d1 = Domain.spawn (worker 101 200 1) in
+  worker 1 100 0 ();
+  Domain.join d1;
+  let s = N_debra.thread g 0 in
+  Alcotest.(check (list int)) "all 200 keys present"
+    (List.init 200 (fun i -> i + 1))
+    (L.to_list l s);
+  Alcotest.(check bool) "flag accounting" true
+    (N_debra.restarts g <= N_debra.neutralizations g)
 
 let test_native_parallel_churn_counts () =
   (* Two domains each push/pop on a Treiber stack; pushes - successful
@@ -378,6 +435,147 @@ let ibr_reserved_never_pooled =
       !ok)
 
 (* ------------------------------------------------------------------ *)
+(* DEBRA+ neutralization                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_native_debra_neutralization_unblocks () =
+  (* The E9 scenario in miniature, single-threaded and deterministic:
+     domain 1 opens an operation and stalls; domain 0 churns. After
+     [patience] blocked advance attempts the observer flags the
+     laggard, the epoch advances past it and reclamation resumes. The
+     victim's next protected read consumes the flag and unwinds. *)
+  let g = N_debra.create_with ~amortize:1 ~ndomains:2 () in
+  let t0 = N_debra.thread g 0 and t1 = N_debra.thread g 1 in
+  N_debra.begin_op t1;
+  (* victim stalled *)
+  for k = 1 to 200 do
+    N_debra.begin_op t0;
+    N_debra.retire t0 (Nnode.make ~key:k);
+    N_debra.end_op t0
+  done;
+  Alcotest.(check bool) "laggard flagged" true (N_debra.neutralizations g >= 1);
+  Alcotest.(check bool) "churner reclaims despite the stall" true
+    (N_debra.reclaimed g > 100);
+  Alcotest.(check int) "flag not yet consumed" 0 (N_debra.restarts g);
+  let holder = Nnode.make ~key:0 in
+  (match N_debra.read_link t1 holder with
+  | _ -> Alcotest.fail "stalled victim's next read must neutralize"
+  | exception Nsmr.Neutralized -> ());
+  Alcotest.(check int) "restart recorded" 1 (N_debra.restarts g);
+  (* The restarted operation proceeds normally: re-announced at the
+     current epoch, reads succeed, and the op closes. *)
+  N_debra.begin_op t1;
+  ignore (N_debra.read_link t1 holder);
+  N_debra.end_op t1
+
+(* The DEBRA+ analogue of the two properties above, driving the scheme
+   API directly through an adversarial interleaving of a victim and a
+   churner/observer context. The invariants:
+
+   - epoch protection with neutralization: a node retired during the
+     victim's current operation attempt can only be freed once the
+     victim has been flagged — so whenever the victim completes a
+     [read_link] {e without} raising, none of those nodes is in the
+     churner's pool;
+   - restart hygiene: when the victim {e is} neutralized, every node it
+     allocated in the abandoned attempt is back in its pool (no leak,
+     no double hand-off), and the flag accounting balances.
+
+   The victim only re-reads nodes retired during its current attempt
+   (a pointer held across a restart is abandoned by construction — the
+   restart wrapper re-traverses from the root, which is exactly why
+   only restartable structures may use the scheme). *)
+let debra_neutralized_never_derefs_pooled =
+  QCheck2.Test.make ~name:"debra: victim never handed a pooled node" ~count:60
+    QCheck2.Gen.(
+      list_size (int_range 10 80) (pair (int_range 0 3) (int_range 0 15)))
+    (fun steps ->
+      let g = N_debra.create_with ~amortize:1 ~ndomains:2 () in
+      let t0 = N_debra.thread g 0 (* churner / observer *)
+      and t1 = N_debra.thread g 1 (* victim *) in
+      let nodes = Array.init 16 (fun i -> Nnode.make ~key:i) in
+      let holder = Nnode.make ~key:(-1) in
+      let att = ref 0 in
+      let retire_att = Array.make 16 (-1) in (* attempt when retired *)
+      let victim_fresh = ref [] in
+      let ok = ref true in
+      let restart () =
+        (* The restart wrapper's view: abandoned allocations must
+           already be back in the victim's own pool. *)
+        List.iter
+          (fun n -> if not (N_debra.in_pool t1 n) then ok := false)
+          !victim_fresh;
+        victim_fresh := [];
+        incr att;
+        N_debra.begin_op t1
+      in
+      N_debra.begin_op t1;
+      List.iter
+        (fun (op, i) ->
+          match op with
+          | 0 ->
+            (* Victim dereference. Eligible targets: live nodes, or
+               nodes retired during this very attempt (the pointer was
+               obtained before the retire — HP's protected-then-retired
+               case, played on epochs). *)
+            if retire_att.(i) = -1 || retire_att.(i) = !att then begin
+              Atomic.set holder.Nnode.next (Nnode.link nodes.(i));
+              match N_debra.read_link t1 holder with
+              | _ ->
+                (* No flag: nothing retired during this attempt may
+                   have been freed. *)
+                Array.iteri
+                  (fun j n ->
+                    if retire_att.(j) = !att && N_debra.in_pool t0 n then
+                      ok := false)
+                  nodes
+              | exception Nsmr.Neutralized -> restart ()
+            end
+          | 1 ->
+            (* Victim allocates into the in-progress attempt. *)
+            let n = N_debra.alloc t1 (100 + i) in
+            victim_fresh := n :: !victim_fresh
+          | 2 ->
+            if retire_att.(i) = -1 then begin
+              retire_att.(i) <- !att;
+              N_debra.retire t0 nodes.(i)
+            end
+          | _ ->
+            (* Churner op: amortize = 1, so every begin_op runs the
+               slow path — an advance attempt (building the victim's
+               lag towards [patience]) plus a free pass. *)
+            N_debra.begin_op t0;
+            N_debra.retire t0 (Nnode.make ~key:(1000 + i));
+            N_debra.end_op t0)
+        steps;
+      N_debra.end_op t1;
+      if N_debra.restarts g > N_debra.neutralizations g then ok := false;
+      !ok)
+
+let test_e9_debra_bounded () =
+  (* The native face of Figure 1's survival: same stalled-domain row as
+     E9, but the stall gets neutralized and the backlog stays bounded
+     while reclamation proceeds. Contrast test_e9_shape's EBR row
+     (backlog tracks churn volume, nothing reclaimed). *)
+  let r = Throughput.e9_row ~scheme:`Debra ~churn_ops:20_000 () in
+  Alcotest.(check int) "stalled domain is a one-shot"
+    ((2 * 20_000) + 1)
+    r.Throughput.total_ops;
+  Alcotest.(check bool) "debra backlog bounded under stall" true
+    (r.Throughput.max_backlog < 2_000);
+  Alcotest.(check bool) "debra reclaims despite the stall" true
+    (r.Throughput.reclaimed > 10_000)
+
+let test_e8_debra_harris_refused () =
+  Alcotest.(check bool) "debra+harris pairing refused" true
+    (match
+       Throughput.e8_row Throughput.Harris ~scheme:`Debra Throughput.Churn
+         ~domains:1 ~ops_per_domain:10
+     with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
 (* Reclamation statistics                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -474,6 +672,8 @@ let () =
             test_native_harris_sequential;
           Alcotest.test_case "michael+hp model" `Quick
             test_native_michael_sequential;
+          Alcotest.test_case "michael+debra model" `Quick
+            test_native_debra_sequential;
           Alcotest.test_case "treiber" `Quick test_native_treiber_sequential;
           Alcotest.test_case "msqueue" `Quick test_native_msqueue_sequential;
         ] );
@@ -481,6 +681,8 @@ let () =
         [
           Alcotest.test_case "disjoint inserts" `Slow
             test_native_parallel_disjoint_inserts;
+          Alcotest.test_case "debra disjoint inserts with restarts" `Slow
+            test_native_debra_parallel_restarts;
           Alcotest.test_case "stack conservation" `Slow
             test_native_parallel_churn_counts;
           Alcotest.test_case "queue FIFO" `Slow
@@ -504,5 +706,14 @@ let () =
           Alcotest.test_case "E9 shape" `Slow test_e9_shape;
           Alcotest.test_case "hp+harris refused" `Quick
             test_e8_hp_harris_refused;
+        ] );
+      ( "neutralization",
+        [
+          Alcotest.test_case "stall flagged, epoch unblocked" `Quick
+            test_native_debra_neutralization_unblocks;
+          QCheck_alcotest.to_alcotest debra_neutralized_never_derefs_pooled;
+          Alcotest.test_case "E9 debra bounded" `Slow test_e9_debra_bounded;
+          Alcotest.test_case "debra+harris refused" `Quick
+            test_e8_debra_harris_refused;
         ] );
     ]

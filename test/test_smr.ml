@@ -18,17 +18,25 @@ let setup ?(nthreads = 2) () =
 (* Integration audit (Definition 5.3)                                  *)
 (* ------------------------------------------------------------------ *)
 
-let test_integration_audit () =
-  let expect = [
-    ("none", true); ("ebr", true); ("hp", true); ("ibr", true); ("he", true);
-    ("rc", true); ("vbr", false); ("nbr", false);
-  ]
-  in
-  List.iter
-    (fun (name, easy) ->
-      let s = Registry.find_exn name in
-      Alcotest.(check bool) name easy (Registry.easily_integrated s))
-    expect
+(* Definition 5.3 verdicts: registry-driven (a scheme added without an
+   expectation fails loudly) and one test case per scheme with no state
+   shared between cases, so the order can be shuffled (ERA_TEST_SHUFFLE
+   below). *)
+let audit_expect = [
+  ("none", true); ("ebr", true); ("hp", true); ("ibr", true); ("he", true);
+  ("rc", true); ("vbr", false); ("nbr", false); ("debra", true);
+]
+
+let audit_cases =
+  List.map
+    (fun s ->
+      let name = Registry.name_of s in
+      Alcotest.test_case (name ^ " audit verdict") `Quick (fun () ->
+          match List.assoc_opt name audit_expect with
+          | None -> Alcotest.failf "no audit expectation for scheme %s" name
+          | Some easy ->
+            Alcotest.(check bool) name easy (Registry.easily_integrated s)))
+    Registry.all
 
 (* tiny substring helper to avoid a dependency *)
 module Astring_like = struct
@@ -314,6 +322,83 @@ let test_nbr_backlog_bounded_with_stalled_reader () =
     (Monitor.retired mon <= Era_smr.Nbr.retire_cap)
 
 (* ------------------------------------------------------------------ *)
+(* DEBRA+                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_debra_epoch_advances_and_reclaims () =
+  let heap, mon, sched = setup ~nthreads:1 () in
+  ignore heap;
+  let g = Era_smr.Debra.create heap ~nthreads:1 in
+  let t = Era_smr.Debra.thread g (Sched.external_ctx sched ~tid:0) in
+  let e0 = Era_smr.Debra.current_epoch g in
+  for i = 0 to 9 do
+    Era_smr.Debra.with_op t (fun () ->
+        let w = Era_smr.Debra.alloc t ~key:i in
+        Era_smr.Debra.retire t w)
+  done;
+  Alcotest.(check bool) "epoch advanced" true
+    (Era_smr.Debra.current_epoch g > e0);
+  Era_smr.Debra.quiesce t;
+  Era_smr.Debra.quiesce t;
+  Alcotest.(check int) "all bags freed at quiescence" 0 (Monitor.retired mon)
+
+let test_debra_neutralization_restarts_reader () =
+  let heap, mon, _ = setup () in
+  let sched =
+    Sched.create ~nthreads:2
+      (Sched.Script [ Sched.Run (0, 6); Sched.Finish 1; Sched.Finish 0 ])
+      heap
+  in
+  let g = Era_smr.Debra.create heap ~nthreads:2 in
+  let root = Mem.alloc_sentinel (Sched.external_ctx sched ~tid:1) ~key:0 in
+  Sched.spawn sched ~tid:0 (fun ctx ->
+      let t = Era_smr.Debra.thread g ctx in
+      Era_smr.Debra.with_op t (fun () ->
+          (* A long read loop: stalled after 6 quanta, holding its
+             announced epoch, until T1 neutralizes it. *)
+          for _ = 1 to 20 do
+            ignore (Era_smr.Debra.read t ~via:root ~field:0)
+          done));
+  Sched.spawn sched ~tid:1 (fun ctx ->
+      let t = Era_smr.Debra.thread g ctx in
+      (* Each op attempts an advance; past [patience] blocked attempts
+         the stalled reader is neutralized and the epoch moves on. *)
+      for i = 1 to Era_smr.Debra.patience + 3 do
+        Era_smr.Debra.with_op t (fun () ->
+            let w = Era_smr.Debra.alloc t ~key:i in
+            Era_smr.Debra.retire t w)
+      done);
+  ignore (Sched.run sched);
+  Alcotest.(check bool) "neutralization delivered" true
+    (Era_smr.Debra.neutralizations g > 0);
+  Alcotest.(check bool) "reader restarted" true (Era_smr.Debra.restarts g > 0);
+  Alcotest.(check int) "no safety violation" 0 (Monitor.violation_count mon)
+
+let test_debra_stalled_thread_does_not_block () =
+  (* The EBR Figure-1 failure mode, fixed: a thread parked on an old
+     announcement is neutralized, so reclamation continues without it. *)
+  let heap, mon, sched = setup () in
+  let g = Era_smr.Debra.create heap ~nthreads:2 in
+  let t0 = Era_smr.Debra.thread g (Sched.external_ctx sched ~tid:0) in
+  let t1 = Era_smr.Debra.thread g (Sched.external_ctx sched ~tid:1) in
+  (* Thread 0 announces an epoch and never runs again. *)
+  Era_smr.Debra.begin_op t0;
+  for i = 0 to 99 do
+    Era_smr.Debra.with_op t1 (fun () ->
+        let w = Era_smr.Debra.alloc t1 ~key:i in
+        Era_smr.Debra.retire t1 w)
+  done;
+  Alcotest.(check bool) "stalled thread neutralized" true
+    (Era_smr.Debra.neutralizations g > 0);
+  Alcotest.(check int) "its announcement was cleared on its behalf"
+    (-1)
+    (Era_smr.Debra.announced g 0);
+  Alcotest.(check bool)
+    (Fmt.str "bounded backlog (%d)" (Monitor.retired mon))
+    true
+    (Monitor.retired mon <= 10)
+
+(* ------------------------------------------------------------------ *)
 (* Phase audit                                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -322,19 +407,42 @@ let test_phase_audit_negative_control () =
   Alcotest.(check bool) "auditor catches bad clients" true (viols <> [])
 
 let test_registry () =
-  Alcotest.(check int) "eight schemes" 8 (List.length Registry.all);
+  Alcotest.(check int) "nine schemes" 9 (List.length Registry.all);
   Alcotest.(check bool) "find" true (Registry.find "vbr" <> None);
   Alcotest.(check bool) "find missing" true (Registry.find "zzz" = None);
   Alcotest.check_raises "find_exn missing"
     (Invalid_argument "Registry: unknown scheme \"zzz\"") (fun () ->
       ignore (Registry.find_exn "zzz"))
 
+(* Every case above builds its scheme/heap/monitor state from scratch, so
+   execution order must not matter. ERA_TEST_SHUFFLE=<seed> permutes the
+   groups and the cases within each group to enforce that (CI runs one
+   shuffled leg). *)
+let maybe_shuffle suites =
+  match Sys.getenv_opt "ERA_TEST_SHUFFLE" with
+  | None | Some "" -> suites
+  | Some seed_s ->
+    let seed = Option.value ~default:1 (int_of_string_opt seed_s) in
+    let st = Random.State.make [| seed |] in
+    let shuffle l =
+      let a = Array.of_list l in
+      for i = Array.length a - 1 downto 1 do
+        let j = Random.State.int st (i + 1) in
+        let tmp = a.(i) in
+        a.(i) <- a.(j);
+        a.(j) <- tmp
+      done;
+      Array.to_list a
+    in
+    shuffle (List.map (fun (g, cases) -> (g, shuffle cases)) suites)
+
 let () =
   Alcotest.run "era_smr"
+  @@ maybe_shuffle
     [
       ( "integration",
-        [
-          Alcotest.test_case "audit verdicts" `Quick test_integration_audit;
+        audit_cases
+        @ [
           Alcotest.test_case "audit conditions" `Quick test_audit_conditions;
           Alcotest.test_case "registry" `Quick test_registry;
         ] );
@@ -371,6 +479,15 @@ let () =
             test_nbr_neutralization_restarts_reader;
           Alcotest.test_case "backlog bounded with stalled reader" `Quick
             test_nbr_backlog_bounded_with_stalled_reader;
+        ] );
+      ( "debra",
+        [
+          Alcotest.test_case "epochs advance, bags free" `Quick
+            test_debra_epoch_advances_and_reclaims;
+          Alcotest.test_case "neutralization restarts reader" `Quick
+            test_debra_neutralization_restarts_reader;
+          Alcotest.test_case "stalled thread does not block" `Quick
+            test_debra_stalled_thread_does_not_block;
         ] );
       ( "phase-audit",
         [

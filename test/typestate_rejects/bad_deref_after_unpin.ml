@@ -1,0 +1,9 @@
+(* Dereferencing after closing the operation boundary: [unpin] returns
+   an [`Unpinned] guard, which [read] rejects. Must not typecheck. *)
+
+module G = Era_smr.Ebr.Guard
+
+let bad (s : Era_smr.Ebr.tctx) (via : Era_sim.Word.t) =
+  let g = G.pin (G.make s) in
+  let u = G.unpin g in
+  ignore (G.read u ~via ~field:0)

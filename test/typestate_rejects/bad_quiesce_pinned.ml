@@ -1,0 +1,7 @@
+(* Flushing limbo lists while an operation is still open: [quiesce]
+   demands an [`Unpinned] guard. Must not typecheck. *)
+
+module G = Era_smr.Ebr.Guard
+
+let bad (s : Era_smr.Ebr.tctx) =
+  G.with_pin (G.make s) (fun g -> G.quiesce g)

@@ -1,0 +1,9 @@
+(* Retiring from outside an operation boundary: [stage_retire] demands a
+   [`Pinned] guard, and a quiescent guard is [`Unpinned]. Must not
+   typecheck. *)
+
+module G = Era_smr.Ebr.Guard
+
+let bad (s : Era_smr.Ebr.tctx) (w : Era_sim.Word.t) =
+  let u = G.make s in
+  ignore (G.retire (G.stage_retire u w))

@@ -1,0 +1,8 @@
+(* Committing a retirement that was never staged: [retire] demands
+   [`Retire_ready], which only [stage_retire] can produce. Must not
+   typecheck. *)
+
+module G = Era_smr.Ebr.Guard
+
+let bad (s : Era_smr.Ebr.tctx) =
+  G.with_pin (G.make s) (fun g -> ignore (G.retire g))

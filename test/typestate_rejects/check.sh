@@ -1,0 +1,63 @@
+#!/bin/sh
+# Negative-compilation battery for the typestate guard (Smr_intf.GUARD).
+#
+# well_typed.ml is the positive control: the legal lifecycle must
+# compile, otherwise the rejections below would be vacuous. Every
+# bad_*.ml must FAIL to compile, and its stderr must contain every line
+# of the matching bad_*.expected (stable substrings of the type error —
+# full compiler messages carry locations and formatting that vary
+# across versions, so they are grepped, not diffed).
+#
+# Runs from the dune build directory test/typestate_rejects/; the
+# library cmis live in the sibling .objs trees.
+set -u
+
+INCS="-I ../../lib/smr/.era_smr.objs/byte \
+      -I ../../lib/sim/.era_sim.objs/byte \
+      -I ../../lib/sched/.era_sched.objs/byte"
+FMT_DIR=$(ocamlfind query fmt 2>/dev/null || true)
+if [ -n "$FMT_DIR" ]; then INCS="$INCS -I $FMT_DIR"; fi
+
+status=0
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+compile () {
+  # -bin-annot off, objects into the scratch dir: the battery must not
+  # pollute the build tree dune manages.
+  ocamlc -c $INCS -color never -o "$tmp/$(basename "$1" .ml)" "$1" \
+    2>"$tmp/err"
+}
+
+if compile well_typed.ml; then
+  echo "ok: well_typed.ml compiles (positive control)"
+else
+  echo "FAIL: well_typed.ml must compile; stderr:" >&2
+  cat "$tmp/err" >&2
+  status=1
+fi
+
+for bad in bad_*.ml; do
+  name=$(basename "$bad" .ml)
+  if compile "$bad"; then
+    echo "FAIL: $bad compiled; the typestate no longer rejects it" >&2
+    status=1
+    continue
+  fi
+  missing=0
+  while IFS= read -r want; do
+    [ -n "$want" ] || continue
+    if ! grep -qF -- "$want" "$tmp/err"; then
+      echo "FAIL: $bad: error does not mention '$want'; stderr:" >&2
+      cat "$tmp/err" >&2
+      missing=1
+    fi
+  done < "$name.expected"
+  if [ "$missing" -eq 0 ]; then
+    echo "ok: $bad rejected with the expected type error"
+  else
+    status=1
+  fi
+done
+
+exit $status

@@ -1,0 +1,22 @@
+(* Positive control: the full legal lifecycle compiles. If this file
+   stops compiling, the battery's rejections below prove nothing. *)
+
+module G = Era_smr.Ebr.Guard
+
+let lifecycle (s : Era_smr.Ebr.tctx) (via : Era_sim.Word.t) =
+  let u = G.make s in
+  let result =
+    G.with_pin u (fun g ->
+        let w = G.read g ~via ~field:0 in
+        let g = G.retire (G.stage_retire g w) in
+        G.read_key g ~via)
+  in
+  G.quiesce u;
+  result
+
+let manual_boundary (s : Era_smr.Ebr.tctx) (via : Era_sim.Word.t) =
+  let g = G.pin (G.make s) in
+  let k = G.read_key g ~via in
+  let u = G.unpin g in
+  G.quiesce u;
+  k
