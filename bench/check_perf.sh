@@ -27,4 +27,5 @@ dune exec --no-build bin/bench_compare.exe -- bench/BENCH_quick.json "$out" \
   --require E16/michael+ebr/zipf-1m-hot@1d \
   --require E17/saturation \
   --require E18/michael+debra/zipf-1m-hot@1d \
+  --require E19/recorder_off/michael+ebr \
   "$@"

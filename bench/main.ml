@@ -818,6 +818,105 @@ let e18 () =
   emit_native "E18" "native-backlog" r
 
 (* ------------------------------------------------------------------ *)
+(* E19: flight recorder — detached overhead + reclamation timelines    *)
+(* ------------------------------------------------------------------ *)
+
+(* The recorder-off row re-times E16's hot cell (michael+ebr,
+   zipf-1m-hot) with the recorder detached: every hook is then a single
+   [cap <> 0] branch on a null handle, mirroring the sim tracer's
+   off-path contract, so detached throughput must stay at seed speed —
+   check_perf.sh --require's that row. Recorder-on rows record the
+   honest cost of full instrumentation (per-domain event rings, one
+   monotonic clock pair per op for the latency histograms, and
+   coordinator-sampled backlog / epoch-lag gauges); recording is
+   opt-in, so those rows are informational. The stall rows put a
+   timeline behind the robustness story: with domain 0 parked
+   mid-operation, EBR's epoch lag and backlog climb for the stall's
+   whole duration while DEBRA+'s neutralization caps both — the merged
+   Perfetto trace shows the restart span the cap costs. *)
+let e19 () =
+  section "E19 | Flight recorder: detached overhead + stall timelines";
+  let open Era_native.Throughput in
+  let module Flight = Era_obs.Flight in
+  let ops = Rc.ops_or cfg (if quick then 40_000 else 150_000) in
+  let domains = 2 in
+  let workload = zipf_1m_hot in
+  ignore
+    (e16_row Michael ~scheme:`Ebr ~workload ~domains
+       ~ops_per_domain:(max 1 (ops / 4)));
+  (* warm-up *)
+  List.iter
+    (fun scheme ->
+      let name = scheme_name scheme in
+      if want_scheme name then begin
+        let off =
+          e16_row Michael ~scheme ~workload ~domains ~ops_per_domain:ops
+        in
+        if scheme = `Ebr then
+          emit
+            (M.row ~experiment:"E19" ~label:"recorder_off/michael+ebr"
+               ~category:"native-throughput" ~scheme:name
+               ~structure:"michael-list" ~domains ~total_ops:off.total_ops
+               ~elapsed_s:off.elapsed_s ~mops:off.mops
+               ~max_backlog:off.max_backlog ~reclaimed:off.reclaimed
+               ~retired:off.retired ~scans:off.scans ());
+        let fl = Flight.create ~ndomains:domains () in
+        let on =
+          e16_row Michael ~flight:fl ~scheme ~workload ~domains
+            ~ops_per_domain:ops
+        in
+        let overhead_pct =
+          (off.mops -. on.mops) /. Float.max off.mops 1e-9 *. 100.
+        in
+        Fmt.pr "  %s: off %.3f on %.3f Mops/s  (overhead %+.1f%%, %d \
+                events, %d dropped)@."
+          name off.mops on.mops overhead_pct (Flight.total_events fl)
+          (Flight.dropped fl);
+        emit
+          (M.row ~experiment:"E19" ~label:("recorder_on/michael+" ^ name)
+             ~category:"observability" ~scheme:name ~structure:"michael-list"
+             ~domains ~total_ops:on.total_ops ~elapsed_s:on.elapsed_s
+             ~mops:on.mops ~max_backlog:on.max_backlog
+             ~reclaimed:on.reclaimed ~retired:on.retired ~scans:on.scans
+             ~extra:
+               [
+                 ("overhead_pct", overhead_pct);
+                 ("events", float_of_int (Flight.total_events fl));
+                 ("dropped", float_of_int (Flight.dropped fl));
+               ]
+             ())
+      end)
+    [ `Ebr; `Debra ];
+  (* Reclamation-lag timelines: the recorder rides along on the E9
+     stall rows; EBR vs DEBRA+ is the theorem's bounded-vs-unbounded
+     contrast made visible. *)
+  List.iter
+    (fun scheme ->
+      let name =
+        scheme_name (scheme :> [ `Debra | `Ebr | `Hp | `Ibr | `None ])
+      in
+      if want_scheme name then begin
+        let fl = Flight.create ~ndomains:3 () in
+        let r = e9_row ~flight:fl ~scheme ~churn_ops:ops () in
+        Fmt.pr "  %a  (%d flight events)@." pp_result r
+          (Flight.total_events fl);
+        emit
+          (M.row ~experiment:"E19" ~label:("timeline/" ^ r.label)
+             ~category:"native-backlog" ~scheme:name
+             ~structure:"michael-list" ~domains:r.domains
+             ~total_ops:r.total_ops ~elapsed_s:r.elapsed_s
+             ~max_backlog:r.max_backlog ~reclaimed:r.reclaimed
+             ~retired:r.retired ~scans:r.scans
+             ~extra:
+               [
+                 ("events", float_of_int (Flight.total_events fl));
+                 ("dropped", float_of_int (Flight.dropped fl));
+               ]
+             ())
+      end)
+    [ `Ebr; `Debra ]
+
+(* ------------------------------------------------------------------ *)
 (* E17: era_serve under load — admission, shedding, saturation         *)
 (* ------------------------------------------------------------------ *)
 
@@ -1157,7 +1256,7 @@ let () =
       ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5);
       ("E6", e6); ("E7", e7); ("E8", e8); ("E8b", e8b); ("E9", e9);
       ("E10", e10); ("E11", e11); ("E12", e12); ("E13", e13); ("E15", e15);
-      ("E16", e16); ("E17", e17); ("E18", e18);
+      ("E16", e16); ("E17", e17); ("E18", e18); ("E19", e19);
       ("B1", b1_sim_read_cost); ("B2", b2_sim_lifecycle_cost);
       ("B3", b3_native_read_cost); ("B4", b4_checker_scaling);
       ("B5", b5_scheduler_overhead); ("B6", b6_trace_overhead);

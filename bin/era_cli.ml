@@ -350,11 +350,61 @@ let replay_cmd () =
 
 let native () =
   let open Era_native.Throughput in
+  let module Flight = Era_obs.Flight in
   let ops = Rc.ops_or cfg 100_000 in
   let domains = Rc.domains_or cfg 2 in
   let sink = M.sink () in
   let native_scheme s = Rc.selects_scheme cfg (scheme_name s) in
-  (match Rc.(cfg.keys, cfg.zipf, cfg.mix) with
+  (* --flight FILE: each recorded row gets its own recorder and merged
+     Perfetto trace. The first recorded row writes FILE; further rows
+     write FILE with the row label spliced in, so a multi-row run never
+     silently overwrites. *)
+  let flight_rows = ref 0 in
+  let with_flight ~ndomains ~label (run : Flight.t -> result) =
+    match cfg.Rc.flight with
+    | None -> run Flight.null
+    | Some base ->
+      let flight = Flight.create ~ndomains () in
+      let r = run flight in
+      let file =
+        if !flight_rows = 0 then base
+        else
+          let safe =
+            String.map
+              (fun c ->
+                match c with
+                | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' -> c
+                | _ -> '-')
+              label
+          in
+          Printf.sprintf "%s-%s.json" (Filename.remove_extension base) safe
+      in
+      incr flight_rows;
+      Flight.write ~file flight;
+      let reg = Era_obs.Registry.create () in
+      Flight.to_registry flight reg;
+      Fmt.pr "  flight: %d events (%d dropped) -> %s@."
+        (Flight.total_events flight) (Flight.dropped flight) file;
+      Fmt.pr "%a@." Era_obs.Registry.pp reg;
+      r
+  in
+  (if cfg.Rc.stall then
+     (* --stall: only the E9 stalled-domain rows (domain 0 parks
+        mid-operation; two churn domains drive the backlog). *)
+     List.iter
+       (fun s ->
+         if native_scheme (s :> [ `Debra | `Ebr | `Hp | `Ibr | `None ]) then begin
+           let label = "stall-" ^ scheme_name (s :> [ `Debra | `Ebr | `Hp | `Ibr | `None ]) in
+           let r =
+             with_flight ~ndomains:3 ~label (fun flight ->
+                 e9_row ~flight ~scheme:s ~churn_ops:ops ())
+           in
+           Fmt.pr "%a@." pp_result r;
+           M.add sink (to_row ~experiment:"E9" ~category:"native-backlog" r)
+         end)
+       [ `Ebr; `Hp; `Ibr; `Debra ]
+   else
+     match Rc.(cfg.keys, cfg.zipf, cfg.mix) with
   | (Some _, _, _) | (_, Some _, _) | (_, _, Some _) ->
     (* --keys/--zipf/--mix: one E16-style row per scheme on the
        requested workload instead of the standard E8 grid. *)
@@ -377,7 +427,11 @@ let native () =
       (fun scheme ->
         if native_scheme scheme then begin
           let r =
-            e16_row Michael ~scheme ~workload ~domains ~ops_per_domain:ops
+            with_flight ~ndomains:domains
+              ~label:("michael-" ^ scheme_name scheme)
+              (fun flight ->
+                e16_row Michael ~flight ~scheme ~workload ~domains
+                  ~ops_per_domain:ops)
           in
           Fmt.pr "%a@." pp_result r;
           M.add sink (to_row ~experiment:"E16" ~category:"native-throughput" r)
@@ -385,21 +439,33 @@ let native () =
       [ `None; `Ebr; `Hp; `Ibr; `Debra ]
   | None, None, None ->
     List.iter
-      (fun (kind, scheme, mix) ->
+      (fun (kind, scheme, mix, label) ->
         if native_scheme scheme then begin
-          let r = e8_row kind ~scheme mix ~domains ~ops_per_domain:ops in
+          let r =
+            with_flight ~ndomains:domains ~label (fun flight ->
+                e8_row kind ~flight ~scheme mix ~domains ~ops_per_domain:ops)
+          in
           Fmt.pr "%a@." pp_result r;
           M.add sink (to_row ~experiment:"E8" ~category:"native-throughput" r)
         end)
       [
-        (Harris, `Ebr, Churn); (Michael, `Ebr, Churn); (Michael, `Hp, Churn);
-        (Harris, `Ebr, Read_heavy); (Michael, `Ebr, Read_heavy);
-        (Michael, `Hp, Read_heavy);
+        (Harris, `Ebr, Churn, "harris-ebr-churn");
+        (Michael, `Ebr, Churn, "michael-ebr-churn");
+        (Michael, `Hp, Churn, "michael-hp-churn");
+        (Harris, `Ebr, Read_heavy, "harris-ebr-read");
+        (Michael, `Ebr, Read_heavy, "michael-ebr-read");
+        (Michael, `Hp, Read_heavy, "michael-hp-read");
       ];
     List.iter
       (fun s ->
         if native_scheme (s :> [ `Debra | `Ebr | `Hp | `Ibr | `None ]) then begin
-          let r = e9_row ~scheme:s ~churn_ops:ops () in
+          let label =
+            "stall-" ^ scheme_name (s :> [ `Debra | `Ebr | `Hp | `Ibr | `None ])
+          in
+          let r =
+            with_flight ~ndomains:3 ~label (fun flight ->
+                e9_row ~flight ~scheme:s ~churn_ops:ops ())
+          in
           Fmt.pr "%a@." pp_result r;
           M.add sink (to_row ~experiment:"E9" ~category:"native-backlog" r)
         end)
@@ -538,14 +604,28 @@ let jobs_cmd () =
              else "draining the backlog")
       end
       else
-        match (Client.stats cl, Client.jobs cl) with
-        | Error e, _ | _, Error e ->
-          Fmt.epr "era_cli jobs: %s@." e;
-          exit 1
-        | Ok stats, Ok jobs ->
-          Fmt.pr "stats: %s@."
-            (Era_metrics.Json.to_string ~minify:true stats);
-          List.iter print_job jobs)
+        match cfg.Rc.follow with
+        | Some id -> (
+          (* Streaming follow: heartbeat lines as the daemon pushes
+             them, then the final summary. *)
+          match
+            Client.follow cl id ~on_heartbeat:(fun hb ->
+                Fmt.pr "heartbeat %s@."
+                  (Era_metrics.Json.to_string ~minify:true hb))
+          with
+          | Error e ->
+            Fmt.epr "era_cli jobs: %s@." e;
+            exit 1
+          | Ok j -> print_job j)
+        | None -> (
+          match (Client.stats cl, Client.jobs cl) with
+          | Error e, _ | _, Error e ->
+            Fmt.epr "era_cli jobs: %s@." e;
+            exit 1
+          | Ok stats, Ok jobs ->
+            Fmt.pr "stats: %s@."
+              (Era_metrics.Json.to_string ~minify:true stats);
+            List.iter print_job jobs))
 
 let all () =
   Fmt.pr "== Figure 1 ==@.";

@@ -274,6 +274,10 @@ let report_of_json j =
   Ok { manifest; rows }
 
 let write path report =
+  (* The default path lands under bench/ — create it on first use. *)
+  (match Filename.dirname path with
+  | "" | "." -> ()
+  | d -> Fsutil.mkdir_p d);
   let oc = open_out_bin path in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)

@@ -23,6 +23,9 @@ type t = {
   out : string option;
   heartbeat : int option;
   trace : bool;
+  flight : string option;
+  stall : bool;
+  follow : int option;
   socket : string option;
   tenant : string option;
   workers : int option;
@@ -66,6 +69,9 @@ let parse_result ~argv ~prog ?(commands = []) ?(file_arg = false) () =
   let out = ref None in
   let heartbeat = ref None in
   let trace = ref false in
+  let flight = ref None in
+  let stall = ref false in
+  let follow = ref None in
   let socket = ref None in
   let tenant = ref None in
   let workers = ref None in
@@ -85,7 +91,7 @@ let parse_result ~argv ~prog ?(commands = []) ?(file_arg = false) () =
         ( "--json",
           Arg.String (set_opt json),
           "FILE Write machine-readable rows to FILE (default \
-           BENCH_<timestamp>.json)" );
+           bench/BENCH_<timestamp>.json)" );
         ( "--only",
           Arg.String (fun s -> only := !only @ split_commas s),
           "LIST Run only these experiments (comma-separated, e.g. E1,E8b,B3)"
@@ -156,6 +162,17 @@ let parse_result ~argv ~prog ?(commands = []) ?(file_arg = false) () =
           Arg.Set trace,
           " Capture a Perfetto trace (explore: of the shrunk \
            counterexample replay)" );
+        ( "--flight",
+          Arg.String (set_opt flight),
+          "FILE Attach the native flight recorder and write the merged \
+           Perfetto trace to FILE (native command)" );
+        ( "--stall",
+          Arg.Set stall,
+          " Native: run only the E9 stalled-domain rows (pairs with \
+           --flight for a reclamation-lag timeline)" );
+        ( "--follow",
+          Arg.Int (set_opt follow),
+          "ID Stream job ID's heartbeats until it finishes (jobs command)" );
         ( "--socket",
           Arg.String (set_opt socket),
           "PATH Daemon Unix socket (serve/submit/jobs)" );
@@ -237,6 +254,9 @@ let parse_result ~argv ~prog ?(commands = []) ?(file_arg = false) () =
         out = !out;
         heartbeat = !heartbeat;
         trace = !trace;
+        flight = !flight;
+        stall = !stall;
+        follow = !follow;
         socket = !socket;
         tenant = !tenant;
         workers = !workers;
@@ -299,6 +319,8 @@ let default_json_path ?(clock = Unix.gettimeofday) t =
   | Some f -> f
   | None ->
     let tm = Unix.localtime (clock ()) in
-    Printf.sprintf "BENCH_%04d%02d%02dT%02d%02d%02d.json" (tm.Unix.tm_year + 1900)
-      (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
-      tm.Unix.tm_sec
+    (* Default under bench/ so ad-hoc runs don't litter the repo root;
+       bench/.gitignore already covers the pattern. *)
+    Printf.sprintf "bench/BENCH_%04d%02d%02dT%02d%02d%02d.json"
+      (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
+      tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec

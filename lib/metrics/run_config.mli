@@ -50,6 +50,14 @@ type t = {
   trace : bool;
       (** [--trace] — capture a Perfetto trace of the relevant
           execution (explore: the shrunk counterexample replay) *)
+  flight : string option;
+      (** [--flight FILE] — attach the native flight recorder and write
+          the merged Perfetto trace to FILE (native command) *)
+  stall : bool;
+      (** [--stall] — native: run only the E9 stalled-domain rows *)
+  follow : int option;
+      (** [--follow ID] — jobs: stream the job's heartbeats until it is
+          terminal *)
   socket : string option;
       (** [--socket PATH] — daemon Unix socket (serve/submit/jobs) *)
   tenant : string option;  (** [--tenant NAME] for submitted jobs *)
@@ -105,5 +113,5 @@ val mode : t -> string
 (** ["quick"] or ["full"], for the run manifest. *)
 
 val default_json_path : ?clock:(unit -> float) -> t -> string
-(** [--json FILE] if given, else [BENCH_<timestamp>.json] derived from
-    [clock] (default [Unix.gettimeofday]). *)
+(** [--json FILE] if given, else [bench/BENCH_<timestamp>.json] derived
+    from [clock] (default [Unix.gettimeofday]). *)

@@ -66,6 +66,7 @@ type t = {
   neutralizations : int Atomic.t;  (* flags raised (by observers) *)
   restarts : int Atomic.t;  (* flags consumed via Neutralized *)
   domains : dstate array;
+  mutable flight : Era_obs.Flight.t;
 }
 
 type tctx = {
@@ -82,6 +83,10 @@ type tctx = {
       (* nodes allocated by the in-progress operation and not yet
          retired; provably unlinked at every point [read_link] can
          raise, so the neutralization path returns them to the pool *)
+  fl : Era_obs.Flight.handle;
+  mutable restarting : bool;
+      (* a neutralization restart span is open; closed by the end_op
+         that completes the re-run *)
 }
 
 let create_with ?(amortize = default_amortize) ~ndomains () =
@@ -100,9 +105,11 @@ let create_with ?(amortize = default_amortize) ~ndomains () =
           { limbo = Limbo.create (); pool = Limbo.Pool.create (); ops = 0;
             ann_active = 1; ann_idle = 0; max_backlog = 0; reclaimed = 0;
             retired = 0; scans = 0 });
+    flight = Era_obs.Flight.null;
   }
 
 let create ~ndomains = create_with ~ndomains ()
+let attach_flight g f = g.flight <- f
 
 let thread g d =
   {
@@ -111,6 +118,8 @@ let thread g d =
     flg = g.flag.(Nsmr.padded_index d);
     lag = Array.make g.ndomains 0;
     fresh = [];
+    fl = Era_obs.Flight.handle g.flight d;
+    restarting = false;
   }
 
 let announce_slot t = t.ann
@@ -134,6 +143,7 @@ let try_advance t =
         if l > patience then begin
           Atomic.set g.flag.(Nsmr.padded_index d) 1;
           Atomic.incr g.neutralizations;
+          Era_obs.Flight.flag t.fl ~victim:d;
           t.lag.(d) <- 0
         end
         else ok := false
@@ -155,10 +165,18 @@ let neutralize t =
   List.iter (fun n -> Limbo.Pool.put t.ds.pool n) t.fresh;
   t.fresh <- [];
   Atomic.incr t.g.restarts;
+  (* The restart span stays open until the re-run's end_op; repeated
+     neutralizations inside one logical operation extend the same
+     span. *)
+  if not t.restarting then begin
+    t.restarting <- true;
+    Era_obs.Flight.restart_begin t.fl
+  end;
   raise Nsmr.Neutralized
 
 let slow_path t =
   let g = t.g and ds = t.ds in
+  Era_obs.Flight.slow_path t.fl;
   let e = Atomic.get g.epoch in
   if e lsl 1 <> ds.ann_idle then begin
     ds.ann_idle <- e lsl 1;
@@ -166,7 +184,9 @@ let slow_path t =
     Atomic.set (announce_slot t) ds.ann_active
   end;
   try_advance t;
-  let horizon = Atomic.get g.epoch - 2 in
+  let e' = Atomic.get g.epoch in
+  if e' > e then Era_obs.Flight.advance t.fl e';
+  let horizon = e' - 2 in
   let freed =
     Limbo.free_le ds.limbo ~horizon ~free:(fun n ->
         (* Fail-safe for neutralized laggards: a fresh [next] record
@@ -177,8 +197,10 @@ let slow_path t =
   in
   if freed > 0 then begin
     ds.reclaimed <- ds.reclaimed + freed;
-    ds.scans <- ds.scans + 1
-  end
+    ds.scans <- ds.scans + 1;
+    Era_obs.Flight.free t.fl freed
+  end;
+  Era_obs.Flight.backlog t.fl ~domain:t.d (Limbo.size ds.limbo)
 
 let begin_op t =
   let ds = t.ds in
@@ -190,6 +212,10 @@ let begin_op t =
 let end_op t =
   Atomic.set (announce_slot t) t.ds.ann_idle;
   t.fresh <- [];
+  if t.restarting then begin
+    t.restarting <- false;
+    Era_obs.Flight.restart_end t.fl
+  end;
   (* A request that lands after the operation finished is stale: the
      next operation starts from the current epoch anyway. Consume it
      silently, mirroring the simulated scheme's end_op. *)
@@ -219,6 +245,7 @@ let retire t n =
      N_ebr's note). *)
   Limbo.push ds.limbo ~tag:(Atomic.get t.g.epoch) n;
   ds.retired <- ds.retired + 1;
+  Era_obs.Flight.retire t.fl;
   let backlog = Limbo.size ds.limbo in
   if backlog > ds.max_backlog then ds.max_backlog <- backlog
 
@@ -233,6 +260,12 @@ let read_link t n =
 
 let backlog g =
   Array.fold_left (fun a d -> a + Limbo.size d.limbo) 0 g.domains
+
+let domain_backlog g d = Limbo.size g.domains.(d).limbo
+
+let domain_lag g d =
+  let a = Atomic.get g.announce.(Nsmr.padded_index d) in
+  if a land 1 = 1 then max 0 (Atomic.get g.epoch - (a asr 1)) else 0
 
 let max_backlog g =
   Array.fold_left (fun a d -> max a d.max_backlog) 0 g.domains

@@ -39,12 +39,14 @@ type t = {
   epoch : int Atomic.t;
   announce : int Atomic.t array;  (* packed; padded *)
   domains : dstate array;
+  mutable flight : Era_obs.Flight.t;
 }
 
 type tctx = {
   g : t;
   d : int;
   ds : dstate;
+  fl : Era_obs.Flight.handle;
 }
 
 let create_with ?(amortize = default_amortize) ~ndomains () =
@@ -60,10 +62,15 @@ let create_with ?(amortize = default_amortize) ~ndomains () =
           { limbo = Limbo.create (); pool = Limbo.Pool.create (); ops = 0;
             ann_active = 1; ann_idle = 0; max_backlog = 0; reclaimed = 0;
             retired = 0; scans = 0 });
+    flight = Era_obs.Flight.null;
   }
 
 let create ~ndomains = create_with ~ndomains ()
-let thread g d = { g; d; ds = g.domains.(d) }
+let attach_flight g f = g.flight <- f
+
+let thread g d =
+  { g; d; ds = g.domains.(d); fl = Era_obs.Flight.handle g.flight d }
+
 let announce_slot t = t.g.announce.(Nsmr.padded_index t.d)
 
 (* A slot blocks the advance from [e] iff its active bit is set and its
@@ -79,6 +86,7 @@ let try_advance g =
 
 let slow_path t =
   let g = t.g and ds = t.ds in
+  Era_obs.Flight.slow_path t.fl;
   let e = Atomic.get g.epoch in
   if e lsl 1 <> ds.ann_idle then begin
     (* The epoch moved since we cached it: re-announce fresh so we stop
@@ -88,14 +96,18 @@ let slow_path t =
     Atomic.set (announce_slot t) ds.ann_active
   end;
   try_advance g;
-  let horizon = Atomic.get g.epoch - 2 in
+  let e' = Atomic.get g.epoch in
+  if e' > e then Era_obs.Flight.advance t.fl e';
   let freed =
-    Limbo.free_le ds.limbo ~horizon ~free:(fun n -> Limbo.Pool.put ds.pool n)
+    Limbo.free_le ds.limbo ~horizon:(e' - 2) ~free:(fun n ->
+        Limbo.Pool.put ds.pool n)
   in
   if freed > 0 then begin
     ds.reclaimed <- ds.reclaimed + freed;
-    ds.scans <- ds.scans + 1
-  end
+    ds.scans <- ds.scans + 1;
+    Era_obs.Flight.free t.fl freed
+  end;
+  Era_obs.Flight.backlog t.fl ~domain:t.d (Limbo.size ds.limbo)
 
 let begin_op t =
   let ds = t.ds in
@@ -121,6 +133,7 @@ let retire t n =
      NOT safe to use as a retire tag. *)
   Limbo.push ds.limbo ~tag:(Atomic.get t.g.epoch) n;
   ds.retired <- ds.retired + 1;
+  Era_obs.Flight.retire t.fl;
   let backlog = Limbo.size ds.limbo in
   if backlog > ds.max_backlog then ds.max_backlog <- backlog
 
@@ -128,6 +141,12 @@ let read_link _ n = Nnode.get n
 
 let backlog g =
   Array.fold_left (fun a d -> a + Limbo.size d.limbo) 0 g.domains
+
+let domain_backlog g d = Limbo.size g.domains.(d).limbo
+
+let domain_lag g d =
+  let a = Atomic.get g.announce.(Nsmr.padded_index d) in
+  if a land 1 = 1 then max 0 (Atomic.get g.epoch - (a asr 1)) else 0
 
 let max_backlog g =
   Array.fold_left (fun a d -> max a d.max_backlog) 0 g.domains

@@ -29,12 +29,14 @@ type t = {
   ndomains : int;
   hp : Nnode.node Atomic.t array;  (* ndomains * slots, padded; nil = empty *)
   domains : dstate array;
+  mutable flight : Era_obs.Flight.t;
 }
 
 type tctx = {
   g : t;
   d : int;
   ds : dstate;
+  fl : Era_obs.Flight.handle;
 }
 
 let create ~ndomains =
@@ -50,9 +52,13 @@ let create ~ndomains =
             max_backlog = 0; reclaimed = 0; retired_total = 0; scans = 0;
             rot = 0;
             hz_buf = Array.make (ndomains * slots_per_domain) Nnode.nil });
+    flight = Era_obs.Flight.null;
   }
 
-let thread g d = { g; d; ds = g.domains.(d) }
+let attach_flight g f = g.flight <- f
+
+let thread g d =
+  { g; d; ds = g.domains.(d); fl = Era_obs.Flight.handle g.flight d }
 
 let slot g d s = g.hp.(((d * slots_per_domain) + s) * Nsmr.pad)
 
@@ -104,12 +110,15 @@ let scan t =
       ~free:(fun n -> Limbo.Pool.put ds.pool n)
   in
   ds.reclaimed <- ds.reclaimed + freed;
-  Array.fill hz 0 !nhz Nnode.nil
+  Array.fill hz 0 !nhz Nnode.nil;
+  Era_obs.Flight.sweep t.fl freed;
+  Era_obs.Flight.backlog t.fl ~domain:t.d (Limbo.size ds.limbo)
 
 let retire t n =
   let ds = t.ds in
   Limbo.push ds.limbo ~tag:0 n;
   ds.retired_total <- ds.retired_total + 1;
+  Era_obs.Flight.retire t.fl;
   let backlog = Limbo.size ds.limbo in
   if backlog > ds.max_backlog then ds.max_backlog <- backlog;
   if backlog >= scan_threshold then scan t
@@ -138,6 +147,9 @@ let in_pool t n = Limbo.Pool.mem t.ds.pool n
 
 let backlog g =
   Array.fold_left (fun a d -> a + Limbo.size d.limbo) 0 g.domains
+
+let domain_backlog g d = Limbo.size g.domains.(d).limbo
+let domain_lag _ _ = 0 (* no epochs: hazard slots don't lag *)
 
 let max_backlog g =
   Array.fold_left (fun a d -> max a d.max_backlog) 0 g.domains

@@ -29,12 +29,14 @@ type t = {
   resv_lo : int Atomic.t array;
   resv_hi : int Atomic.t array;
   domains : dstate array;
+  mutable flight : Era_obs.Flight.t;
 }
 
 type tctx = {
   g : t;
   d : int;
   ds : dstate;
+  fl : Era_obs.Flight.handle;
 }
 
 let create ~ndomains =
@@ -48,9 +50,13 @@ let create ~ndomains =
       Array.init ndomains (fun _ ->
           { limbo = Limbo.create (); pool = Limbo.Pool.create ();
             max_backlog = 0; reclaimed = 0; retired_total = 0; scans = 0 });
+    flight = Era_obs.Flight.null;
   }
 
-let thread g d = { g; d; ds = g.domains.(d) }
+let attach_flight g f = g.flight <- f
+
+let thread g d =
+  { g; d; ds = g.domains.(d); fl = Era_obs.Flight.handle g.flight d }
 let lo t = t.g.resv_lo.(Nsmr.padded_index t.d)
 let hi t = t.g.resv_hi.(Nsmr.padded_index t.d)
 
@@ -68,7 +74,10 @@ let end_op t =
 let alloc t key =
   let g = t.g in
   let a = Atomic.fetch_and_add g.allocs 1 in
-  if a mod allocs_per_epoch = 0 then ignore (Atomic.fetch_and_add g.epoch 1);
+  if a mod allocs_per_epoch = 0 then begin
+    let e = Atomic.fetch_and_add g.epoch 1 in
+    Era_obs.Flight.advance t.fl (e + 1)
+  end;
   let n = Limbo.Pool.take t.ds.pool in
   let n =
     if n == Nnode.nil then Nnode.make ~key
@@ -103,12 +112,15 @@ let scan t =
         intersects g ~birth:n.Nnode.birth ~retire_epoch)
       ~free:(fun n -> Limbo.Pool.put ds.pool n)
   in
-  ds.reclaimed <- ds.reclaimed + freed
+  ds.reclaimed <- ds.reclaimed + freed;
+  Era_obs.Flight.sweep t.fl freed;
+  Era_obs.Flight.backlog t.fl ~domain:t.d (Limbo.size ds.limbo)
 
 let retire t n =
   let ds = t.ds in
   Limbo.push ds.limbo ~tag:(Atomic.get t.g.epoch) n;
   ds.retired_total <- ds.retired_total + 1;
+  Era_obs.Flight.retire t.fl;
   let backlog = Limbo.size ds.limbo in
   if backlog > ds.max_backlog then ds.max_backlog <- backlog;
   if backlog >= scan_threshold then scan t
@@ -121,6 +133,12 @@ let in_pool t n = Limbo.Pool.mem t.ds.pool n
 
 let backlog g =
   Array.fold_left (fun a d -> a + Limbo.size d.limbo) 0 g.domains
+
+let domain_backlog g d = Limbo.size g.domains.(d).limbo
+
+let domain_lag g d =
+  let l = Atomic.get g.resv_lo.(Nsmr.padded_index d) in
+  if l = max_int then 0 else max 0 (Atomic.get g.epoch - l)
 
 let max_backlog g =
   Array.fold_left (fun a d -> max a d.max_backlog) 0 g.domains

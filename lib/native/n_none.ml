@@ -32,6 +32,13 @@ let backlog t = Atomic.get t.backlog
 let max_backlog t = Atomic.get t.max_backlog
 let reclaimed _ = 0
 
+(* Nothing to record and no per-domain accounting: the baseline keeps
+   one global backlog counter, so the flight probes report it on domain
+   0 and zero elsewhere. *)
+let attach_flight _ _ = ()
+let domain_backlog t d = if d = 0 then Atomic.get t.backlog else 0
+let domain_lag _ _ = 0
+
 let stats t =
   let b = Atomic.get t.backlog in
   {

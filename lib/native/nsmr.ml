@@ -50,6 +50,23 @@ module type S = sig
   val stats : t -> stats
   (** One consistent snapshot of every counter (experiment rows are built
       from this rather than the individual accessors). *)
+
+  val attach_flight : t -> Era_obs.Flight.t -> unit
+  (** Install a flight recorder; contexts created by later [thread]
+      calls record their SMR lifecycle events (retire, bag free/sweep,
+      epoch advance, slow path, neutralization) into its per-domain
+      rings. Contexts created before the attach keep the detached
+      handle. With {!Era_obs.Flight.null} (the default) every recording
+      call is a single branch. *)
+
+  val domain_backlog : t -> int -> int
+  (** [domain_backlog t d] — domain [d]'s retired-but-unreclaimed
+      count, readable cross-domain (the coordinator's gauge probe). *)
+
+  val domain_lag : t -> int -> int
+  (** [domain_lag t d] — how many epochs domain [d]'s published
+      announcement/reservation trails the global epoch; [0] when idle
+      or for schemes with no epoch ({!N_hp}, {!N_none}). *)
 end
 
 exception Neutralized

@@ -22,10 +22,30 @@ type mix =
   | Churn
   | Read_heavy
 
-let run_workers ?tracer ?ops_for ~label ~scheme ~structure ~domains
-    ~ops_per_domain ~make_worker ~stats () =
+module Flight = Era_obs.Flight
+
+let run_workers ?tracer ?flight ?probe ?ops_for ~label ~scheme ~structure
+    ~domains ~ops_per_domain ~make_worker ~stats () =
   let ops_of =
     match ops_for with None -> fun _ -> ops_per_domain | Some f -> f
+  in
+  (* Cross-domain gauge sampler: the coordinator owns the recorder's
+     extra ring and probes every domain's backlog / epoch lag at the
+     tracer stride. A stalled domain never runs its own slow path, so
+     its lag is only visible from outside — this is where the E9
+     timeline's signal comes from. *)
+  let sample_flight =
+    match flight, probe with
+    | Some f, Some probe when Flight.active f ->
+      let co = Flight.coordinator f in
+      Some
+        (fun () ->
+          for d = 0 to domains - 1 do
+            let b, lag = probe d in
+            Flight.backlog co ~domain:d b;
+            Flight.epoch_lag co ~domain:d lag
+          done)
+    | _ -> None
   in
   (* Two-phase start barrier: every domain (including this one) builds
      its worker, then signals [ready] and spins on [go]; only once all
@@ -66,24 +86,28 @@ let run_workers ?tracer ?ops_for ~label ~scheme ~structure ~domains
   let t0 = Unix.gettimeofday () in
   t_start.(0) <- t0;
   let us t = int_of_float ((t -. t0) *. 1e6) in
-  (match tracer with
-  | None ->
+  (match tracer, sample_flight with
+  | None, None ->
     for _ = 1 to ops_of 0 do
       worker0 ()
     done
-  | Some tr ->
-    (* Only the coordinator touches the tracer (it is single-domain);
-       it samples the scheme counters — which are cross-domain-readable
-       by design — at a fixed stride so the trace shows the backlog
-       evolving mid-run. *)
+  | tracer, sample_flight ->
+    (* Only the coordinator touches the tracer and the recorder's
+       coordinator ring (both single-producer); it samples the scheme
+       counters — which are cross-domain-readable by design — at a
+       fixed stride so the trace shows the backlog evolving mid-run. *)
     let stride = max 1 (ops_of 0 / 64) in
     for i = 1 to ops_of 0 do
       worker0 ();
       if i mod stride = 0 then begin
-        let s : Nsmr.stats = stats () in
-        Era_obs.Tracer.counter tr ~ts:(us (Unix.gettimeofday ())) "nsmr"
-          [ ("retired", s.Nsmr.retired); ("reclaimed", s.Nsmr.reclaimed);
-            ("backlog", s.Nsmr.backlog) ]
+        (match tracer with
+        | None -> ()
+        | Some tr ->
+          let s : Nsmr.stats = stats () in
+          Era_obs.Tracer.counter tr ~ts:(us (Unix.gettimeofday ())) "nsmr"
+            [ ("retired", s.Nsmr.retired); ("reclaimed", s.Nsmr.reclaimed);
+              ("backlog", s.Nsmr.backlog) ]);
+        match sample_flight with None -> () | Some f -> f ()
       end
     done);
   t_end.(0) <- Unix.gettimeofday ();
@@ -213,7 +237,8 @@ let sample_len = 1 lsl 16
    read per op: no Zipf bisect, no rng call, no branch on a fresh
    roll. The cycle length (65536) is long enough that reuse is
    invisible against multi-hundred-thousand-op runs. *)
-let list_worker ~workload ~seed ~insert ~delete ~contains =
+let list_worker ?(fl = Flight.null_handle) ~workload ~seed ~insert ~delete
+    ~contains () =
   let rng = Rng.create seed in
   let keys =
     Era_workload.Workload.sample_keys rng workload.wl_keys ~n:sample_len
@@ -226,14 +251,32 @@ let list_worker ~workload ~seed ~insert ~delete ~contains =
     tagged.(i) <- (keys.(i) lsl 2) lor op
   done;
   let idx = ref 0 in
-  fun () ->
-    let v = Array.unsafe_get tagged (!idx land (sample_len - 1)) in
-    incr idx;
-    let k = v lsr 2 in
-    match v land 3 with
-    | 0 -> ignore (contains k)
-    | 1 -> ignore (insert k)
-    | _ -> ignore (delete k)
+  (* The recorder choice is made here, once, outside the hot loop: the
+     detached path is byte-identical to before (no clock reads, no
+     recorder branch), preserving the E19 [recorder_off_overhead]
+     contract. The op tag doubles as the histogram kind (0 = contains,
+     1 = add, 2 = remove). *)
+  if Flight.recording fl then
+    fun () ->
+      let v = Array.unsafe_get tagged (!idx land (sample_len - 1)) in
+      incr idx;
+      let k = v lsr 2 in
+      let op = v land 3 in
+      let t0 = Flight.now_ns () in
+      (match op with
+      | 0 -> ignore (contains k)
+      | 1 -> ignore (insert k)
+      | _ -> ignore (delete k));
+      Flight.observe_op fl op (Flight.now_ns () - t0)
+  else
+    fun () ->
+      let v = Array.unsafe_get tagged (!idx land (sample_len - 1)) in
+      incr idx;
+      let k = v lsr 2 in
+      match v land 3 with
+      | 0 -> ignore (contains k)
+      | 1 -> ignore (insert k)
+      | _ -> ignore (delete k)
 
 let worker_seed d = (d * 77) + 13
 let prefill_keys workload = List.init workload.wl_prefill (fun i -> (i * 2) + 1)
@@ -241,9 +284,12 @@ let prefill_keys workload = List.init workload.wl_prefill (fun i -> (i * 2) + 1)
 (* Build (worker factory, stats) for a (list, scheme, workload) choice.
    The functor application must happen per concrete scheme module, hence
    the repetition-by-dispatch. *)
-let build_list (type a) (module S : Nsmr.S with type t = a) kind ~workload
-    ~domains =
+let build_list (type a) (module S : Nsmr.S with type t = a)
+    ?(flight = Flight.null) kind ~workload ~domains =
   let prefill = prefill_keys workload in
+  (* The recorder is attached only after the prefill, so its rings hold
+     the measured phase; the per-domain gauge probe stays readable
+     cross-domain for the coordinator's sampler. *)
   match kind with
   | Harris ->
     let module L = N_harris.Make (S) in
@@ -251,28 +297,36 @@ let build_list (type a) (module S : Nsmr.S with type t = a) kind ~workload
     let l = L.create () in
     let s0 = S.thread g 0 in
     List.iter (fun k -> ignore (L.insert l s0 k)) prefill;
+    S.attach_flight g flight;
     let make_worker d =
       let s = S.thread g d in
-      list_worker ~workload ~seed:(worker_seed d)
+      list_worker ~fl:(Flight.handle flight d) ~workload ~seed:(worker_seed d)
         ~insert:(fun k -> L.insert l s k)
         ~delete:(fun k -> L.delete l s k)
         ~contains:(fun k -> L.contains l s k)
+        ()
     in
-    (make_worker, fun () -> S.stats g)
+    ( make_worker,
+      (fun () -> S.stats g),
+      fun d -> (S.domain_backlog g d, S.domain_lag g d) )
   | Michael ->
     let module L = N_michael.Make (S) in
     let g = S.create ~ndomains:domains in
     let l = L.create () in
     let s0 = S.thread g 0 in
     List.iter (fun k -> ignore (L.insert l s0 k)) prefill;
+    S.attach_flight g flight;
     let make_worker d =
       let s = S.thread g d in
-      list_worker ~workload ~seed:(worker_seed d)
+      list_worker ~fl:(Flight.handle flight d) ~workload ~seed:(worker_seed d)
         ~insert:(fun k -> L.insert l s k)
         ~delete:(fun k -> L.delete l s k)
         ~contains:(fun k -> L.contains l s k)
+        ()
     in
-    (make_worker, fun () -> S.stats g)
+    ( make_worker,
+      (fun () -> S.stats g),
+      fun d -> (S.domain_backlog g d, S.domain_lag g d) )
 
 let scheme_module = function
   | `Debra -> (module N_debra : Nsmr.S)
@@ -298,24 +352,26 @@ let refuse_unsupported ~who kind scheme =
          who)
   | _ -> ()
 
-let list_row ?tracer ~who ~label kind ~scheme ~workload ~domains
+let list_row ?tracer ?flight ~who ~label kind ~scheme ~workload ~domains
     ~ops_per_domain =
   refuse_unsupported ~who kind scheme;
   let (module S) = scheme_module scheme in
-  let make_worker, stats = build_list (module S) kind ~workload ~domains in
-  run_workers ?tracer ~label ~scheme:(scheme_name scheme)
+  let make_worker, stats, probe =
+    build_list (module S) ?flight kind ~workload ~domains
+  in
+  run_workers ?tracer ?flight ~probe ~label ~scheme:(scheme_name scheme)
     ~structure:(structure_name kind) ~domains ~ops_per_domain ~make_worker
     ~stats ()
 
-let e8_row ?tracer kind ~scheme mix ~domains ~ops_per_domain =
-  list_row ?tracer ~who:"e8_row"
+let e8_row ?tracer ?flight kind ~scheme mix ~domains ~ops_per_domain =
+  list_row ?tracer ?flight ~who:"e8_row"
     ~label:
       (Fmt.str "%s+%s/%s" (kind_name kind) (scheme_name scheme)
          (mix_name mix))
     kind ~scheme ~workload:(workload_of_mix mix) ~domains ~ops_per_domain
 
-let e16_row ?tracer kind ~scheme ~workload ~domains ~ops_per_domain =
-  list_row ?tracer ~who:"e16_row"
+let e16_row ?tracer ?flight kind ~scheme ~workload ~domains ~ops_per_domain =
+  list_row ?tracer ?flight ~who:"e16_row"
     ~label:
       (Fmt.str "%s+%s/%s" (kind_name kind) (scheme_name scheme)
          workload.wl_label)
@@ -325,7 +381,7 @@ let e16_row ?tracer kind ~scheme ~workload ~domains ~ops_per_domain =
    reservation) and parks until the churn domains are done. The stalled
    domain is a genuine one-shot: its per-domain op count is 1, so the
    reported totals are computed by [run_workers], not patched. *)
-let e9_row ?(workload = uniform_churn)
+let e9_row ?(workload = uniform_churn) ?(flight = Flight.null)
     ~(scheme : [ `Debra | `Ebr | `Hp | `Ibr ]) ~churn_ops () =
   let sname = scheme_name (scheme :> [ `Debra | `Ebr | `Hp | `Ibr | `None ]) in
   let domains = 3 in
@@ -339,8 +395,10 @@ let e9_row ?(workload = uniform_churn)
   let l = L.create () in
   let s0 = S.thread g 0 in
   List.iter (fun k -> ignore (L.insert l s0 k)) (prefill_keys churn);
+  S.attach_flight g flight;
   let make_worker d =
     let s = S.thread g d in
+    let fl = Flight.handle flight d in
     if d = 0 then
       fun () ->
         (* Called exactly once: open an operation and stall inside it.
@@ -349,24 +407,44 @@ let e9_row ?(workload = uniform_churn)
            the early Neutralized is swallowed (there is no operation
            left to restart). *)
         S.begin_op s;
+        Flight.stall_begin fl;
         (try ignore (S.read_link s (L.head l))
          with Nsmr.Neutralized -> ());
         while Atomic.get done_flag < 2 do
           Domain.cpu_relax ()
         done;
+        Flight.stall_end fl;
         S.end_op s
     else
       let churn_op =
-        list_worker ~workload:churn ~seed:((d * 91) + 7)
+        list_worker ~fl ~workload:churn ~seed:((d * 91) + 7)
           ~insert:(fun k -> L.insert l s k)
           ~delete:(fun k -> L.delete l s k)
           ~contains:(fun k -> L.contains l s k)
+          ()
       in
       let count = ref 0 in
-      fun () ->
-        churn_op ();
-        incr count;
-        if !count = churn_ops then ignore (Atomic.fetch_and_add done_flag 1)
+      if Flight.recording fl then begin
+        (* The stall row's coordinator worker IS the stalled domain, so
+           cross-domain gauge sampling can't ride the coordinator loop
+           here: churner 1 probes every domain (its own ring, so SPSC
+           holds — the probed domain is payload, not producer). *)
+        let stride = max 1 (churn_ops / 256) in
+        fun () ->
+          churn_op ();
+          incr count;
+          if d = 1 && !count mod stride = 0 then
+            for dd = 0 to domains - 1 do
+              Flight.backlog fl ~domain:dd (S.domain_backlog g dd);
+              Flight.epoch_lag fl ~domain:dd (S.domain_lag g dd)
+            done;
+          if !count = churn_ops then ignore (Atomic.fetch_and_add done_flag 1)
+      end
+      else
+        fun () ->
+          churn_op ();
+          incr count;
+          if !count = churn_ops then ignore (Atomic.fetch_and_add done_flag 1)
   in
   let label =
     if workload.wl_label = uniform_churn.wl_label then

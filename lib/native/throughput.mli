@@ -29,6 +29,8 @@ type result = {
 
 val run_workers :
   ?tracer:Era_obs.Tracer.t ->
+  ?flight:Era_obs.Flight.t ->
+  ?probe:(int -> int * int) ->
   ?ops_for:(int -> int) ->
   label:string -> scheme:string -> structure:string -> domains:int ->
   ops_per_domain:int ->
@@ -51,7 +53,14 @@ val run_workers :
     backlog). The tracer is single-domain, so only the coordinator
     writes to it; spawned domains just record their span boundaries.
     With [tracer] absent the run is byte-identical to before: one
-    option match outside the hot loop and two clock reads per domain. *)
+    option match outside the hot loop and two clock reads per domain.
+
+    [flight] + [probe] add the flight recorder's cross-domain gauge
+    samples: at the tracer stride the coordinator calls [probe d] for
+    every domain — returning [(backlog, epoch_lag)] — and records both
+    into the recorder's coordinator ring. With [flight] absent (or
+    {!Era_obs.Flight.null}) the sampling closure is never built and the
+    detached run stays on the zero-instrumentation path. *)
 
 type list_kind =
   | Harris
@@ -101,6 +110,7 @@ val contains_pct_of_mix : string -> (int, string) Stdlib.result
 
 val e8_row :
   ?tracer:Era_obs.Tracer.t ->
+  ?flight:Era_obs.Flight.t ->
   list_kind -> scheme:[ `Debra | `Ebr | `Hp | `Ibr | `None ] -> mix ->
   domains:int -> ops_per_domain:int -> result
 (** One throughput row. Pairings of HP with [Harris] are refused
@@ -111,14 +121,20 @@ val e8_row :
 
 val e16_row :
   ?tracer:Era_obs.Tracer.t ->
+  ?flight:Era_obs.Flight.t ->
   list_kind -> scheme:[ `Debra | `Ebr | `Hp | `Ibr | `None ] ->
   workload:workload -> domains:int -> ops_per_domain:int -> result
 (** E8 generalized to arbitrary workloads (the E16/E18 grids). Row label
     is [<kind>+<scheme>/<wl_label>]. HP × [Harris] and DEBRA+ ×
-    [Harris] are refused as in {!e8_row}. *)
+    [Harris] are refused as in {!e8_row}. [flight] attaches the flight
+    recorder: per-domain SMR lifecycle rings, op-latency histograms in
+    the workers (one clock pair per op, chosen outside the hot loop),
+    and coordinator-sampled backlog / epoch-lag gauges. *)
 
 val e9_row :
-  ?workload:workload -> scheme:[ `Debra | `Ebr | `Hp | `Ibr ] ->
+  ?workload:workload ->
+  ?flight:Era_obs.Flight.t ->
+  scheme:[ `Debra | `Ebr | `Hp | `Ibr ] ->
   churn_ops:int -> unit -> result
 (** Backlog with a stalled domain: domain 0 opens an operation and parks
     (a genuine one-shot — its per-domain op count is 1); two churn

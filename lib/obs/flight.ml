@@ -1,0 +1,244 @@
+(* Native flight recorder: per-domain SPSC event rings plus
+   allocation-free op-latency histograms, merged post-run into a
+   Perfetto trace through [Tracer] and into a [Registry].
+
+   Each ring is written by exactly one domain (ring index = domain
+   index; one extra ring belongs to the coordinator, which samples
+   cross-domain gauges while the workers run) and read only after the
+   producing domain has been joined, so no synchronisation is needed
+   beyond [Domain.join]'s ordering. Every entry is four ints — ring
+   writes never allocate — and a detached handle costs exactly one
+   branch per recording call, mirroring [Sim_trace]'s contract. *)
+
+external now_ns : unit -> int = "era_flight_now_ns" [@@noalloc]
+
+(* Op kinds, aligned with the throughput harness's sample tags. *)
+let op_contains = 0
+let op_add = 1
+let op_remove = 2
+let n_ops = 3
+
+let op_name = function
+  | 0 -> "contains"
+  | 1 -> "add"
+  | _ -> "remove"
+
+(* Event tags. [a]/[b] carry the tag-specific payload. *)
+let t_retire = 0 (* - *)
+let t_free = 1 (* a = nodes freed (whole-bag, EBR/DEBRA) *)
+let t_sweep = 2 (* a = nodes freed (compacting scan, HP/IBR) *)
+let t_advance = 3 (* a = epoch observed after the advance *)
+let t_slow = 4 (* announcement slow path taken *)
+let t_flag = 5 (* a = flagged (neutralized) domain *)
+let t_restart_begin = 6 (* - *)
+let t_restart_end = 7 (* - *)
+let t_stall_begin = 8 (* - *)
+let t_stall_end = 9 (* - *)
+let t_backlog = 10 (* a = domain, b = limbo backlog (gauge) *)
+let t_lag = 11 (* a = domain, b = epochs behind global (gauge) *)
+
+type handle = {
+  ts : int array;
+  tag : int array;
+  a : int array;
+  b : int array;
+  mutable n : int;  (* total records ever; ring slot = n land mask *)
+  cap : int;  (* 0 for the detached handle *)
+  mask : int;
+  hc : int array;  (* per-op-kind observation counts *)
+  hs : int array;  (* per-op-kind sums (ns) *)
+  hb : int array;  (* n_ops * 64 log2 buckets, Registry's convention *)
+}
+
+let null_handle =
+  { ts = [||]; tag = [||]; a = [||]; b = [||]; n = 0; cap = 0; mask = 0;
+    hc = [||]; hs = [||]; hb = [||] }
+
+type t = {
+  capacity : int;  (* 0 for [null] *)
+  ndomains : int;
+  t0 : int;  (* monotonic ns at creation; trace timestamps are relative *)
+  rings : handle array;  (* ndomains worker rings + 1 coordinator ring *)
+}
+
+let null = { capacity = 0; ndomains = 0; t0 = 0; rings = [||] }
+let active t = t.capacity <> 0
+let recording h = h.cap <> 0
+
+let default_capacity = 16384
+
+let create ?(capacity = default_capacity) ~ndomains () =
+  if capacity < 1 then invalid_arg "Flight.create: capacity < 1";
+  if ndomains < 1 then invalid_arg "Flight.create: ndomains < 1";
+  let cap =
+    let c = ref 1 in
+    while !c < capacity do
+      c := !c * 2
+    done;
+    !c
+  in
+  let ring () =
+    { ts = Array.make cap 0; tag = Array.make cap 0; a = Array.make cap 0;
+      b = Array.make cap 0; n = 0; cap; mask = cap - 1;
+      hc = Array.make n_ops 0; hs = Array.make n_ops 0;
+      hb = Array.make (n_ops * 64) 0 }
+  in
+  { capacity = cap; ndomains; t0 = now_ns ();
+    rings = Array.init (ndomains + 1) (fun _ -> ring ()) }
+
+let handle t d =
+  if t.capacity = 0 || d < 0 || d >= Array.length t.rings then null_handle
+  else t.rings.(d)
+
+let coordinator t = handle t t.ndomains
+
+let record h tag a b =
+  if h.cap <> 0 then begin
+    let i = h.n land h.mask in
+    Array.unsafe_set h.ts i (now_ns ());
+    Array.unsafe_set h.tag i tag;
+    Array.unsafe_set h.a i a;
+    Array.unsafe_set h.b i b;
+    h.n <- h.n + 1
+  end
+
+let retire h = record h t_retire 0 0
+let free h nodes = record h t_free nodes 0
+let sweep h nodes = record h t_sweep nodes 0
+let advance h epoch = record h t_advance epoch 0
+let slow_path h = record h t_slow 0 0
+let flag h ~victim = record h t_flag victim 0
+let restart_begin h = record h t_restart_begin 0 0
+let restart_end h = record h t_restart_end 0 0
+let stall_begin h = record h t_stall_begin 0 0
+let stall_end h = record h t_stall_end 0 0
+let backlog h ~domain v = record h t_backlog domain v
+let epoch_lag h ~domain v = record h t_lag domain v
+
+(* Same bucket convention as [Registry.observe]: bucket = bit length,
+   v <= 0 lands in bucket 0. *)
+let bucket_of v =
+  if v <= 0 then 0
+  else begin
+    let b = ref 0 and n = ref v in
+    while !n <> 0 do
+      incr b;
+      n := !n lsr 1
+    done;
+    !b
+  end
+
+let observe_op h op ns =
+  if h.cap <> 0 then begin
+    h.hc.(op) <- h.hc.(op) + 1;
+    h.hs.(op) <- h.hs.(op) + ns;
+    let i = (op * 64) + bucket_of ns in
+    h.hb.(i) <- h.hb.(i) + 1
+  end
+
+let events h = min h.n h.cap
+let dropped_of h = if h.n > h.cap then h.n - h.cap else 0
+
+let total_events t = Array.fold_left (fun acc h -> acc + events h) 0 t.rings
+let dropped t = Array.fold_left (fun acc h -> acc + dropped_of h) 0 t.rings
+
+(* ------------------------------------------------------------------ *)
+(* Post-run merge                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let to_registry t reg =
+  if active t then
+    for op = 0 to n_ops - 1 do
+      let count = ref 0 and sum = ref 0 in
+      let buckets = Array.make 64 0 in
+      Array.iter
+        (fun h ->
+          if h.cap <> 0 then begin
+            count := !count + h.hc.(op);
+            sum := !sum + h.hs.(op);
+            for b = 0 to 63 do
+              buckets.(b) <- buckets.(b) + h.hb.((op * 64) + b)
+            done
+          end)
+        t.rings;
+      if !count > 0 then begin
+        let bs = ref [] in
+        for b = 63 downto 0 do
+          if buckets.(b) <> 0 then bs := (b, buckets.(b)) :: !bs
+        done;
+        let hist =
+          Registry.histogram reg
+            ~labels:[ ("op", op_name op) ]
+            "native_op_latency_ns"
+        in
+        Registry.absorb hist ~count:!count ~sum:!sum ~buckets:!bs
+      end
+    done
+
+let to_tracer ?tracer t =
+  let total = total_events t in
+  let tr =
+    match tracer with
+    | Some tr -> tr
+    | None -> Tracer.create ~capacity:(max 1024 (total + 256)) ()
+  in
+  if active t then begin
+    (* Flatten every ring (oldest surviving entry first), then one
+       stable sort by timestamp so spans pair up chronologically. *)
+    let flat = Array.make total (0, 0, 0, 0, 0) in
+    let k = ref 0 in
+    Array.iteri
+      (fun ri h ->
+        let n = events h in
+        let first = h.n - n in
+        for j = 0 to n - 1 do
+          let i = (first + j) land h.mask in
+          flat.(!k) <- (h.ts.(i), ri, h.tag.(i), h.a.(i), h.b.(i));
+          incr k
+        done)
+      t.rings;
+    Array.stable_sort (fun (a, _, _, _, _) (b, _, _, _, _) -> compare a b) flat;
+    Tracer.set_process_name tr "native flight";
+    for d = 0 to t.ndomains - 1 do
+      Tracer.set_thread_name tr ~tid:d (Printf.sprintf "D%d" d)
+    done;
+    let us ts = (ts - t.t0) / 1000 in
+    Array.iter
+      (fun (ts, ri, tag, a, b) ->
+        let ts = us ts in
+        let tid = if ri < t.ndomains then ri else 0 in
+        if tag = t_retire then
+          Tracer.instant tr ~ts ~tid ~cat:"smr" "retire"
+        else if tag = t_free then
+          Tracer.instant tr ~ts ~tid ~cat:"smr" "free-bag"
+            ~args:[ ("nodes", Era_metrics.Json.Int a) ]
+        else if tag = t_sweep then
+          Tracer.instant tr ~ts ~tid ~cat:"smr" "sweep"
+            ~args:[ ("nodes", Era_metrics.Json.Int a) ]
+        else if tag = t_advance then
+          Tracer.instant tr ~ts ~tid ~cat:"smr" "epoch-advance"
+            ~args:[ ("epoch", Era_metrics.Json.Int a) ]
+        else if tag = t_slow then
+          Tracer.instant tr ~ts ~tid ~cat:"smr" "slow-path"
+        else if tag = t_flag then
+          Tracer.instant tr ~ts ~tid ~cat:"smr" "neutralize-flag"
+            ~args:[ ("victim", Era_metrics.Json.Int a) ]
+        else if tag = t_restart_begin then
+          Tracer.begin_span tr ~ts ~tid ~cat:"smr" "neutralize-restart"
+        else if tag = t_restart_end then Tracer.end_span tr ~ts ~tid
+        else if tag = t_stall_begin then
+          Tracer.begin_span tr ~ts ~tid ~cat:"smr" "stall"
+        else if tag = t_stall_end then Tracer.end_span tr ~ts ~tid
+        else if tag = t_backlog then
+          Tracer.counter tr ~ts
+            (Printf.sprintf "backlog/d%d" a)
+            [ ("nodes", b) ]
+        else if tag = t_lag then
+          Tracer.counter tr ~ts
+            (Printf.sprintf "epoch-lag/d%d" a)
+            [ ("epochs", b) ])
+      flat
+  end;
+  tr
+
+let write ~file t = Tracer.write ~file (to_tracer t)

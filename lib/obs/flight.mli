@@ -1,0 +1,121 @@
+(** Native flight recorder: per-domain SPSC event rings with
+    monotonic-clock timestamps, plus allocation-free log2 op-latency
+    histograms, merged post-run into a Perfetto trace ({!Tracer}) and a
+    metrics {!Registry}.
+
+    Producers (the native SMR schemes and the throughput harness) hold
+    a per-domain {!handle} and record fixed-size int entries; each ring
+    is written by exactly one domain and read only after that domain has
+    been joined, so recording needs no synchronisation. The detached
+    handle ({!null_handle}, handed out by {!null}) makes every recording
+    call a single predictable branch — the same disabled-path contract
+    as {!Sim_trace}, asserted by the E19 [recorder_off_overhead] bench
+    row. *)
+
+type t
+(** A recorder: one event ring per domain plus a coordinator ring for
+    cross-domain gauge samples. *)
+
+type handle
+(** A single ring's write end. Only the owning domain may record into
+    it (the coordinator ring belongs to the coordinating domain). *)
+
+val null : t
+(** The detached recorder: {!handle} returns {!null_handle} for every
+    index and every merge is empty. *)
+
+val null_handle : handle
+(** The detached handle: recording into it is one branch, nothing
+    else. *)
+
+val create : ?capacity:int -> ndomains:int -> unit -> t
+(** [capacity] (default 16384, rounded up to a power of two) bounds
+    each ring; once full, new events overwrite the oldest and the drop
+    is counted. *)
+
+val active : t -> bool
+val recording : handle -> bool
+(** [false] exactly for {!null} / {!null_handle}. *)
+
+val handle : t -> int -> handle
+(** [handle t d] — domain [d]'s ring ([0 <= d < ndomains]);
+    {!null_handle} when detached or out of range. *)
+
+val coordinator : t -> handle
+(** The extra ring for the coordinating domain's gauge samples. *)
+
+val now_ns : unit -> int
+(** [CLOCK_MONOTONIC] nanoseconds ([@@noalloc], tagged-int return). *)
+
+(** {2 Recording}
+
+    All recording calls are allocation-free; on a detached handle they
+    cost one branch. *)
+
+val retire : handle -> unit
+val free : handle -> int -> unit
+(** Whole-bag epoch free (EBR/DEBRA+); the int is nodes freed. *)
+
+val sweep : handle -> int -> unit
+(** Compacting scan (HP/IBR); the int is nodes freed. *)
+
+val advance : handle -> int -> unit
+(** Global epoch advance observed; the int is the new epoch. *)
+
+val slow_path : handle -> unit
+(** Announcement slow path taken (fresh epoch read + advance attempt). *)
+
+val flag : handle -> victim:int -> unit
+(** This domain flagged [victim] for neutralization (DEBRA+). *)
+
+val restart_begin : handle -> unit
+val restart_end : handle -> unit
+(** Span around a neutralization restart: opened when the flag is
+    consumed ([Nsmr.Neutralized] is about to unwind), closed when the
+    restarted operation completes. *)
+
+val stall_begin : handle -> unit
+val stall_end : handle -> unit
+(** Span around a deliberate stall (the E9 parked domain). *)
+
+val backlog : handle -> domain:int -> int -> unit
+(** Gauge sample: [domain]'s limbo backlog (nodes). *)
+
+val epoch_lag : handle -> domain:int -> int -> unit
+(** Gauge sample: how many epochs [domain]'s announcement trails the
+    global epoch. *)
+
+(** {2 Op-latency histograms}
+
+    Per-handle log2 histograms (same bucket convention as
+    {!Registry.observe}) keyed by op kind. *)
+
+val op_contains : int
+val op_add : int
+val op_remove : int
+val op_name : int -> string
+
+val observe_op : handle -> int -> int -> unit
+(** [observe_op h op ns] — record one operation of kind [op] that took
+    [ns] nanoseconds. *)
+
+(** {2 Post-run merge} *)
+
+val total_events : t -> int
+(** Events currently buffered across all rings. *)
+
+val dropped : t -> int
+(** Events overwritten after rings filled; [0] means complete. *)
+
+val to_tracer : ?tracer:Tracer.t -> t -> Tracer.t
+(** Merge every ring chronologically into a tracer (a fresh one sized
+    to fit when [tracer] is absent): one track per domain carrying
+    lifecycle instants and restart/stall spans, plus per-domain
+    [backlog/d<i>] and [epoch-lag/d<i>] counter tracks. *)
+
+val to_registry : t -> Registry.t -> unit
+(** Publish the aggregated op-latency histograms as
+    [native_op_latency_ns{op=...}]. *)
+
+val write : file:string -> t -> unit
+(** {!to_tracer} then {!Tracer.write}. *)

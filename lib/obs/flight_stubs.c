@@ -1,0 +1,17 @@
+/* Monotonic clock for the native flight recorder.
+
+   CLOCK_MONOTONIC nanoseconds returned as a tagged OCaml int: boot-
+   relative nanoseconds stay far below 2^62, and an untagged-int return
+   with [@@noalloc] keeps the recording hot path allocation-free (an
+   int64 external would box its result at every call site). */
+
+#include <time.h>
+#include <caml/mlvalues.h>
+
+CAMLprim value era_flight_now_ns(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  (void)unit;
+  return Val_long((long)ts.tv_sec * 1000000000L + ts.tv_nsec);
+}

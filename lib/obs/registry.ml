@@ -80,6 +80,43 @@ let observe h v =
   let b = bucket_of v in
   h.h_buckets.(b) <- h.h_buckets.(b) + 1
 
+let absorb h ~count ~sum ~buckets =
+  h.h_count <- h.h_count + count;
+  h.h_sum <- h.h_sum + sum;
+  List.iter
+    (fun (b, n) ->
+      if b < 0 || b >= n_buckets then
+        invalid_arg "Registry.absorb: bucket out of range";
+      h.h_buckets.(b) <- h.h_buckets.(b) + n)
+    buckets
+
+(* Interpolated quantile over log2 buckets: bucket [b >= 1] covers
+   [2^(b-1), 2^b), bucket 0 is the point value 0. The target rank is
+   located by cumulative count and positioned linearly within its
+   bucket's range — exact to within the bucket's resolution (a factor
+   of 2), which is the deal log-bucketing makes. *)
+let quantile_of_buckets ~count buckets q =
+  if count <= 0 then None
+  else begin
+    let q = if q < 0.0 then 0.0 else if q > 1.0 then 1.0 else q in
+    let rank = q *. float_of_int count in
+    let rec go cum = function
+      | [] -> None
+      | (b, n) :: rest ->
+        let cum' = cum +. float_of_int n in
+        if cum' >= rank && n > 0 then
+          if b = 0 then Some 0.0
+          else begin
+            let lo = float_of_int (1 lsl (b - 1)) in
+            let hi = float_of_int (1 lsl b) in
+            let frac = (rank -. cum) /. float_of_int n in
+            Some (lo +. ((hi -. lo) *. frac))
+          end
+        else go cum' rest
+    in
+    go 0.0 buckets
+  end
+
 type metric_value =
   | Counter of int
   | Gauge of float
@@ -105,6 +142,11 @@ let metric_of_entry e =
   in
   { name = e.e_name; labels = e.e_labels; value }
 
+let estimate_quantile v q =
+  match v with
+  | Counter _ | Gauge _ -> None
+  | Histogram { count; buckets; _ } -> quantile_of_buckets ~count buckets q
+
 let snapshot t = List.rev_map metric_of_entry t.entries
 
 let find t ?(labels = []) name =
@@ -128,13 +170,26 @@ let metric_to_json m =
     | Counter n -> [ ("type", Json.String "counter"); ("value", Json.Int n) ]
     | Gauge v -> [ ("type", Json.String "gauge"); ("value", Json.Float v) ]
     | Histogram { count; sum; buckets } ->
+      (* Quantiles are derived, not stored: recomputable from the
+         buckets, so the decode round-trip ignores them. *)
+      let qs =
+        if count = 0 then []
+        else
+          List.filter_map
+            (fun (key, q) ->
+              Option.map
+                (fun v -> (key, Json.Float v))
+                (quantile_of_buckets ~count buckets q))
+            [ ("p50", 0.5); ("p90", 0.9); ("p99", 0.99) ]
+      in
       [ ("type", Json.String "histogram"); ("count", Json.Int count);
-        ("sum", Json.Int sum);
-        ( "buckets",
-          Json.List
-            (List.map
-               (fun (b, n) -> Json.List [ Json.Int b; Json.Int n ])
-               buckets) ) ]
+        ("sum", Json.Int sum) ]
+      @ qs
+      @ [ ( "buckets",
+            Json.List
+              (List.map
+                 (fun (b, n) -> Json.List [ Json.Int b; Json.Int n ])
+                 buckets) ) ]
   in
   Json.Obj ((("name", Json.String m.name) :: labels) @ value)
 

@@ -49,6 +49,12 @@ val gauge_value : gauge -> float
 
 val observe : histogram -> int -> unit
 
+val absorb : histogram -> count:int -> sum:int -> buckets:(int * int) list -> unit
+(** Merge externally accumulated log2 buckets (same convention as
+    {!observe}'s, [(bucket_index, count)]) — e.g. a flight recorder's
+    per-domain histograms. [Invalid_argument] on an out-of-range bucket
+    index. *)
+
 (** {2 Snapshots} *)
 
 type metric_value =
@@ -69,6 +75,15 @@ type metric = {
 
 val snapshot : t -> metric list
 (** All metrics, in registration order. *)
+
+val estimate_quantile : metric_value -> float -> float option
+(** [estimate_quantile v q] — interpolated quantile ([0 <= q <= 1],
+    clamped) of a [Histogram] value: the target rank is located by
+    cumulative bucket counts and positioned linearly within its bucket
+    [[2^(b-1), 2^b)], so the estimate is exact to within the bucket's
+    factor-of-2 resolution. [None] for counters, gauges, and empty
+    histograms. Histogram JSON exports carry [p50]/[p90]/[p99] computed
+    this way (derived fields, ignored on decode). *)
 
 val find : t -> ?labels:(string * string) list -> string -> metric option
 

@@ -93,6 +93,37 @@ let wait_job ?(poll_s = 0.05) ?(timeout_s = 120.) t id =
   in
   go ()
 
+let follow t ~on_heartbeat id =
+  let rec recv_stream () =
+    match Wire.recv_json t.conn with
+    | None -> Error "daemon closed the connection"
+    | Some (Error e) -> Error (Fmt.str "malformed response: %s" e)
+    | Some (Ok j) -> (
+      match J.member "heartbeat" j with
+      | Some hb ->
+        on_heartbeat hb;
+        recv_stream ()
+      | None -> (
+        (* Terminal line: ok + final job summary (or an error line). *)
+        match Option.bind (J.member "ok" j) J.to_bool with
+        | Some true -> (
+          match J.member "job" j with
+          | Some job -> Ok job
+          | None -> Error "follow response without a job")
+        | Some false | None ->
+          Error
+            (Option.value
+               (Option.bind (J.member "error" j) J.to_str)
+               ~default:"daemon error")))
+  in
+  match
+    Wire.send_json t.conn (Wire.request_to_json (Wire.Follow id));
+    recv_stream ()
+  with
+  | exception Unix.Unix_error (e, _, _) ->
+    Error (Fmt.str "daemon gone: %s" (Unix.error_message e))
+  | r -> r
+
 let jobs t =
   match rpc t Wire.Jobs with
   | Error _ as e -> e

@@ -35,6 +35,15 @@ val wait_job :
 (** Poll until the job's status is terminal (done/failed/aborted);
     default poll interval 0.05 s, timeout 120 s. *)
 
+val follow :
+  t -> on_heartbeat:(Era_metrics.Json.t -> unit) -> int ->
+  (Era_metrics.Json.t, string) result
+(** Stream a running job's heartbeats: [on_heartbeat] is called with
+    each beat body ([{"job":…,"seq":…,"ts_s":…,"label":…,"registry":…}])
+    as the daemon pushes it; returns the final job summary once the job
+    is terminal. Blocks for the job's whole remaining lifetime and
+    occupies the connection — don't pipeline other requests behind it. *)
+
 val jobs : t -> (Era_metrics.Json.t list, string) result
 val stats : t -> (Era_metrics.Json.t, string) result
 (** The plain-int stats object (submitted/admitted/shed/served/...). *)

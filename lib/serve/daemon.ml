@@ -166,6 +166,47 @@ let dispatch t (req : Wire.request) =
     Condition.broadcast t.sd_c;
     Mutex.unlock t.sd_m;
     Wire.ok [ ("stopping", J.Bool true); ("drain", J.Bool drain) ]
+  | Wire.Follow _ ->
+    (* Streamed per-connection by [follow] below; only reachable if a
+       caller routes a follow through the one-shot dispatch. *)
+    Wire.err "follow is a streaming request"
+
+(* Streaming [follow]: one connection-occupying loop per request. Push
+   every heartbeat the job emits (each as its own {"heartbeat":...}
+   line), then finish with a single terminal ok line carrying the final
+   job summary. The executor pushes beats {e before} flipping the job
+   to a terminal status, so the drain after observing [terminal] sees
+   the complete history. *)
+let follow t conn id =
+  match find_job t id with
+  | None -> Wire.send_json conn (Wire.err (Fmt.str "no such job %d" id))
+  | Some job ->
+    let last = ref 0 in
+    let drain_beats () =
+      List.iter
+        (fun (seq, body) ->
+          last := seq;
+          Wire.send_json conn (J.Obj [ ("heartbeat", body) ]))
+        (Executor.heartbeats_after t.exec ~job:id ~after:!last)
+    in
+    let rec go () =
+      drain_beats ();
+      if Job.terminal job.Job.status then begin
+        drain_beats ();
+        Wire.send_json conn (Wire.ok [ ("job", Job.summary_to_json job) ])
+      end
+      else if Atomic.get t.stopping then
+        (* Daemon going down: close the stream honestly rather than
+           spin — the summary still says queued/running. *)
+        Wire.send_json conn
+          (Wire.ok
+             [ ("job", Job.summary_to_json job); ("interrupted", J.Bool true) ])
+      else begin
+        Thread.delay 0.05;
+        go ()
+      end
+    in
+    go ()
 
 (* ---------------------------------------------------------------- *)
 (* Connection handling                                               *)
@@ -191,14 +232,19 @@ let handler t fd () =
       | Some (Error e) ->
         Wire.send_json conn (Wire.err (Fmt.str "bad request: %s" e));
         loop ()
-      | Some (Ok j) ->
-        let resp =
-          match Wire.request_of_json j with
-          | Error e -> Wire.err e
-          | Ok req -> dispatch t req
-        in
-        Wire.send_json conn resp;
-        loop ()
+      | Some (Ok j) -> (
+        match Wire.request_of_json j with
+        | Error e ->
+          Wire.send_json conn (Wire.err e);
+          loop ()
+        | Ok (Wire.Follow id) ->
+          (* The one streaming request: occupies this handler thread
+             until the followed job is terminal (or we're stopping). *)
+          follow t conn id;
+          loop ()
+        | Ok req ->
+          Wire.send_json conn (dispatch t req);
+          loop ())
     else if not (Atomic.get t.stopping) then loop ()
   in
   (try loop () with

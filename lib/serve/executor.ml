@@ -17,12 +17,68 @@ type stats = {
   service_us : int Atomic.t;
 }
 
+(* Heartbeat bus: per-job sequence-numbered registry snapshots pushed by
+   the worker domain executing the job and drained by daemon handler
+   threads serving [follow] requests. One mutex over a small table —
+   heartbeats are coarse (one per progress stride), never hot-path. *)
+type heartbeats = {
+  hb_m : Mutex.t;
+  hb_tbl : (int, (int * J.t) list ref) Hashtbl.t;  (* newest first *)
+}
+
+let hb_cap = 256 (* per job; older beats fall off, history stays bounded *)
+
+let create_heartbeats () =
+  { hb_m = Mutex.create (); hb_tbl = Hashtbl.create 32 }
+
+let hb_push hb (job : Job.t) registry_json =
+  Mutex.lock hb.hb_m;
+  let cell =
+    match Hashtbl.find_opt hb.hb_tbl job.Job.id with
+    | Some c -> c
+    | None ->
+      let c = ref [] in
+      Hashtbl.replace hb.hb_tbl job.Job.id c;
+      c
+  in
+  let seq = match !cell with (s, _) :: _ -> s + 1 | [] -> 1 in
+  let entry =
+    J.Obj
+      [
+        ("job", J.Int job.Job.id);
+        ("seq", J.Int seq);
+        ("ts_s", J.Float (Unix.gettimeofday ()));
+        ("label", J.String (Job.kind_label job.Job.kind));
+        ("registry", registry_json);
+      ]
+  in
+  let kept =
+    if List.length !cell >= hb_cap then
+      List.filteri (fun i _ -> i < hb_cap - 1) !cell
+    else !cell
+  in
+  cell := (seq, entry) :: kept;
+  Mutex.unlock hb.hb_m
+
+let hb_after hb ~job ~after =
+  Mutex.lock hb.hb_m;
+  let entries =
+    match Hashtbl.find_opt hb.hb_tbl job with
+    | None -> []
+    | Some c -> List.rev (List.filter (fun (s, _) -> s > after) !c)
+  in
+  Mutex.unlock hb.hb_m;
+  entries
+
 type t = {
   queue : Job.t Fair_queue.t;
   st : stats;
+  hb : heartbeats;
   domains : unit Domain.t array;
   stopped : bool Atomic.t;
 }
+
+let heartbeats_after t ~job ~after = hb_after t.hb ~job ~after
 
 (* A sink the optimizer cannot delete, so Probe's spin is real work with
    a stable per-unit cost (roughly one float multiply-add per unit). *)
@@ -48,9 +104,34 @@ let structure_exn name =
   | Some s -> s
   | None -> invalid_arg (Fmt.str "unknown structure %S" name)
 
+(* Explorer progress snapshot in the shared registry format, so a
+   [follow]er sees the same metric names mid-run that the final
+   ["registry"] artifact will carry. *)
+let progress_registry (p : Ex.progress) =
+  let reg = Registry.create () in
+  Registry.set_counter (Registry.counter reg "explore_runs") p.Ex.pg_runs;
+  Registry.set_counter (Registry.counter reg "explore_states") p.Ex.pg_states;
+  Registry.set_counter (Registry.counter reg "explore_pruned") p.Ex.pg_pruned;
+  Registry.set_int (Registry.gauge reg "explore_level") p.Ex.pg_level;
+  Registry.set_int (Registry.gauge reg "explore_frontier") p.Ex.pg_frontier;
+  Registry.set_int (Registry.gauge reg "explore_deferred") p.Ex.pg_deferred;
+  Registry.set_int (Registry.gauge reg "explore_fp_size") p.Ex.pg_fp_size;
+  Registry.set_int
+    (Registry.gauge reg "explore_budget_left")
+    p.Ex.pg_budget_left;
+  Registry.to_json reg
+
+(* The one beat every job kind emits: pushed as the job transitions to
+   [Running], so a follower always sees at least one heartbeat. *)
+let start_registry (job : Job.t) =
+  let reg = Registry.create () in
+  Registry.set (Registry.gauge reg "job_started_s") job.Job.started_s;
+  Registry.to_json reg
+
 (* Run the job body; returns (note, artifacts). Raises on bad input or
-   a crashing run — the caller turns that into [Failed]. *)
-let execute ~store (job : Job.t) =
+   a crashing run — the caller turns that into [Failed]. [push] emits a
+   mid-job heartbeat (a registry-format JSON snapshot). *)
+let execute ~store ~push (job : Job.t) =
   match job.Job.kind with
   | Job.Probe { spin } ->
     run_probe spin;
@@ -100,6 +181,11 @@ let execute ~store (job : Job.t) =
         Ex.max_preemptions = e.preemptions;
         max_runs = e.max_runs;
         max_steps = e.steps;
+        (* ~16 heartbeats over the run, however large it is. The
+           callback runs on the exploring domain, so it only builds a
+           small registry and takes one short critical section. *)
+        progress_every = max 1 (e.max_runs / 16);
+        on_progress = Some (fun p -> push (progress_registry p));
       }
     in
     let t0 = Unix.gettimeofday () in
@@ -134,21 +220,44 @@ let execute ~store (job : Job.t) =
     in
     (note, !artifacts)
 
-let run_job ~store (job : Job.t) =
+(* Persist the job's heartbeat history (what a follower would have
+   seen) as one artifact, oldest beat first. *)
+let persist_heartbeats hb ~store (job : Job.t) =
+  match hb_after hb ~job:job.Job.id ~after:0 with
+  | [] -> None
+  | entries ->
+    let key =
+      Store.put store ~akind:"heartbeats" ~job_id:job.Job.id
+        ~label:(Job.kind_label job.Job.kind)
+        (J.to_string (J.List (List.map snd entries)))
+    in
+    Some key
+
+let run_job ?hb ~store (job : Job.t) =
+  let push body =
+    match hb with None -> () | Some b -> hb_push b job body
+  in
   job.Job.status <- Job.Running;
   job.Job.started_s <- Unix.gettimeofday ();
-  (match execute ~store job with
-  | note, artifacts ->
-    job.Job.result <- Some { Job.note; artifacts };
-    job.Job.status <- Job.Done
-  | exception exn ->
-    job.Job.result <-
-      Some { Job.note = Fmt.str "error: %s" (Printexc.to_string exn);
-             artifacts = [] };
-    job.Job.status <- Job.Failed);
-  job.Job.finished_s <- Unix.gettimeofday ()
+  push (start_registry job);
+  let note, artifacts, status =
+    match execute ~store ~push job with
+    | note, artifacts -> (note, artifacts, Job.Done)
+    | exception exn ->
+      (Fmt.str "error: %s" (Printexc.to_string exn), [], Job.Failed)
+  in
+  job.Job.finished_s <- Unix.gettimeofday ();
+  let artifacts =
+    match Option.bind hb (fun b -> persist_heartbeats b ~store job) with
+    | None -> artifacts
+    | Some key -> artifacts @ [ ("heartbeats", key) ]
+  in
+  (* Result and artifacts land before the terminal status store, so a
+     follower that wakes on [terminal] sees the complete summary. *)
+  job.Job.result <- Some { Job.note; artifacts };
+  job.Job.status <- status
 
-let worker ~idx ~t0 ~tracer ~store ~queue st () =
+let worker ~idx ~t0 ~tracer ~store ~queue ~hb st () =
   let rec loop () =
     match Fair_queue.next queue with
     | None -> ()
@@ -165,7 +274,7 @@ let worker ~idx ~t0 ~tracer ~store ~queue st () =
               ("id", J.Int job.Job.id); ("tenant", J.String job.Job.tenant);
             ]
           (Job.kind_label job.Job.kind));
-      run_job ~store job;
+      run_job ~hb ~store job;
       let ts' = now_us () in
       (match tracer with
       | None -> ()
@@ -197,11 +306,12 @@ let start ?(workers = 2) ?tracer ~queue ~store () =
     for i = 0 to workers - 1 do
       Tracer.set_thread_name tr ~tid:i (Fmt.str "worker-%d" i)
     done);
+  let hb = create_heartbeats () in
   let domains =
     Array.init workers (fun idx ->
-        Domain.spawn (worker ~idx ~t0 ~tracer ~store ~queue st))
+        Domain.spawn (worker ~idx ~t0 ~tracer ~store ~queue ~hb st))
   in
-  { queue; st; domains; stopped = Atomic.make false }
+  { queue; st; hb; domains; stopped = Atomic.make false }
 
 let stats t = t.st
 let workers t = Array.length t.domains

@@ -24,6 +24,22 @@ type stats = {
 
 type t
 
+type heartbeats
+(** Per-job heartbeat bus: sequence-numbered registry-format snapshots
+    pushed by the worker executing a job (every job emits one as it
+    starts running; explore jobs add periodic progress snapshots) and
+    drained by daemon threads serving [follow] requests. History is
+    capped at 256 beats per job and persisted as a ["heartbeats"]
+    artifact when the job finishes. *)
+
+val create_heartbeats : unit -> heartbeats
+
+val heartbeats_after :
+  t -> job:int -> after:int -> (int * Era_metrics.Json.t) list
+(** Beats for [job] with sequence number [> after], oldest first, each
+    as [(seq, body)] where [body] is
+    [{"job":…,"seq":…,"ts_s":…,"label":…,"registry":…}]. *)
+
 val start :
   ?workers:int ->
   ?tracer:Era_obs.Tracer.t ->
@@ -42,8 +58,10 @@ val stop : ?drain:bool -> t -> unit
 (** Close the queue ([drain] as above), join every worker. Idempotent —
     a second call is a no-op. *)
 
-val run_job : store:Store.t -> Job.t -> unit
+val run_job : ?hb:heartbeats -> store:Store.t -> Job.t -> unit
 (** Execute one job synchronously on the calling domain: sets
     [started_s]/[finished_s], transitions [Running -> Done|Failed], and
-    stores artifacts. Exposed for tests and for running without a
+    stores artifacts. With [hb], heartbeats are pushed during the run
+    and the history is persisted as a ["heartbeats"] artifact (listed in
+    the job's result). Exposed for tests and for running without a
     pool. *)

@@ -37,6 +37,8 @@ type result_ = {
   drain_s : float;
   admit_p50_us : float;
   admit_p99_us : float;
+  admit_est_p50_us : float;
+  admit_est_p99_us : float;
 }
 
 (* One multiplexed connection. [sent]/[acked] count submits enqueued and
@@ -88,6 +90,12 @@ let fetch_counts ?(retries = 0) socket =
 (* Percentiles                                                       *)
 (* ---------------------------------------------------------------- *)
 
+(* Exact rank percentile over the raw per-request array — kept for the
+   raw-µs latency report. The log2-bucket estimates next to it come
+   from the shared registry estimator ({!Era_obs.Registry}), the same
+   code path every histogram snapshot's p50/p90/p99 uses; reporting
+   both pins the estimator's factor-of-2 resolution against ground
+   truth on every load run. *)
 let percentile sorted p =
   let n = Array.length sorted in
   if n = 0 then 0.0
@@ -155,6 +163,10 @@ let run cfg =
       let admitted = ref 0 and shed = ref 0 and errors = ref 0 in
       let lat = Array.make (max 1 cfg.requests) 0.0 in
       let nlat = ref 0 in
+      let lat_reg = Era_obs.Registry.create () in
+      let lat_hist =
+        Era_obs.Registry.histogram lat_reg "load_admit_latency_us"
+      in
       let peak = ref 0 and infl_sum = ref 0.0 and infl_n = ref 0 in
       let tenant_ix = ref 0 in
       let scratch = Bytes.create 65536 in
@@ -163,8 +175,10 @@ let run cfg =
         incr responded;
         (if not (Queue.is_empty c.ts) then begin
            let t0 = Queue.pop c.ts in
+           let us = (now -. t0) *. 1e6 in
+           Era_obs.Registry.observe lat_hist (int_of_float us);
            if !nlat < Array.length lat then begin
-             lat.(!nlat) <- (now -. t0) *. 1e6;
+             lat.(!nlat) <- us;
              incr nlat
            end
          end);
@@ -312,6 +326,15 @@ let run cfg =
         and aborted = final.c_aborted - base.c_aborted in
         let sorted = Array.sub lat 0 !nlat in
         Array.sort compare sorted;
+        let est q =
+          match
+            Option.bind
+              (Era_obs.Registry.find lat_reg "load_admit_latency_us")
+              (fun m -> Era_obs.Registry.estimate_quantile m.Era_obs.Registry.value q)
+          with
+          | Some v -> v
+          | None -> 0.0
+        in
         Ok
           {
             submitted = !submitted;
@@ -331,6 +354,8 @@ let run cfg =
             drain_s;
             admit_p50_us = percentile sorted 50.;
             admit_p99_us = percentile sorted 99.;
+            admit_est_p50_us = est 0.5;
+            admit_est_p99_us = est 0.99;
           })
 
 let pp_result ppf r =
@@ -339,8 +364,9 @@ let pp_result ppf r =
      admitted   %d  shed %d  lost %d@,\
      terminal   served %d  failed %d  aborted %d@,\
      in-flight  peak %d  mean %.1f@,\
-     latency    p50 %.0f us  p99 %.0f us@,\
+     latency    p50 %.0f us  p99 %.0f us  (log2 est: p50 %.0f  p99 %.0f)@,\
      elapsed    submit %.3f s  drain %.3f s@]"
     r.submitted r.responded r.errors r.admitted r.shed r.lost r.served
     r.failed r.aborted r.inflight_peak r.inflight_mean r.admit_p50_us
-    r.admit_p99_us r.submit_elapsed_s r.drain_s
+    r.admit_p99_us r.admit_est_p50_us r.admit_est_p99_us r.submit_elapsed_s
+    r.drain_s

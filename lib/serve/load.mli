@@ -41,8 +41,16 @@ type result_ = {
   inflight_mean : float;
   submit_elapsed_s : float;  (** first write to last response *)
   drain_s : float;  (** extra time until the backlog finished *)
-  admit_p50_us : float;  (** submit -> response latency percentiles *)
+  admit_p50_us : float;
+      (** submit -> response latency percentiles, exact over the raw
+          per-request µs array *)
   admit_p99_us : float;
+  admit_est_p50_us : float;
+      (** the same quantiles estimated from a shared-registry log2
+          histogram ({!Era_obs.Registry.estimate_quantile}) — reported
+          next to the exact values so every load run cross-checks the
+          estimator against ground truth *)
+  admit_est_p99_us : float;
 }
 
 val run : config -> (result_, string) result

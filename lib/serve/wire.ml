@@ -4,6 +4,7 @@ type request =
   | Ping
   | Submit of { tenant : string; kind : Job.kind }
   | Job_status of int
+  | Follow of int
   | Jobs
   | Stats
   | Artifact of string
@@ -20,6 +21,7 @@ let request_to_json = function
         ("job", Job.kind_to_json kind);
       ]
   | Job_status id -> J.Obj [ ("op", J.String "job"); ("id", J.Int id) ]
+  | Follow id -> J.Obj [ ("op", J.String "follow"); ("id", J.Int id) ]
   | Jobs -> J.Obj [ ("op", J.String "jobs") ]
   | Stats -> J.Obj [ ("op", J.String "stats") ]
   | Artifact key ->
@@ -44,6 +46,10 @@ let request_of_json j =
     match Option.bind (J.member "id" j) J.to_int with
     | Some id -> Ok (Job_status id)
     | None -> Error "job: missing \"id\"")
+  | Some "follow" -> (
+    match Option.bind (J.member "id" j) J.to_int with
+    | Some id -> Ok (Follow id)
+    | None -> Error "follow: missing \"id\"")
   | Some "artifact" -> (
     match Option.bind (J.member "key" j) J.to_str with
     | Some key -> Ok (Artifact key)

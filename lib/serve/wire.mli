@@ -13,6 +13,7 @@
     {"op":"ping"}
     {"op":"submit","tenant":"t0","job":{"kind":"probe","spin":500}}
     {"op":"job","id":12}
+    {"op":"follow","id":12}
     {"op":"jobs"}
     {"op":"stats"}
     {"op":"artifact","key":"<hex>"}
@@ -22,12 +23,20 @@
 
     Responses are [{"ok":true,...}] or [{"ok":false,"error":"..."}]. A
     shed submit is [ok:true] with ["status":"shed"] — shedding is a
-    well-formed admission outcome, not a protocol error. *)
+    well-formed admission outcome, not a protocol error.
+
+    [follow] is the one streaming exception to one-request/one-response:
+    the daemon pushes zero or more [{"heartbeat":...}] lines (periodic
+    registry snapshots from the running job) and finishes with a single
+    terminal [{"ok":true,"job":...}] line once the job reaches a
+    terminal status. A follow occupies its connection until that
+    terminal line — don't pipeline other requests behind it. *)
 
 type request =
   | Ping
   | Submit of { tenant : string; kind : Job.kind }
   | Job_status of int
+  | Follow of int  (** stream heartbeats for a job until it finishes *)
   | Jobs
   | Stats
   | Artifact of string

@@ -169,8 +169,11 @@ let test_cli_commands () =
 let test_cli_default_json_path () =
   let t = parse_ok [| "bench" |] in
   let path = Rc.default_json_path ~clock:(fun () -> 0.) t in
+  Alcotest.(check string) "bench/ directory" "bench"
+    (Filename.dirname path);
   Alcotest.(check bool) "BENCH_ prefix" true
-    (String.length path > 6 && String.sub path 0 6 = "BENCH_");
+    (String.length (Filename.basename path) > 6
+    && String.sub (Filename.basename path) 0 6 = "BENCH_");
   Alcotest.(check bool) ".json suffix" true
     (Filename.check_suffix path ".json");
   let t = parse_ok [| "bench"; "--json"; "x.json" |] in

@@ -5,6 +5,7 @@
 
 module Tracer = Era_obs.Tracer
 module Registry = Era_obs.Registry
+module Flight = Era_obs.Flight
 module Sim_trace = Era_obs.Sim_trace
 module Json = Era_metrics.Json
 module Monitor = Era_sim.Monitor
@@ -73,6 +74,29 @@ let test_ring_no_drop () =
   let phs = List.filter_map ph (trace_events j) in
   Alcotest.(check (list string)) "phases in order" [ "B"; "E"; "C" ] phs
 
+(* The boundary case: a ring filled to exactly its capacity is still a
+   complete trace; the very next event starts the overwrite count. *)
+let test_ring_wrap_exact () =
+  let tr = Tracer.create ~capacity:4 () in
+  for i = 1 to 4 do
+    Tracer.instant tr ~ts:i ~tid:0 ~cat:"t" (Fmt.str "e%d" i)
+  done;
+  Alcotest.(check int) "full to the brim" 4 (Tracer.length tr);
+  Alcotest.(check int) "exactly full drops nothing" 0 (Tracer.dropped tr);
+  Alcotest.(check bool)
+    "still a complete trace" true
+    (Json.member "droppedEvents" (Tracer.to_json tr) = None);
+  Tracer.instant tr ~ts:5 ~tid:0 ~cat:"t" "e5";
+  Alcotest.(check int) "length still capped" 4 (Tracer.length tr);
+  Alcotest.(check int) "one past capacity = one drop" 1 (Tracer.dropped tr);
+  let names =
+    List.filter_map
+      (fun e -> if ph e = Some "i" then str_field "name" e else None)
+      (trace_events (Tracer.to_json tr))
+  in
+  Alcotest.(check (list string))
+    "oldest evicted first" [ "e2"; "e3"; "e4"; "e5" ] names
+
 (* ------------------------------------------------------------------ *)
 (* Registry                                                            *)
 (* ------------------------------------------------------------------ *)
@@ -124,6 +148,67 @@ let test_histogram_buckets () =
       [ (0, 2); (1, 1); (2, 2); (3, 2); (4, 1) ]
       buckets
   | _ -> Alcotest.fail "histogram lookup"
+
+(* Labelled histograms survive the JSON round-trip even though the
+   export carries derived p50/p90/p99 fields the decoder must ignore. *)
+let test_histogram_json_labels () =
+  let r = Registry.create () in
+  let labels = [ ("scheme", "debra"); ("op", "add") ] in
+  let h = Registry.histogram r "native_op_latency_ns" ~labels in
+  List.iter (Registry.observe h) [ 120; 250; 300; 4_000; 65_000 ];
+  let json = parse_json (Registry.to_string r) in
+  (* The export carries the derived quantiles... *)
+  let exported =
+    match Option.bind (Json.member "metrics" json) Json.to_list with
+    | Some [ m ] -> m
+    | _ -> Alcotest.fail "expected exactly one exported metric"
+  in
+  List.iter
+    (fun q ->
+      Alcotest.(check bool) (q ^ " exported") true
+        (Json.member q exported <> None))
+    [ "p50"; "p90"; "p99" ];
+  (* ...and the decode ignores them, reconstructing the exact metric. *)
+  match Registry.metrics_of_json json with
+  | Error e -> Alcotest.failf "decode failed: %s" e
+  | Ok [ m ] ->
+    Alcotest.(check string) "name" "native_op_latency_ns" m.Registry.name;
+    Alcotest.(check (list (pair string string))) "labels" labels m.labels;
+    (match m.Registry.value with
+    | Registry.Histogram { count; sum; buckets } ->
+      Alcotest.(check int) "count" 5 count;
+      Alcotest.(check int) "sum" 69_670 sum;
+      Alcotest.(check (list (pair int int)))
+        "buckets"
+        [ (7, 1); (8, 1); (9, 1); (12, 1); (16, 1) ]
+        buckets
+    | _ -> Alcotest.fail "expected a histogram")
+  | Ok ms -> Alcotest.failf "expected one metric, decoded %d" (List.length ms)
+
+(* The quantile estimator interpolates linearly inside a log2 bucket
+   [2^(b-1), 2^b), so hand-built buckets have closed-form answers. *)
+let test_estimate_quantile () =
+  let est = Registry.estimate_quantile in
+  let hist count buckets = Registry.Histogram { count; sum = 0; buckets } in
+  let check name want got =
+    match got with
+    | Some v -> Alcotest.(check (float 1e-9)) name want v
+    | None -> Alcotest.failf "%s: no estimate" name
+  in
+  (* All mass in bucket 3 = [4, 8): quantiles sweep the bucket. *)
+  let one = hist 4 [ (3, 4) ] in
+  check "p0 at bucket floor" 4.0 (est one 0.0);
+  check "p50 mid-bucket" 6.0 (est one 0.5);
+  check "p100 at bucket ceiling" 8.0 (est one 1.0);
+  (* Mass split across buckets: rank walks the cumulative counts. *)
+  let split = hist 4 [ (1, 1); (2, 1); (4, 2) ] in
+  check "p50 lands at bucket 2's ceiling" 4.0 (est split 0.5);
+  check "p99 interpolates inside bucket 4" 15.84 (est split 0.99);
+  (* Out-of-range q clamps rather than failing. *)
+  check "q > 1 clamps" 16.0 (est split 1.5);
+  (* Non-histograms and empty histograms estimate nothing. *)
+  Alcotest.(check bool) "counter" true (est (Registry.Counter 9) 0.5 = None);
+  Alcotest.(check bool) "empty" true (est (hist 0 []) 0.5 = None)
 
 (* ------------------------------------------------------------------ *)
 (* Figure 2 HP: golden Perfetto trace                                  *)
@@ -305,6 +390,104 @@ let test_native_trace () =
   Alcotest.(check bool) "coordinator sampled counters" true (counters <> [])
 
 (* ------------------------------------------------------------------ *)
+(* Flight recorder                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* The detached recorder is the zero-cost configuration: every handle
+   is the null handle, recording is a no-op, and the merge is empty. *)
+let test_flight_detached () =
+  let t = Flight.null in
+  Alcotest.(check bool) "inactive" false (Flight.active t);
+  let h = Flight.handle t 0 in
+  Alcotest.(check bool) "null handle" false (Flight.recording h);
+  Alcotest.(check bool)
+    "coordinator is null too" false
+    (Flight.recording (Flight.coordinator t));
+  Flight.retire h;
+  Flight.backlog h ~domain:0 42;
+  Flight.observe_op h Flight.op_add 1_000;
+  Alcotest.(check int) "nothing buffered" 0 (Flight.total_events t);
+  Alcotest.(check int) "nothing dropped" 0 (Flight.dropped t);
+  Alcotest.(check int) "empty merge" 0 (Tracer.length (Flight.to_tracer t));
+  let r = Registry.create () in
+  Flight.to_registry t r;
+  Alcotest.(check bool) "no metrics published" true (Registry.snapshot r = [])
+
+(* Per-ring wrap accounting mirrors the tracer's: exactly full is
+   complete, the next record starts the drop count, and out-of-range
+   handles degrade to the null handle instead of failing. *)
+let test_flight_ring_wrap () =
+  let t = Flight.create ~capacity:4 ~ndomains:1 () in
+  let h = Flight.handle t 0 in
+  Alcotest.(check bool) "live handle" true (Flight.recording h);
+  for _ = 1 to 4 do
+    Flight.retire h
+  done;
+  Alcotest.(check int) "exactly full" 4 (Flight.total_events t);
+  Alcotest.(check int) "exactly full drops nothing" 0 (Flight.dropped t);
+  Flight.retire h;
+  Flight.retire h;
+  Alcotest.(check int) "still holds capacity" 4 (Flight.total_events t);
+  Alcotest.(check int) "two overwritten" 2 (Flight.dropped t);
+  Alcotest.(check bool)
+    "out-of-range domain gets the null handle" false
+    (Flight.recording (Flight.handle t 99))
+
+(* Hand-drive a two-domain recorder and check the merged Perfetto
+   shape: lifecycle instants and restart/stall spans land on per-domain
+   tracks, gauge samples become named counter tracks, and the latency
+   histograms publish with an op label. *)
+let test_flight_merge_shape () =
+  let t = Flight.create ~capacity:64 ~ndomains:2 () in
+  let h0 = Flight.handle t 0 and h1 = Flight.handle t 1 in
+  Flight.retire h0;
+  Flight.restart_begin h0;
+  Flight.restart_end h0;
+  Flight.stall_begin h1;
+  Flight.stall_end h1;
+  let c = Flight.coordinator t in
+  Flight.backlog c ~domain:0 5;
+  Flight.epoch_lag c ~domain:1 2;
+  Flight.observe_op h0 Flight.op_add 300;
+  Alcotest.(check int) "all events buffered" 7 (Flight.total_events t);
+  let evs = trace_events (Tracer.to_json (Flight.to_tracer t)) in
+  let find want_ph want_name =
+    List.filter
+      (fun e -> ph e = Some want_ph && str_field "name" e = Some want_name)
+      evs
+  in
+  (match find "i" "retire" with
+  | [ e ] ->
+    Alcotest.(check (option int)) "retire on D0's track" (Some 0)
+      (int_field "tid" e)
+  | l -> Alcotest.failf "expected one retire instant, got %d" (List.length l));
+  (match find "B" "neutralize-restart" with
+  | [ e ] ->
+    Alcotest.(check (option int)) "restart span on D0's track" (Some 0)
+      (int_field "tid" e)
+  | l -> Alcotest.failf "expected one restart begin, got %d" (List.length l));
+  (match find "B" "stall" with
+  | [ e ] ->
+    Alcotest.(check (option int)) "stall span on D1's track" (Some 1)
+      (int_field "tid" e)
+  | l -> Alcotest.failf "expected one stall begin, got %d" (List.length l));
+  Alcotest.(check int) "both spans closed" 2
+    (List.length (List.filter (fun e -> ph e = Some "E") evs));
+  Alcotest.(check int) "backlog counter track" 1
+    (List.length (find "C" "backlog/d0"));
+  Alcotest.(check int) "epoch-lag counter track" 1
+    (List.length (find "C" "epoch-lag/d1"));
+  let r = Registry.create () in
+  Flight.to_registry t r;
+  match Registry.find r "native_op_latency_ns" ~labels:[ ("op", "add") ] with
+  | Some
+      { Registry.value = Registry.Histogram { count = 1; sum = 300; buckets };
+        _ } ->
+    Alcotest.(check (list (pair int int)))
+      "300 ns lands in bucket 9" [ (9, 1) ] buckets
+  | _ -> Alcotest.fail "latency histogram not published"
+
+(* ------------------------------------------------------------------ *)
 (* Explore heartbeat telemetry                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -389,6 +572,8 @@ let () =
         [
           Alcotest.test_case "ring overflow" `Quick test_ring_overflow;
           Alcotest.test_case "spans and counters" `Quick test_ring_no_drop;
+          Alcotest.test_case "wrap at exact capacity" `Quick
+            test_ring_wrap_exact;
         ] );
       ( "registry",
         [
@@ -396,6 +581,17 @@ let () =
           Alcotest.test_case "dedup and kind safety" `Quick
             test_registry_dedup_and_kinds;
           Alcotest.test_case "log2 buckets" `Quick test_histogram_buckets;
+          Alcotest.test_case "labelled histogram JSON" `Quick
+            test_histogram_json_labels;
+          Alcotest.test_case "quantile estimator" `Quick test_estimate_quantile;
+        ] );
+      ( "flight",
+        [
+          Alcotest.test_case "detached is a no-op" `Quick test_flight_detached;
+          Alcotest.test_case "ring wrap accounting" `Quick
+            test_flight_ring_wrap;
+          Alcotest.test_case "Perfetto merge shape" `Quick
+            test_flight_merge_shape;
         ] );
       ( "figure2-trace",
         [

@@ -325,6 +325,71 @@ let test_run_job_unknown_scheme () =
       Alcotest.(check bool) "note names the problem" true
         (String.length r.Job.note > 0))
 
+(* Heartbeats: a run with a bus attached pushes a start beat plus
+   periodic explore progress, and persists the history — ascending
+   sequence numbers, registry-format bodies — as an artifact. *)
+let test_run_job_heartbeats () =
+  with_store (fun store ->
+      let hb = Executor.create_heartbeats () in
+      (* a safe scheme exhausts its run budget, so progress beats fire
+         (hp/harris would cut short at the first violation) *)
+      let kind =
+        Job.Explore
+          {
+            scheme = "ebr"; structure = "harris-list"; preemptions = 2;
+            max_runs = 400; steps = 50_000; seed = 3; ops = None;
+            robust_bound = None;
+          }
+      in
+      let j = Job.make ~id:11 ~tenant:"t" kind in
+      Executor.run_job ~hb ~store j;
+      let r = Option.get j.Job.result in
+      let key =
+        match List.assoc_opt "heartbeats" r.Job.artifacts with
+        | Some k -> k
+        | None -> Alcotest.fail "heartbeat history not persisted"
+      in
+      let beats =
+        match
+          Result.bind
+            (Json.of_string (Option.get (Store.get store key)))
+            (fun j -> Option.to_result ~none:"not a list" (Json.to_list j))
+        with
+        | Ok l -> l
+        | Error e -> Alcotest.failf "heartbeats artifact: %s" e
+      in
+      Alcotest.(check bool) "start beat plus explore progress" true
+        (List.length beats >= 2);
+      let int_of k b = Option.bind (Json.member k b) Json.to_int in
+      List.iteri
+        (fun i b ->
+          Alcotest.(check (option int)) "seq is dense and ascending"
+            (Some (i + 1)) (int_of "seq" b);
+          Alcotest.(check (option int)) "beat names its job" (Some 11)
+            (int_of "job" b);
+          match Json.member "registry" b with
+          | Some reg -> (
+            match Era_obs.Registry.metrics_of_json reg with
+            | Ok _ -> ()
+            | Error e -> Alcotest.failf "beat %d registry: %s" i e)
+          | None -> Alcotest.failf "beat %d without a registry" i)
+        beats;
+      (* progress beats carry the explorer's counters *)
+      let has_runs b =
+        match
+          Option.bind (Json.member "registry" b) (fun reg ->
+              Result.to_option (Era_obs.Registry.metrics_of_json reg))
+        with
+        | Some ms ->
+          List.exists
+            (fun (m : Era_obs.Registry.metric) ->
+              m.Era_obs.Registry.name = "explore_runs")
+            ms
+        | None -> false
+      in
+      Alcotest.(check bool) "explore progress beats present" true
+        (List.exists has_runs beats))
+
 let test_executor_drain_then_stop () =
   with_store (fun store ->
       let queue = Fq.create () in
@@ -470,6 +535,51 @@ let test_daemon_submit_wait () =
       Alcotest.(check int) "daemon job table" 1 (List.length (Daemon.jobs d));
       Client.close cl)
 
+(* The streaming exception to one-request/one-response: follow a live
+   explore job and collect its heartbeats until the terminal summary. *)
+let test_daemon_follow () =
+  with_daemon (fun _ socket ->
+      let cl = connect socket in
+      let id =
+        match get_exn (Client.submit cl ~tenant:"t" small_explore) with
+        | Client.Admitted id -> id
+        | Client.Shed r -> Alcotest.failf "shed under capacity: %s" r
+      in
+      let beats = ref [] in
+      let summary =
+        get_exn (Client.follow cl ~on_heartbeat:(fun b -> beats := b :: !beats) id)
+      in
+      let beats = List.rev !beats in
+      Alcotest.(check bool) "at least the start beat streamed" true
+        (beats <> []);
+      let seqs =
+        List.map
+          (fun b ->
+            Option.value (Option.bind (Json.member "seq" b) Json.to_int)
+              ~default:(-1))
+          beats
+      in
+      Alcotest.(check (list int)) "seqs stream in order, no gaps"
+        (List.init (List.length seqs) (( + ) 1))
+        seqs;
+      (* the terminal line is the full summary, artifacts included *)
+      Alcotest.(check (option string)) "terminal summary is done"
+        (Some "done")
+        (Option.bind (Json.member "status" summary) Json.to_str);
+      (match Option.bind (Json.member "artifacts" summary) Json.to_list with
+      | Some arts ->
+        let kinds =
+          List.filter_map
+            (fun a -> Option.bind (Json.member "kind" a) Json.to_str)
+            arts
+        in
+        Alcotest.(check bool) "heartbeat history is an artifact" true
+          (List.mem "heartbeats" kinds)
+      | None -> Alcotest.fail "summary without artifacts");
+      (* the connection is reusable after the stream ends *)
+      get_exn (Client.ping cl);
+      Client.close cl)
+
 let test_daemon_shed_and_registry () =
   (* 1 worker busy on a long probe; tiny caps force shed on the wire *)
   with_daemon ~workers:1 ~global_cap:2 ~tenant_cap:1 (fun d socket ->
@@ -585,6 +695,8 @@ let () =
           Alcotest.test_case "probe runs" `Quick test_run_job_probe;
           Alcotest.test_case "explore artifacts" `Quick
             test_run_job_explore_artifacts;
+          Alcotest.test_case "heartbeat bus and artifact" `Quick
+            test_run_job_heartbeats;
           Alcotest.test_case "unknown scheme fails cleanly" `Quick
             test_run_job_unknown_scheme;
           Alcotest.test_case "drain then stop" `Quick
@@ -598,6 +710,8 @@ let () =
         [
           Alcotest.test_case "submit, wait, artifacts" `Quick
             test_daemon_submit_wait;
+          Alcotest.test_case "follow streams heartbeats" `Quick
+            test_daemon_follow;
           Alcotest.test_case "shed + registry" `Quick
             test_daemon_shed_and_registry;
           Alcotest.test_case "client-driven shutdown" `Quick
